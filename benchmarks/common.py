@@ -1,0 +1,64 @@
+"""Shared helpers for the figure/table reproduction benchmarks.
+
+Each benchmark file regenerates one table or figure from the paper's
+evaluation (Section 6): it sweeps the workload through the machine model
+(figures) or times the real dynamic-check implementation (tables), prints
+the same rows/series the paper reports, and appends a machine-readable copy
+under ``results/``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, List, Sequence
+
+from repro.bench.harness import ScalingResult
+from repro.bench.plots import ascii_plot
+from repro.bench.reporting import format_series_table, results_dir, save_csv
+
+__all__ = [
+    "emit_figure",
+    "time_us_avg5",
+    "CHECK_DOMAIN_SIZES",
+]
+
+#: Column headings of Tables 2 and 3: launch-domain sizes.
+CHECK_DOMAIN_SIZES = (10**3, 10**4, 10**5, 10**6)
+
+
+def emit_figure(
+    name: str,
+    results: Sequence[ScalingResult],
+    metric: str,
+    unit_scale: float,
+    unit_label: str,
+    title: str,
+) -> str:
+    """Print a figure's series table and persist it as CSV; returns text."""
+    table = format_series_table(
+        results, metric=metric, unit_scale=unit_scale,
+        unit_label=unit_label, title=title,
+    )
+    print()
+    print(table)
+    save_csv(results, f"{name}.csv")
+    chart = ascii_plot(
+        results, metric=metric, unit_scale=unit_scale, title=title,
+        logy=(metric == "throughput"),
+    )
+    with open(os.path.join(results_dir(), f"{name}.txt"), "w") as fh:
+        fh.write(table + "\n\n" + chart + "\n")
+    return table
+
+
+def time_us_avg5(fn: Callable[[], object]) -> float:
+    """Elapsed microseconds, averaged over 5 runs (the paper's protocol)."""
+    # One warm-up run keeps allocator effects out of the measurement.
+    fn()
+    total = 0.0
+    for _ in range(5):
+        start = time.perf_counter()
+        fn()
+        total += time.perf_counter() - start
+    return total / 5 * 1e6

@@ -1,0 +1,78 @@
+"""Figure 1: task-graph patterns and the O(PT) -> O(T) compression claim.
+
+Figure 1 is an illustration, not a measurement, but it carries the paper's
+central quantitative claim: a naive task graph costs O(PT) representation
+(P parallel tasks wide, T tall), and index launches collapse the horizontal
+dimension to O(T).  This benchmark runs all six patterns through the real
+runtime with and without index launches and reports, per pattern, the
+issuance-stage representation totals and the compression ratio — which
+equals P for the forall-style patterns and the wavefront width for sweeps.
+"""
+
+import os
+
+import pytest
+
+from repro.apps.patterns import PATTERNS, run_pattern
+from repro.bench.reporting import results_dir
+from repro.runtime import Runtime, RuntimeConfig
+from repro.runtime.pipeline import Stage
+
+WIDTH = 16
+
+
+def run_fig1():
+    rows = []
+    for name in sorted(PATTERNS):
+        kwargs = {"width": WIDTH} if name != "sweep" else {"width": 8}
+        rt_idx = Runtime(RuntimeConfig(index_launches=True))
+        res = run_pattern(name, rt_idx, **kwargs)
+        assert res.correct, name
+        idx_units = rt_idx.stats.stage_total(Stage.ISSUANCE)
+
+        rt_no = Runtime(RuntimeConfig(index_launches=False))
+        res_no = run_pattern(name, rt_no, **kwargs)
+        assert res_no.correct, name
+        no_units = rt_no.stats.stage_total(Stage.ISSUANCE)
+
+        rows.append((
+            name, res.launches, res.tasks, idx_units, no_units,
+            no_units / idx_units,
+            rt_idx.stats.launches_verified_static,
+            rt_idx.stats.launches_verified_dynamic,
+        ))
+    return rows
+
+
+def test_fig1_pattern_compression(benchmark):
+    rows = benchmark.pedantic(run_fig1, rounds=1, iterations=1)
+    header = (
+        f"{'pattern':>13} {'launches':>9} {'tasks':>6} "
+        f"{'IDX units':>10} {'No-IDX':>8} {'ratio':>7} "
+        f"{'static':>7} {'dynamic':>8}"
+    )
+    lines = ["Figure 1: pattern representation compression (issuance stage)",
+             header]
+    for name, launches, tasks, idx_u, no_u, ratio, st, dy in rows:
+        lines.append(
+            f"{name:>13} {launches:>9} {tasks:>6} {idx_u:>10} {no_u:>8} "
+            f"{ratio:>7.1f} {st:>7} {dy:>8}"
+        )
+    text = "\n".join(lines)
+    print()
+    print(text)
+    with open(os.path.join(results_dir(), "fig1_patterns.txt"), "w") as fh:
+        fh.write(text + "\n")
+
+    by = {r[0]: r for r in rows}
+    # Forall-style patterns compress by exactly P = width.
+    for name in ("trivial", "stencil", "fft", "unstructured"):
+        assert by[name][5] == pytest.approx(WIDTH)
+    # The tree compresses by its average level width.
+    assert by["tree"][5] == pytest.approx(by["tree"][2] / by["tree"][1])
+    # Sweeps compress by the mean wavefront width (< P, > 1).
+    assert 1.0 < by["sweep"][5] < 8
+    # Every pattern's IDX representation is exactly its launch count: O(T).
+    for name, launches, tasks, idx_u, no_u, *_ in rows:
+        assert idx_u == launches
+        assert no_u == tasks

@@ -1,0 +1,114 @@
+"""Figures 2 and 3: per-stage representation sizes through the pipeline.
+
+Reproduces the illustration's scenario with the *real* runtime: two index
+launches of four tasks each (domain [0,3]) over two nodes, under all four
+{DCR, No DCR} x {IDX, No IDX} configurations.  For every pipeline stage we
+measure the in-memory representation units each node holds (an unexpanded
+index launch is one unit regardless of |D|; each individual task is one
+unit) and check the figures' key claims:
+
+* with IDX, issuance/logical hold ONE unit per (issuing) node for a launch
+  of four tasks — the O(1) representation;
+* without IDX, those stages hold four units per issuing node — O(P);
+* in all configurations, expansion to individual tasks happens only at the
+  physical stage, distributed so no node holds the full set;
+* without DCR, only node 0 issues.
+"""
+
+import pytest
+
+from common import emit_figure
+from repro.bench.reporting import results_dir
+from repro.core.domain import Domain
+from repro.data.partition import equal_partition
+from repro.runtime import Runtime, RuntimeConfig, task
+from repro.runtime.pipeline import Stage
+
+import os
+
+
+@task(privileges=["reads writes"])
+def step_a(ctx, r):
+    r.write("x", r.read("x") + 1.0)
+
+
+@task(privileges=["reads writes"])
+def step_b(ctx, r):
+    r.write("x", r.read("x") * 2.0)
+
+
+def run_scenario(dcr, idx, tracing=False):
+    rt = Runtime(RuntimeConfig(n_nodes=2, dcr=dcr, index_launches=idx,
+                               tracing=tracing))
+    region = rt.create_region("r", 8, {"x": "f8"})
+    part = equal_partition("p", region, 4)
+    domain = Domain.range(4)  # the figures' [0,3]
+    rt.index_launch(step_a, domain, part)
+    rt.index_launch(step_b, domain, part)
+    return rt
+
+
+def format_rows():
+    lines = [
+        "Figures 2/3: representation units per pipeline stage",
+        "(two launches of 4 tasks each, 2 nodes; cells are node0/node1)",
+        "",
+        f"{'config':>16} {'issuance':>10} {'logical':>10} "
+        f"{'distrib':>10} {'physical':>10}",
+    ]
+    scenarios = [
+        ("DCR, IDX", True, True),
+        ("DCR, No IDX", True, False),
+        ("No DCR, IDX", False, True),
+        ("No DCR, No IDX", False, False),
+    ]
+    stats_by_config = {}
+    for label, dcr, idx in scenarios:
+        rt = run_scenario(dcr, idx)
+        cells = []
+        for stage in (Stage.ISSUANCE, Stage.LOGICAL, Stage.DISTRIBUTION,
+                      Stage.PHYSICAL):
+            per_node = [
+                rt.stats.representation.get((stage, n), 0) for n in (0, 1)
+            ]
+            cells.append(f"{per_node[0]}/{per_node[1]}")
+        lines.append(
+            f"{label:>16} " + " ".join(f"{c:>10}" for c in cells)
+        )
+        stats_by_config[label] = rt.stats
+    return "\n".join(lines), stats_by_config
+
+
+def test_fig2_fig3_pipeline_representation(benchmark):
+    text, stats = benchmark.pedantic(format_rows, rounds=1, iterations=1)
+    print()
+    print(text)
+    with open(os.path.join(results_dir(), "fig2_fig3.txt"), "w") as fh:
+        fh.write(text + "\n")
+
+    # --- Figure 2 (DCR): both nodes issue; IDX keeps issuance O(1)/node.
+    s = stats["DCR, IDX"]
+    assert s.representation[(Stage.ISSUANCE, 0)] == 2  # 2 launches, 1 unit each
+    assert s.representation[(Stage.ISSUANCE, 1)] == 2
+    assert s.max_units_any_node(Stage.PHYSICAL) == 4  # 2+2 tasks per node
+
+    s = stats["DCR, No IDX"]
+    assert s.representation[(Stage.ISSUANCE, 0)] == 8  # O(P): all 8 tasks
+    assert s.representation[(Stage.ISSUANCE, 1)] == 8  # ... on every node
+
+    # --- Figure 3 (no DCR): only node 0 issues.
+    s = stats["No DCR, IDX"]
+    assert s.representation[(Stage.ISSUANCE, 0)] == 2
+    assert s.representation.get((Stage.ISSUANCE, 1), 0) == 0
+    assert s.slice_messages > 0  # broadcast-tree hops happened
+
+    s = stats["No DCR, No IDX"]
+    assert s.representation[(Stage.ISSUANCE, 0)] == 8
+    assert s.representation.get((Stage.ISSUANCE, 1), 0) == 0
+
+    # In every configuration, the full task set is expanded only at the
+    # physical stage, split across nodes.
+    for label, s in stats.items():
+        assert s.stage_total(Stage.PHYSICAL) == 8
+        assert s.max_units_any_node(Stage.PHYSICAL) == 4
+        assert s.tasks_executed == 8

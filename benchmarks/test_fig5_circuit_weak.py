@@ -1,0 +1,40 @@
+"""Figure 5: Circuit weak scaling (2e5 wires/node, 1-1024 nodes).
+
+Paper result: DCR+IDX sustains ~85% parallel efficiency at 1024 nodes;
+DCR/No-IDX matches it at small scale but rolls off (84% at 256 was its best
+useful scale); the No-DCR configurations collapse, with No-DCR+IDX slightly
+*below* No-DCR/No-IDX due to interference with tracing (Section 6.2.1).
+"""
+
+import pytest
+
+from common import emit_figure
+from repro.bench.figures import fig5
+from repro.bench.reporting import parallel_efficiency
+
+
+def test_fig5_circuit_weak(benchmark):
+    spec = benchmark.pedantic(fig5, rounds=1, iterations=1)
+    results = spec.results
+    emit_figure(
+        spec.name, results, spec.metric, spec.unit_scale,
+        spec.unit_label, spec.title,
+    )
+    by = {r.label: r for r in results}
+
+    # DCR+IDX holds high efficiency out to 1024 nodes (paper: 85%).
+    assert parallel_efficiency(by["DCR, IDX"], 1024) > 0.80
+
+    # DCR/No-IDX is competitive at 256 (paper: 84%) but clearly degraded
+    # by 1024.
+    assert parallel_efficiency(by["DCR, No IDX"], 256) > 0.75
+    assert parallel_efficiency(by["DCR, No IDX"], 1024) < \
+        parallel_efficiency(by["DCR, IDX"], 1024) - 0.1
+
+    # No-DCR craters at scale.
+    assert parallel_efficiency(by["No DCR, No IDX"], 1024) < 0.4
+
+    # Tracing interference: No-DCR+IDX is (slightly) below No-DCR/No-IDX.
+    for n in (256, 512, 1024):
+        assert by["No DCR, IDX"].at(n)["throughput_per_node"] <= \
+            by["No DCR, No IDX"].at(n)["throughput_per_node"] * 1.001

@@ -1,0 +1,36 @@
+"""Figure 6: Circuit weak scaling, 10x overdecomposed, tracing disabled.
+
+The control experiment demonstrating that Figure 5's No-DCR+IDX anomaly is
+tracing's fault: with tracing off (and tasks overdecomposed 10x to magnify
+bulk-movement savings), index launches beat No-IDX *in both* the DCR and
+No-DCR configurations, because the launch now stays unexpanded until after
+distribution (the second column of Figure 3).
+"""
+
+import pytest
+
+from common import emit_figure
+from repro.bench.figures import fig6
+
+
+def test_fig6_circuit_weak_overdecomposed(benchmark):
+    spec = benchmark.pedantic(fig6, rounds=1, iterations=1)
+    results = spec.results
+    emit_figure(
+        spec.name, results, spec.metric, spec.unit_scale,
+        spec.unit_label, spec.title,
+    )
+    by = {r.label: r for r in results}
+
+    # The figure's point: IDX wins with AND without DCR once tracing is off.
+    for n in (64, 256, 1024):
+        assert by["DCR, IDX"].at(n)["throughput_per_node"] > \
+            1.2 * by["DCR, No IDX"].at(n)["throughput_per_node"]
+        assert by["No DCR, IDX"].at(n)["throughput_per_node"] > \
+            1.2 * by["No DCR, No IDX"].at(n)["throughput_per_node"]
+
+    # IDX configurations stay near-flat despite 10x the tasks.
+    assert by["DCR, IDX"].at(1024)["throughput_per_node"] > \
+        0.75 * by["DCR, IDX"].at(1)["throughput_per_node"]
+    assert by["No DCR, IDX"].at(1024)["throughput_per_node"] > \
+        0.7 * by["No DCR, IDX"].at(1)["throughput_per_node"]

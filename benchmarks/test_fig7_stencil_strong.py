@@ -1,0 +1,39 @@
+"""Figure 7: Stencil strong scaling (9e8 cells total, 1-512 nodes).
+
+Paper result: similar to Circuit but less dramatic — DCR+IDX wins with a
+~1.2x speedup over DCR/No-IDX at 512 nodes; No-DCR saturates early.
+"""
+
+import pytest
+
+from common import emit_figure
+from repro.bench.figures import fig7
+
+
+def test_fig7_stencil_strong(benchmark):
+    spec = benchmark.pedantic(fig7, rounds=1, iterations=1)
+    results = spec.results
+    emit_figure(
+        spec.name, results, spec.metric, spec.unit_scale,
+        spec.unit_label, spec.title,
+    )
+    by = {r.label: r for r in results}
+
+    top = by["DCR, IDX"].at(512)["throughput"]
+    for label, r in by.items():
+        assert top >= r.at(512)["throughput"] * 0.999, label
+
+    # Winning factor over DCR/No-IDX at 512 (paper: 1.2x).  Our simulated
+    # stencil saturates at a lower absolute per-iteration floor than the
+    # real system did, which inflates the factor (see EXPERIMENTS.md); the
+    # ordering and the crossover structure are what this bench checks.
+    ratio = top / by["DCR, No IDX"].at(512)["throughput"]
+    assert ratio > 1.1
+
+    # The DCR curves track each other at small scale ("similar, but less
+    # dramatic" — the divergence appears only once tasks get tiny).
+    assert by["DCR, No IDX"].at(16)["throughput"] > \
+        0.95 * by["DCR, IDX"].at(16)["throughput"]
+
+    # No-DCR saturates: its 512-node throughput is under half of DCR+IDX.
+    assert by["No DCR, No IDX"].at(512)["throughput"] < 0.5 * top

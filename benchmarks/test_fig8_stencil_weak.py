@@ -1,0 +1,41 @@
+"""Figure 8: Stencil weak scaling (9e8 cells/node, 1-1024 nodes).
+
+Paper result: DCR with and without IDX track each other until roughly 512
+nodes, where the curves diverge and the gap grows with node count; No-DCR
+falls away much earlier.
+"""
+
+import pytest
+
+from common import emit_figure
+from repro.bench.figures import fig8
+from repro.bench.reporting import parallel_efficiency
+
+
+def test_fig8_stencil_weak(benchmark):
+    spec = benchmark.pedantic(fig8, rounds=1, iterations=1)
+    results = spec.results
+    emit_figure(
+        spec.name, results, spec.metric, spec.unit_scale,
+        spec.unit_label, spec.title,
+    )
+    by = {r.label: r for r in results}
+
+    # DCR+IDX stays efficient at 1024.
+    assert parallel_efficiency(by["DCR, IDX"], 1024) > 0.85
+
+    # Divergence between the DCR configurations grows with node count.
+    gaps = []
+    for n in (128, 256, 512, 1024):
+        gap = (by["DCR, IDX"].at(n)["throughput_per_node"]
+               - by["DCR, No IDX"].at(n)["throughput_per_node"])
+        gaps.append(gap)
+    assert all(b >= a for a, b in zip(gaps, gaps[1:]))
+    assert gaps[-1] > 0
+
+    # The gap at moderate scale is small (the curves "track" each other).
+    assert by["DCR, No IDX"].at(64)["throughput_per_node"] > \
+        0.95 * by["DCR, IDX"].at(64)["throughput_per_node"]
+
+    # No-DCR collapses much earlier.
+    assert parallel_efficiency(by["No DCR, No IDX"], 1024) < 0.7

@@ -1,0 +1,38 @@
+"""Figure 9: Soleil-X fluid-only weak scaling (iter/s, 1-512 nodes).
+
+Paper result: the fluid module is forall-style throughout; with DCR, index
+launches hold ~78% parallel efficiency at 512 nodes while No-IDX trails and
+diverges with scale.  The paper plots only the two DCR configurations.
+"""
+
+import pytest
+
+from common import emit_figure
+from repro.bench.figures import fig9
+
+
+def test_fig9_soleil_fluid_weak(benchmark):
+    spec = benchmark.pedantic(fig9, rounds=1, iterations=1)
+    results = spec.results
+    emit_figure(
+        spec.name, results, spec.metric, spec.unit_scale,
+        spec.unit_label, spec.title,
+    )
+    by = {r.label: r for r in results}
+
+    # Single-node rate calibrated to the paper's axis (~3.2 iter/s).
+    assert by["DCR, IDX"].at(1)["throughput"] == pytest.approx(3.2, rel=0.15)
+
+    # IDX sustains high efficiency at 512 nodes.
+    eff = by["DCR, IDX"].at(512)["throughput"] / by["DCR, IDX"].at(1)["throughput"]
+    assert eff > 0.75
+
+    # No-IDX trails, and the gap grows with node count.
+    gaps = []
+    for n in (64, 128, 256, 512):
+        gaps.append(
+            by["DCR, IDX"].at(n)["throughput"]
+            - by["DCR, No IDX"].at(n)["throughput"]
+        )
+    assert all(b >= a for a, b in zip(gaps, gaps[1:]))
+    assert gaps[-1] > 0

@@ -1,0 +1,89 @@
+"""Microbenchmarks of this library's own runtime operations.
+
+Not a paper reproduction — these measure the Python implementation itself
+(launch issuance, the hybrid analysis, dependence tracking) so regressions
+in the hot paths show up.  Run with larger ``--benchmark-*`` options for
+stable numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.checks import dynamic_self_check
+from repro.core.domain import Domain, Rect
+from repro.core.projection import IdentityFunctor, ModularFunctor
+from repro.data.partition import equal_partition
+from repro.runtime import Runtime, RuntimeConfig, task
+
+
+@task(privileges=["reads writes"])
+def noop_rw(ctx, r):
+    pass
+
+
+@task(privileges=["reads"])
+def noop_ro(ctx, r):
+    pass
+
+
+def fresh(pieces=64, validate=True, idx=True):
+    rt = Runtime(RuntimeConfig(index_launches=idx, validate_safety=validate))
+    region = rt.create_region("mb", pieces * 4, {"x": "f8"})
+    part = equal_partition(f"mb{region.uid}", region, pieces)
+    return rt, part
+
+
+def test_bench_index_launch_static(benchmark):
+    """One statically-verified 64-task index launch, full pipeline."""
+    rt, part = fresh()
+    benchmark(lambda: rt.index_launch(noop_rw, 64, part))
+
+
+def test_bench_index_launch_dynamic_check(benchmark):
+    """Same launch, but the rotation functor needs the dynamic check."""
+    rt, part = fresh()
+    f = ModularFunctor(64, 7)
+    benchmark(lambda: rt.index_launch(noop_rw, 64, (part, f)))
+
+
+def test_bench_index_launch_no_validation(benchmark):
+    """Pipeline cost with the safety analysis disabled entirely."""
+    rt, part = fresh(validate=False)
+    benchmark(lambda: rt.index_launch(noop_rw, 64, part))
+
+
+def test_bench_expanded_launch(benchmark):
+    """The No-IDX path: 64 individual task launches per call."""
+    rt, part = fresh(idx=False)
+    benchmark(lambda: rt.index_launch(noop_rw, 64, part))
+
+
+def test_bench_read_only_launch(benchmark):
+    """Read-only launches skip all checks and never retire users."""
+    rt, part = fresh()
+    benchmark(lambda: rt.index_launch(noop_ro, 64, part))
+
+
+def test_bench_self_check_64(benchmark):
+    domain = Domain.range(64)
+    bounds = Rect((0,), (63,))
+    f = ModularFunctor(64, 7)
+    result = benchmark(lambda: dynamic_self_check(domain, f, bounds))
+    assert result.safe
+
+
+def test_bench_self_check_4096(benchmark):
+    domain = Domain.range(4096)
+    bounds = Rect((0,), (4095,))
+    f = ModularFunctor(4096, 17)
+    result = benchmark(lambda: dynamic_self_check(domain, f, bounds))
+    assert result.safe
+
+
+def test_bench_sharding_memoized(benchmark):
+    """Steady-state distribution: the sharding cache makes repeats cheap."""
+    rt, part = fresh()
+    rt.index_launch(noop_rw, 64, part)  # warm the cache
+    hits_before = rt.sharding_cache.hits
+    benchmark(lambda: rt.index_launch(noop_rw, 64, part))
+    assert rt.sharding_cache.hits > hits_before

@@ -1,0 +1,77 @@
+"""Table 2: elapsed times (µs) for the dynamic self-checks.
+
+Times the real dynamic-check implementation (the vectorized Listing-3
+bitmask algorithm) for the paper's four functor families — identity,
+linear, modular, quadratic — over launch domains of 10^3..10^6 points,
+with the partition size equal to the domain size.  All functors/domains
+are chosen *valid* so the early exit never fires (as in the paper).
+
+Expected shape: each row scales linearly in |D|; absolute µs differ from
+the paper's C implementation by the numpy-vectorization constant.
+"""
+
+import os
+
+import pytest
+
+from common import CHECK_DOMAIN_SIZES, time_us_avg5
+from repro.bench.reporting import results_dir
+from repro.core.checks import dynamic_self_check
+from repro.core.domain import Domain, Rect
+from repro.core.projection import (
+    AffineFunctor,
+    IdentityFunctor,
+    ModularFunctor,
+    QuadraticFunctor,
+)
+
+# (label, functor factory given domain size n, color-space size given n)
+FUNCTORS = [
+    ("Identity   i", lambda n: IdentityFunctor(), lambda n: n),
+    ("Linear     a*i+b", lambda n: AffineFunctor(3, 7), lambda n: 3 * n + 7),
+    ("Modular    (i+k) mod N", lambda n: ModularFunctor(n, 5), lambda n: n),
+    ("Quadratic  a*i^2+b*i+c", lambda n: QuadraticFunctor(1, 1, 0),
+     lambda n: n * n + n + 1),
+]
+
+
+def run_table2():
+    rows = []
+    for label, make_functor, colors in FUNCTORS:
+        cells = []
+        for n in CHECK_DOMAIN_SIZES:
+            domain = Domain.range(n)
+            functor = make_functor(n)
+            bounds = Rect((0,), (colors(n) - 1,))
+            us = time_us_avg5(lambda: dynamic_self_check(domain, functor, bounds))
+            result = dynamic_self_check(domain, functor, bounds)
+            assert result.safe, f"{label} must be a valid launch (no early exit)"
+            cells.append(us)
+        rows.append((label, cells))
+    return rows
+
+
+def print_table2(rows):
+    header = "Projection functor".ljust(26) + "".join(
+        f"{n:>12,}" for n in CHECK_DOMAIN_SIZES
+    )
+    lines = ["Table 2: dynamic self-check elapsed times (us)", header]
+    for label, cells in rows:
+        lines.append(label.ljust(26) + "".join(f"{c:12.1f}" for c in cells))
+    text = "\n".join(lines)
+    print()
+    print(text)
+    with open(os.path.join(results_dir(), "table2.txt"), "w") as fh:
+        fh.write(text + "\n")
+    return text
+
+
+def test_table2_selfcheck_timings(benchmark):
+    rows = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    print_table2(rows)
+    for label, cells in rows:
+        # Linear scaling: 1e6 costs within ~30x of 100x the 1e4 cell
+        # (generous slack for fixed numpy overheads at small sizes).
+        assert cells[3] < 3000 * cells[1]
+        # The headline claim: even |D| = 1e6 stays in the milliseconds.
+        assert cells[3] < 100_000  # 100 ms is far beyond any task granularity

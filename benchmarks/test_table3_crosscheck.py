@@ -1,0 +1,72 @@
+"""Table 3: elapsed times (µs) for the dynamic cross-check.
+
+Times the shared-bitmask multi-argument cross-check for 2..5 arguments on
+one partition, over launch domains of 10^3..10^6.  As in the paper, the
+partition has *twice* as many sub-collections as the domain has points, and
+the arguments select interleaved strided slots (functor ``k*n_args + arg``)
+so their images are disjoint and the check never exits early.
+
+Expected shape: linear in |D| along rows AND linear in the argument count
+down columns (the linear-time algorithm of Section 4, not the naive
+quadratic pairwise comparison).
+"""
+
+import os
+
+import pytest
+
+from common import CHECK_DOMAIN_SIZES, time_us_avg5
+from repro.bench.reporting import results_dir
+from repro.core.checks import dynamic_cross_check
+from repro.core.domain import Domain, Rect
+from repro.core.projection import AffineFunctor
+
+ARG_COUNTS = (2, 3, 4, 5)
+
+
+def run_table3():
+    rows = []
+    for n_args in ARG_COUNTS:
+        cells = []
+        for n in CHECK_DOMAIN_SIZES:
+            domain = Domain.range(n)
+            bounds = Rect((0,), (2 * n - 1,))  # |P| = 2 |D|, as in the paper
+            # One write argument on the even slots; the read arguments all
+            # select the odd slots.  Reads may overlap each other freely, so
+            # this is a valid launch for any argument count, and every value
+            # is in bounds — the full check runs with no early exit.
+            args = [(AffineFunctor(2, 0), "write")]
+            args += [(AffineFunctor(2, 1), "read")] * (n_args - 1)
+            us = time_us_avg5(lambda: dynamic_cross_check(domain, args, bounds))
+            result = dynamic_cross_check(domain, args, bounds)
+            assert result.safe and result.out_of_bounds == 0
+            cells.append(us)
+        rows.append((n_args, cells))
+    return rows
+
+
+def print_table3(rows):
+    header = "Number of arguments".ljust(22) + "".join(
+        f"{n:>12,}" for n in CHECK_DOMAIN_SIZES
+    )
+    lines = ["Table 3: dynamic cross-check elapsed times (us)", header]
+    for n_args, cells in rows:
+        lines.append(str(n_args).ljust(22) + "".join(f"{c:12.1f}" for c in cells))
+    text = "\n".join(lines)
+    print()
+    print(text)
+    with open(os.path.join(results_dir(), "table3.txt"), "w") as fh:
+        fh.write(text + "\n")
+    return text
+
+
+def test_table3_crosscheck_timings(benchmark):
+    rows = benchmark.pedantic(run_table3, rounds=1, iterations=1)
+    print_table3(rows)
+    # Linear in the number of arguments: 5 args within ~5x of 2 args
+    # (ratio 2.5 expected; allow slack for fixed overheads).
+    for col in range(len(CHECK_DOMAIN_SIZES)):
+        assert rows[-1][1][col] < 6.0 * rows[0][1][col]
+    # Linear-ish in |D|.
+    for _, cells in rows:
+        assert cells[3] < 3000 * cells[1]

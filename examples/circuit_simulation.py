@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Circuit: unstructured-graph simulation with dependent partitioning.
+
+The paper's first evaluation code (Section 6.1).  Demonstrates:
+
+* ``partition_by_field`` / ``image_partition`` / set algebra to derive the
+  owned / reachable / ghost node structure from an unstructured graph;
+* an aliased partition read concurrently (safe because read-only);
+* a ``reduces +`` scatter onto an aliased partition (safe because
+  reductions commute);
+* validation against a serial numpy reference;
+* the launch-group statistics: every launch verifies statically because
+  all projection functors are identity.
+
+Run:  python examples/circuit_simulation.py
+"""
+
+import numpy as np
+
+from repro.apps.circuit import (
+    CircuitConfig,
+    build_circuit,
+    reference_circuit,
+    run_circuit,
+)
+from repro.runtime import Runtime, RuntimeConfig
+
+
+def main():
+    config = CircuitConfig(
+        n_pieces=8,
+        nodes_per_piece=64,
+        wires_per_piece=128,
+        pct_wire_in_piece=0.85,
+        steps=25,
+        dt=5e-3,
+        seed=20210814,
+    )
+    rt = Runtime(RuntimeConfig(n_nodes=4))
+    graph = build_circuit(rt, config)
+
+    print("circuit graph")
+    print("  pieces          :", graph.n_pieces)
+    print("  nodes           :", graph.nodes.volume)
+    print("  wires           :", graph.wires.volume)
+    ghosts = [graph.node_ghost[c].volume for c in range(graph.n_pieces)]
+    print("  ghost nodes/piece:", ghosts)
+    print("  reachable aliased:", not graph.node_reachable.verify_disjointness())
+
+    expected = reference_circuit(graph)
+    voltages = run_circuit(rt, graph)
+    err = np.abs(voltages - expected).max()
+    print()
+    print(f"ran {config.steps} time steps; max |error| vs serial reference:",
+          err)
+    assert err < 1e-12
+
+    print()
+    print("runtime statistics")
+    print("  index launches     :", rt.stats.index_launches)
+    print("  tasks executed     :", rt.stats.tasks_executed)
+    print("  statically verified:", rt.stats.launches_verified_static)
+    print("  dynamic check cost :", rt.stats.check_evaluations,
+          "(zero: trivial functors only, as in the paper)")
+    print("  trace replays      :", rt.stats.trace_replays)
+    print("  logical dependences:", rt.stats.logical_dependences)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""The mini-Regent compiler: automatic index launches from sequential loops.
+
+Section 4 of the paper: "an approach based on hybrid compiler optimizations
+enables the automatic generation of index launches from apparently
+sequential loops such as those in Listings 1 and 2."
+
+This example feeds a small Regent-like program — including the paper's
+Listing 1 and Listing 2 — through the compiler pipeline and shows what the
+optimization pass decided for each loop, then executes the program and
+verifies results against an unoptimized (fully serial) run.
+
+Run:  python examples/compiler_demo.py
+"""
+
+import numpy as np
+
+from repro.compiler import compile_and_run, optimize_program, parse
+from repro.data.partition import equal_partition
+from repro.runtime import Runtime, RuntimeConfig
+
+SOURCE = """
+-- Listing 1, made concrete: a trivial and a non-trivial functor.
+task foo(c) reads(c) writes(c) do
+  c.v = c.v + 1
+end
+
+task bar(c) reads(c) writes(c) do
+  c.v = c.v * 2
+end
+
+task copy(a, b) reads(a) writes(b) do
+  b.v = a.v
+end
+
+for i = 0, 8 do          -- identity functor: statically safe
+  foo(p[i])
+end
+
+for i = 0, 8 do          -- opaque host function f: dynamic check
+  bar(q[f(i)])
+end
+
+-- Listing 2: i % 3 over [0, 5) is NOT injective; the dynamic check
+-- rejects the launch and the loop runs with sequential semantics.
+for i = 0, 5 do
+  copy(p[i], s[i % 3])
+end
+
+-- An affine pair on one partition: 2i writes never meet 2i+1 reads,
+-- provable statically (cross-check).
+for i = 0, 4 do
+  copy(t[2 * i + 1], t[2 * i])
+end
+"""
+
+
+def build_bindings(rt):
+    bindings = {}
+    for name, (size, pieces) in {
+        "p": (16, 8), "q": (16, 8), "s": (6, 3), "t": (16, 8),
+    }.items():
+        region = rt.create_region(f"demo_{name}", size, {"v": "f8"})
+        region.storage("v")[:] = np.arange(float(size))
+        bindings[name] = equal_partition(f"{name}_part", region, pieces)
+    bindings["f"] = lambda i: (i * 3) % 8  # a permutation of [0, 8)
+    return bindings
+
+
+def main():
+    # ---- What does the pass decide?
+    program, report = optimize_program(parse(SOURCE))
+    print("optimization pass decisions:")
+    for i, decision in enumerate(report.decisions):
+        print(f"  loop {i}: {decision.action}")
+        for reason in decision.reasons:
+            print(f"      - {reason}")
+
+    # ---- Execute, and compare against a fully serial (unoptimized) run.
+    outputs = {}
+    for optimize in (True, False):
+        rt = Runtime(RuntimeConfig(n_nodes=2))
+        bindings = build_bindings(rt)
+        compile_and_run(SOURCE, bindings, rt, optimize=optimize)
+        outputs[optimize] = {
+            name: bindings[name].region.storage("v").copy()
+            for name in ("p", "q", "s", "t")
+        }
+        if optimize:
+            stats = rt.stats
+    for name in outputs[True]:
+        assert np.array_equal(outputs[True][name], outputs[False][name]), name
+
+    print()
+    print("optimized and serial executions agree on every region.")
+    print("runtime saw:", stats.index_launches, "index launches,",
+          stats.launches_verified_static, "static,",
+          stats.launches_verified_dynamic, "dynamic,",
+          stats.launches_fallback_serial, "serial fallback (Listing 2).")
+
+
+if __name__ == "__main__":
+    main()

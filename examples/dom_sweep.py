@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""DOM radiation sweeps: non-trivial projection functors in anger.
+
+The most interesting index-launch pattern in the paper (Section 6.2.3):
+Soleil-X's discrete-ordinates radiation module sweeps a 3-D tile grid from
+each of its eight corners.  Each wavefront is an index launch whose domain
+is a *diagonal slice* ``{(tx,ty,tz) : u+v+w = d}``, and whose projection
+functors map those 3-D points onto 2-D exchange planes:
+
+    faces_xy[(tx, ty)]   faces_yz[(ty, tz)]   faces_xz[(tx, tz)]
+
+"This projection is safe only when the launch domain contains no duplicate
+(x,y), (y,z) or (x,z) pairs.  While it could be challenging for a static
+compiler to verify that no duplicate pairs exist, a dynamic check can
+verify this trivially."
+
+This example runs the full mini Soleil-X (fluid + particles + DOM),
+validates it against a serial reference, and prints what the hybrid safety
+analysis did for each launch family.
+
+Run:  python examples/dom_sweep.py
+"""
+
+import numpy as np
+
+from repro.apps.soleil import (
+    OCTANTS,
+    SoleilConfig,
+    build_soleil,
+    reference_soleil,
+    run_soleil,
+    sweep_wavefronts,
+)
+from repro.core.domain import Domain
+from repro.core.projection import PlaneProjectionFunctor
+from repro.core.safety import SafetyMethod
+from repro.runtime import Runtime, RuntimeConfig
+
+
+def show_wavefronts(tiles):
+    print(f"wavefronts of a {tiles} sweep from corner (+,+,+):")
+    for d, front in enumerate(sweep_wavefronts(tiles, (1, 1, 1))):
+        pts = ", ".join(str(tuple(p)) for p in front)
+        print(f"  front {d}: [{pts}]")
+    proj = PlaneProjectionFunctor([0, 1])
+    cube = Domain.rect((0, 0, 0), tuple(t - 1 for t in tiles))
+    print("  plane projection over the whole cube injective?",
+          "no (needs the diagonal-slice structure)" if
+          len({proj.apply(p) for p in cube}) < cube.volume else "yes")
+
+
+def main():
+    config = SoleilConfig(
+        tiles=(3, 3, 2),
+        cells_per_tile=(6, 6, 6),
+        particles_per_tile=32,
+        steps=4,
+    )
+    show_wavefronts(config.tiles)
+
+    rt = Runtime(RuntimeConfig(n_nodes=4, shuffle_intra_launch=True, seed=1))
+    state = build_soleil(rt, config)
+    result = run_soleil(rt, state)
+    expected = reference_soleil(config)
+
+    print()
+    for key in ("temp", "particle_temp", "rad_emit"):
+        err = np.abs(result[key] - expected[key]).max()
+        print(f"max |error| vs serial reference, {key}: {err:.3e}")
+        assert err < 1e-10
+
+    static = sum(1 for v in rt.safety_log if v.method is SafetyMethod.STATIC)
+    hybrid = sum(1 for v in rt.safety_log if v.method is SafetyMethod.HYBRID)
+    print()
+    print("hybrid analysis across", len(rt.safety_log), "index launches:")
+    print("  verified statically  :", static,
+          "(fluid halos, emission, absorption, 1-tile wavefronts)")
+    print("  needed dynamic checks:", hybrid,
+          "(multi-tile DOM wavefronts, particle delinearization)")
+    print("  serial fallbacks     :", rt.stats.launches_fallback_serial)
+    print("  total check cost     :", rt.stats.check_evaluations,
+          "functor evaluations")
+    print()
+    print("note: tasks within each wavefront executed in *shuffled* order —")
+    print("the dynamic checks guarantee that cannot change the answer.")
+
+
+if __name__ == "__main__":
+    main()

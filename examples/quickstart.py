@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Quickstart: regions, partitions, tasks, and your first index launch.
+
+Covers the core workflow in under a minute:
+
+1. create a region (a *collection* in the paper's terms) with named fields;
+2. partition it into disjoint blocks;
+3. register tasks with privileges;
+4. launch a group of tasks over every block with ``forall`` — an index
+   launch: an O(1) representation of the whole group;
+5. observe the hybrid safety analysis at work: a rotation functor passes a
+   dynamic check, a non-injective functor falls back to the serial loop.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core.projection import ModularFunctor
+from repro.data.partition import equal_partition
+from repro.runtime import Runtime, RuntimeConfig, task
+
+
+# Tasks declare privileges on each region parameter (Section 2).  Bodies
+# receive privilege-enforcing accessors: reading through a write-only
+# accessor raises, so declarations are verified at execution time.
+@task(privileges=["reads", "writes"])
+def scale(ctx, src, dst, alpha):
+    dst.write("value", alpha * src.read("value"))
+
+
+@task(privileges=["reads writes"])
+def increment(ctx, block):
+    block.write("value", block.read("value") + 1.0)
+
+
+@task(privileges=["reads"])
+def block_sum(ctx, block):
+    return float(block.read("value").sum())
+
+
+def main():
+    # A 4-node simulated machine with dynamic control replication — the
+    # configuration axes of the paper's evaluation are all on RuntimeConfig.
+    rt = Runtime(RuntimeConfig(n_nodes=4, dcr=True, index_launches=True))
+
+    src = rt.create_region("src", 64, {"value": "f8"})
+    dst = rt.create_region("dst", 64, {"value": "f8"})
+    src.storage("value")[:] = np.arange(64.0)
+
+    p_src = equal_partition("p_src", src, 8)
+    p_dst = equal_partition("p_dst", dst, 8)
+
+    # ---- An index launch: forall(D, scale, <p_src, id>, <p_dst, id>).
+    # Identity functors over disjoint partitions verify *statically*.
+    rt.index_launch(scale, 8, p_src, p_dst, args=(2.0,))
+    print("dst after scale:", dst.storage("value")[:8], "...")
+
+    # ---- A non-trivial projection functor: each task writes the block
+    # three positions over.  (i+3) mod 8 is a rotation — injective — but
+    # the static analysis cannot see that, so the hybrid analysis runs the
+    # Listing-3 dynamic check, which passes.
+    rt.index_launch(increment, 8, (p_dst, ModularFunctor(8, 3)))
+
+    # ---- Reductions over a FutureMap: one future per point, foldable.
+    total = rt.index_launch(block_sum, 8, p_dst, reduce="+")
+    print("sum over all blocks:", total.get())
+
+    # ---- An invalid candidate: i % 3 over [0,8) repeats colors, so two
+    # tasks would write the same block.  The dynamic check catches it and
+    # the launch runs as the original serial loop instead (results are
+    # still correct — sequential semantics).
+    rt.index_launch(increment, 8, (p_dst, ModularFunctor(3)))
+
+    print()
+    print("safety analysis summary")
+    print("  statically verified :", rt.stats.launches_verified_static)
+    print("  dynamically verified:", rt.stats.launches_verified_dynamic)
+    print("  serial fallbacks    :", rt.stats.launches_fallback_serial)
+    print("  check evaluations   :", rt.stats.check_evaluations)
+    print("  tasks executed      :", rt.stats.tasks_executed)
+
+
+if __name__ == "__main__":
+    main()

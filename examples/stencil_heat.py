@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Stencil: tiled PRK star stencil with halo partitions.
+
+The paper's second evaluation code (Section 6.1).  Demonstrates:
+
+* disjoint compute blocks + an aliased halo partition of the *same* region;
+* per-field privileges: each task reads field ``input`` through its halo
+  block and writes field ``output`` through its interior block — disjoint
+  field sets, so the launch is non-interfering and verified statically even
+  though the two partitions alias;
+* a comparison of the four {DCR, No DCR} x {IDX, No IDX} configurations on
+  the simulated machine for this workload.
+
+Run:  python examples/stencil_heat.py
+"""
+
+import numpy as np
+
+from repro.apps.stencil import (
+    StencilConfig,
+    build_stencil,
+    reference_stencil,
+    run_stencil,
+    stencil_iteration,
+)
+from repro.bench.harness import run_scaling
+from repro.bench.reporting import format_series_table
+from repro.runtime import Runtime, RuntimeConfig
+
+
+def main():
+    config = StencilConfig(n=256, blocks=(4, 4), radius=2, steps=10)
+    rt = Runtime(RuntimeConfig(n_nodes=4))
+    grid = build_stencil(rt, config)
+
+    out = run_stencil(rt, grid)
+    expected = reference_stencil(config)
+    err = np.abs(out - expected).max()
+    print(f"{config.n}x{config.n} grid, {config.blocks} tiles, "
+          f"radius {config.radius}, {config.steps} steps")
+    print("max |error| vs serial reference:", err)
+    assert err < 1e-10
+
+    print("statically verified launches:", rt.stats.launches_verified_static,
+          "(halo reads + interior writes on disjoint fields)")
+    print("serial fallbacks:", rt.stats.launches_fallback_serial)
+
+    # ---- What would this cost at scale?  Ask the machine model.
+    print()
+    print("simulated weak scaling for this workload "
+          "(9e8 cells/node, as in Figure 8):")
+    results = run_scaling(
+        lambda n: stencil_iteration(n), [1, 16, 64, 256, 1024]
+    )
+    print(format_series_table(
+        results, "throughput_per_node", 1e9, "10^9 cells/s per node"
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+from setuptools import setup
+
+# Metadata lives in pyproject.toml; this shim enables legacy editable installs
+# in environments without the `wheel` package (pip falls back to setup.py
+# develop when no [build-system] table is present).
+setup()

@@ -1,0 +1,40 @@
+"""repro — a Python reproduction of "Index Launches: Scalable, Flexible
+Representation of Parallel Task Groups" (Soi et al., SC '21).
+
+Quick access to the common entry points::
+
+    from repro import Runtime, RuntimeConfig, task, Domain
+    from repro.data.partition import equal_partition
+
+See README.md for the full tour, DESIGN.md for the system inventory, and
+EXPERIMENTS.md for the paper-vs-measured comparison.
+"""
+
+from repro.core.domain import Domain, Point, Rect
+from repro.core.projection import (
+    AffineFunctor,
+    CallableFunctor,
+    ConstantFunctor,
+    IdentityFunctor,
+    ModularFunctor,
+    PlaneProjectionFunctor,
+)
+from repro.runtime import Runtime, RuntimeConfig, task
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Domain",
+    "Point",
+    "Rect",
+    "AffineFunctor",
+    "CallableFunctor",
+    "ConstantFunctor",
+    "IdentityFunctor",
+    "ModularFunctor",
+    "PlaneProjectionFunctor",
+    "Runtime",
+    "RuntimeConfig",
+    "task",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""The paper's three evaluation codes (Section 6.1), as mini-apps.
+
+* :mod:`repro.apps.circuit` — unstructured-graph electrical circuit
+  simulation with private/shared/ghost dependent partitioning and a
+  ``reduces +`` charge-scatter phase.  Trivial (identity) projection
+  functors: verified fully statically.
+* :mod:`repro.apps.stencil` — 2-D PRK star stencil with disjoint compute
+  blocks and an aliased halo partition.  Trivial functors.
+* :mod:`repro.apps.soleil` — a mini Soleil-X: fluid + particles + DOM
+  radiation sweeps whose diagonal-slice launch domains use non-trivial
+  plane-projection functors that only the dynamic check can verify.
+
+Each module provides a functional implementation (numpy-backed regions
+through the runtime), a serial reference implementation for validation, and
+a workload generator emitting :class:`~repro.machine.workload.IterationSpec`
+records for the scaling studies.
+"""
+
+from repro.apps import circuit, stencil, soleil
+
+__all__ = ["circuit", "stencil", "soleil"]

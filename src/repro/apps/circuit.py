@@ -1,0 +1,324 @@
+"""Circuit: electrical simulation on an unstructured graph [6].
+
+The canonical Legion demonstration app.  A circuit is a graph of *nodes*
+(capacitors to ground) connected by *wires* (resistors).  The graph is
+partitioned into pieces; each time step runs three foralls:
+
+1. ``calc_new_currents`` — per piece: each wire's current from the voltage
+   difference of its endpoints (reads all nodes the piece's wires touch,
+   i.e. the aliased *reachable* partition — safe because read-only).
+2. ``distribute_charge`` — per piece: scatter ``I * dt`` charge onto both
+   endpoints with a ``reduces +`` privilege (aliased partition again — safe
+   because reductions commute).
+3. ``update_voltages`` — per piece: integrate charge into voltage on the
+   disjoint *owned* node partition.
+
+All projection functors are identity, so (as in the paper) the entire app
+is verified statically and pays zero dynamic-check cost.
+
+The module provides the graph generator, the runtime implementation, a pure
+numpy serial reference, and the workload generator for Figures 4-6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.domain import Domain
+from repro.data.collection import Region
+from repro.data.partition import (
+    Partition,
+    image_partition,
+    partition_by_field,
+    partition_difference,
+)
+from repro.machine.workload import IterationSpec, LaunchSpec
+from repro.runtime.runtime import Runtime
+from repro.runtime.task import task
+
+__all__ = [
+    "CircuitConfig",
+    "CircuitGraph",
+    "build_circuit",
+    "run_circuit",
+    "reference_circuit",
+    "circuit_iteration",
+    "CIRCUIT_GPU_WIRES_PER_SEC",
+]
+
+
+@dataclass(frozen=True)
+class CircuitConfig:
+    """Problem definition for one circuit run."""
+
+    n_pieces: int = 4
+    nodes_per_piece: int = 16
+    wires_per_piece: int = 24
+    pct_wire_in_piece: float = 0.8  # fraction of wires staying intra-piece
+    steps: int = 10
+    dt: float = 1e-2
+    seed: int = 42
+
+
+@dataclass
+class CircuitGraph:
+    """Regions and partitions of one circuit instance."""
+
+    config: CircuitConfig
+    nodes: Region
+    wires: Region
+    node_owned: Partition      # disjoint: nodes by owning piece
+    node_reachable: Partition  # aliased: nodes touched by a piece's wires
+    node_ghost: Partition      # aliased: reachable minus owned
+    wire_pieces: Partition     # disjoint: wires by piece
+    initial_voltage: np.ndarray = None  # snapshot taken at build time
+
+    @property
+    def n_pieces(self) -> int:
+        return self.config.n_pieces
+
+
+def build_circuit(runtime: Runtime, config: CircuitConfig) -> CircuitGraph:
+    """Generate a random circuit and its partition hierarchy.
+
+    Wires prefer endpoints inside their own piece
+    (``pct_wire_in_piece``); the rest reach into a random other piece,
+    creating the shared/ghost structure that makes the app interesting.
+    """
+    rng = np.random.default_rng(config.seed)
+    n_nodes = config.n_pieces * config.nodes_per_piece
+    n_wires = config.n_pieces * config.wires_per_piece
+
+    nodes = runtime.create_region(
+        "circuit_nodes",
+        n_nodes,
+        {
+            "voltage": "f8",
+            "charge": "f8",
+            "capacitance": "f8",
+            "leakage": "f8",
+            "piece": "i8",
+        },
+    )
+    wires = runtime.create_region(
+        "circuit_wires",
+        n_wires,
+        {
+            "in_node": "i8",
+            "out_node": "i8",
+            "resistance": "f8",
+            "current": "f8",
+            "piece": "i8",
+        },
+    )
+
+    piece_of_node = np.repeat(np.arange(config.n_pieces), config.nodes_per_piece)
+    nodes.storage("piece")[:] = piece_of_node
+    nodes.storage("voltage")[:] = rng.uniform(-1.0, 1.0, n_nodes)
+    nodes.storage("capacitance")[:] = rng.uniform(1.0, 2.0, n_nodes)
+    nodes.storage("leakage")[:] = rng.uniform(0.01, 0.05, n_nodes)
+
+    piece_of_wire = np.repeat(np.arange(config.n_pieces), config.wires_per_piece)
+    wires.storage("piece")[:] = piece_of_wire
+    in_node = np.empty(n_wires, dtype=np.int64)
+    out_node = np.empty(n_wires, dtype=np.int64)
+    for w in range(n_wires):
+        piece = piece_of_wire[w]
+        base = piece * config.nodes_per_piece
+        in_node[w] = base + rng.integers(config.nodes_per_piece)
+        if rng.random() < config.pct_wire_in_piece or config.n_pieces == 1:
+            out_node[w] = base + rng.integers(config.nodes_per_piece)
+        else:
+            other = int(rng.integers(config.n_pieces - 1))
+            if other >= piece:
+                other += 1
+            out_node[w] = other * config.nodes_per_piece + rng.integers(
+                config.nodes_per_piece
+            )
+    wires.storage("in_node")[:] = in_node
+    wires.storage("out_node")[:] = out_node
+    wires.storage("resistance")[:] = rng.uniform(1.0, 10.0, n_wires)
+
+    wire_pieces = partition_by_field("wire_pieces", wires, "piece", config.n_pieces)
+    node_owned = partition_by_field("node_owned", nodes, "piece", config.n_pieces)
+    reach_in = image_partition("reach_in", wire_pieces, "in_node", nodes)
+    reach_out = image_partition("reach_out", wire_pieces, "out_node", nodes)
+    from repro.data.partition import partition_union
+
+    node_reachable = partition_union("node_reachable", reach_in, reach_out)
+    node_ghost = partition_difference("node_ghost", node_reachable, node_owned)
+
+    return CircuitGraph(
+        config=config,
+        nodes=nodes,
+        wires=wires,
+        node_owned=node_owned,
+        node_reachable=node_reachable,
+        node_ghost=node_ghost,
+        wire_pieces=wire_pieces,
+        initial_voltage=nodes.storage("voltage").copy(),
+    )
+
+
+# --------------------------------------------------------------------- tasks
+
+@task(
+    privileges=["reads writes", "reads"],
+    fields=[("in_node", "out_node", "resistance", "current"), ("voltage",)],
+    name="calc_new_currents",
+)
+def calc_new_currents(ctx, wires, nodes, dt):
+    """Ohm's law per wire: I = (V_in - V_out) / R.
+
+    ``nodes`` is the piece's *reachable* subregion (aliased, read-only).
+    Endpoint voltages are gathered by global node id.
+    """
+    in_node = wires.read("in_node")
+    out_node = wires.read("out_node")
+    resistance = wires.read("resistance")
+    voltage = nodes.read("voltage")
+    v_in = voltage[nodes.locate(in_node)]
+    v_out = voltage[nodes.locate(out_node)]
+    wires.write("current", (v_in - v_out) / resistance)
+
+
+@task(
+    privileges=["reads", "reduces +"],
+    fields=[("in_node", "out_node", "current"), ("charge",)],
+    name="distribute_charge",
+)
+def distribute_charge(ctx, wires, nodes, dt):
+    """Scatter +/- I*dt onto wire endpoints with a sum reduction."""
+    in_node = wires.read("in_node")
+    out_node = wires.read("out_node")
+    current = wires.read("current")
+    contrib = np.zeros(nodes.volume)
+    np.add.at(contrib, nodes.locate(in_node), -current * dt)
+    np.add.at(contrib, nodes.locate(out_node), current * dt)
+    nodes.reduce("charge", contrib)
+
+
+@task(privileges=["reads writes"], name="update_voltages")
+def update_voltages(ctx, nodes):
+    """Integrate charge into voltage and decay by leakage; reset charge."""
+    voltage = nodes.read("voltage")
+    charge = nodes.read("charge")
+    capacitance = nodes.read("capacitance")
+    leakage = nodes.read("leakage")
+    new_voltage = (voltage + charge / capacitance) * (1.0 - leakage)
+    nodes.write("voltage", new_voltage)
+    nodes.fill("charge", 0.0)
+
+
+def run_circuit(runtime: Runtime, graph: CircuitGraph,
+                steps: Optional[int] = None) -> np.ndarray:
+    """Execute the simulation through the runtime; returns final voltages."""
+    cfg = graph.config
+    steps = cfg.steps if steps is None else steps
+    domain = Domain.range(graph.n_pieces)
+    runtime.begin_trace(1001)
+    runtime.end_trace(1001)
+    for _ in range(steps):
+        runtime.begin_trace(1002)
+        runtime.index_launch(
+            calc_new_currents,
+            domain,
+            graph.wire_pieces,
+            graph.node_reachable,
+            args=(cfg.dt,),
+        )
+        runtime.index_launch(
+            distribute_charge,
+            domain,
+            graph.wire_pieces,
+            graph.node_reachable,
+            args=(cfg.dt,),
+        )
+        runtime.index_launch(update_voltages, domain, graph.node_owned)
+        runtime.end_trace(1002)
+    return graph.nodes.storage("voltage").copy()
+
+
+def reference_circuit(graph: CircuitGraph, steps: Optional[int] = None,
+                      voltage: Optional[np.ndarray] = None) -> np.ndarray:
+    """Serial numpy reference (no runtime, no partitions) for validation.
+
+    Starts from the graph's build-time voltage snapshot by default, so the
+    reference can be computed before or after :func:`run_circuit` mutates
+    the regions.
+    """
+    cfg = graph.config
+    steps = cfg.steps if steps is None else steps
+    in_node = graph.wires.storage("in_node")
+    out_node = graph.wires.storage("out_node")
+    resistance = graph.wires.storage("resistance")
+    capacitance = graph.nodes.storage("capacitance")
+    leakage = graph.nodes.storage("leakage")
+    v = (
+        graph.initial_voltage.copy()
+        if voltage is None
+        else voltage.copy()
+    )
+    for _ in range(steps):
+        current = (v[in_node] - v[out_node]) / resistance
+        charge = np.zeros_like(v)
+        np.add.at(charge, in_node, -current * cfg.dt)
+        np.add.at(charge, out_node, current * cfg.dt)
+        v = (v + charge / capacitance) * (1.0 - leakage)
+    return v
+
+
+# ----------------------------------------------------------------- workload
+
+#: Calibrated GPU throughput for the wire kernel (wires/s on one P100-class
+#: GPU across the three phases of a time step).  Sets single-node
+#: performance; the scaling *shapes* come from the runtime cost model.
+CIRCUIT_GPU_WIRES_PER_SEC = 5.0e6
+
+#: Bytes exchanged per ghost node update (voltage + charge, 8 B each, plus
+#: envelope).
+_GHOST_BYTES_PER_NODE = 24.0
+
+
+def circuit_iteration(
+    n_nodes: int,
+    wires_per_node: int = 200_000,
+    overdecompose: int = 1,
+    ghost_fraction: float = 0.05,
+) -> IterationSpec:
+    """Workload description of one circuit time step for the machine model.
+
+    ``overdecompose`` multiplies the task count per node (Figure 6 uses 10x
+    with the same total problem size).  Ghost traffic is proportional to the
+    piece surface: ``ghost_fraction`` of each piece's nodes are shared.
+    """
+    n_tasks = n_nodes * overdecompose
+    wires_per_task = wires_per_node / overdecompose
+    nodes_per_task = wires_per_task / 4.0  # graph has ~4 wires per node
+    task_seconds = wires_per_task / CIRCUIT_GPU_WIRES_PER_SEC
+    ghost_bytes = ghost_fraction * nodes_per_task * _GHOST_BYTES_PER_NODE
+    launches = [
+        LaunchSpec(
+            "calc_new_currents",
+            n_tasks,
+            task_seconds * 0.5,
+            n_args=2,
+            comm_bytes_per_task=ghost_bytes,
+            comm_neighbors=2,
+        ),
+        LaunchSpec(
+            "distribute_charge",
+            n_tasks,
+            task_seconds * 0.3,
+            n_args=2,
+            comm_bytes_per_task=ghost_bytes,
+            comm_neighbors=2,
+        ),
+        LaunchSpec("update_voltages", n_tasks, task_seconds * 0.2, n_args=1),
+    ]
+    return IterationSpec(
+        launches, work_units=float(wires_per_node * n_nodes), name="circuit"
+    )

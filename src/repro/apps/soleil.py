@@ -1,0 +1,640 @@
+"""Mini Soleil-X: fluid + particles + DOM radiation [28] (Section 6.2.3).
+
+Three physics modules over a 3-D grid of tiles:
+
+* **Fluid** — explicit diffusion on a fine cell grid, tiled with 3-D halo
+  partitions (identity functors, statically verified).
+* **Particles** — per-tile particle ensembles that relax toward the local
+  fluid temperature and deposit heat back via a ``reduces +`` coupling.
+  The particle launches map a 1-D tile index to the 3-D fluid tile colors
+  through an opaque delinearization functor — statically unanalyzable, so
+  the hybrid analysis emits a dynamic self-check.
+* **DOM radiation** — discrete-ordinates sweeps, one per octant.  Each
+  wavefront is an index launch over a *diagonal slice* of the tile grid
+  ``{(tx,ty,tz) : u(tx)+v(ty)+w(tz) = d}``, whose projection functors
+  project the 3-D slice onto the 2-D exchange planes (xy / yz / xz faces).
+  "This projection is safe only when the launch domain contains no
+  duplicate (x,y), (y,z) or (x,z) pairs.  While it could be challenging for
+  a static compiler to verify that no duplicate pairs exist, a dynamic
+  check can verify this trivially." — exactly what this module exercises.
+
+A serial numpy reference (:func:`reference_soleil`) validates the runtime
+execution bit-for-bit, and :func:`soleil_iteration` emits the workload for
+Figures 9 and 10.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.domain import Domain, Point
+from repro.core.projection import CallableFunctor, PlaneProjectionFunctor
+from repro.data.collection import Region
+from repro.data.partition import Partition, block_partition, partition_by_field
+from repro.machine.workload import IterationSpec, LaunchSpec
+from repro.runtime.runtime import Runtime
+from repro.runtime.task import task
+
+__all__ = [
+    "SoleilConfig",
+    "SoleilState",
+    "build_soleil",
+    "run_soleil",
+    "reference_soleil",
+    "soleil_iteration",
+    "sweep_wavefronts",
+    "OCTANTS",
+]
+
+#: The eight sweep directions: sign of travel along each axis.
+OCTANTS: Tuple[Tuple[int, int, int], ...] = tuple(
+    (sx, sy, sz)
+    for sx in (1, -1)
+    for sy in (1, -1)
+    for sz in (1, -1)
+)
+
+
+@dataclass(frozen=True)
+class SoleilConfig:
+    """Problem definition for one mini Soleil-X run."""
+
+    tiles: Tuple[int, int, int] = (2, 2, 2)
+    cells_per_tile: Tuple[int, int, int] = (4, 4, 4)
+    particles_per_tile: int = 8
+    steps: int = 2
+    dt: float = 0.05
+    alpha: float = 0.08          # fluid diffusivity
+    sigma: float = 0.35          # radiation absorption per tile transit
+    boundary_intensity: float = 1.0
+    emission_coupling: float = 0.4
+    radiation_heating: float = 0.02
+    particle_coupling: float = 0.1
+    seed: int = 7
+
+    @property
+    def n_tiles(self) -> int:
+        return self.tiles[0] * self.tiles[1] * self.tiles[2]
+
+    @property
+    def grid_shape(self) -> Tuple[int, int, int]:
+        return tuple(t * c for t, c in zip(self.tiles, self.cells_per_tile))
+
+
+@dataclass
+class SoleilState:
+    """Regions and partitions of one instance."""
+
+    config: SoleilConfig
+    fluid: Region
+    fluid_tiles: Partition
+    fluid_halo: Partition
+    particles: Region
+    particle_tiles: Partition
+    rad: Region            # tile-granularity radiation state
+    rad_tiles: Partition
+    faces_xy: Region       # flux crossing z-faces, indexed (tx, ty)
+    faces_yz: Region       # flux crossing x-faces, indexed (ty, tz)
+    faces_xz: Region       # flux crossing y-faces, indexed (tx, tz)
+    fxy_part: Partition
+    fyz_part: Partition
+    fxz_part: Partition
+    delinearize: CallableFunctor
+
+
+def build_soleil(runtime: Runtime, config: SoleilConfig) -> SoleilState:
+    """Create all regions/partitions and deterministic initial conditions."""
+    ntx, nty, ntz = config.tiles
+    rng = np.random.default_rng(config.seed)
+
+    fluid = runtime.create_region(
+        "soleil_fluid", config.grid_shape, {"temp": "f8", "temp_new": "f8"}
+    )
+    gx, gy, gz = config.grid_shape
+    x = np.linspace(0, 1, gx)[:, None, None]
+    y = np.linspace(0, 1, gy)[None, :, None]
+    z = np.linspace(0, 1, gz)[None, None, :]
+    fluid.field_nd("temp")[...] = (
+        1.0 + 0.5 * np.sin(2 * np.pi * x) * np.cos(np.pi * y) + 0.25 * z
+    )
+    fluid_tiles = block_partition("fluid_tiles", fluid, config.tiles)
+    fluid_halo = block_partition("fluid_halo", fluid, config.tiles, halo=1)
+
+    n_parts = config.n_tiles * config.particles_per_tile
+    particles = runtime.create_region(
+        "soleil_particles", n_parts, {"temp": "f8", "weight": "f8", "tile": "i8"}
+    )
+    particles.storage("tile")[:] = np.repeat(
+        np.arange(config.n_tiles), config.particles_per_tile
+    )
+    particles.storage("temp")[:] = rng.uniform(0.5, 1.5, n_parts)
+    particles.storage("weight")[:] = rng.uniform(0.8, 1.2, n_parts)
+    particle_tiles = partition_by_field(
+        "particle_tiles", particles, "tile", config.n_tiles
+    )
+
+    rad = runtime.create_region(
+        "soleil_rad", config.tiles, {"sigma": "f8", "emit": "f8", "energy": "f8"}
+    )
+    rad.fill("sigma", config.sigma)
+    rad_tiles = block_partition("rad_tiles", rad, config.tiles)
+
+    faces_xy = runtime.create_region("faces_xy", (ntx, nty), {"flux": "f8"})
+    faces_yz = runtime.create_region("faces_yz", (nty, ntz), {"flux": "f8"})
+    faces_xz = runtime.create_region("faces_xz", (ntx, ntz), {"flux": "f8"})
+    fxy_part = block_partition("fxy", faces_xy, (ntx, nty))
+    fyz_part = block_partition("fyz", faces_yz, (nty, ntz))
+    fxz_part = block_partition("fxz", faces_xz, (ntx, ntz))
+
+    def _delin(i: int) -> Tuple[int, int, int]:
+        return (i // (nty * ntz), (i // ntz) % nty, i % ntz)
+
+    delinearize = CallableFunctor(_delin, output_dim=3, name="tile_of")
+
+    return SoleilState(
+        config=config,
+        fluid=fluid,
+        fluid_tiles=fluid_tiles,
+        fluid_halo=fluid_halo,
+        particles=particles,
+        particle_tiles=particle_tiles,
+        rad=rad,
+        rad_tiles=rad_tiles,
+        faces_xy=faces_xy,
+        faces_yz=faces_yz,
+        faces_xz=faces_xz,
+        fxy_part=fxy_part,
+        fyz_part=fyz_part,
+        fxz_part=fxz_part,
+        delinearize=delinearize,
+    )
+
+
+def sweep_wavefronts(
+    tiles: Tuple[int, int, int], octant: Tuple[int, int, int]
+) -> List[List[Point]]:
+    """The diagonal slices of one octant's sweep, in dependence order.
+
+    For octant signs ``(sx, sy, sz)``, a tile's sweep coordinate along axis
+    a is its index when the sign is +1, or the mirrored index otherwise;
+    wavefront ``d`` contains the tiles whose coordinates sum to ``d``.
+    """
+    ntx, nty, ntz = tiles
+    sx, sy, sz = octant
+    fronts: List[List[Point]] = [
+        [] for _ in range(ntx + nty + ntz - 2)
+    ]
+    for tx in range(ntx):
+        for ty in range(nty):
+            for tz in range(ntz):
+                u = tx if sx > 0 else ntx - 1 - tx
+                v = ty if sy > 0 else nty - 1 - ty
+                w = tz if sz > 0 else ntz - 1 - tz
+                fronts[u + v + w].append(Point(tx, ty, tz))
+    return fronts
+
+
+# --------------------------------------------------------------------- tasks
+
+@task(
+    privileges=["reads", "reads writes"],
+    fields=[("temp",), ("temp_new",)],
+    name="fluid_diffuse",
+)
+def fluid_diffuse(ctx, halo, tile, alpha, shape):
+    """Explicit 6-neighbour diffusion on the tile's cells.
+
+    Reads field ``temp`` through the aliased halo block (which contains the
+    tile itself), writes field ``temp_new`` through the disjoint tile block
+    — disjoint field sets, so the launch is non-interfering and verified
+    statically despite both partitions covering the same region.
+    """
+    hin = halo.read_nd("temp")
+    out = tile.read_nd("temp_new")
+    trect = tile.bounds()
+    hrect = halo.bounds()
+    gx, gy, gz = shape
+    # The tile's own temp, viewed through the halo block.
+    ob = [trect.lo[d] - hrect.lo[d] for d in range(3)]
+    ext = [trect.hi[d] - trect.lo[d] + 1 for d in range(3)]
+    own = hin[ob[0] : ob[0] + ext[0], ob[1] : ob[1] + ext[1],
+              ob[2] : ob[2] + ext[2]]
+    out[...] = own  # boundary cells keep their value
+    lo = [max(trect.lo[d], 1) for d in range(3)]
+    hi = [min(trect.hi[d], s - 2) for d, s in enumerate((gx, gy, gz))]
+    if any(l > h for l, h in zip(lo, hi)):
+        return
+    n = [h - l + 1 for l, h in zip(lo, hi)]
+    o = [l - hrect.lo[d] for d, l in enumerate(lo)]  # window origin in halo
+    center = hin[o[0] : o[0] + n[0], o[1] : o[1] + n[1], o[2] : o[2] + n[2]]
+    lap = -6.0 * center
+    for axis in range(3):
+        for s in (-1, 1):
+            sl = [slice(o[0], o[0] + n[0]), slice(o[1], o[1] + n[1]),
+                  slice(o[2], o[2] + n[2])]
+            sl[axis] = slice(o[axis] + s, o[axis] + s + n[axis])
+            lap = lap + hin[tuple(sl)]
+    b = [l - trect.lo[d] for d, l in enumerate(lo)]   # window origin in tile
+    out[b[0] : b[0] + n[0], b[1] : b[1] + n[1], b[2] : b[2] + n[2]] = (
+        center + alpha * lap
+    )
+
+
+@task(privileges=["reads writes"], name="fluid_flip")
+def fluid_flip(ctx, tile):
+    """Commit the diffusion step: temp <- temp_new."""
+    tile.read_nd("temp")[...] = tile.read_nd("temp_new")
+
+
+@task(
+    privileges=["reads", "writes"],
+    fields=[("temp",), ("emit",)],
+    name="compute_emission",
+)
+def compute_emission(ctx, fluid_tile, rad_tile, coupling):
+    """Tile emission source from the mean fluid temperature."""
+    rad_tile.write("emit", [coupling * float(fluid_tile.read("temp").mean())])
+
+
+@task(
+    privileges=["reads writes", "reads"],
+    fields=[("temp",), ("temp",)],
+    name="particle_advance",
+)
+def particle_advance(ctx, parts, fluid_tile, dt):
+    """Relax each particle's temperature toward the tile's mean."""
+    mean = float(fluid_tile.read("temp").mean())
+    temp = parts.read("temp")
+    parts.write("temp", temp + dt * (mean - temp))
+
+
+@task(
+    privileges=["reads", "reduces +"],
+    fields=[("temp", "weight"), ("temp",)],
+    name="particle_deposit",
+)
+def particle_deposit(ctx, parts, fluid_tile, coupling):
+    """Deposit the ensemble's excess heat uniformly over the tile's cells."""
+    temp = parts.read("temp")
+    weight = parts.read("weight")
+    excess = float((weight * (temp - 1.0)).sum())
+    ncells = fluid_tile.volume
+    fluid_tile.reduce("temp", np.full(ncells, coupling * excess / ncells))
+
+
+@task(
+    privileges=["reads writes", "reads writes", "reads writes", "reads writes"],
+    name="dom_sweep",
+)
+def dom_sweep(ctx, rad_tile, fxy, fyz, fxz, octant):
+    """One tile of a DOM wavefront: absorb incoming flux, emit, pass on.
+
+    The three face accessors hold this tile's exchange-plane entries; the
+    wavefront ordering guarantees the upstream tile has already written its
+    outgoing flux into the same entries.
+    """
+    sigma = float(rad_tile.read("sigma")[0])
+    emit = float(rad_tile.read("emit")[0])
+    transmit = math.exp(-sigma)
+    source = emit * (1.0 - transmit)
+    fin_x = float(fyz.read("flux")[0])
+    fin_y = float(fxz.read("flux")[0])
+    fin_z = float(fxy.read("flux")[0])
+    total_in = fin_x + fin_y + fin_z
+    absorbed = total_in * (1.0 - transmit)
+    energy = float(rad_tile.read("energy")[0])
+    rad_tile.write("energy", [energy + absorbed])
+    fyz.write("flux", [fin_x * transmit + source])
+    fxz.write("flux", [fin_y * transmit + source])
+    fxy.write("flux", [fin_z * transmit + source])
+
+
+@task(privileges=["writes"], name="init_faces")
+def init_faces(ctx, faces, intensity):
+    """Reset an exchange plane to the boundary intensity (sweep start)."""
+    faces.fill("flux", intensity)
+
+
+@task(
+    privileges=["reads writes", "reads writes"],
+    fields=[("temp",), ("energy",)],
+    name="absorb_radiation",
+)
+def absorb_radiation(ctx, fluid_tile, rad_tile, heating):
+    """Couple accumulated radiation energy back into the fluid; reset it."""
+    energy = float(rad_tile.read("energy")[0])
+    temp = fluid_tile.read("temp")
+    fluid_tile.write("temp", temp + heating * energy / fluid_tile.volume)
+    rad_tile.write("energy", [0.0])
+
+
+# ------------------------------------------------------------------- driver
+
+def run_soleil(
+    runtime: Runtime,
+    state: SoleilState,
+    steps: Optional[int] = None,
+    radiation: bool = True,
+    particles: bool = True,
+) -> Dict[str, np.ndarray]:
+    """Execute the multi-physics loop; returns final fields for validation."""
+    cfg = state.config
+    steps = cfg.steps if steps is None else steps
+    tile_domain = Domain.rect((0, 0, 0), tuple(t - 1 for t in cfg.tiles))
+    part_domain = Domain.range(cfg.n_tiles)
+    proj_xy = PlaneProjectionFunctor([0, 1])
+    proj_yz = PlaneProjectionFunctor([1, 2])
+    proj_xz = PlaneProjectionFunctor([0, 2])
+
+    for _ in range(steps):
+        runtime.begin_trace(3001)
+        # --- fluid
+        runtime.index_launch(
+            fluid_diffuse,
+            tile_domain,
+            state.fluid_halo,
+            state.fluid_tiles,
+            args=(cfg.alpha, cfg.grid_shape),
+        )
+        runtime.index_launch(fluid_flip, tile_domain, state.fluid_tiles)
+
+        # --- particles (1-D tile ids -> 3-D tile colors: opaque functor)
+        if particles:
+            runtime.index_launch(
+                particle_advance,
+                part_domain,
+                state.particle_tiles,
+                (state.fluid_tiles, state.delinearize),
+                args=(cfg.dt,),
+            )
+            runtime.index_launch(
+                particle_deposit,
+                part_domain,
+                state.particle_tiles,
+                (state.fluid_tiles, state.delinearize),
+                args=(cfg.particle_coupling,),
+            )
+
+        # --- radiation (DOM sweeps with non-trivial projection functors)
+        if radiation:
+            runtime.index_launch(
+                compute_emission,
+                tile_domain,
+                state.fluid_tiles,
+                state.rad_tiles,
+                args=(cfg.emission_coupling,),
+            )
+            for octant in OCTANTS:
+                runtime.execute_task(
+                    init_faces, state.faces_xy, args=(cfg.boundary_intensity,)
+                )
+                runtime.execute_task(
+                    init_faces, state.faces_yz, args=(cfg.boundary_intensity,)
+                )
+                runtime.execute_task(
+                    init_faces, state.faces_xz, args=(cfg.boundary_intensity,)
+                )
+                for front in sweep_wavefronts(cfg.tiles, octant):
+                    runtime.index_launch(
+                        dom_sweep,
+                        Domain.points(front),
+                        state.rad_tiles,
+                        (state.fxy_part, proj_xy),
+                        (state.fyz_part, proj_yz),
+                        (state.fxz_part, proj_xz),
+                        args=(octant,),
+                    )
+            runtime.index_launch(
+                absorb_radiation,
+                tile_domain,
+                state.fluid_tiles,
+                state.rad_tiles,
+                args=(cfg.radiation_heating,),
+            )
+        runtime.end_trace(3001)
+
+    return {
+        "temp": state.fluid.field_nd("temp").copy(),
+        "particle_temp": state.particles.storage("temp").copy(),
+        "rad_emit": state.rad.field_nd("emit").copy(),
+    }
+
+
+# ---------------------------------------------------------------- reference
+
+def reference_soleil(
+    config: SoleilConfig,
+    steps: Optional[int] = None,
+    radiation: bool = True,
+    particles: bool = True,
+) -> Dict[str, np.ndarray]:
+    """Serial numpy implementation of the identical physics."""
+    cfg = config
+    steps = cfg.steps if steps is None else steps
+    ntx, nty, ntz = cfg.tiles
+    cx, cy, cz = cfg.cells_per_tile
+    gx, gy, gz = cfg.grid_shape
+    rng = np.random.default_rng(cfg.seed)
+
+    x = np.linspace(0, 1, gx)[:, None, None]
+    y = np.linspace(0, 1, gy)[None, :, None]
+    z = np.linspace(0, 1, gz)[None, None, :]
+    temp = 1.0 + 0.5 * np.sin(2 * np.pi * x) * np.cos(np.pi * y) + 0.25 * z
+
+    n_parts = cfg.n_tiles * cfg.particles_per_tile
+    p_tile = np.repeat(np.arange(cfg.n_tiles), cfg.particles_per_tile)
+    p_temp = rng.uniform(0.5, 1.5, n_parts)
+    p_weight = rng.uniform(0.8, 1.2, n_parts)
+
+    emit = np.zeros(cfg.tiles)
+    energy = np.zeros(cfg.tiles)
+
+    def tile_slice(t):
+        tx, ty, tz = t
+        return (
+            slice(tx * cx, (tx + 1) * cx),
+            slice(ty * cy, (ty + 1) * cy),
+            slice(tz * cz, (tz + 1) * cz),
+        )
+
+    for _ in range(steps):
+        # fluid diffusion (interior only)
+        new = temp.copy()
+        lap = (
+            temp[:-2, 1:-1, 1:-1] + temp[2:, 1:-1, 1:-1]
+            + temp[1:-1, :-2, 1:-1] + temp[1:-1, 2:, 1:-1]
+            + temp[1:-1, 1:-1, :-2] + temp[1:-1, 1:-1, 2:]
+            - 6.0 * temp[1:-1, 1:-1, 1:-1]
+        )
+        new[1:-1, 1:-1, 1:-1] = temp[1:-1, 1:-1, 1:-1] + cfg.alpha * lap
+        temp = new
+
+        if particles:
+            for t in range(cfg.n_tiles):
+                tx, ty, tz = t // (nty * ntz), (t // ntz) % nty, t % ntz
+                sl = tile_slice((tx, ty, tz))
+                mean = temp[sl].mean()
+                mask = p_tile == t
+                p_temp[mask] += cfg.dt * (mean - p_temp[mask])
+            for t in range(cfg.n_tiles):
+                tx, ty, tz = t // (nty * ntz), (t // ntz) % nty, t % ntz
+                sl = tile_slice((tx, ty, tz))
+                mask = p_tile == t
+                excess = (p_weight[mask] * (p_temp[mask] - 1.0)).sum()
+                temp[sl] += cfg.particle_coupling * excess / (cx * cy * cz)
+
+        if radiation:
+            for tx in range(ntx):
+                for ty in range(nty):
+                    for tz in range(ntz):
+                        sl = tile_slice((tx, ty, tz))
+                        emit[tx, ty, tz] = cfg.emission_coupling * temp[sl].mean()
+            transmit = math.exp(-cfg.sigma)
+            for octant in OCTANTS:
+                fxy = np.full((ntx, nty), cfg.boundary_intensity)
+                fyz = np.full((nty, ntz), cfg.boundary_intensity)
+                fxz = np.full((ntx, ntz), cfg.boundary_intensity)
+                for front in sweep_wavefronts(cfg.tiles, octant):
+                    for (tx, ty, tz) in front:
+                        source = emit[tx, ty, tz] * (1.0 - transmit)
+                        fin = fyz[ty, tz] + fxz[tx, tz] + fxy[tx, ty]
+                        energy[tx, ty, tz] += fin * (1.0 - transmit)
+                        fyz[ty, tz] = fyz[ty, tz] * transmit + source
+                        fxz[tx, tz] = fxz[tx, tz] * transmit + source
+                        fxy[tx, ty] = fxy[tx, ty] * transmit + source
+            for tx in range(ntx):
+                for ty in range(nty):
+                    for tz in range(ntz):
+                        sl = tile_slice((tx, ty, tz))
+                        temp[sl] += (
+                            cfg.radiation_heating
+                            * energy[tx, ty, tz] / (cx * cy * cz)
+                        )
+                        energy[tx, ty, tz] = 0.0
+
+    return {"temp": temp, "particle_temp": p_temp, "rad_emit": emit.copy()}
+
+
+# ----------------------------------------------------------------- workload
+
+#: Fluid cell updates per second on one P100-class GPU (all fluid phases).
+SOLEIL_GPU_CELLS_PER_SEC = 2.4e8
+#: Particle updates per second on one GPU.
+SOLEIL_GPU_PARTICLES_PER_SEC = 5.0e7
+#: DOM tile-sweep tasks per second on one GPU (per wavefront task).
+SOLEIL_DOM_TASK_SECONDS = 4.5e-4
+
+
+def _near_cubic_factors(n: int) -> Tuple[int, int, int]:
+    """Factor ``n`` into three near-equal integers (a*b*c == n exactly)."""
+    best = (n, 1, 1)
+    best_spread = n - 1
+    a = 1
+    while a * a * a <= n:
+        if n % a == 0:
+            m = n // a
+            b = a
+            while b * b <= m:
+                if m % b == 0:
+                    c = m // b
+                    spread = c - a
+                    if spread < best_spread:
+                        best_spread = spread
+                        best = (c, b, a)
+                b += 1
+        a += 1
+    return best
+
+
+def _tile_node(point: Point, tiles: Tuple[int, int, int], n_nodes: int) -> int:
+    ntx, nty, ntz = tiles
+    linear = (point[0] * nty + point[1]) * ntz + point[2]
+    total = ntx * nty * ntz
+    return min(linear * n_nodes // total, n_nodes - 1)
+
+
+def soleil_iteration(
+    n_nodes: int,
+    fluid_only: bool = False,
+    cells_per_node: Optional[float] = None,
+    particles_per_node: float = 2e5,
+    checks: bool = True,
+) -> IterationSpec:
+    """Workload description of one Soleil-X time step (Figures 9 and 10).
+
+    With ``fluid_only`` the step is forall-style throughout and weak-scales
+    well; the full configuration adds particle coupling and the 8-octant DOM
+    sweep, whose wavefront launches have limited parallelism and chained
+    dependencies — the inherent scaling limit the paper notes.  DOM launches
+    carry ``needs_dynamic_check`` so the cost model charges (or elides) the
+    hybrid analysis's dynamic component.
+
+    Per-node grids default to the sizes that calibrate single-node rates to
+    the paper's axes (~3.2 iter/s fluid-only, ~10 iter/s full); Figures 9
+    and 10 used different per-node problem sizes.
+    """
+    if cells_per_node is None:
+        cells_per_node = 7.3e7 if fluid_only else 1.28e7
+    launches: List[LaunchSpec] = []
+    fluid_task_seconds = cells_per_node / SOLEIL_GPU_CELLS_PER_SEC
+    face_bytes = (cells_per_node ** (2.0 / 3.0)) * 8.0
+    # A Soleil-X time step runs many fluid kernels (RK substages, gradients,
+    # fluxes, boundary conditions); model 12 foralls, four of which end in a
+    # 3-D halo exchange with the six face neighbours.
+    n_fluid_launches = 12
+    for k in range(n_fluid_launches):
+        exchanges = k % 3 == 2
+        launches.append(
+            LaunchSpec(
+                f"fluid_{k}",
+                n_nodes,
+                fluid_task_seconds / n_fluid_launches,
+                n_args=2,
+                comm_bytes_per_task=face_bytes if exchanges else 0.0,
+                comm_neighbors=6 if exchanges else 0,
+            )
+        )
+    if not fluid_only:
+        part_seconds = particles_per_node / SOLEIL_GPU_PARTICLES_PER_SEC
+        launches.append(
+            LaunchSpec(
+                "particle_advance", n_nodes, part_seconds * 0.6, n_args=2,
+                needs_dynamic_check=True, check_args=1,
+            )
+        )
+        launches.append(
+            LaunchSpec(
+                "particle_deposit", n_nodes, part_seconds * 0.4, n_args=2,
+                needs_dynamic_check=True, check_args=1,
+            )
+        )
+        # DOM sweeps: tiles == nodes (one tile per node), 8 octants of
+        # wavefront launches with chained dependencies.
+        tiles = _near_cubic_factors(n_nodes)
+        for octant in OCTANTS:
+            for front in sweep_wavefronts(tiles, octant):
+                if not front:
+                    continue
+                counts: Dict[int, int] = {}
+                for p in front:
+                    node = _tile_node(p, tiles, n_nodes)
+                    counts[node] = counts.get(node, 0) + 1
+                launches.append(
+                    LaunchSpec(
+                        f"dom_sweep_{octant}",
+                        n_tasks=len(front),
+                        task_seconds=SOLEIL_DOM_TASK_SECONDS,
+                        n_args=4,
+                        partition_size=tiles[0] * tiles[1] * tiles[2],
+                        needs_dynamic_check=checks,
+                        check_args=3,
+                        comm_bytes_per_task=3 * 8.0,
+                        comm_neighbors=3,
+                        node_assignment=tuple(sorted(counts.items())),
+                    )
+                )
+    return IterationSpec(launches, work_units=1.0, name="soleil")

@@ -1,0 +1,33 @@
+"""Benchmark harness: scaling sweeps and paper-style reporting.
+
+:mod:`repro.bench.harness` drives the machine model over node counts and
+configurations; :mod:`repro.bench.reporting` prints the same series/rows the
+paper's figures and tables report, and writes machine-readable CSVs under
+``results/``.
+"""
+
+from repro.bench.harness import (
+    FOUR_CONFIGS,
+    ScalingResult,
+    run_scaling,
+    strong_scaling_nodes,
+    weak_scaling_nodes,
+)
+from repro.bench.plots import ascii_plot
+from repro.bench.reporting import (
+    format_series_table,
+    parallel_efficiency,
+    save_csv,
+)
+
+__all__ = [
+    "FOUR_CONFIGS",
+    "ScalingResult",
+    "run_scaling",
+    "strong_scaling_nodes",
+    "weak_scaling_nodes",
+    "ascii_plot",
+    "format_series_table",
+    "parallel_efficiency",
+    "save_csv",
+]

@@ -1,0 +1,164 @@
+"""Canonical definitions of the paper's figures (Section 6).
+
+One function per figure, each returning a :class:`FigureSpec` holding the
+computed series and presentation metadata.  Both the benchmark suite
+(``benchmarks/test_fig*.py``) and the CLI (``python -m repro``) drive the
+figures through these functions, so the experiment definitions live in
+exactly one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.apps.circuit import circuit_iteration
+from repro.apps.soleil import soleil_iteration
+from repro.apps.stencil import stencil_iteration
+from repro.bench.harness import (
+    ScalingResult,
+    run_scaling,
+    strong_scaling_nodes,
+    weak_scaling_nodes,
+)
+from repro.machine.costmodel import CostModel
+
+__all__ = ["FigureSpec", "FIGURES", "run_figure"]
+
+
+@dataclass
+class FigureSpec:
+    """A computed figure: series plus how the paper presents them."""
+
+    name: str
+    title: str
+    results: List[ScalingResult]
+    metric: str
+    unit_scale: float
+    unit_label: str
+
+
+def fig4(max_nodes: int = 512, cost: Optional[CostModel] = None) -> FigureSpec:
+    """Circuit strong scaling: 5.1e6 wires total."""
+    results = run_scaling(
+        lambda n: circuit_iteration(n, wires_per_node=5_100_000 // n),
+        strong_scaling_nodes(max_nodes),
+        cost=cost,
+    )
+    return FigureSpec(
+        "fig4_circuit_strong", "Figure 4: Circuit strong scaling",
+        results, "throughput", 1e6, "10^6 wires/s",
+    )
+
+
+def fig5(max_nodes: int = 1024, cost: Optional[CostModel] = None) -> FigureSpec:
+    """Circuit weak scaling: 2e5 wires per node."""
+    results = run_scaling(
+        lambda n: circuit_iteration(n, wires_per_node=200_000),
+        weak_scaling_nodes(max_nodes),
+        cost=cost,
+    )
+    return FigureSpec(
+        "fig5_circuit_weak", "Figure 5: Circuit weak scaling",
+        results, "throughput_per_node", 1e6, "10^6 wires/s per node",
+    )
+
+
+def fig6(max_nodes: int = 1024, cost: Optional[CostModel] = None) -> FigureSpec:
+    """Circuit weak scaling, 10x overdecomposed, tracing disabled."""
+    results = run_scaling(
+        lambda n: circuit_iteration(n, wires_per_node=200_000,
+                                    overdecompose=10),
+        weak_scaling_nodes(max_nodes),
+        tracing=False,
+        cost=cost,
+    )
+    return FigureSpec(
+        "fig6_circuit_weak_overdecomposed",
+        "Figure 6: Circuit weak scaling, overdecomposed, no tracing",
+        results, "throughput_per_node", 1e6, "10^6 wires/s per node",
+    )
+
+
+def fig7(max_nodes: int = 512, cost: Optional[CostModel] = None) -> FigureSpec:
+    """Stencil strong scaling: 9e8 cells total."""
+    results = run_scaling(
+        lambda n: stencil_iteration(n, cells_per_node=9e8 / n),
+        strong_scaling_nodes(max_nodes),
+        cost=cost,
+    )
+    return FigureSpec(
+        "fig7_stencil_strong", "Figure 7: Stencil strong scaling",
+        results, "throughput", 1e9, "10^9 cells/s",
+    )
+
+
+def fig8(max_nodes: int = 1024, cost: Optional[CostModel] = None) -> FigureSpec:
+    """Stencil weak scaling: 9e8 cells per node."""
+    results = run_scaling(
+        lambda n: stencil_iteration(n, cells_per_node=9e8),
+        weak_scaling_nodes(max_nodes),
+        cost=cost,
+    )
+    return FigureSpec(
+        "fig8_stencil_weak", "Figure 8: Stencil weak scaling",
+        results, "throughput_per_node", 1e9, "10^9 cells/s per node",
+    )
+
+
+def fig9(max_nodes: int = 512, cost: Optional[CostModel] = None) -> FigureSpec:
+    """Soleil-X fluid-only weak scaling (DCR configurations only)."""
+    results = run_scaling(
+        lambda n: soleil_iteration(n, fluid_only=True),
+        weak_scaling_nodes(max_nodes),
+        configs=[(True, True), (True, False)],
+        cost=cost,
+    )
+    return FigureSpec(
+        "fig9_soleil_fluid_weak",
+        "Figure 9: Soleil-X (fluid-only) weak scaling",
+        results, "throughput", 1.0, "iter/s",
+    )
+
+
+def fig10(max_nodes: int = 32, cost: Optional[CostModel] = None) -> FigureSpec:
+    """Soleil-X full weak scaling: check vs no-check vs No-IDX."""
+    nodes = weak_scaling_nodes(max_nodes)
+    with_check = run_scaling(
+        lambda n: soleil_iteration(n), nodes,
+        configs=[(True, True)], checks=True, cost=cost,
+    )
+    with_check[0].label = "DCR, IDX (dynamic check)"
+    no_check = run_scaling(
+        lambda n: soleil_iteration(n, checks=False), nodes,
+        configs=[(True, True)], checks=False, cost=cost,
+    )
+    no_idx = run_scaling(
+        lambda n: soleil_iteration(n), nodes, configs=[(True, False)],
+        cost=cost,
+    )
+    return FigureSpec(
+        "fig10_soleil_full_weak",
+        "Figure 10: Soleil-X (fluid, particles, DOM) weak scaling",
+        with_check + no_check + no_idx, "throughput", 1.0, "iter/s",
+    )
+
+
+FIGURES: Dict[str, Callable[..., FigureSpec]] = {
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+}
+
+
+def run_figure(name: str, max_nodes: Optional[int] = None) -> FigureSpec:
+    """Run one figure by name (``fig4`` .. ``fig10``)."""
+    if name not in FIGURES:
+        raise KeyError(f"unknown figure {name!r}; choose from {sorted(FIGURES)}")
+    if max_nodes is None:
+        return FIGURES[name]()
+    return FIGURES[name](max_nodes=max_nodes)

@@ -1,0 +1,111 @@
+"""Scaling-sweep driver for the figure reproductions.
+
+Runs an application's workload generator over a list of node counts and
+configurations through the machine model, producing the series the paper
+plots.  Simulated runs are deterministic, so the paper's 5-run averaging is
+unnecessary for the figures; Tables 2 and 3 (real wall-clock measurements of
+the dynamic checks) do average 5 runs, in the benchmark files themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.machine.costmodel import CostModel
+from repro.machine.perf import SimConfig, simulate_steady_state
+from repro.machine.workload import IterationSpec
+
+__all__ = [
+    "FOUR_CONFIGS",
+    "ScalingResult",
+    "run_scaling",
+    "weak_scaling_nodes",
+    "strong_scaling_nodes",
+]
+
+#: The cartesian product of the paper's two optimizations, in legend order.
+FOUR_CONFIGS: Tuple[Tuple[bool, bool], ...] = (
+    (True, True),    # DCR, IDX
+    (True, False),   # DCR, No IDX
+    (False, True),   # No DCR, IDX
+    (False, False),  # No DCR, No IDX
+)
+
+
+def weak_scaling_nodes(max_nodes: int = 1024) -> List[int]:
+    """1, 2, 4, ..., max_nodes — the paper's weak-scaling x axis."""
+    nodes = []
+    n = 1
+    while n <= max_nodes:
+        nodes.append(n)
+        n *= 2
+    return nodes
+
+
+def strong_scaling_nodes(max_nodes: int = 512) -> List[int]:
+    """1, 2, 4, ..., max_nodes — the paper's strong-scaling x axis."""
+    return weak_scaling_nodes(max_nodes)
+
+
+@dataclass
+class ScalingResult:
+    """One configuration's series over node counts."""
+
+    label: str
+    nodes: List[int] = field(default_factory=list)
+    throughput: List[float] = field(default_factory=list)
+    throughput_per_node: List[float] = field(default_factory=list)
+    sec_per_iter: List[float] = field(default_factory=list)
+
+    def at(self, n: int) -> Dict[str, float]:
+        i = self.nodes.index(n)
+        return {
+            "throughput": self.throughput[i],
+            "throughput_per_node": self.throughput_per_node[i],
+            "sec_per_iter": self.sec_per_iter[i],
+        }
+
+    def efficiency(self, baseline_nodes: int = 1) -> List[float]:
+        """Weak-scaling parallel efficiency vs the smallest node count."""
+        base = self.throughput_per_node[self.nodes.index(baseline_nodes)]
+        return [t / base for t in self.throughput_per_node]
+
+
+def run_scaling(
+    workload: Callable[[int], IterationSpec],
+    nodes: Sequence[int],
+    configs: Sequence[Tuple[bool, bool]] = FOUR_CONFIGS,
+    tracing: bool = True,
+    checks: bool = True,
+    cost: Optional[CostModel] = None,
+) -> List[ScalingResult]:
+    """Sweep ``workload(n_nodes)`` over ``nodes`` for each configuration.
+
+    Args:
+        workload: node count -> :class:`IterationSpec` (weak scaling keeps
+            per-node work constant; strong scaling divides a fixed total).
+        nodes: node counts to simulate.
+        configs: (dcr, idx) pairs; default is the paper's four.
+        tracing: Legion tracing enabled (Figure 6 disables it).
+        checks: dynamic projection-functor checks enabled (Figure 10's
+            "no check" series disables them).
+        cost: optional cost-model override for ablations.
+    """
+    results: List[ScalingResult] = []
+    for dcr, idx in configs:
+        label = f"{'DCR' if dcr else 'No DCR'}, {'IDX' if idx else 'No IDX'}"
+        if not checks and idx:
+            label += " (no check)"
+        res = ScalingResult(label=label)
+        for n in nodes:
+            cfg = SimConfig(
+                n_nodes=n, dcr=dcr, idx=idx, tracing=tracing, checks=checks
+            )
+            metrics = simulate_steady_state(workload(n), cfg, cost)
+            res.nodes.append(n)
+            res.throughput.append(metrics["throughput"])
+            res.throughput_per_node.append(metrics["throughput_per_node"])
+            res.sec_per_iter.append(metrics["sec_per_iter"])
+        results.append(res)
+    return results

@@ -1,0 +1,105 @@
+"""ASCII rendering of scaling figures (no plotting dependencies).
+
+Renders the paper-style log-x scaling series as terminal plots so a
+reproduction run can be inspected without matplotlib.  Supports linear and
+log y axes (the paper's strong-scaling figures are log-log; the weak-
+scaling ones are linear-y).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.bench.harness import ScalingResult
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def _format_val(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 1000 or abs(v) < 0.01:
+        return f"{v:.1e}"
+    return f"{v:.2f}"
+
+
+def ascii_plot(
+    results: Sequence[ScalingResult],
+    metric: str = "throughput",
+    unit_scale: float = 1.0,
+    title: str = "",
+    width: int = 60,
+    height: int = 18,
+    logy: bool = False,
+) -> str:
+    """Render series as an ASCII chart with a log-2 x axis (node counts).
+
+    Each series gets a marker; collisions show the later series' marker.
+    Returns the chart as a string (caller prints/saves it).
+    """
+    if not results:
+        raise ValueError("no series to plot")
+    nodes = results[0].nodes
+    for r in results:
+        if r.nodes != nodes:
+            raise ValueError("all series must share the node axis")
+    series = [
+        [getattr(r, metric)[i] / unit_scale for i in range(len(nodes))]
+        for r in results
+    ]
+    flat = [v for s in series for v in s]
+    lo, hi = min(flat), max(flat)
+    if logy:
+        if lo <= 0:
+            raise ValueError("log y-axis requires positive values")
+        lo, hi = math.log10(lo), math.log10(hi)
+    if hi == lo:
+        hi = lo + 1.0
+
+    def ycoord(v: float) -> int:
+        val = math.log10(v) if logy else v
+        frac = (val - lo) / (hi - lo)
+        return min(height - 1, max(0, round(frac * (height - 1))))
+
+    def xcoord(i: int) -> int:
+        if len(nodes) == 1:
+            return 0
+        return round(i * (width - 1) / (len(nodes) - 1))
+
+    grid = [[" "] * width for _ in range(height)]
+    for s_idx, values in enumerate(series):
+        marker = _MARKERS[s_idx % len(_MARKERS)]
+        for i, v in enumerate(values):
+            grid[height - 1 - ycoord(v)][xcoord(i)] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top = 10 ** hi if logy else hi
+    bottom = 10 ** lo if logy else lo
+    label_w = max(len(_format_val(top)), len(_format_val(bottom)))
+    for row_idx, row in enumerate(grid):
+        if row_idx == 0:
+            label = _format_val(top)
+        elif row_idx == height - 1:
+            label = _format_val(bottom)
+        else:
+            label = ""
+        lines.append(label.rjust(label_w) + " |" + "".join(row))
+    lines.append(" " * label_w + " +" + "-" * width)
+    # X tick labels: first, middle, last node counts.
+    ticks = " " * (label_w + 2)
+    tick_line = list(ticks + " " * (width + 8))
+    for i in (0, len(nodes) // 2, len(nodes) - 1):
+        pos = label_w + 2 + xcoord(i)
+        text = str(nodes[i])
+        for j, ch in enumerate(text):
+            if pos + j < len(tick_line):
+                tick_line[pos + j] = ch
+    lines.append("".join(tick_line).rstrip() + "   (nodes)")
+    for s_idx, r in enumerate(results):
+        lines.append(f"  {_MARKERS[s_idx % len(_MARKERS)]} {r.label}")
+    return "\n".join(lines)

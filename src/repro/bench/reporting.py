@@ -1,0 +1,81 @@
+"""Paper-style output: figure series tables and CSV artifacts."""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import List, Optional, Sequence
+
+from repro.bench.harness import ScalingResult
+
+__all__ = ["format_series_table", "parallel_efficiency", "save_csv", "results_dir"]
+
+
+def results_dir() -> str:
+    """``results/`` next to the repository root (created on demand)."""
+    root = os.environ.get("REPRO_RESULTS_DIR")
+    if root is None:
+        root = os.path.join(os.getcwd(), "results")
+    os.makedirs(root, exist_ok=True)
+    return root
+
+
+def parallel_efficiency(result: ScalingResult, at_nodes: int,
+                        baseline_nodes: int = 1) -> float:
+    """Weak-scaling efficiency of one series at a node count."""
+    base = result.throughput_per_node[result.nodes.index(baseline_nodes)]
+    return result.at(at_nodes)["throughput_per_node"] / base
+
+
+def format_series_table(
+    results: Sequence[ScalingResult],
+    metric: str = "throughput",
+    unit_scale: float = 1.0,
+    unit_label: str = "",
+    title: str = "",
+) -> str:
+    """Render the figure's series as an aligned text table.
+
+    ``metric`` is one of ``throughput``, ``throughput_per_node``,
+    ``sec_per_iter``; values are divided by ``unit_scale`` (e.g. 1e6 for
+    "10^6 wires/s").
+    """
+    nodes = results[0].nodes
+    for r in results:
+        if r.nodes != nodes:
+            raise ValueError("all series must share the node axis")
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = ["Nodes"] + [r.label for r in results]
+    widths = [max(7, len(h) + 2) for h in header]
+    lines.append("".join(h.rjust(w) for h, w in zip(header, widths)))
+    for i, n in enumerate(nodes):
+        row = [str(n)]
+        for r in results:
+            value = getattr(r, metric)[i] / unit_scale
+            row.append(f"{value:.3f}")
+        lines.append("".join(v.rjust(w) for v, w in zip(row, widths)))
+    if unit_label:
+        lines.append(f"(values in {unit_label})")
+    return "\n".join(lines)
+
+
+def save_csv(results: Sequence[ScalingResult], filename: str,
+             directory: Optional[str] = None) -> str:
+    """Write all series to one CSV under ``results/``; returns the path."""
+    directory = directory or results_dir()
+    path = os.path.join(directory, filename)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            ["config", "nodes", "throughput", "throughput_per_node",
+             "sec_per_iter"]
+        )
+        for r in results:
+            for i, n in enumerate(r.nodes):
+                writer.writerow(
+                    [r.label, n, r.throughput[i], r.throughput_per_node[i],
+                     r.sec_per_iter[i]]
+                )
+    return path

@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``figures [fig4 .. fig10] [--max-nodes N] [--plot/--no-plot]`` — run the
+  paper's scaling figures on the machine model and print their series
+  (and ASCII plots).
+* ``validate`` — run all three applications through the runtime under
+  every configuration and compare against the serial references.
+* ``demo`` — a one-minute index-launch walkthrough (same content as
+  ``examples/quickstart.py``'s summary).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main"]
+
+
+def _cmd_figures(args) -> int:
+    from repro.bench.figures import FIGURES, run_figure
+    from repro.bench.plots import ascii_plot
+    from repro.bench.reporting import format_series_table
+
+    names = args.names or sorted(FIGURES, key=lambda s: int(s[3:]))
+    for name in names:
+        if name not in FIGURES:
+            print(f"unknown figure {name!r}; choose from {sorted(FIGURES)}",
+                  file=sys.stderr)
+            return 2
+        spec = run_figure(name, max_nodes=args.max_nodes)
+        print()
+        print(format_series_table(
+            spec.results, spec.metric, spec.unit_scale, spec.unit_label,
+            title=spec.title,
+        ))
+        if args.plot:
+            print()
+            print(ascii_plot(
+                spec.results, spec.metric, spec.unit_scale,
+                title=spec.title, logy=(spec.metric == "throughput"),
+            ))
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from repro.apps.circuit import (
+        CircuitConfig, build_circuit, reference_circuit, run_circuit,
+    )
+    from repro.apps.soleil import (
+        SoleilConfig, build_soleil, reference_soleil, run_soleil,
+    )
+    from repro.apps.stencil import (
+        StencilConfig, build_stencil, reference_stencil, run_stencil,
+    )
+    from repro.runtime import Runtime, RuntimeConfig
+
+    failures = 0
+    configs = [
+        RuntimeConfig(n_nodes=2, dcr=dcr, index_launches=idx,
+                      shuffle_intra_launch=True, seed=3)
+        for dcr in (True, False)
+        for idx in (True, False)
+    ]
+    for cfg in configs:
+        label = cfg.label
+        rt = Runtime(cfg)
+        g = build_circuit(rt, CircuitConfig(n_pieces=4, nodes_per_piece=16,
+                                            wires_per_piece=32, steps=5))
+        ok = np.allclose(run_circuit(rt, g), reference_circuit(g))
+        print(f"circuit  [{label:>14}]: {'ok' if ok else 'MISMATCH'}")
+        failures += not ok
+
+        rt = Runtime(cfg)
+        sc = StencilConfig(n=32, blocks=(2, 2), radius=2, steps=4)
+        ok = np.allclose(run_stencil(rt, build_stencil(rt, sc)),
+                         reference_stencil(sc))
+        print(f"stencil  [{label:>14}]: {'ok' if ok else 'MISMATCH'}")
+        failures += not ok
+
+        rt = Runtime(cfg)
+        so = SoleilConfig(tiles=(2, 2, 2), cells_per_tile=(3, 3, 3), steps=2)
+        res = run_soleil(rt, build_soleil(rt, so))
+        ref = reference_soleil(so)
+        ok = all(np.allclose(res[k], ref[k]) for k in res)
+        print(f"soleil   [{label:>14}]: {'ok' if ok else 'MISMATCH'}")
+        failures += not ok
+    print()
+    print("all configurations validated" if not failures
+          else f"{failures} validation failures")
+    return 1 if failures else 0
+
+
+def _cmd_patterns(args) -> int:
+    from repro.apps.patterns import PATTERNS, run_pattern
+    from repro.runtime import Runtime, RuntimeConfig
+    from repro.runtime.pipeline import Stage
+
+    print(f"{'pattern':>13} {'launches':>9} {'tasks':>6} {'ratio':>7} "
+          f"{'static':>7} {'dynamic':>8} {'correct':>8}")
+    for name in sorted(PATTERNS):
+        rt = Runtime(RuntimeConfig(index_launches=True))
+        res = run_pattern(name, rt)
+        ratio = res.tasks / res.launches
+        print(f"{name:>13} {res.launches:>9} {res.tasks:>6} {ratio:>7.1f} "
+              f"{rt.stats.launches_verified_static:>7} "
+              f"{rt.stats.launches_verified_dynamic:>8} "
+              f"{str(res.correct):>8}")
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    from repro.core.projection import ModularFunctor
+    from repro.data.partition import equal_partition
+    from repro.runtime import Runtime, RuntimeConfig, task
+
+    @task(privileges=["reads writes"])
+    def bump(ctx, block):
+        block.write("v", block.read("v") + 1.0)
+
+    rt = Runtime(RuntimeConfig(n_nodes=4))
+    region = rt.create_region("demo", 32, {"v": "f8"})
+    part = equal_partition("demo_part", region, 8)
+    rt.index_launch(bump, 8, part)                        # static
+    rt.index_launch(bump, 8, (part, ModularFunctor(8, 3)))  # dynamic, passes
+    rt.index_launch(bump, 8, (part, ModularFunctor(3)))     # fails -> serial
+    print("three launches issued over 8 blocks each:")
+    print("  statically verified :", rt.stats.launches_verified_static)
+    print("  dynamically verified:", rt.stats.launches_verified_dynamic)
+    print("  serial fallbacks    :", rt.stats.launches_fallback_serial)
+    print("  tasks executed      :", rt.stats.tasks_executed)
+    print("region values:", region.storage("v")[:8], "...")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Index launches (SC '21) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fig = sub.add_parser("figures", help="run the paper's scaling figures")
+    p_fig.add_argument("names", nargs="*", help="fig4 .. fig10 (default all)")
+    p_fig.add_argument("--max-nodes", type=int, default=None,
+                       help="cap the node axis (faster runs)")
+    p_fig.add_argument("--plot", dest="plot", action="store_true",
+                       default=True)
+    p_fig.add_argument("--no-plot", dest="plot", action="store_false")
+    p_fig.set_defaults(fn=_cmd_figures)
+
+    p_val = sub.add_parser("validate",
+                           help="check all apps against serial references")
+    p_val.set_defaults(fn=_cmd_validate)
+
+    p_pat = sub.add_parser(
+        "patterns", help="run the Figure-1 task-graph patterns"
+    )
+    p_pat.set_defaults(fn=_cmd_patterns)
+
+    p_demo = sub.add_parser("demo", help="one-minute index-launch demo")
+    p_demo.set_defaults(fn=_cmd_demo)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,82 @@
+"""A mini-Regent compiler implementing the hybrid analysis of Section 4.
+
+The pipeline mirrors the paper's description of the Regent implementation:
+
+1. **Parse** (:mod:`repro.compiler.parser`) a small Regent-like language::
+
+       task foo(c1, c2) reads(c1) writes(c2) do ... end
+       for i = 0, 5 do
+         foo(p[i], q[(i + 1) % 3])
+       end
+
+2. **Identify candidates** (:mod:`repro.compiler.dependence`): loops whose
+   body is a single task launch plus simple statements, with no
+   loop-carried dependencies (other than reductions).
+3. **Classify projection functors** (:mod:`repro.compiler.functors`): a
+   static analysis recognizing constant / identity / affine index
+   expressions; everything else is *unknown*.
+4. **Transform** (:mod:`repro.compiler.optimize`): replace the loop AST
+   with a dynamic check followed by a branch that selects the index launch
+   or the original task loop — the program transformation of Listing 3.
+5. **Execute** (:mod:`repro.compiler.interp`): run the compiled program
+   against the runtime of :mod:`repro.runtime`.
+"""
+
+from repro.compiler.ast import (
+    Program,
+    TaskDef,
+    ForLoop,
+    CallStmt,
+    VarDecl,
+    Assign,
+    BinOp,
+    Name,
+    Number,
+    Index,
+    Call,
+)
+from repro.compiler.lexer import Token, tokenize, LexError
+from repro.compiler.parser import parse, ParseError
+from repro.compiler.functors import classify_index_expr, expr_to_functor, FunctorClass
+from repro.compiler.dependence import loop_is_candidate, CandidateReport
+from repro.compiler.optimize import (
+    optimize_program,
+    IndexLaunchNode,
+    DynamicCheckNode,
+    DemandViolation,
+)
+from repro.compiler.interp import compile_and_run, Interpreter
+from repro.compiler.pprint import unparse, unparse_expr, unparse_stmt
+
+__all__ = [
+    "Program",
+    "TaskDef",
+    "ForLoop",
+    "CallStmt",
+    "VarDecl",
+    "Assign",
+    "BinOp",
+    "Name",
+    "Number",
+    "Index",
+    "Call",
+    "Token",
+    "tokenize",
+    "LexError",
+    "parse",
+    "ParseError",
+    "classify_index_expr",
+    "expr_to_functor",
+    "FunctorClass",
+    "loop_is_candidate",
+    "CandidateReport",
+    "optimize_program",
+    "IndexLaunchNode",
+    "DynamicCheckNode",
+    "DemandViolation",
+    "compile_and_run",
+    "Interpreter",
+    "unparse",
+    "unparse_expr",
+    "unparse_stmt",
+]

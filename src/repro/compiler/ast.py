@@ -1,0 +1,175 @@
+"""AST node definitions for the mini-Regent language.
+
+Expression nodes: :class:`Number`, :class:`Name`, :class:`FieldRef`,
+:class:`BinOp`, :class:`Call`, :class:`Index`.
+
+Statement nodes: :class:`VarDecl`, :class:`Assign`, :class:`FieldAssign`,
+:class:`CallStmt`, :class:`ForLoop`.
+
+Top level: :class:`Program` holding :class:`TaskDef` and statements.  The
+optimizer (:mod:`repro.compiler.optimize`) adds two synthetic nodes —
+``IndexLaunchNode`` and ``DynamicCheckNode`` — defined there, since they
+only exist after the transformation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+__all__ = [
+    "Expr", "Number", "Name", "FieldRef", "BinOp", "Call", "Index",
+    "Stmt", "VarDecl", "Assign", "FieldAssign", "CallStmt", "ForLoop",
+    "PrivClause", "TaskDef", "Program", "walk_exprs", "expr_names",
+]
+
+
+# ---------------------------------------------------------------- expressions
+
+class Expr:
+    """Base class for expressions."""
+
+
+@dataclass(frozen=True)
+class Number(Expr):
+    value: float
+
+    def __repr__(self) -> str:
+        return f"Number({self.value})"
+
+
+@dataclass(frozen=True)
+class Name(Expr):
+    ident: str
+
+    def __repr__(self) -> str:
+        return f"Name({self.ident})"
+
+
+@dataclass(frozen=True)
+class FieldRef(Expr):
+    """``region.field`` inside a task body."""
+
+    region: str
+    fname: str
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str  # + - * / % == <= >= < > ~=
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """A call in expression position — an opaque host function, e.g. f(i)."""
+
+    fn: str
+    args: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Index(Expr):
+    """``p[e]`` — selecting a sub-collection of partition ``p``."""
+
+    base: str
+    index: Expr
+
+
+# ----------------------------------------------------------------- statements
+
+class Stmt:
+    """Base class for statements."""
+
+
+@dataclass
+class VarDecl(Stmt):
+    name: str
+    value: Expr
+
+
+@dataclass
+class Assign(Stmt):
+    name: str
+    value: Expr
+
+
+@dataclass
+class FieldAssign(Stmt):
+    """``region.field = expr`` inside a task body."""
+
+    region: str
+    fname: str
+    value: Expr
+
+
+@dataclass
+class CallStmt(Stmt):
+    """A task launch: ``foo(p[i], q[f(i)], 3.0)``."""
+
+    fn: str
+    args: List[Expr]
+
+
+@dataclass
+class ForLoop(Stmt):
+    var: str
+    lo: Expr
+    hi: Expr
+    body: List[Stmt] = field(default_factory=list)
+    #: ``parallel for`` — Regent's __demand(__index_launch): the optimizer
+    #: must transform this loop or reject the program.
+    demand_parallel: bool = False
+
+
+# ------------------------------------------------------------------ top level
+
+@dataclass(frozen=True)
+class PrivClause:
+    """``reads(c1)`` / ``writes(c2.f)`` / ``reduces +(c3)``."""
+
+    kind: str                 # "reads" | "writes" | "reduces"
+    redop: Optional[str]      # operator for reductions
+    param: str                # region parameter name
+    fields: Tuple[str, ...]   # () means all fields
+
+
+@dataclass
+class TaskDef(Stmt):
+    name: str
+    params: List[str]
+    privileges: List[PrivClause]
+    body: List[Stmt]
+
+    def region_params(self) -> List[str]:
+        """Parameters that appear in at least one privilege clause, in
+        declaration order; remaining params are by-value scalars."""
+        privileged = {c.param for c in self.privileges}
+        return [p for p in self.params if p in privileged]
+
+
+@dataclass
+class Program:
+    tasks: Dict[str, TaskDef]
+    body: List[Stmt]
+
+
+# ------------------------------------------------------------------ utilities
+
+def walk_exprs(expr: Expr):
+    """Yield ``expr`` and every sub-expression."""
+    yield expr
+    if isinstance(expr, BinOp):
+        yield from walk_exprs(expr.left)
+        yield from walk_exprs(expr.right)
+    elif isinstance(expr, Call):
+        for a in expr.args:
+            yield from walk_exprs(a)
+    elif isinstance(expr, Index):
+        yield from walk_exprs(expr.index)
+
+
+def expr_names(expr: Expr) -> set:
+    """All Name identifiers referenced by ``expr``."""
+    return {e.ident for e in walk_exprs(expr) if isinstance(e, Name)}

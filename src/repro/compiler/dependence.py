@@ -1,0 +1,98 @@
+"""Candidate identification: which loops may become index launches.
+
+Per Section 4: "any loop in the program source whose body contains a task
+launch and other simple statements (such as variable declarations), and
+that contains no loop-carried dependencies (other than reductions), is
+eligible to be executed as an index launch".
+
+This module checks those structural conditions; the *safety* of the
+resulting launch (privileges, disjointness, functor injectivity) is a
+separate question answered by the static/dynamic analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from repro.compiler.ast import (
+    Assign,
+    CallStmt,
+    Expr,
+    ForLoop,
+    Index,
+    Stmt,
+    VarDecl,
+    expr_names,
+    walk_exprs,
+)
+
+__all__ = ["CandidateReport", "loop_is_candidate"]
+
+
+@dataclass
+class CandidateReport:
+    """Why a loop is (or is not) an index-launch candidate."""
+
+    eligible: bool
+    call: Optional[CallStmt] = None
+    reasons: List[str] = field(default_factory=list)
+
+
+def loop_is_candidate(loop: ForLoop) -> CandidateReport:
+    """Structural eligibility check for one loop.
+
+    Requirements:
+
+    * exactly one task-call statement in the body;
+    * every other statement is a ``var`` declaration of a loop-local name;
+    * no assignments to names defined outside the loop (loop-carried
+      dependencies) — per the paper, reductions over loop-carried
+      accumulators are in principle allowed, but a task-call loop body has
+      no accumulator to reduce into, so any outer-variable assignment
+      disqualifies;
+    * no nested loops (a nested loop would itself be the candidate);
+    * the loop variable is not redefined in the body.
+    """
+    report = CandidateReport(eligible=False)
+    calls = [s for s in loop.body if isinstance(s, CallStmt)]
+    if len(calls) != 1:
+        report.reasons.append(
+            f"body must contain exactly one task launch, found {len(calls)}"
+        )
+        return report
+    local: Set[str] = {loop.var}
+    for stmt in loop.body:
+        if isinstance(stmt, CallStmt):
+            continue
+        if isinstance(stmt, ForLoop):
+            report.reasons.append("nested loops are not simple statements")
+            return report
+        if isinstance(stmt, VarDecl):
+            if stmt.name == loop.var:
+                report.reasons.append("loop variable redefined in body")
+                return report
+            local.add(stmt.name)
+            continue
+        if isinstance(stmt, Assign):
+            if stmt.name not in local:
+                report.reasons.append(
+                    f"loop-carried dependency: assignment to outer "
+                    f"variable {stmt.name!r}"
+                )
+                return report
+            continue
+        report.reasons.append(
+            f"statement {type(stmt).__name__} is not a simple statement"
+        )
+        return report
+
+    # Declarations must be in def-before-use order with respect to the call
+    # (they are, syntactically, since we scan top to bottom), and their
+    # initializers may only read loop-locals, the loop var, or outer names
+    # (reads of outer names are fine — they are loop-invariant or host
+    # bindings; writes were rejected above).
+    report.eligible = True
+    report.call = calls[0]
+    report.reasons.append("single task launch with simple statements only")
+    return report

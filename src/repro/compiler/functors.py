@@ -1,0 +1,202 @@
+"""Static classification of projection-functor expressions (Section 4).
+
+Given the index expression of a partition argument (``p[<expr>]``) and the
+loop variable, the classifier recognizes the paper's trivial cases:
+
+* **constant** — no occurrence of the loop variable: not injective (over
+  any domain with more than one point);
+* **identity** — exactly the loop variable: injective;
+* **affine** — ``a*i + b`` after constant folding: injective iff ``a != 0``;
+* **unknown** — anything else (modulo, quadratic, opaque calls): deferred
+  to the dynamic check.
+
+:func:`expr_to_functor` lowers the expression to the runtime's functor
+objects, choosing the specialized classes where the shape is recognized
+(so the runtime's own static analysis agrees with the compiler's) and an
+interpreting :class:`~repro.core.projection.CallableFunctor` otherwise.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.compiler.ast import BinOp, Call, Expr, Name, Number, expr_names
+from repro.core.projection import (
+    AffineFunctor,
+    CallableFunctor,
+    ConstantFunctor,
+    IdentityFunctor,
+    ModularFunctor,
+    ProjectionFunctor,
+)
+
+__all__ = [
+    "FunctorClass",
+    "classify_index_expr",
+    "expr_to_functor",
+    "eval_index_expr",
+    "eval_host_expr",
+]
+
+
+class FunctorClass(enum.Enum):
+    CONSTANT = "constant"
+    IDENTITY = "identity"
+    AFFINE = "affine"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class _Affine:
+    """Symbolic value a*i + b (or None when not affine in i)."""
+
+    a: Optional[float]
+    b: Optional[float]
+
+    @property
+    def ok(self) -> bool:
+        return self.a is not None
+
+
+_NOT_AFFINE = _Affine(None, None)
+
+
+def _affine_of(expr: Expr, var: str, env: Dict[str, float]) -> _Affine:
+    """Symbolically evaluate ``expr`` as a*var + b with constant a, b."""
+    if isinstance(expr, Number):
+        return _Affine(0.0, float(expr.value))
+    if isinstance(expr, Name):
+        if expr.ident == var:
+            return _Affine(1.0, 0.0)
+        if expr.ident in env and isinstance(env[expr.ident], (int, float)):
+            return _Affine(0.0, float(env[expr.ident]))
+        return _NOT_AFFINE
+    if isinstance(expr, BinOp):
+        left = _affine_of(expr.left, var, env)
+        right = _affine_of(expr.right, var, env)
+        if not (left.ok and right.ok):
+            return _NOT_AFFINE
+        if expr.op == "+":
+            return _Affine(left.a + right.a, left.b + right.b)
+        if expr.op == "-":
+            return _Affine(left.a - right.a, left.b - right.b)
+        if expr.op == "*":
+            if left.a == 0.0:
+                return _Affine(left.b * right.a, left.b * right.b)
+            if right.a == 0.0:
+                return _Affine(left.a * right.b, left.b * right.b)
+            return _NOT_AFFINE  # i * i: quadratic
+        if expr.op == "/":
+            if right.a == 0.0 and right.b not in (0.0, None):
+                return _Affine(left.a / right.b, left.b / right.b)
+            return _NOT_AFFINE
+        return _NOT_AFFINE  # %, comparisons
+    return _NOT_AFFINE  # calls and anything else
+
+
+def classify_index_expr(
+    expr: Expr, var: str, env: Optional[Dict[str, float]] = None
+) -> Tuple[FunctorClass, Optional[Tuple[int, int]]]:
+    """Classify ``expr`` as a functor over loop variable ``var``.
+
+    Returns ``(class, (a, b))`` where the affine coefficients are provided
+    for CONSTANT/IDENTITY/AFFINE and None for UNKNOWN.
+    """
+    env = env or {}
+    if var not in expr_names(expr):
+        aff = _affine_of(expr, var, env)
+        if aff.ok and float(aff.b).is_integer():
+            return FunctorClass.CONSTANT, (0, int(aff.b))
+        return FunctorClass.UNKNOWN, None
+    aff = _affine_of(expr, var, env)
+    if not aff.ok:
+        return FunctorClass.UNKNOWN, None
+    if not (float(aff.a).is_integer() and float(aff.b).is_integer()):
+        return FunctorClass.UNKNOWN, None
+    a, b = int(aff.a), int(aff.b)
+    if a == 1 and b == 0:
+        return FunctorClass.IDENTITY, (1, 0)
+    if a == 0:
+        return FunctorClass.CONSTANT, (0, b)
+    return FunctorClass.AFFINE, (a, b)
+
+
+def eval_index_expr(
+    expr: Expr, var: str, value: int, env: Dict[str, object]
+) -> int:
+    """Interpret an *index* expression (coerced to int) with ``var`` bound."""
+    return int(eval_host_expr(expr, var, value, env))
+
+
+def eval_host_expr(expr: Expr, var: str, value: int, env: Dict[str, object]):
+    """Interpret any host-level expression with ``var`` bound to ``value``."""
+    scope = dict(env)
+    scope[var] = value
+    return _eval(expr, scope)
+
+
+def _eval(expr: Expr, scope: Dict[str, object]):
+    if isinstance(expr, Number):
+        return expr.value
+    if isinstance(expr, Name):
+        if expr.ident not in scope:
+            raise NameError(f"unbound name {expr.ident!r} in index expression")
+        return scope[expr.ident]
+    if isinstance(expr, BinOp):
+        left = _eval(expr.left, scope)
+        right = _eval(expr.right, scope)
+        ops: Dict[str, Callable] = {
+            "+": lambda a, b: a + b,
+            "-": lambda a, b: a - b,
+            "*": lambda a, b: a * b,
+            "/": lambda a, b: a / b,
+            "%": lambda a, b: a % b,
+            "==": lambda a, b: a == b,
+            "<=": lambda a, b: a <= b,
+            ">=": lambda a, b: a >= b,
+            "<": lambda a, b: a < b,
+            ">": lambda a, b: a > b,
+            "~=": lambda a, b: a != b,
+        }
+        return ops[expr.op](left, right)
+    if isinstance(expr, Call):
+        fn = scope.get(expr.fn)
+        if not callable(fn):
+            raise NameError(f"unbound function {expr.fn!r} in index expression")
+        return fn(*(_eval(a, scope) for a in expr.args))
+    raise TypeError(f"cannot evaluate {expr!r} as an index expression")
+
+
+def expr_to_functor(
+    expr: Expr, var: str, env: Dict[str, object]
+) -> ProjectionFunctor:
+    """Lower an index expression to a runtime projection functor.
+
+    Recognized shapes map to the specialized functor classes — so the
+    runtime's hybrid safety analysis reaches the same static verdict the
+    compiler did — and everything else becomes an interpreting callable
+    (handled by the dynamic check).
+    """
+    cls, coeffs = classify_index_expr(
+        expr, var, {k: v for k, v in env.items() if isinstance(v, (int, float))}
+    )
+    if cls is FunctorClass.IDENTITY:
+        return IdentityFunctor()
+    if cls is FunctorClass.CONSTANT:
+        return ConstantFunctor(coeffs[1])
+    if cls is FunctorClass.AFFINE:
+        return AffineFunctor(coeffs[0], coeffs[1])
+    # Recognize (e mod n) with e affine as the modular functor family so the
+    # runtime can report it distinctly (still dynamically checked).
+    if isinstance(expr, BinOp) and expr.op == "%" and isinstance(expr.right, Number):
+        inner = _affine_of(
+            expr.left, var,
+            {k: v for k, v in env.items() if isinstance(v, (int, float))},
+        )
+        if inner.ok and inner.a == 1.0 and float(inner.b).is_integer():
+            return ModularFunctor(int(expr.right.value), int(inner.b))
+    return CallableFunctor(
+        lambda i: eval_index_expr(expr, var, i, env), name=f"<{var} expr>"
+    )

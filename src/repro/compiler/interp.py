@@ -1,0 +1,334 @@
+"""Interpreter: execute (optimized) mini-Regent programs on the runtime.
+
+Task definitions become :class:`repro.runtime.task.Task` objects whose
+bodies interpret the task's statements elementwise over the physical
+regions.  Top-level statements execute against a
+:class:`repro.runtime.Runtime`:
+
+* plain loops run as serial individual task launches;
+* :class:`IndexLaunchNode` lowers to ``runtime.index_launch`` with functors
+  built from the index expressions;
+* :class:`DynamicCheckNode` relies on the runtime's hybrid analysis, which
+  performs exactly the emitted check-then-branch of Listing 3 (dynamic
+  check, then index launch or serial fallback).
+
+Host *bindings* supply the Legion-side objects the program names: regions,
+partitions, scalars, and opaque Python functions usable in index
+expressions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.compiler.ast import (
+    Assign,
+    BinOp,
+    Call,
+    CallStmt,
+    Expr,
+    FieldAssign,
+    FieldRef,
+    ForLoop,
+    Index,
+    Name,
+    Number,
+    Program,
+    Stmt,
+    TaskDef,
+    VarDecl,
+)
+from repro.compiler.functors import (
+    eval_host_expr,
+    eval_index_expr,
+    expr_to_functor,
+)
+from repro.compiler.optimize import (
+    DynamicCheckNode,
+    IndexLaunchNode,
+    OptimizationReport,
+    optimize_program,
+)
+from repro.compiler.parser import parse
+from repro.core.domain import Domain
+from repro.core.launch import ArgumentMap
+from repro.data.collection import Region
+from repro.data.partition import Partition
+from repro.data.privileges import PrivilegeSpec
+from repro.runtime.runtime import Runtime, RuntimeConfig
+from repro.runtime.task import PhysicalRegion, Task
+
+__all__ = ["Interpreter", "compile_and_run", "build_task"]
+
+
+class InterpError(RuntimeError):
+    """Semantic error while executing a mini-Regent program."""
+
+
+def _merge_privilege(kinds: List) -> PrivilegeSpec:
+    """Combine a parameter's clauses into one privilege spec."""
+    has_reads = any(c.kind == "reads" for c in kinds)
+    has_writes = any(c.kind == "writes" for c in kinds)
+    reduces = [c for c in kinds if c.kind == "reduces"]
+    if reduces:
+        if has_reads or has_writes or len({c.redop for c in reduces}) > 1:
+            raise InterpError("reduction privilege cannot mix with others")
+        return PrivilegeSpec.parse(f"reduces {reduces[0].redop}")
+    if has_reads and has_writes:
+        return PrivilegeSpec.parse("reads writes")
+    if has_writes:
+        return PrivilegeSpec.parse("writes")
+    return PrivilegeSpec.parse("reads")
+
+
+def build_task(tdef: TaskDef) -> Task:
+    """Lower a task definition to a runtime Task with an interpreting body."""
+    region_params = tdef.region_params()
+    scalar_params = [p for p in tdef.params if p not in region_params]
+    privileges: List[PrivilegeSpec] = []
+    fields: List[Optional[Tuple[str, ...]]] = []
+    for param in region_params:
+        clauses = [c for c in tdef.privileges if c.param == param]
+        privileges.append(_merge_privilege(clauses))
+        named = tuple(
+            sorted({f for c in clauses for f in c.fields})
+        )
+        fields.append(named if named else None)
+
+    def body(ctx, *args):
+        regions = args[: len(region_params)]
+        scalars = args[len(region_params): len(region_params) + len(scalar_params)]
+        env: Dict[str, Any] = dict(zip(region_params, regions))
+        env.update(zip(scalar_params, scalars))
+        result = None
+        for stmt in tdef.body:
+            result = _exec_task_stmt(stmt, env)
+        return result
+
+    body.__name__ = tdef.name
+    return Task(body, privileges=privileges, fields=fields, name=tdef.name)
+
+
+def _exec_task_stmt(stmt: Stmt, env: Dict[str, Any]):
+    if isinstance(stmt, VarDecl) or isinstance(stmt, Assign):
+        env[stmt.name] = _eval_task_expr(stmt.value, env)
+        return env[stmt.name]
+    if isinstance(stmt, FieldAssign):
+        target = env.get(stmt.region)
+        if not isinstance(target, PhysicalRegion):
+            raise InterpError(f"{stmt.region!r} is not a region parameter")
+        value = _eval_task_expr(stmt.value, env)
+        value = np.broadcast_to(np.asarray(value, dtype=np.float64),
+                                (target.volume,))
+        if target.privilege.privilege.value == "reduces":
+            target.reduce(stmt.fname, value)
+        else:
+            target.write(stmt.fname, value)
+        return None
+    raise InterpError(f"unsupported statement in task body: {stmt!r}")
+
+
+def _eval_task_expr(expr: Expr, env: Dict[str, Any]):
+    if isinstance(expr, Number):
+        return expr.value
+    if isinstance(expr, Name):
+        if expr.ident not in env:
+            raise InterpError(f"unbound name {expr.ident!r} in task body")
+        return env[expr.ident]
+    if isinstance(expr, FieldRef):
+        target = env.get(expr.region)
+        if not isinstance(target, PhysicalRegion):
+            raise InterpError(f"{expr.region!r} is not a region parameter")
+        return target.read(expr.fname)
+    if isinstance(expr, BinOp):
+        left = _eval_task_expr(expr.left, env)
+        right = _eval_task_expr(expr.right, env)
+        ops = {
+            "+": lambda a, b: a + b,
+            "-": lambda a, b: a - b,
+            "*": lambda a, b: a * b,
+            "/": lambda a, b: a / b,
+            "%": lambda a, b: a % b,
+        }
+        if expr.op not in ops:
+            raise InterpError(f"operator {expr.op!r} not allowed in task body")
+        return ops[expr.op](left, right)
+    if isinstance(expr, Call):
+        fn = env.get(expr.fn)
+        if not callable(fn):
+            raise InterpError(f"unbound function {expr.fn!r}")
+        return fn(*(_eval_task_expr(a, env) for a in expr.args))
+    raise InterpError(f"unsupported expression in task body: {expr!r}")
+
+
+class Interpreter:
+    """Executes an optimized program against a runtime instance."""
+
+    def __init__(
+        self,
+        program: Program,
+        bindings: Dict[str, Any],
+        runtime: Optional[Runtime] = None,
+    ):
+        self.runtime = runtime or Runtime(RuntimeConfig())
+        self.env: Dict[str, Any] = dict(bindings)
+        self.tasks: Dict[str, Task] = {
+            name: build_task(tdef) for name, tdef in program.tasks.items()
+        }
+        self.program = program
+
+    # --------------------------------------------------------------- running
+    def run(self) -> Dict[str, Any]:
+        for stmt in self.program.body:
+            self._exec(stmt)
+        return self.env
+
+    def _exec(self, stmt: Stmt) -> None:
+        if isinstance(stmt, VarDecl) or isinstance(stmt, Assign):
+            self.env[stmt.name] = self._eval_scalar(stmt.value)
+            return
+        if isinstance(stmt, CallStmt):
+            self._launch_single(stmt, self.env)
+            return
+        if isinstance(stmt, ForLoop):
+            self._run_serial_loop(stmt)
+            return
+        if isinstance(stmt, IndexLaunchNode):
+            self._launch_index(stmt)
+            return
+        if isinstance(stmt, DynamicCheckNode):
+            # The runtime's hybrid analysis performs the Listing-3 check and
+            # falls back to the serial loop on failure.
+            self._launch_index(stmt.launch)
+            return
+        raise InterpError(f"unsupported top-level statement: {stmt!r}")
+
+    # --------------------------------------------------------------- helpers
+    def _eval_scalar(self, expr: Expr):
+        return eval_host_expr(expr, "__none__", 0, self.env)
+
+    def _task_of(self, name: str) -> Task:
+        if name not in self.tasks:
+            raise InterpError(f"unknown task {name!r}")
+        return self.tasks[name]
+
+    def _split_args(self, task: Task, call: CallStmt):
+        """(region arg exprs, scalar arg exprs) positionally."""
+        n_regions = task.n_region_params
+        return call.args[:n_regions], call.args[n_regions:]
+
+    def _run_serial_loop(self, loop: ForLoop) -> None:
+        lo = int(self._eval_scalar(loop.lo))
+        hi = int(self._eval_scalar(loop.hi))
+        for i in range(lo, hi):
+            scope = dict(self.env)
+            scope[loop.var] = i
+            for stmt in loop.body:
+                if isinstance(stmt, (VarDecl, Assign)):
+                    scope[stmt.name] = eval_host_expr(
+                        stmt.value, loop.var, i, scope
+                    )
+                elif isinstance(stmt, CallStmt):
+                    self._launch_single(stmt, scope)
+                else:
+                    raise InterpError(
+                        f"unsupported loop statement: {stmt!r}"
+                    )
+
+    def _launch_single(self, call: CallStmt, scope: Dict[str, Any]) -> None:
+        task = self._task_of(call.fn)
+        region_exprs, scalar_exprs = self._split_args(task, call)
+        region_args = []
+        for expr in region_exprs:
+            if isinstance(expr, Index):
+                part = scope.get(expr.base)
+                if not isinstance(part, Partition):
+                    raise InterpError(f"{expr.base!r} is not a partition")
+                color = eval_index_expr(expr.index, "__none__", 0, scope)
+                region_args.append(part[int(color)])
+            elif isinstance(expr, Name):
+                target = scope.get(expr.ident)
+                if isinstance(target, Region):
+                    region_args.append(target.root_subregion())
+                else:
+                    raise InterpError(f"{expr.ident!r} is not a region")
+            else:
+                raise InterpError(f"bad region argument {expr!r}")
+        scalars = tuple(
+            eval_host_expr(e, "__none__", 0, scope) for e in scalar_exprs
+        )
+        self.runtime.execute_task(task, *region_args, args=scalars)
+
+    def _launch_index(self, node: IndexLaunchNode) -> None:
+        task = self._task_of(node.task)
+        lo = int(self._eval_scalar(node.lo))
+        hi = int(self._eval_scalar(node.hi))
+        if lo != 0:
+            # Normalize to [0, n) by shifting the loop variable: rebind via
+            # a wrapper environment offset.  Our Domain.range starts at 0.
+            raise InterpError("index launches currently require lo == 0")
+        domain = Domain.range(hi)
+        region_exprs, scalar_exprs = self._split_args(task, node.call)
+        reqs = []
+        for expr in region_exprs:
+            assert isinstance(expr, Index)
+            part = self.env.get(expr.base)
+            if not isinstance(part, Partition):
+                raise InterpError(f"{expr.base!r} is not a partition")
+            functor = expr_to_functor(expr.index, node.var, self.env)
+            reqs.append((part, functor))
+        # Scalars referencing the loop variable become per-point arguments.
+        static_scalars = []
+        point_exprs = []
+        from repro.compiler.ast import expr_names
+
+        for e in scalar_exprs:
+            if node.var in expr_names(e):
+                point_exprs.append(e)
+            else:
+                static_scalars.append(
+                    eval_host_expr(e, "__none__", 0, self.env)
+                )
+        point_args = None
+        if point_exprs:
+            env = self.env
+
+            def _point(p, exprs=tuple(point_exprs), var=node.var):
+                return tuple(
+                    eval_host_expr(e, var, p[0], env) for e in exprs
+                )
+
+            point_args = ArgumentMap(_point)
+        self.runtime.index_launch(
+            task, domain, *reqs, args=tuple(static_scalars),
+            point_args=point_args,
+        )
+
+
+def compile_and_run(
+    source: str,
+    bindings: Dict[str, Any],
+    runtime: Optional[Runtime] = None,
+    optimize: bool = True,
+) -> Tuple[Runtime, OptimizationReport, Dict[str, Any]]:
+    """Parse, optimize, and execute a mini-Regent program.
+
+    Args:
+        source: program text.
+        bindings: host objects (regions, partitions, scalars, functions).
+        runtime: runtime to execute on (a fresh default one if omitted).
+        optimize: apply the index-launch pass (False runs every loop
+            serially — useful for differential testing).
+
+    Returns ``(runtime, optimization report, final environment)``.
+    """
+    program = parse(source)
+    if optimize:
+        program, report = optimize_program(program)
+    else:
+        report = OptimizationReport()
+    interp = Interpreter(program, bindings, runtime)
+    env = interp.run()
+    return interp.runtime, report, env

@@ -1,0 +1,98 @@
+"""Tokenizer for the mini-Regent language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+__all__ = ["Token", "tokenize", "LexError", "KEYWORDS"]
+
+KEYWORDS = {
+    "task", "do", "end", "for", "var", "reads", "writes", "reduces",
+    "parallel",
+}
+
+_SYMBOLS = [
+    "==", "<=", ">=", "~=",
+    "(", ")", "[", "]", ",", ".", "=", "+", "-", "*", "/", "%", "<", ">",
+]
+
+
+class LexError(ValueError):
+    """Bad character or malformed literal, with line/column context."""
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme.
+
+    ``kind`` is "name", "number", "keyword", "symbol", or "eof".
+    """
+
+    kind: str
+    value: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r} @{self.line}:{self.col})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convert ``source`` to tokens, appending a final EOF token.
+
+    Comments run from ``--`` to end of line (Regent/Lua style).
+    """
+    tokens: List[Token] = []
+    line = 1
+    col = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if source.startswith("--", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch.isdigit():
+            start = i
+            start_col = col
+            while i < n and (source[i].isdigit() or source[i] == "."):
+                i += 1
+                col += 1
+            text = source[start:i]
+            if text.count(".") > 1:
+                raise LexError(f"bad number {text!r} at {line}:{start_col}")
+            tokens.append(Token("number", text, line, start_col))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            start_col = col
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+                col += 1
+            text = source[start:i]
+            kind = "keyword" if text in KEYWORDS else "name"
+            tokens.append(Token(kind, text, line, start_col))
+            continue
+        matched: Optional[str] = None
+        for sym in _SYMBOLS:
+            if source.startswith(sym, i):
+                matched = sym
+                break
+        if matched is None:
+            raise LexError(f"unexpected character {ch!r} at {line}:{col}")
+        tokens.append(Token("symbol", matched, line, col))
+        i += len(matched)
+        col += len(matched)
+    tokens.append(Token("eof", "", line, col))
+    return tokens

@@ -1,0 +1,253 @@
+"""The index-launch optimization pass (Section 4).
+
+Walks the program, finds candidate loops (:mod:`repro.compiler.dependence`),
+classifies each partition argument's index expression
+(:mod:`repro.compiler.functors`), and rewrites the loop:
+
+* every write-privileged argument statically injective (identity / affine
+  with nonzero stride) -> :class:`IndexLaunchNode` — the loop becomes an
+  index launch outright;
+* some argument statically *non-injective* (constant with a write) -> the
+  loop is left untouched (executing it as an index launch would race);
+* anything undecided -> :class:`DynamicCheckNode` — the Listing-3
+  transformation: a dynamic check selecting between the index launch and
+  the original task loop at runtime.
+
+Static *cross*-checks between arguments naming the same partition use the
+same small decision procedure as the runtime
+(:func:`repro.core.static_analysis.images_disjoint_static` semantics,
+restricted to what is visible syntactically): structurally identical
+expressions conflict; equal-stride affine pairs are compared by offset.
+
+The pass is purely structural — partition disjointness is a runtime
+property (in Regent it lives in the type system), so the emitted launches
+are re-validated by the runtime's hybrid analysis, which implements the
+same check-then-branch behaviour the generated AST of Listing 3 encodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.compiler.ast import (
+    CallStmt,
+    Expr,
+    ForLoop,
+    Index,
+    Program,
+    Stmt,
+    TaskDef,
+)
+from repro.compiler.dependence import loop_is_candidate
+from repro.compiler.functors import FunctorClass, classify_index_expr
+
+__all__ = [
+    "IndexLaunchNode",
+    "DynamicCheckNode",
+    "LoopDecision",
+    "OptimizationReport",
+    "DemandViolation",
+    "optimize_program",
+]
+
+
+class DemandViolation(ValueError):
+    """A ``parallel for`` loop could not be executed as an index launch.
+
+    Mirrors Regent's __demand(__index_launch) semantics: the annotation is
+    a contract, so an ineligible or statically-unsafe loop is a compile
+    error rather than a silent fallback."""
+
+
+@dataclass
+class IndexLaunchNode(Stmt):
+    """A loop proven transformable at compile time (modulo disjointness)."""
+
+    task: str
+    var: str
+    lo: Expr
+    hi: Expr
+    call: CallStmt
+    region_arg_classes: Dict[int, FunctorClass]  # call-arg position -> class
+
+    @property
+    def name(self) -> str:
+        return f"index_launch<{self.task}>"
+
+
+@dataclass
+class DynamicCheckNode(Stmt):
+    """Listing 3: a runtime check guarding launch-vs-loop selection."""
+
+    launch: IndexLaunchNode
+    fallback: ForLoop
+    undecided_args: List[int]  # call-arg positions needing the dynamic check
+
+
+@dataclass
+class LoopDecision:
+    """The pass's verdict for one source loop."""
+
+    action: str  # "index-launch" | "dynamic-check" | "unsafe" | "not-candidate"
+    reasons: List[str] = field(default_factory=list)
+
+
+@dataclass
+class OptimizationReport:
+    decisions: List[LoopDecision] = field(default_factory=list)
+
+    def count(self, action: str) -> int:
+        return sum(1 for d in self.decisions if d.action == action)
+
+
+def _writes(kind: str) -> bool:
+    return kind in ("writes", "reduces")
+
+
+def _privilege_kinds(task: TaskDef, param: str) -> List[str]:
+    return [c.kind for c in task.privileges if c.param == param]
+
+
+def _analyze_loop(
+    loop: ForLoop, tasks: Dict[str, TaskDef]
+) -> Tuple[Stmt, LoopDecision]:
+    report = loop_is_candidate(loop)
+    if not report.eligible:
+        return loop, LoopDecision("not-candidate", report.reasons)
+    call = report.call
+    task = tasks.get(call.fn)
+    if task is None:
+        return loop, LoopDecision(
+            "not-candidate", [f"call target {call.fn!r} is not a task"]
+        )
+
+    # Map call arguments to task parameters; region params must be p[expr].
+    if len(call.args) != len(task.params):
+        return loop, LoopDecision(
+            "not-candidate",
+            [f"{call.fn} takes {len(task.params)} args, got {len(call.args)}"],
+        )
+    region_positions = [
+        i for i, p in enumerate(task.params) if _privilege_kinds(task, p)
+    ]
+    for i in region_positions:
+        if not isinstance(call.args[i], Index):
+            return loop, LoopDecision(
+                "not-candidate",
+                [f"region argument {i} is not a partition selection p[expr]"],
+            )
+
+    decision = LoopDecision("index-launch")
+    classes: Dict[int, FunctorClass] = {}
+    undecided: List[int] = []
+
+    # --- self-checks
+    for i in region_positions:
+        param = task.params[i]
+        kinds = _privilege_kinds(task, param)
+        expr = call.args[i].index
+        cls, coeffs = classify_index_expr(expr, loop.var)
+        classes[i] = cls
+        wr = any(k == "writes" for k in kinds)
+        if not wr:
+            decision.reasons.append(
+                f"arg{i} ({param}): {'/'.join(kinds)} privilege, "
+                f"self-check passes"
+            )
+            continue
+        if cls in (FunctorClass.IDENTITY, FunctorClass.AFFINE):
+            decision.reasons.append(
+                f"arg{i} ({param}): statically injective ({cls.value})"
+            )
+        elif cls is FunctorClass.CONSTANT:
+            decision.reasons.append(
+                f"arg{i} ({param}): constant functor with write privilege — "
+                f"not injective, loop kept"
+            )
+            return loop, LoopDecision("unsafe", decision.reasons)
+        else:
+            decision.reasons.append(
+                f"arg{i} ({param}): undecided functor, dynamic check emitted"
+            )
+            undecided.append(i)
+
+    # --- static cross-checks: same partition name, conflicting privileges.
+    for ai_pos, i in enumerate(region_positions):
+        for j in region_positions[ai_pos + 1:]:
+            pi, pj = call.args[i], call.args[j]
+            if pi.base != pj.base:
+                continue
+            ki = _privilege_kinds(task, task.params[i])
+            kj = _privilege_kinds(task, task.params[j])
+            if not (any(_writes(k) for k in ki) or any(_writes(k) for k in kj)):
+                continue
+            ci, coi = classify_index_expr(pi.index, loop.var)
+            cj, coj = classify_index_expr(pj.index, loop.var)
+            if pi.index == pj.index:
+                decision.reasons.append(
+                    f"args {i},{j}: identical selections of {pi.base!r} with a "
+                    f"write — images overlap, loop kept"
+                )
+                return loop, LoopDecision("unsafe", decision.reasons)
+            if (
+                ci in (FunctorClass.IDENTITY, FunctorClass.AFFINE)
+                and cj in (FunctorClass.IDENTITY, FunctorClass.AFFINE)
+                and coi[0] == coj[0]
+                and coi[0] != 0
+                and (coi[1] - coj[1]) % abs(coi[0]) != 0
+            ):
+                decision.reasons.append(
+                    f"args {i},{j}: interleaved affine selections of "
+                    f"{pi.base!r}, statically disjoint"
+                )
+                continue
+            decision.reasons.append(
+                f"args {i},{j}: cross-check on {pi.base!r} undecided, "
+                f"dynamic check emitted"
+            )
+            for k in (i, j):
+                if k not in undecided:
+                    undecided.append(k)
+
+    launch = IndexLaunchNode(
+        task=call.fn,
+        var=loop.var,
+        lo=loop.lo,
+        hi=loop.hi,
+        call=call,
+        region_arg_classes=classes,
+    )
+    if undecided:
+        decision.action = "dynamic-check"
+        return (
+            DynamicCheckNode(launch=launch, fallback=loop,
+                             undecided_args=sorted(undecided)),
+            decision,
+        )
+    return launch, decision
+
+
+def optimize_program(program: Program) -> Tuple[Program, OptimizationReport]:
+    """Apply the index-launch pass to every top-level loop.
+
+    Returns a new :class:`Program` (task definitions unchanged) and the
+    per-loop report.
+    """
+    report = OptimizationReport()
+    new_body: List[Stmt] = []
+    for stmt in program.body:
+        if isinstance(stmt, ForLoop):
+            replacement, decision = _analyze_loop(stmt, program.tasks)
+            if stmt.demand_parallel and decision.action in (
+                "not-candidate", "unsafe"
+            ):
+                raise DemandViolation(
+                    f"'parallel for {stmt.var}' cannot be an index launch "
+                    f"({decision.action}): " + "; ".join(decision.reasons)
+                )
+            report.decisions.append(decision)
+            new_body.append(replacement)
+        else:
+            new_body.append(stmt)
+    return Program(tasks=program.tasks, body=new_body), report

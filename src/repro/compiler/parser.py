@@ -1,0 +1,277 @@
+"""Recursive-descent parser for the mini-Regent language.
+
+Grammar (informal)::
+
+    program    := (taskdef | stmt)*
+    taskdef    := "task" NAME "(" names ")" priv* "do" body "end"
+    priv       := ("reads" | "writes") "(" privargs ")"
+                | "reduces" OP "(" privargs ")"
+    privargs   := privarg ("," privarg)*
+    privarg    := NAME ("." NAME)?
+    stmt       := "var" NAME "=" expr
+                | NAME "=" expr
+                | NAME "." NAME "=" expr
+                | NAME "(" args ")"
+                | "for" NAME "=" expr "," expr "do" body "end"
+    args       := (arg ("," arg)*)?
+    arg        := expr                       -- includes p[expr]
+    expr       := cmp (("=="|"<="|">="|"<"|">"|"~=") cmp)?
+    cmp        := term (("+"|"-") term)*
+    term       := unary (("*"|"/"|"%") unary)*
+    unary      := "-" unary | atom
+    atom       := NUMBER | NAME | NAME "(" args ")" | NAME "[" expr "]"
+                | NAME "." NAME | "(" expr ")"
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.compiler.ast import (
+    Assign,
+    BinOp,
+    Call,
+    CallStmt,
+    Expr,
+    FieldAssign,
+    FieldRef,
+    ForLoop,
+    Index,
+    Name,
+    Number,
+    PrivClause,
+    Program,
+    Stmt,
+    TaskDef,
+    VarDecl,
+)
+from repro.compiler.lexer import Token, tokenize
+
+__all__ = ["parse", "ParseError"]
+
+_REDOPS = {"+", "*", "<", ">"}  # < and > spell min/max in our surface syntax
+_REDOP_NAMES = {"+": "+", "*": "*", "<": "min", ">": "max"}
+
+
+class ParseError(ValueError):
+    """Syntax error with token context."""
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------- plumbing
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        tok = self.peek()
+        if tok.kind != kind or (value is not None and tok.value != value):
+            want = value or kind
+            raise ParseError(
+                f"expected {want!r}, got {tok.value!r} at {tok.line}:{tok.col}"
+            )
+        return self.next()
+
+    def at(self, kind: str, value: Optional[str] = None) -> bool:
+        tok = self.peek()
+        return tok.kind == kind and (value is None or tok.value == value)
+
+    # ------------------------------------------------------------- program
+    def program(self) -> Program:
+        tasks = {}
+        body: List[Stmt] = []
+        while not self.at("eof"):
+            if self.at("keyword", "task"):
+                tdef = self.taskdef()
+                if tdef.name in tasks:
+                    raise ParseError(f"duplicate task {tdef.name!r}")
+                tasks[tdef.name] = tdef
+            else:
+                body.append(self.stmt())
+        return Program(tasks=tasks, body=body)
+
+    def taskdef(self) -> TaskDef:
+        self.expect("keyword", "task")
+        name = self.expect("name").value
+        self.expect("symbol", "(")
+        params: List[str] = []
+        if not self.at("symbol", ")"):
+            params.append(self.expect("name").value)
+            while self.at("symbol", ","):
+                self.next()
+                params.append(self.expect("name").value)
+        self.expect("symbol", ")")
+        privileges: List[PrivClause] = []
+        while self.at("keyword", "reads") or self.at("keyword", "writes") \
+                or self.at("keyword", "reduces"):
+            privileges.extend(self.privclause(params))
+        self.expect("keyword", "do")
+        body = self.body()
+        self.expect("keyword", "end")
+        return TaskDef(name=name, params=params, privileges=privileges, body=body)
+
+    def privclause(self, params: List[str]) -> List[PrivClause]:
+        kind = self.next().value
+        redop = None
+        if kind == "reduces":
+            tok = self.expect("symbol")
+            if tok.value not in _REDOPS:
+                raise ParseError(
+                    f"bad reduction operator {tok.value!r} at {tok.line}:{tok.col}"
+                )
+            redop = _REDOP_NAMES[tok.value]
+        self.expect("symbol", "(")
+        clauses: List[PrivClause] = []
+        while True:
+            pname = self.expect("name").value
+            if pname not in params:
+                raise ParseError(f"privilege names unknown parameter {pname!r}")
+            fields: Tuple[str, ...] = ()
+            if self.at("symbol", "."):
+                self.next()
+                fields = (self.expect("name").value,)
+            clauses.append(PrivClause(kind, redop, pname, fields))
+            if self.at("symbol", ","):
+                self.next()
+                continue
+            break
+        self.expect("symbol", ")")
+        return clauses
+
+    # ------------------------------------------------------------ statements
+    def body(self) -> List[Stmt]:
+        out: List[Stmt] = []
+        while not (self.at("keyword", "end") or self.at("eof")):
+            out.append(self.stmt())
+        return out
+
+    def stmt(self) -> Stmt:
+        if self.at("keyword", "var"):
+            self.next()
+            name = self.expect("name").value
+            self.expect("symbol", "=")
+            return VarDecl(name, self.expr())
+        demand = False
+        if self.at("keyword", "parallel"):
+            self.next()
+            demand = True
+            if not self.at("keyword", "for"):
+                tok = self.peek()
+                raise ParseError(
+                    f"'parallel' must precede 'for', got {tok.value!r} "
+                    f"at {tok.line}:{tok.col}"
+                )
+        if self.at("keyword", "for"):
+            self.next()
+            var = self.expect("name").value
+            self.expect("symbol", "=")
+            lo = self.expr()
+            self.expect("symbol", ",")
+            hi = self.expr()
+            self.expect("keyword", "do")
+            body = self.body()
+            self.expect("keyword", "end")
+            return ForLoop(var=var, lo=lo, hi=hi, body=body,
+                           demand_parallel=demand)
+        if self.at("name"):
+            name = self.next().value
+            if self.at("symbol", "("):
+                self.next()
+                args: List[Expr] = []
+                if not self.at("symbol", ")"):
+                    args.append(self.expr())
+                    while self.at("symbol", ","):
+                        self.next()
+                        args.append(self.expr())
+                self.expect("symbol", ")")
+                return CallStmt(fn=name, args=args)
+            if self.at("symbol", "."):
+                self.next()
+                fname = self.expect("name").value
+                self.expect("symbol", "=")
+                return FieldAssign(region=name, fname=fname, value=self.expr())
+            self.expect("symbol", "=")
+            return Assign(name, self.expr())
+        tok = self.peek()
+        raise ParseError(
+            f"unexpected {tok.value!r} at {tok.line}:{tok.col}"
+        )
+
+    # ----------------------------------------------------------- expressions
+    def expr(self) -> Expr:
+        left = self.additive()
+        if self.at("symbol") and self.peek().value in ("==", "<=", ">=", "<", ">", "~="):
+            op = self.next().value
+            right = self.additive()
+            return BinOp(op, left, right)
+        return left
+
+    def additive(self) -> Expr:
+        left = self.term()
+        while self.at("symbol") and self.peek().value in ("+", "-"):
+            op = self.next().value
+            left = BinOp(op, left, self.term())
+        return left
+
+    def term(self) -> Expr:
+        left = self.unary()
+        while self.at("symbol") and self.peek().value in ("*", "/", "%"):
+            op = self.next().value
+            left = BinOp(op, left, self.unary())
+        return left
+
+    def unary(self) -> Expr:
+        if self.at("symbol", "-"):
+            self.next()
+            return BinOp("-", Number(0), self.unary())
+        return self.atom()
+
+    def atom(self) -> Expr:
+        if self.at("number"):
+            text = self.next().value
+            value = float(text)
+            return Number(int(value) if value.is_integer() and "." not in text else value)
+        if self.at("symbol", "("):
+            self.next()
+            inner = self.expr()
+            self.expect("symbol", ")")
+            return inner
+        if self.at("name"):
+            name = self.next().value
+            if self.at("symbol", "("):
+                self.next()
+                args: List[Expr] = []
+                if not self.at("symbol", ")"):
+                    args.append(self.expr())
+                    while self.at("symbol", ","):
+                        self.next()
+                        args.append(self.expr())
+                self.expect("symbol", ")")
+                return Call(fn=name, args=tuple(args))
+            if self.at("symbol", "["):
+                self.next()
+                idx = self.expr()
+                self.expect("symbol", "]")
+                return Index(base=name, index=idx)
+            if self.at("symbol", ".") and self.tokens[self.pos + 1].kind == "name" \
+                    and not (self.tokens[self.pos + 2].kind == "symbol"
+                             and self.tokens[self.pos + 2].value == "="):
+                self.next()
+                fname = self.expect("name").value
+                return FieldRef(region=name, fname=fname)
+            return Name(name)
+        tok = self.peek()
+        raise ParseError(f"unexpected {tok.value!r} at {tok.line}:{tok.col}")
+
+
+def parse(source: str) -> Program:
+    """Parse mini-Regent source into a :class:`Program`."""
+    return _Parser(tokenize(source)).program()

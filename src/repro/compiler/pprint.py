@@ -1,0 +1,119 @@
+"""Pretty-printer: render mini-Regent ASTs back to source.
+
+``unparse(program)`` produces text that parses back to an equal AST (the
+round-trip property is fuzz-tested), which makes compiler diagnostics and
+the optimization pass's before/after output human-readable.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.compiler.ast import (
+    Assign,
+    BinOp,
+    Call,
+    CallStmt,
+    Expr,
+    FieldAssign,
+    FieldRef,
+    ForLoop,
+    Index,
+    Name,
+    Number,
+    PrivClause,
+    Program,
+    Stmt,
+    TaskDef,
+    VarDecl,
+)
+
+__all__ = ["unparse", "unparse_expr", "unparse_stmt"]
+
+# Higher binds tighter; mirrors the parser's precedence levels.
+_PRECEDENCE = {
+    "==": 1, "<=": 1, ">=": 1, "<": 1, ">": 1, "~=": 1,
+    "+": 2, "-": 2,
+    "*": 3, "/": 3, "%": 3,
+}
+
+_REDOP_SYMBOLS = {"+": "+", "*": "*", "min": "<", "max": ">"}
+
+
+def unparse_expr(expr: Expr, parent_prec: int = 0) -> str:
+    """Render an expression, parenthesizing only where precedence demands."""
+    if isinstance(expr, Number):
+        value = expr.value
+        if isinstance(value, float) and value.is_integer():
+            return f"{value:.1f}"
+        return str(value)
+    if isinstance(expr, Name):
+        return expr.ident
+    if isinstance(expr, FieldRef):
+        return f"{expr.region}.{expr.fname}"
+    if isinstance(expr, Index):
+        return f"{expr.base}[{unparse_expr(expr.index)}]"
+    if isinstance(expr, Call):
+        args = ", ".join(unparse_expr(a) for a in expr.args)
+        return f"{expr.fn}({args})"
+    if isinstance(expr, BinOp):
+        prec = _PRECEDENCE[expr.op]
+        left = unparse_expr(expr.left, prec)
+        # Right operand needs parens at equal precedence (left associativity).
+        right = unparse_expr(expr.right, prec + 1)
+        text = f"{left} {expr.op} {right}"
+        if prec < parent_prec:
+            return f"({text})"
+        return text
+    raise TypeError(f"cannot unparse {expr!r}")
+
+
+def unparse_stmt(stmt: Stmt, indent: int = 0) -> str:
+    pad = "  " * indent
+    if isinstance(stmt, VarDecl):
+        return f"{pad}var {stmt.name} = {unparse_expr(stmt.value)}"
+    if isinstance(stmt, Assign):
+        return f"{pad}{stmt.name} = {unparse_expr(stmt.value)}"
+    if isinstance(stmt, FieldAssign):
+        return f"{pad}{stmt.region}.{stmt.fname} = {unparse_expr(stmt.value)}"
+    if isinstance(stmt, CallStmt):
+        args = ", ".join(unparse_expr(a) for a in stmt.args)
+        return f"{pad}{stmt.fn}({args})"
+    if isinstance(stmt, ForLoop):
+        head = "parallel for" if stmt.demand_parallel else "for"
+        lines = [
+            f"{pad}{head} {stmt.var} = {unparse_expr(stmt.lo)}, "
+            f"{unparse_expr(stmt.hi)} do"
+        ]
+        for inner in stmt.body:
+            lines.append(unparse_stmt(inner, indent + 1))
+        lines.append(f"{pad}end")
+        return "\n".join(lines)
+    raise TypeError(f"cannot unparse statement {stmt!r}")
+
+
+def _unparse_priv(clause: PrivClause) -> str:
+    target = clause.param
+    if clause.fields:
+        target = ", ".join(f"{clause.param}.{f}" for f in clause.fields)
+    if clause.kind == "reduces":
+        return f"reduces {_REDOP_SYMBOLS[clause.redop]}({target})"
+    return f"{clause.kind}({target})"
+
+
+def unparse(program: Program) -> str:
+    """Render a whole program (tasks first, then the top-level body)."""
+    chunks: List[str] = []
+    for tdef in program.tasks.values():
+        privs = " ".join(_unparse_priv(c) for c in tdef.privileges)
+        header = f"task {tdef.name}({', '.join(tdef.params)})"
+        if privs:
+            header += f" {privs}"
+        lines = [header + " do"]
+        for stmt in tdef.body:
+            lines.append(unparse_stmt(stmt, 1))
+        lines.append("end")
+        chunks.append("\n".join(lines))
+    for stmt in program.body:
+        chunks.append(unparse_stmt(stmt))
+    return "\n\n".join(chunks) + "\n"

@@ -1,0 +1,60 @@
+"""Core abstractions for index launches.
+
+This subpackage implements the paper's primary contribution: the O(1)
+representation of a group of parallel tasks (:class:`~repro.core.launch.IndexLaunch`),
+projection functors, and the hybrid static/dynamic safety analysis.
+"""
+
+from repro.core.domain import Point, Rect, Domain
+from repro.core.projection import (
+    ProjectionFunctor,
+    IdentityFunctor,
+    ConstantFunctor,
+    AffineFunctor,
+    ModularFunctor,
+    QuadraticFunctor,
+    CallableFunctor,
+    ComposedFunctor,
+    AffineNDFunctor,
+    PlaneProjectionFunctor,
+    Injectivity,
+)
+from repro.core.static_analysis import StaticVerdict, classify_functor, analyze_static
+from repro.core.checks import (
+    CheckResult,
+    dynamic_self_check,
+    dynamic_cross_check,
+    self_check_reference,
+)
+from repro.core.safety import SafetyMethod, SafetyVerdict, analyze_launch_safety
+from repro.core.launch import RegionRequirement, IndexLaunch, TaskLaunch
+
+__all__ = [
+    "Point",
+    "Rect",
+    "Domain",
+    "ProjectionFunctor",
+    "IdentityFunctor",
+    "ConstantFunctor",
+    "AffineFunctor",
+    "ModularFunctor",
+    "QuadraticFunctor",
+    "CallableFunctor",
+    "ComposedFunctor",
+    "AffineNDFunctor",
+    "PlaneProjectionFunctor",
+    "Injectivity",
+    "StaticVerdict",
+    "classify_functor",
+    "analyze_static",
+    "CheckResult",
+    "dynamic_self_check",
+    "dynamic_cross_check",
+    "self_check_reference",
+    "SafetyMethod",
+    "SafetyVerdict",
+    "analyze_launch_safety",
+    "RegionRequirement",
+    "IndexLaunch",
+    "TaskLaunch",
+]

@@ -1,0 +1,111 @@
+"""Static projection-functor analysis (the compile-time half of the hybrid design).
+
+The paper's static analyzer recognizes "trivial projection functors like
+constant (not injective), identity (injective), or the slightly more general
+affine case (injective, iff it does not degenerate to a constant)".  The
+strength of the analysis is deliberately modest: anything it cannot decide is
+handed to the precise dynamic check (Section 4), so completeness here buys
+only performance, never correctness.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.domain import Domain
+from repro.core.projection import (
+    AffineFunctor,
+    AffineNDFunctor,
+    ConstantFunctor,
+    IdentityFunctor,
+    Injectivity,
+    ModularFunctor,
+    ProjectionFunctor,
+    QuadraticFunctor,
+)
+
+__all__ = ["StaticVerdict", "classify_functor", "analyze_static", "images_disjoint_static"]
+
+
+class StaticVerdict(enum.Enum):
+    """What the static analysis concluded for one requirement."""
+
+    SAFE = "safe"                   # proven injective (or read-only) at compile time
+    UNSAFE = "unsafe"               # proven non-injective: reject without any check
+    NEEDS_DYNAMIC = "needs-dynamic" # undecided: emit the Listing-3 dynamic check
+
+
+def classify_functor(functor: ProjectionFunctor) -> str:
+    """A coarse syntactic class label, mirroring Table 2's functor families."""
+    if isinstance(functor, IdentityFunctor):
+        return "identity"
+    if isinstance(functor, ConstantFunctor):
+        return "constant"
+    if isinstance(functor, AffineFunctor):
+        return "affine"
+    if isinstance(functor, AffineNDFunctor):
+        return "affine-nd"
+    if isinstance(functor, ModularFunctor):
+        return "modular"
+    if isinstance(functor, QuadraticFunctor):
+        return "quadratic"
+    return "opaque"
+
+
+def analyze_static(domain: Domain, functor: ProjectionFunctor) -> StaticVerdict:
+    """Decide injectivity of ``functor`` over ``domain`` at compile time.
+
+    Returns SAFE / UNSAFE when the functor's own static reasoning is
+    conclusive, NEEDS_DYNAMIC otherwise.
+    """
+    verdict = functor.static_injectivity(domain)
+    if verdict is Injectivity.INJECTIVE:
+        return StaticVerdict.SAFE
+    if verdict is Injectivity.NOT_INJECTIVE:
+        return StaticVerdict.UNSAFE
+    return StaticVerdict.NEEDS_DYNAMIC
+
+
+def images_disjoint_static(
+    domain: Domain, f: ProjectionFunctor, g: ProjectionFunctor
+) -> Optional[bool]:
+    """Try to decide statically whether two functors' images over ``domain``
+    are disjoint (the cross-check of Section 3).
+
+    Returns True/False when decidable, None when the dynamic cross-check is
+    required.  Decidable cases kept intentionally small, as in the paper:
+
+    * structurally equal functors have identical (non-disjoint) images;
+    * distinct constants have disjoint single-point images;
+    * two 1-D affine maps with equal stride ``a`` over a dense 1-D domain:
+      disjoint iff the offsets differ by a non-multiple of ``a`` (e.g. ``2i``
+      vs ``2i+1``), or by a multiple larger than the domain extent (e.g.
+      ``i`` vs ``i+8`` over ``[0,8)``).
+    """
+    if domain.volume == 0:
+        return True
+    try:
+        if f == g:
+            return False  # identical images over a non-empty domain
+    except Exception:
+        pass
+    if isinstance(f, ConstantFunctor) and isinstance(g, ConstantFunctor):
+        return f.value != g.value
+    # Identity is Affine(1, 0) for this purpose.
+    fa = AffineFunctor(1, 0) if isinstance(f, IdentityFunctor) else f
+    ga = AffineFunctor(1, 0) if isinstance(g, IdentityFunctor) else g
+    if isinstance(fa, AffineFunctor) and isinstance(ga, AffineFunctor):
+        if fa.a == ga.a and fa.a != 0:
+            a = fa.a
+            if (fa.b - ga.b) % abs(a) != 0:
+                return True  # distinct residue classes never meet
+            if domain.dense and domain.dim == 1:
+                # a*x + b1 == a*y + b2 has a solution with x, y in [lo, hi]
+                # iff |(b2 - b1) / a| <= hi - lo.
+                delta = (ga.b - fa.b) // a
+                extent = domain.bounds.hi[0] - domain.bounds.lo[0]
+                return abs(delta) > extent
+            return None  # sparse domain: leave it to the dynamic check
+    return None

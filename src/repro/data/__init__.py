@@ -1,0 +1,36 @@
+"""Data model: collections (regions), partitions, and privileges (Section 2).
+
+Collections are numpy-backed, field-structured stores of objects indexed by
+N-D points.  Partitions name subsets of a collection's index space and may
+be disjoint or aliased; subregions are *views* onto the same underlying
+data, so multiple partitions of one collection see each other's writes.
+"""
+
+from repro.data.privileges import Privilege, ReductionOp, REDUCTION_OPS
+from repro.data.fields import FieldSpace
+from repro.data.collection import Region, Subregion
+from repro.data.partition import (
+    Partition,
+    equal_partition,
+    block_partition,
+    explicit_partition,
+    partition_by_field,
+    image_partition,
+    preimage_partition,
+)
+
+__all__ = [
+    "Privilege",
+    "ReductionOp",
+    "REDUCTION_OPS",
+    "FieldSpace",
+    "Region",
+    "Subregion",
+    "Partition",
+    "equal_partition",
+    "block_partition",
+    "explicit_partition",
+    "partition_by_field",
+    "image_partition",
+    "preimage_partition",
+]

@@ -1,0 +1,66 @@
+"""Field spaces: the named, typed fields stored at each point of a region.
+
+A stencil region might have fields ``pressure`` and ``velocity``; a circuit
+wire region has ``current``, ``resistance``, endpoints, and so on.  Fields
+are stored as separate numpy arrays (struct-of-arrays), which matches both
+Legion's layout flexibility and the vectorization idioms this codebase uses
+throughout.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Tuple, Union
+
+import numpy as np
+
+__all__ = ["FieldSpace"]
+
+DTypeLike = Union[str, np.dtype, type]
+
+
+class FieldSpace:
+    """An ordered mapping of field name to numpy dtype."""
+
+    __slots__ = ("_fields",)
+
+    def __init__(self, fields: Mapping[str, DTypeLike]):
+        if not fields:
+            raise ValueError("FieldSpace requires at least one field")
+        self._fields: Dict[str, np.dtype] = {}
+        for name, dtype in fields.items():
+            if not isinstance(name, str) or not name.isidentifier():
+                raise ValueError(f"field name must be an identifier, got {name!r}")
+            self._fields[name] = np.dtype(dtype)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._fields
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._fields)
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    def dtype(self, name: str) -> np.dtype:
+        """The dtype of field ``name``."""
+        return self._fields[name]
+
+    def items(self) -> Iterator[Tuple[str, np.dtype]]:
+        return iter(self._fields.items())
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._fields)
+
+    def bytes_per_point(self) -> int:
+        """Total storage per index-space point across all fields."""
+        return sum(dt.itemsize for dt in self._fields.values())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FieldSpace):
+            return NotImplemented
+        return self._fields == other._fields
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{n}: {d}" for n, d in self._fields.items())
+        return f"FieldSpace({{{inner}}})"

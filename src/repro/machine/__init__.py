@@ -1,0 +1,32 @@
+"""Simulated distributed machine (the Piz Daint stand-in).
+
+The scaling experiments of Section 6 ran on up to 1024 XC50 nodes; here the
+same runtime pipeline is replayed against a deterministic machine model: a
+cluster of nodes, each with a control (runtime) processor, a GPU, and NIC
+resources, connected by a latency+bandwidth network.  Per-stage costs come
+from a calibrated :class:`~repro.machine.costmodel.CostModel`; activity
+graphs are scheduled with a deterministic list scheduler
+(:class:`~repro.machine.simulator.MachineSimulator`), and throughput is read
+off the critical path.
+
+Absolute times are not comparable to the paper's hardware; the *shapes* —
+which configuration wins, where weak scaling rolls off, how overheads grow
+with node count — follow from the same asymptotics the paper derives.
+"""
+
+from repro.machine.costmodel import CostModel
+from repro.machine.simulator import Activity, MachineSimulator, Resource
+from repro.machine.workload import LaunchSpec, IterationSpec
+from repro.machine.perf import SimConfig, simulate_iteration, simulate_steady_state
+
+__all__ = [
+    "CostModel",
+    "Activity",
+    "MachineSimulator",
+    "Resource",
+    "LaunchSpec",
+    "IterationSpec",
+    "SimConfig",
+    "simulate_iteration",
+    "simulate_steady_state",
+]

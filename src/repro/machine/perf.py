@@ -1,0 +1,289 @@
+"""Lowering application iterations to activity graphs per configuration.
+
+This module encodes how each {DCR, No DCR} x {IDX, No IDX} configuration
+pays for the four pipeline stages (Section 5), matching the complexity
+claims of the paper:
+
+* **DCR, IDX** — every node issues the O(1) launch, does whole-partition
+  logical analysis, evaluates the sharding functor for its O(|D|_local)
+  points, and performs distributed physical analysis in
+  O(|D|_local log |P|).  No communication on the control path.
+* **DCR, No IDX** — the replicated control program enumerates *all* |D|
+  tasks on *every* node: per-node control cost O(|D|) per launch, which is
+  what bends the No-IDX weak-scaling curves downward.
+* **No DCR, IDX** (tracing off) — node 0 issues O(1), whole-partition
+  logical analysis, then scatters fixed-size slices down a broadcast tree
+  of depth O(log |D|); destinations expand and analyze locally.
+* **No DCR, IDX** (tracing on) — Legion's tracing works at individual-task
+  granularity and forces expansion *before* distribution (Section 6.2.1):
+  node 0 degrades to per-task processing plus a per-task expansion cost,
+  landing slightly *below* plain No-IDX — the Figure 5 interference.
+* **No DCR, No IDX** — node 0 issues, analyzes, and sends every task
+  point-to-point: O(|D|) on one node's control and NIC.
+
+Tracing (when on) amortizes logical/physical analysis to a small per-task
+replay cost after the first iteration; the simulation runs several
+iterations so the steady-state rate emerges from resource saturation —
+control runs ahead of compute exactly as in Legion's deferred-execution
+model, so iteration time is governed by the *slower* of the control path
+and the compute path, not their sum.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.machine.costmodel import CostModel
+from repro.machine.simulator import MachineSimulator
+from repro.machine.workload import IterationSpec, LaunchSpec
+
+__all__ = ["SimConfig", "simulate_iteration", "simulate_steady_state"]
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """The evaluation's configuration axes for a simulated run.
+
+    ``runahead_iters`` bounds how far the control path may run ahead of
+    compute, mirroring Legion's bounded out-of-order window (unbounded
+    run-ahead would hide *any* analysis cost behind compute, which neither
+    Legion nor the paper's measurements exhibit).  The default of 1 means an
+    iteration's analysis overlaps the previous iteration's execution."""
+
+    n_nodes: int
+    dcr: bool = True
+    idx: bool = True
+    tracing: bool = True
+    bulk_tracing: bool = False
+    checks: bool = True
+    runahead_iters: int = 1
+
+    @property
+    def label(self) -> str:
+        return f"{'DCR' if self.dcr else 'No DCR'}, {'IDX' if self.idx else 'No IDX'}"
+
+
+def _check_time(cost: CostModel, spec: LaunchSpec, cfg: SimConfig) -> float:
+    """Dynamic projection-functor check cost for one launch issuance."""
+    if not (cfg.idx and cfg.checks and spec.needs_dynamic_check):
+        return 0.0
+    return cost.dynamic_check_time(spec.n_tasks, spec.check_args, spec.colors)
+
+
+def _control_time_dcr_idx(
+    cost: CostModel, spec: LaunchSpec, local: int, replay: bool
+) -> float:
+    t = cost.t_issue_launch
+    t += cost.t_logical_launch_arg * spec.n_args
+    t += cost.t_shard_point * local
+    if replay:
+        t += cost.t_trace_replay_task * local
+    else:
+        t += cost.physical_task_time(spec.colors) * local
+        t += cost.t_trace_record_task * local
+    return t
+
+
+def _control_time_dcr_noidx(
+    cost: CostModel, spec: LaunchSpec, local: int, replay: bool
+) -> float:
+    # The replicated control program touches every task on every node.
+    if replay:
+        t = spec.n_tasks * (cost.t_issue_task + cost.t_trace_replay_task)
+    else:
+        t = spec.n_tasks * (
+            cost.t_issue_task + cost.t_logical_task + cost.t_trace_record_task
+        )
+        t += cost.physical_task_time(spec.colors) * local
+    return t
+
+
+def simulate_iteration(
+    iteration: IterationSpec,
+    cfg: SimConfig,
+    cost: Optional[CostModel] = None,
+    n_iterations: int = 4,
+) -> float:
+    """Simulate ``n_iterations`` repetitions; return steady-state sec/iter.
+
+    The first iteration runs untraced (recording when tracing is enabled);
+    later iterations replay.  The reported rate is the spacing between the
+    completion of consecutive warmed-up iterations, capturing the overlap of
+    control and compute.
+    """
+    cost = cost or CostModel()
+    n = cfg.n_nodes
+    sim = MachineSimulator(n)
+
+    # Per-node rolling state across launches/iterations:
+    last_gpu: Dict[int, int] = {}      # node -> last compute activity id
+    last_comm: Dict[int, int] = {}     # node -> last halo send activity id
+    prev_gpu_barrier: Optional[int] = None   # previous launch's completion
+    prev_launch_nodes: set = set()           # nodes the previous launch used
+    iter_final_ids: List[int] = []
+
+    for it in range(n_iterations):
+        replay = cfg.tracing and it > 0
+        # Bounded run-ahead: this iteration's analysis may not start before
+        # iteration (it - runahead_iters) has fully completed.
+        gate: Tuple[int, ...] = ()
+        if cfg.runahead_iters >= 1 and it >= cfg.runahead_iters:
+            gate = (iter_final_ids[it - cfg.runahead_iters],)
+        iter_ids: List[int] = []
+        for spec in iteration.launches:
+            local_map = spec.local_tasks(n)
+            check = _check_time(cost, spec, cfg)
+            control_ids: Dict[int, int] = {}
+
+            if cfg.dcr:
+                issuers = range(n)
+                for node in issuers:
+                    local = local_map.get(node, 0)
+                    if cfg.idx:
+                        dur = check + _control_time_dcr_idx(cost, spec, local, replay)
+                    else:
+                        dur = _control_time_dcr_noidx(cost, spec, local, replay)
+                    control_ids[node] = sim.add(
+                        node, "control", dur, deps=gate, label=f"ctl:{spec.name}"
+                    )
+            else:
+                if cfg.idx and (not cfg.tracing or cfg.bulk_tracing):
+                    # Broadcast-tree distribution of O(1) slices.
+                    t0 = (
+                        cost.t_issue_launch
+                        + check
+                        + cost.t_logical_launch_arg * spec.n_args
+                        + 2 * cost.t_slice_process
+                    )
+                    root = sim.add(0, "control", t0, deps=gate,
+                                   label=f"ctl0:{spec.name}")
+                    depth = math.ceil(math.log2(n)) if n > 1 else 0
+                    hop = cost.net_latency + cost.t_slice_process
+                    for node, local in local_map.items():
+                        arrive = depth * hop if node != 0 else 0.0
+                        if cfg.bulk_tracing and replay:
+                            per_task = cost.t_trace_replay_task
+                        else:
+                            per_task = (
+                                cost.t_idx_expand_task
+                                + cost.physical_task_time(spec.colors)
+                            )
+                        dur = arrive + local * per_task
+                        control_ids[node] = sim.add(
+                            node, "control", dur, deps=(root,),
+                            label=f"ctl:{spec.name}",
+                        )
+                else:
+                    # Centralized per-task processing on node 0 — either
+                    # plain No-IDX, or IDX degraded by tracing's
+                    # pre-distribution expansion (Section 6.2.1).
+                    per_task = (
+                        cost.t_trace_replay_task if replay else
+                        cost.t_logical_task + cost.t_trace_record_task
+                        if cfg.tracing else cost.t_logical_task
+                    )
+                    d = spec.n_tasks
+                    t0 = d * (cost.t_issue_task + per_task)
+                    if cfg.idx:
+                        # One bulk issuance instead of |D| calls, but a
+                        # per-task expansion before tracing/distribution.
+                        t0 += cost.t_issue_launch + check
+                        t0 += d * cost.t_idx_expand_task
+                        t0 -= d * cost.t_issue_task
+                    root = sim.add(0, "control", t0, deps=gate,
+                                   label=f"ctl0:{spec.name}")
+                    remote_tasks = sum(
+                        c for node, c in local_map.items() if node != 0
+                    )
+                    send = sim.add(
+                        0,
+                        "nic_out",
+                        remote_tasks
+                        * (cost.t_single_send + cost.net_latency),
+                        deps=(root,),
+                        label=f"send:{spec.name}",
+                    )
+                    for node, local in local_map.items():
+                        dep = (send,) if node != 0 else (root,)
+                        dur = local * (
+                            cost.t_trace_replay_task
+                            if replay
+                            else cost.physical_task_time(spec.colors)
+                        )
+                        control_ids[node] = sim.add(
+                            node, "control", dur, deps=dep,
+                            label=f"ctl:{spec.name}",
+                        )
+
+            # ----- compute + halo exchange
+            launch_gpu_ids: List[int] = []
+            for node, local in local_map.items():
+                gpu_slots = max(cost.gpus_per_node, 1)
+                compute = math.ceil(local / gpu_slots) * spec.task_seconds
+                deps = [control_ids[node]]
+                if spec.depends_on_previous:
+                    if node in prev_launch_nodes and node in last_gpu:
+                        # Same-node producer: stay pipelined.
+                        deps.append(last_gpu[node])
+                    elif prev_gpu_barrier is not None:
+                        # The producer ran elsewhere (e.g. the upstream DOM
+                        # wavefront): wait for the previous launch.
+                        deps.append(prev_gpu_barrier)
+                    # Consume the previous launch's halo data from neighbours.
+                    for nb in (node - 1, node + 1):
+                        if nb in last_comm:
+                            deps.append(last_comm[nb])
+                gid = sim.add(node, "gpu", compute, deps=deps,
+                              label=f"gpu:{spec.name}")
+                last_gpu[node] = gid
+                launch_gpu_ids.append(gid)
+                iter_ids.append(gid)
+            if launch_gpu_ids:
+                prev_gpu_barrier = sim.barrier(launch_gpu_ids)
+                prev_launch_nodes = set(local_map)
+            if spec.comm_bytes_per_task > 0 and n > 1:
+                new_comm: Dict[int, int] = {}
+                for node, local in local_map.items():
+                    nbytes = spec.comm_bytes_per_task * local
+                    dur = (
+                        spec.comm_neighbors * cost.message_time(nbytes)
+                        + cost.contention_time(n, nbytes)
+                    )
+                    cid = sim.add(
+                        node, "nic_out", dur, deps=(last_gpu[node],),
+                        label=f"halo:{spec.name}",
+                    )
+                    new_comm[node] = cid
+                    iter_ids.append(cid)
+                last_comm = new_comm
+
+        end = sim.barrier(iter_ids) if iter_ids else sim.add(0, "control", 0.0)
+        iter_final_ids.append(end)
+
+    sim.run()
+    finishes = [sim.finish_time(a) for a in iter_final_ids]
+    if n_iterations >= 3:
+        # Steady state: spacing of the last iterations (first is warm-up).
+        return finishes[-1] - finishes[-2]
+    return finishes[-1] / n_iterations
+
+
+def simulate_steady_state(
+    iteration: IterationSpec,
+    cfg: SimConfig,
+    cost: Optional[CostModel] = None,
+) -> Dict[str, float]:
+    """Simulate and report throughput metrics for one configuration.
+
+    Returns a dict with ``sec_per_iter``, ``throughput`` (work units/s),
+    and ``throughput_per_node``.
+    """
+    sec = simulate_iteration(iteration, cfg, cost)
+    thr = iteration.work_units / sec if sec > 0 else float("inf")
+    return {
+        "sec_per_iter": sec,
+        "throughput": thr,
+        "throughput_per_node": thr / cfg.n_nodes,
+    }

@@ -1,0 +1,87 @@
+"""Abstract workload descriptions consumed by the performance model.
+
+An application iteration is a sequence of :class:`LaunchSpec` records — one
+per forall in the main loop — each describing the launch's degree of
+parallelism, per-task compute time, argument count, and communication.  The
+app modules (:mod:`repro.apps`) generate these from problem sizes; the
+performance model (:mod:`repro.machine.perf`) lowers them to activity
+graphs under a given {DCR, IDX, tracing, checks} configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["LaunchSpec", "IterationSpec"]
+
+
+@dataclass(frozen=True)
+class LaunchSpec:
+    """One forall of an application's time step.
+
+    Attributes:
+        name: label (diagnostics).
+        n_tasks: |D|, the launch's degree of parallelism.
+        task_seconds: GPU compute time of one task instance.
+        n_args: number of region requirements (drives analysis costs).
+        partition_size: |P| (defaults to ``n_tasks``).
+        needs_dynamic_check: True when the static analysis cannot verify
+            the launch's projection functors (the DOM case) — the hybrid
+            analysis then pays the Listing-3 check cost when checks are on.
+        check_args: how many arguments participate in the dynamic check.
+        comm_bytes_per_task: bytes exchanged with each neighbour after the
+            launch completes (halo/ghost traffic).
+        comm_neighbors: neighbours per node exchanging that data.
+        node_assignment: optional explicit map node -> number of local
+            tasks.  Default: block distribution of ``n_tasks`` over nodes.
+        depends_on_previous: index-launch-level dataflow — this launch's
+            tasks consume the previous launch's output (the common case in
+            a time step); False lets launches overlap (e.g. independent
+            physics modules).
+    """
+
+    name: str
+    n_tasks: int
+    task_seconds: float
+    n_args: int = 2
+    partition_size: Optional[int] = None
+    needs_dynamic_check: bool = False
+    check_args: int = 1
+    comm_bytes_per_task: float = 0.0
+    comm_neighbors: int = 0
+    node_assignment: Optional[Tuple[Tuple[int, int], ...]] = None
+    depends_on_previous: bool = True
+
+    @property
+    def colors(self) -> int:
+        return self.partition_size if self.partition_size is not None else self.n_tasks
+
+    def local_tasks(self, n_nodes: int) -> Dict[int, int]:
+        """Tasks per node under the (default block) distribution."""
+        if self.node_assignment is not None:
+            return {node: count for node, count in self.node_assignment if count > 0}
+        out: Dict[int, int] = {}
+        base, extra = divmod(self.n_tasks, n_nodes)
+        for node in range(n_nodes):
+            count = base + (1 if node < extra else 0)
+            if count:
+                out[node] = count
+        return out
+
+
+@dataclass
+class IterationSpec:
+    """One application time step: an ordered list of launches plus metadata.
+
+    ``work_units`` is the figure's throughput numerator for one iteration
+    (wires for Circuit, cells for Stencil, 1 for Soleil's iter/s).
+    """
+
+    launches: List[LaunchSpec]
+    work_units: float
+    name: str = "iteration"
+
+    @property
+    def total_tasks(self) -> int:
+        return sum(l.n_tasks for l in self.launches)

@@ -1,0 +1,35 @@
+"""A Legion-like task runtime (Section 5).
+
+Implements the four pipeline stages the paper describes — task issuance,
+logical analysis, distribution, and physical analysis — with both execution
+modes: dynamic control replication (DCR) and the original centralized mode.
+Index launches flow through the pipeline as O(1) objects and are expanded
+only after distribution; the No-IDX configurations expand them eagerly at
+issuance, reproducing the paper's ablation.
+"""
+
+from repro.runtime.task import (
+    Task,
+    TaskContext,
+    PhysicalRegion,
+    PrivilegeError,
+    task,
+)
+from repro.runtime.mapper import Mapper, DefaultMapper, CyclicMapper
+from repro.runtime.runtime import Runtime, RuntimeConfig
+from repro.runtime.futures import Future, FutureMap
+
+__all__ = [
+    "Task",
+    "TaskContext",
+    "PhysicalRegion",
+    "PrivilegeError",
+    "task",
+    "Mapper",
+    "DefaultMapper",
+    "CyclicMapper",
+    "Runtime",
+    "RuntimeConfig",
+    "Future",
+    "FutureMap",
+]

@@ -1,0 +1,84 @@
+"""Futures: deferred task return values.
+
+In the functional backend execution is synchronous, so futures are filled
+boxes — but the API matches deferred-execution semantics so programs written
+against it would behave identically under an asynchronous executor.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.core.domain import Point
+from repro.data.privileges import REDUCTION_OPS
+
+__all__ = ["Future", "FutureMap"]
+
+
+class Future:
+    """The eventual return value of a single task."""
+
+    __slots__ = ("_value", "_filled")
+
+    def __init__(self):
+        self._value = None
+        self._filled = False
+
+    def set(self, value: Any) -> None:
+        if self._filled:
+            raise RuntimeError("future already filled")
+        self._value = value
+        self._filled = True
+
+    def get(self) -> Any:
+        """Block (trivially) until the value is available and return it."""
+        if not self._filled:
+            raise RuntimeError("future not yet filled")
+        return self._value
+
+    @property
+    def done(self) -> bool:
+        return self._filled
+
+    def __repr__(self) -> str:
+        return f"Future({self._value!r})" if self._filled else "Future(<pending>)"
+
+
+class FutureMap:
+    """Per-point return values of an index launch.
+
+    ``reduce(op_name)`` folds every point's value with a commutative
+    operator, matching Legion's future-map reductions (used e.g. for
+    residual norms in iterative solvers).
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self):
+        self._values: Dict[Point, Any] = {}
+
+    def set(self, point: Point, value: Any) -> None:
+        if point in self._values:
+            raise RuntimeError(f"future map already holds a value for {point}")
+        self._values[point] = value
+
+    def get(self, point) -> Any:
+        from repro.core.domain import coerce_point
+
+        return self._values[coerce_point(point)]
+
+    def reduce(self, op_name: str) -> Any:
+        """Fold all point values with the named reduction operator."""
+        if op_name not in REDUCTION_OPS:
+            raise ValueError(f"unknown reduction {op_name!r}")
+        op = REDUCTION_OPS[op_name]
+        acc = None
+        for value in self._values.values():
+            acc = value if acc is None else op.apply(acc, value)
+        return acc
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:
+        return f"FutureMap(<{len(self._values)} points>)"

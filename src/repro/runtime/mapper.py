@@ -1,0 +1,123 @@
+"""Mappers: user-controlled performance decisions (Section 5).
+
+"Distribution in Legion is entirely under the control of the end user" —
+mappers choose which node runs each task.  Under DCR the relevant hook is
+the *sharding functor* (point -> node, a pure function, memoized); without
+DCR it is the *slicing functor*, which splits a launch domain recursively so
+slices can be scattered down a broadcast tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.domain import Domain, Point
+
+__all__ = ["Mapper", "DefaultMapper", "CyclicMapper", "ShardingCache"]
+
+
+class Mapper:
+    """Base mapper interface."""
+
+    def shard(self, point: Point, domain: Domain, n_nodes: int) -> int:
+        """Sharding functor: which node owns ``point`` of ``domain`` (DCR mode).
+
+        Must be a pure function of its arguments.
+        """
+        raise NotImplementedError
+
+    def slice_domain(
+        self, points: Sequence[Point], domain: Domain, n_nodes: int
+    ) -> List[Tuple[List[Point], int]]:
+        """Slicing functor: split ``points`` into (sub-slice, target node) pairs.
+
+        The default splits the point list in half repeatedly; the runtime
+        applies this recursively, producing a binary broadcast tree of depth
+        O(log |D|).  Returning a single-element list stops recursion.
+        """
+        if len(points) <= 1 or n_nodes <= 1:
+            return [(list(points), self.shard(points[0], domain, n_nodes))] if points else []
+        mid = (len(points) + 1) // 2
+        return [
+            (list(points[:mid]), self.shard(points[0], domain, n_nodes)),
+            (list(points[mid:]), self.shard(points[mid], domain, n_nodes)),
+        ]
+
+    def select_node(self, task_launch, n_nodes: int) -> int:
+        """Node for a single (non-index) task launch."""
+        if task_launch.point is not None and n_nodes > 0:
+            return hash(tuple(task_launch.point)) % n_nodes
+        return 0
+
+
+class DefaultMapper(Mapper):
+    """Block sharding: contiguous ranges of the (linearized) domain per node.
+
+    This matches the common idiom of one task per GPU with neighbouring
+    tasks placed on the same node.
+    """
+
+    def shard(self, point: Point, domain: Domain, n_nodes: int) -> int:
+        if n_nodes <= 1:
+            return 0
+        volume = domain.volume
+        if volume == 0:
+            return 0
+        index = domain.bounds.linearize(point)
+        total = domain.bounds.volume
+        # Scale by bounding-box position: exact block split for dense
+        # domains, approximate (but pure and deterministic) for sparse ones.
+        node = index * n_nodes // total
+        return min(node, n_nodes - 1)
+
+    def select_node(self, task_launch, n_nodes: int) -> int:
+        if task_launch.point is not None and n_nodes > 1:
+            parent = task_launch.parent
+            if parent is not None:
+                return self.shard(task_launch.point, parent.domain, n_nodes)
+        return 0
+
+
+class CyclicMapper(Mapper):
+    """Round-robin sharding: point ``i`` goes to node ``i mod n`` (load balance
+    for irregular task costs, at the price of locality)."""
+
+    def shard(self, point: Point, domain: Domain, n_nodes: int) -> int:
+        if n_nodes <= 1:
+            return 0
+        return domain.bounds.linearize(point) % n_nodes
+
+
+class ShardingCache:
+    """Memoizes sharding decisions per (mapper, domain, n_nodes).
+
+    Sharding functors are pure, so Legion memoizes them; we do the same and
+    expose hit statistics so tests can assert the memoization happens.
+    """
+
+    def __init__(self):
+        self._cache: Dict[Tuple[int, Domain, int], Dict[int, List[Point]]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def shard_map(
+        self, mapper: Mapper, domain: Domain, n_nodes: int
+    ) -> Dict[int, List[Point]]:
+        """Node -> locally-owned points, computed once per distinct launch shape."""
+        key = (id(mapper), domain, n_nodes)
+        found = self._cache.get(key)
+        if found is not None:
+            self.hits += 1
+            return found
+        self.misses += 1
+        assignment: Dict[int, List[Point]] = {}
+        for p in domain:
+            node = mapper.shard(p, domain, n_nodes)
+            if not 0 <= node < max(n_nodes, 1):
+                raise ValueError(
+                    f"sharding functor sent {p} to node {node} of {n_nodes}"
+                )
+            assignment.setdefault(node, []).append(p)
+        self._cache[key] = assignment
+        return assignment

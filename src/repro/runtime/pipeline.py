@@ -1,0 +1,89 @@
+"""Pipeline bookkeeping: per-stage representation and work counters.
+
+The runtime pipeline has four phases relevant to index launches — task
+issuance, logical analysis, distribution, and physical analysis (Section 5,
+Figures 2 and 3).  :class:`PipelineStats` records, for each stage and node,
+how many representation units were materialized (an unexpanded index launch
+is one unit regardless of |D|; each individual task is one unit), plus the
+work counters the evaluation reasons about (users analyzed, overlap queries,
+messages sent, dynamic-check evaluations).
+
+These counters are what the Figure 2/3 reproduction prints, and what the
+machine model multiplies by calibrated per-unit costs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["Stage", "PipelineStats"]
+
+
+class Stage:
+    """The pipeline stages of Section 5 (string constants, not an enum, so
+    stats keys stay trivially serializable)."""
+
+    ISSUANCE = "issuance"
+    LOGICAL = "logical"
+    DISTRIBUTION = "distribution"
+    PHYSICAL = "physical"
+    EXECUTION = "execution"
+
+    ALL = (ISSUANCE, LOGICAL, DISTRIBUTION, PHYSICAL, EXECUTION)
+
+
+@dataclass
+class PipelineStats:
+    """Counters accumulated over a runtime's lifetime (or between resets)."""
+
+    # (stage, node) -> representation units materialized at that stage
+    representation: Dict[Tuple[str, int], int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    ops_issued: int = 0                 # operations entering the pipeline
+    index_launches: int = 0             # ... of which were index launches
+    single_tasks: int = 0               # ... individual task launches
+    tasks_executed: int = 0
+    logical_users: int = 0              # region users processed logically
+    logical_dependences: int = 0
+    physical_dependences: int = 0
+    overlap_queries: int = 0
+    slice_messages: int = 0             # non-DCR broadcast-tree hops
+    max_slice_depth: int = 0
+    check_evaluations: int = 0          # dynamic projection-functor checks
+    launches_verified_static: int = 0
+    launches_verified_dynamic: int = 0
+    launches_unverified: int = 0
+    launches_fallback_serial: int = 0   # failed checks -> original task loop
+    trace_replays: int = 0
+
+    def add_representation(self, stage: str, node: int, units: int) -> None:
+        if stage not in Stage.ALL:
+            raise ValueError(f"unknown stage {stage!r}")
+        self.representation[(stage, node)] += units
+
+    def stage_total(self, stage: str) -> int:
+        """Total representation units across nodes for one stage."""
+        return sum(v for (s, _), v in self.representation.items() if s == stage)
+
+    def node_total(self, node: int) -> int:
+        """Total representation units across stages for one node."""
+        return sum(v for (_, n), v in self.representation.items() if n == node)
+
+    def max_units_any_node(self, stage: str) -> int:
+        """Peak per-node representation at a stage — the quantity index
+        launches keep O(1): no single node should hold the full expansion."""
+        per_node = defaultdict(int)
+        for (s, n), v in self.representation.items():
+            if s == stage:
+                per_node[n] += v
+        return max(per_node.values(), default=0)
+
+    def as_table(self) -> List[Tuple[str, int, int]]:
+        """Rows of (stage, node, units), sorted for stable output."""
+        return sorted(
+            ((s, n, v) for (s, n), v in self.representation.items()),
+            key=lambda row: (Stage.ALL.index(row[0]), row[1]),
+        )

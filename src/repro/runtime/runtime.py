@@ -1,0 +1,534 @@
+"""The runtime facade: issue tasks and index launches through the pipeline.
+
+This is the functional (in-process) backend: task bodies really execute on
+numpy-backed regions, in program order, with intra-launch order free (and
+optionally shuffled, to empirically validate non-interference).  The full
+pipeline of Section 5 runs for every operation — issuance, logical
+analysis, distribution, physical analysis — updating
+:class:`~repro.runtime.pipeline.PipelineStats` so that tests and the
+Figure 2/3 reproduction can observe representation sizes and work counts at
+every stage under all four {DCR, No DCR} x {IDX, No IDX} configurations.
+
+Timing is *not* measured here; the machine model (:mod:`repro.machine`)
+replays the same pipeline against calibrated costs for the scaling studies.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.domain import Domain, Point, Rect, coerce_point
+from repro.core.launch import ArgumentMap, IndexLaunch, RegionRequirement, TaskLaunch
+from repro.core.projection import IdentityFunctor, ProjectionFunctor
+from repro.core.safety import SafetyMethod, SafetyVerdict, analyze_launch_safety
+from repro.data.collection import Region, Subregion
+from repro.data.fields import FieldSpace
+from repro.data.partition import Partition
+from repro.runtime.distribution import build_slices, shard_points
+from repro.runtime.futures import Future, FutureMap
+from repro.runtime.logical import LogicalAnalyzer
+from repro.runtime.mapper import DefaultMapper, Mapper, ShardingCache
+from repro.runtime.physical import PhysicalAnalyzer
+from repro.runtime.pipeline import PipelineStats, Stage
+from repro.runtime.task import PhysicalRegion, Task, TaskContext
+from repro.runtime.tracing import TraceRecorder
+
+__all__ = ["Runtime", "RuntimeConfig"]
+
+# A requirement argument to index_launch: a Partition (identity functor) or
+# a (Partition, ProjectionFunctor) pair.
+ReqSpec = Union[Partition, Tuple[Partition, ProjectionFunctor]]
+
+
+@dataclass
+class RuntimeConfig:
+    """The evaluation's configuration axes plus testing knobs.
+
+    Attributes:
+        n_nodes: simulated node count (data placement; functional results
+            are node-count independent).
+        dcr: dynamic control replication [6] — replicated issuance and
+            sharding-functor distribution vs centralized control with
+            slicing/broadcast distribution.
+        index_launches: the paper's optimization; when False, every forall
+            is eagerly expanded into individual task launches at issuance
+            (the No IDX configurations).
+        tracing: Legion's trace memoization [20]; with tracing on and DCR
+            off, index launches are expanded *before* distribution
+            (Section 6.2.1's interference effect).
+        bulk_tracing: the paper's stated future work — tracing that
+            "works with bulk task launches".  When True, traces record
+            launch-level signatures, so index launches stay unexpanded
+            through distribution even without DCR, removing the
+            interference of Section 6.2.1 while keeping trace replay.
+        dynamic_checks: run the Listing-3 checks for statically-undecided
+            launches.  Disabling them corresponds to the paper's "no check"
+            configuration: undecided launches are assumed valid.
+        validate_safety: run the safety analysis at all (both static and
+            dynamic).  Off means every launch is trusted.
+        shuffle_intra_launch: execute the point tasks of verified launches
+            in random order — a testing feature that empirically exercises
+            the non-interference guarantee.
+        seed: RNG seed for the shuffle.
+    """
+
+    n_nodes: int = 1
+    dcr: bool = True
+    index_launches: bool = True
+    tracing: bool = True
+    bulk_tracing: bool = False
+    dynamic_checks: bool = True
+    validate_safety: bool = True
+    shuffle_intra_launch: bool = False
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+
+    @property
+    def label(self) -> str:
+        """The figure-legend label, e.g. ``"DCR, IDX"``."""
+        return (
+            f"{'DCR' if self.dcr else 'No DCR'}, "
+            f"{'IDX' if self.index_launches else 'No IDX'}"
+        )
+
+
+class Runtime:
+    """A single-process Legion-like runtime instance."""
+
+    def __init__(
+        self,
+        config: Optional[RuntimeConfig] = None,
+        mapper: Optional[Mapper] = None,
+    ):
+        self.config = config or RuntimeConfig()
+        self.mapper = mapper or DefaultMapper()
+        self.stats = PipelineStats()
+        self.logical = LogicalAnalyzer()
+        self.physical = PhysicalAnalyzer()
+        self.tracer = TraceRecorder()
+        self.sharding_cache = ShardingCache()
+        self._op_counter = itertools.count()
+        self._task_counter = itertools.count()
+        self._rng = random.Random(self.config.seed)
+        self._regions: List[Region] = []
+        self.safety_log: List[SafetyVerdict] = []
+        #: optional repro.tools.graph.GraphRecorder capturing the task graph
+        self.graph_recorder = None
+
+    # ------------------------------------------------------------ resources
+    def create_region(
+        self,
+        name: str,
+        shape: Union[int, Sequence[int], Rect],
+        fields: Union[FieldSpace, Dict],
+    ) -> Region:
+        """Create a top-level collection.
+
+        ``shape`` may be an element count (1-D), an extents tuple (N-D), or
+        an explicit :class:`Rect`.
+        """
+        if isinstance(shape, Rect):
+            bounds = shape
+        elif isinstance(shape, int):
+            bounds = Rect((0,), (shape - 1,))
+        else:
+            bounds = Rect([0] * len(shape), [int(e) - 1 for e in shape])
+        region = Region(name, bounds, fields)
+        self._regions.append(region)
+        return region
+
+    # ----------------------------------------------------- fill/copy sugar
+    def fill(self, target: Union[Region, Subregion], fname: str,
+             value) -> Future:
+        """Fill one field of a (sub)region, as a pipeline operation.
+
+        Fills are ordinary write operations in Legion: they participate in
+        dependence analysis like any task, so a fill between two launches
+        correctly orders against both.
+        """
+        return self.execute_task(_fill_task, target, args=(fname, value))
+
+    def copy_field(
+        self,
+        src: Union[Region, Subregion],
+        dst: Union[Region, Subregion],
+        src_field: str,
+        dst_field: Optional[str] = None,
+    ) -> Future:
+        """Copy a field between equally-sized (sub)regions via the pipeline."""
+        return self.execute_task(
+            _copy_task, src, dst, args=(src_field, dst_field or src_field)
+        )
+
+    # -------------------------------------------------------------- tracing
+    def begin_trace(self, trace_id: int) -> None:
+        """Mark the start of a traced (repeated) operation sequence."""
+        if self.config.tracing:
+            self.tracer.begin(trace_id)
+
+    def end_trace(self, trace_id: int) -> None:
+        """Mark the end of a traced sequence; counts whole-trace replays."""
+        if self.config.tracing:
+            if self.tracer.end(trace_id):
+                self.stats.trace_replays += 1
+
+    # ------------------------------------------------------- single launches
+    def execute_task(
+        self,
+        task: Task,
+        *region_args: Union[Region, Subregion],
+        args: tuple = (),
+        node: Optional[int] = None,
+    ) -> Future:
+        """Launch one task on concrete (sub)regions; returns its Future."""
+        subregions = [
+            r.root_subregion() if isinstance(r, Region) else r for r in region_args
+        ]
+        if len(subregions) != task.n_region_params:
+            raise ValueError(
+                f"task {task.name!r} declares {task.n_region_params} region "
+                f"parameters, got {len(subregions)}"
+            )
+        requirements = [
+            RegionRequirement(
+                privilege=task.privileges[i],
+                fields=task.fields[i] or (),
+                subregion=subregions[i],
+            )
+            for i in range(len(subregions))
+        ]
+        launch = TaskLaunch(task=task, requirements=requirements, args=args)
+        self.stats.ops_issued += 1
+        self.stats.single_tasks += 1
+        if self.config.tracing:
+            self.tracer.observe(("single", task.uid))
+        target = node if node is not None else self.mapper.select_node(
+            launch, self.config.n_nodes
+        )
+        op_id = next(self._op_counter)
+        self._pipeline_single(launch, op_id, target)
+        future = Future()
+        future.set(self._run_task(launch, target))
+        return future
+
+    def _pipeline_single(self, launch: TaskLaunch, op_id: int, node: int) -> None:
+        issuers = (
+            range(self.config.n_nodes) if self.config.dcr else (0,)
+        )
+        for n in issuers:
+            self.stats.add_representation(Stage.ISSUANCE, n, 1)
+            self.stats.add_representation(Stage.LOGICAL, n, 1)
+        deps = self.logical.analyze_operation(
+            op_id,
+            [
+                (req.region.uid, req.resolved_fields(), req.privilege)
+                for req in launch.requirements
+            ],
+        )
+        self.stats.logical_users = self.logical.users_processed
+        self.stats.logical_dependences += len(deps)
+        self.stats.add_representation(Stage.DISTRIBUTION, node, 1)
+        if not self.config.dcr and node != 0:
+            self.stats.slice_messages += 1
+        task_id = next(self._task_counter)
+        tdeps = self.physical.record_task(
+            task_id,
+            [
+                (req.subregion, req.privilege, req.resolved_fields())
+                for req in launch.requirements
+            ],
+        )
+        self.stats.physical_dependences += len(tdeps)
+        self.stats.overlap_queries = self.physical.overlap_queries
+        self.stats.add_representation(Stage.PHYSICAL, node, 1)
+        if self.graph_recorder is not None:
+            self.graph_recorder.record_op(op_id, launch.name, "task")
+            self.graph_recorder.record_logical_edges(deps)
+            self.graph_recorder.record_task(task_id, launch.name, op_id, node)
+            self.graph_recorder.record_physical_edges(tdeps)
+
+    # -------------------------------------------------------- index launches
+    def index_launch(
+        self,
+        task: Task,
+        domain: Union[Domain, int],
+        *reqs: ReqSpec,
+        args: tuple = (),
+        point_args: Optional[ArgumentMap] = None,
+        reduce: Optional[str] = None,
+    ) -> Union[FutureMap, Future]:
+        """Launch ``task`` over every point of ``domain`` — ``forall`` (§3).
+
+        Each entry of ``reqs`` is a partition (identity projection) or a
+        ``(partition, functor)`` pair, positionally matching the task's
+        declared privileges.  Returns a :class:`FutureMap`, or a single
+        :class:`Future` when ``reduce`` names a reduction operator.
+
+        Under ``config.index_launches=False`` the same API runs as an
+        eagerly-expanded loop of individual task launches (identical
+        results, O(P) representation) — the paper's No-IDX baseline.
+        """
+        if isinstance(domain, int):
+            domain = Domain.range(domain)
+        requirements = self._build_requirements(task, reqs)
+        launch = IndexLaunch(
+            task=task,
+            domain=domain,
+            requirements=requirements,
+            args=args,
+            point_args=point_args,
+        )
+        fmap = (
+            self._issue_index_launch(launch)
+            if self.config.index_launches
+            else self._issue_expanded(launch)
+        )
+        if reduce is not None:
+            future = Future()
+            future.set(fmap.reduce(reduce))
+            return future
+        return fmap
+
+    # Regent-style alias: ``forall(D, T, <P, f>, ...)``.
+    forall = index_launch
+
+    def _build_requirements(
+        self, task: Task, reqs: Sequence[ReqSpec]
+    ) -> List[RegionRequirement]:
+        if len(reqs) != task.n_region_params:
+            raise ValueError(
+                f"task {task.name!r} declares {task.n_region_params} region "
+                f"parameters, got {len(reqs)} launch arguments"
+            )
+        out = []
+        for i, spec in enumerate(reqs):
+            if isinstance(spec, Partition):
+                partition, functor = spec, IdentityFunctor()
+            else:
+                partition, functor = spec
+            out.append(
+                RegionRequirement(
+                    privilege=task.privileges[i],
+                    fields=task.fields[i] or (),
+                    partition=partition,
+                    functor=functor,
+                )
+            )
+        return out
+
+    def _launch_signature(self, launch: IndexLaunch) -> tuple:
+        return (
+            launch.task.uid,
+            launch.domain,
+            tuple(
+                (req.partition.uid, req.functor.describe(), str(req.privilege))
+                for req in launch.requirements
+            ),
+        )
+
+    def _issue_index_launch(self, launch: IndexLaunch) -> FutureMap:
+        cfg = self.config
+        self.stats.ops_issued += 1
+        self.stats.index_launches += 1
+        replay = False
+        if cfg.tracing:
+            replay = self.tracer.observe(self._launch_signature(launch))
+
+        # --- safety: the hybrid analysis gates index-launch execution.
+        safe_order_free = True
+        if cfg.validate_safety:
+            verdict = analyze_launch_safety(launch, run_dynamic=cfg.dynamic_checks)
+            self.safety_log.append(verdict)
+            self.stats.check_evaluations += verdict.check_evaluations
+            if verdict.method is SafetyMethod.STATIC:
+                self.stats.launches_verified_static += 1
+            elif verdict.method is SafetyMethod.HYBRID:
+                self.stats.launches_verified_dynamic += 1
+            elif verdict.method is SafetyMethod.UNVERIFIED:
+                self.stats.launches_unverified += 1
+            if not verdict.safe:
+                # Listing 3's else-branch: fall back to the original task loop.
+                self.stats.launches_fallback_serial += 1
+                return self._run_expanded(
+                    launch, order_free=False, op_kind="fallback_loop"
+                )
+            safe_order_free = verdict.method is not SafetyMethod.UNVERIFIED
+
+        # --- issuance: one O(1) descriptor per issuing node.
+        issuers = range(cfg.n_nodes) if cfg.dcr else (0,)
+        for n in issuers:
+            self.stats.add_representation(Stage.ISSUANCE, n, 1)
+
+        # Tracing without DCR forces expansion before distribution
+        # (Section 6.2.1): the launch degrades to per-task processing from
+        # the logical stage onward.  Bulk tracing — the paper's future-work
+        # extension — records traces at launch granularity instead, so the
+        # O(1) representation survives distribution.
+        if cfg.tracing and not cfg.dcr and not cfg.bulk_tracing:
+            return self._run_expanded(
+                launch, order_free=safe_order_free, skip_issuance=True
+            )
+
+        # --- logical analysis: whole-partition reasoning, one user per arg.
+        op_id = next(self._op_counter)
+        deps = self.logical.analyze_operation(
+            op_id,
+            [
+                (req.region.uid, req.resolved_fields(), req.privilege)
+                for req in launch.requirements
+            ],
+        )
+        self.stats.logical_users = self.logical.users_processed
+        self.stats.logical_dependences += len(deps)
+        for n in issuers:
+            self.stats.add_representation(Stage.LOGICAL, n, 1)
+        if self.graph_recorder is not None:
+            self.graph_recorder.record_op(op_id, launch.name, "index_launch")
+            self.graph_recorder.record_logical_edges(deps)
+
+        # --- distribution: sharding (DCR) or slicing (broadcast tree).
+        if cfg.dcr:
+            assignment = self.sharding_cache.shard_map(
+                self.mapper, launch.domain, cfg.n_nodes
+            )
+            for node in assignment:
+                self.stats.add_representation(Stage.DISTRIBUTION, node, 1)
+        else:
+            slicing = build_slices(self.mapper, launch.domain, cfg.n_nodes)
+            self.stats.slice_messages += slicing.n_messages
+            self.stats.max_slice_depth = max(
+                self.stats.max_slice_depth, slicing.max_depth
+            )
+            assignment = {}
+            for slc in slicing.slices:
+                assignment.setdefault(slc.node, []).extend(slc.points)
+                self.stats.add_representation(Stage.DISTRIBUTION, slc.node, 1)
+
+        # --- expansion + physical analysis, per node, post-distribution.
+        fmap = FutureMap()
+        executed: List[Tuple[TaskLaunch, int]] = []
+        for node in sorted(assignment):
+            for point in assignment[node]:
+                point_task = launch.point_task(point)
+                task_id = next(self._task_counter)
+                tdeps = self.physical.record_task(
+                    task_id,
+                    [
+                        (req.subregion, req.privilege, req.resolved_fields())
+                        for req in point_task.requirements
+                    ],
+                )
+                self.stats.physical_dependences += len(tdeps)
+                self.stats.add_representation(Stage.PHYSICAL, node, 1)
+                if self.graph_recorder is not None:
+                    self.graph_recorder.record_task(
+                        task_id, point_task.name, op_id, node
+                    )
+                    self.graph_recorder.record_physical_edges(tdeps)
+                executed.append((point_task, node))
+        self.stats.overlap_queries = self.physical.overlap_queries
+
+        # --- execution (functionally; order free for verified launches).
+        if cfg.shuffle_intra_launch and safe_order_free:
+            self._rng.shuffle(executed)
+        for point_task, node in executed:
+            fmap.set(point_task.point, self._run_task(point_task, node))
+        return fmap
+
+    def _issue_expanded(self, launch: IndexLaunch) -> FutureMap:
+        """No-IDX path: the forall is a loop of individual task launches."""
+        self.stats.ops_issued += 1
+        return self._run_expanded(launch, order_free=False)
+
+    def _run_expanded(
+        self,
+        launch: IndexLaunch,
+        order_free: bool,
+        skip_issuance: bool = False,
+        op_kind: str = "task",
+    ) -> FutureMap:
+        """Process a launch one task at a time (No-IDX, early-expansion, or
+        serial fallback after a failed check)."""
+        cfg = self.config
+        fmap = FutureMap()
+        issuers = range(cfg.n_nodes) if cfg.dcr else (0,)
+        executed: List[Tuple[TaskLaunch, int]] = []
+        for point in launch.domain:
+            point_task = launch.point_task(point)
+            self.stats.single_tasks += 1
+            if not skip_issuance:
+                for n in issuers:
+                    self.stats.add_representation(Stage.ISSUANCE, n, 1)
+            op_id = next(self._op_counter)
+            deps = self.logical.analyze_operation(
+                op_id,
+                [
+                    (req.region.uid, req.resolved_fields(), req.privilege)
+                    for req in point_task.requirements
+                ],
+            )
+            self.stats.logical_dependences += len(deps)
+            for n in issuers:
+                self.stats.add_representation(Stage.LOGICAL, n, 1)
+            node = self.mapper.select_node(point_task, cfg.n_nodes)
+            self.stats.add_representation(Stage.DISTRIBUTION, node, 1)
+            if not cfg.dcr and node != 0:
+                self.stats.slice_messages += 1  # point-to-point, no tree
+            task_id = next(self._task_counter)
+            tdeps = self.physical.record_task(
+                task_id,
+                [
+                    (req.subregion, req.privilege, req.resolved_fields())
+                    for req in point_task.requirements
+                ],
+            )
+            self.stats.physical_dependences += len(tdeps)
+            self.stats.add_representation(Stage.PHYSICAL, node, 1)
+            if self.graph_recorder is not None:
+                self.graph_recorder.record_op(op_id, point_task.name, op_kind)
+                self.graph_recorder.record_logical_edges(deps)
+                self.graph_recorder.record_task(
+                    task_id, point_task.name, op_id, node
+                )
+                self.graph_recorder.record_physical_edges(tdeps)
+            executed.append((point_task, node))
+        self.stats.logical_users = self.logical.users_processed
+        self.stats.overlap_queries = self.physical.overlap_queries
+        if cfg.shuffle_intra_launch and order_free:
+            self._rng.shuffle(executed)
+        for point_task, node in executed:
+            fmap.set(point_task.point, self._run_task(point_task, node))
+        return fmap
+
+    # ------------------------------------------------------------ execution
+    def _run_task(self, point_task: TaskLaunch, node: int) -> Any:
+        ctx = TaskContext(point=point_task.point, node=node, runtime=self)
+        physical_regions = [
+            PhysicalRegion(
+                req.subregion, req.privilege, req.resolved_fields()
+            )
+            for req in point_task.requirements
+        ]
+        self.stats.tasks_executed += 1
+        self.stats.add_representation(Stage.EXECUTION, node, 1)
+        return point_task.task(ctx, *physical_regions, *point_task.args)
+
+
+# ------------------------------------------------ built-in fill/copy tasks
+
+def _fill_body(ctx, target, fname, value):
+    target.fill(fname, value)
+
+
+def _copy_body(ctx, src, dst, src_field, dst_field):
+    dst.write(dst_field, src.read(src_field))
+
+
+_fill_task = Task(_fill_body, privileges=["writes"], name="fill")
+_copy_task = Task(_copy_body, privileges=["reads", "writes"], name="copy")

@@ -1,0 +1,89 @@
+"""Legion-style tracing: memoization of repeated task-graph fragments [20].
+
+Legion amortizes its dynamic dependence analysis by recording the analysis
+of a repeated sequence of operations (a *trace*) and replaying it on
+subsequent iterations.  Two properties matter for this paper:
+
+1. Replayed iterations skip most of the logical/physical analysis cost —
+   the machine model charges a much smaller per-task replay cost.
+2. Tracing "works fundamentally at the level of individual tasks", so when
+   DCR is disabled, tracing forces index launches to expand *before*
+   distribution (the second column of Figure 3 never happens), undoing
+   their asymptotic benefit — the effect demonstrated by Figures 5 vs 6.
+
+The recorder below captures operation signatures between ``begin``/``end``
+and reports whether an iteration is a replay of the recorded trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["TraceRecorder", "OpSignature"]
+
+# (task uid, domain hash, requirement signature) — enough to recognize the
+# "same" operation recurring across iterations.
+OpSignature = Tuple
+
+
+@dataclass
+class _Trace:
+    recorded: Optional[List[OpSignature]] = None  # None until first end()
+    current: List[OpSignature] = field(default_factory=list)
+    replays: int = 0
+    broken: int = 0
+
+
+class TraceRecorder:
+    """Records operation sequences per trace id and detects replays."""
+
+    def __init__(self):
+        self._traces: Dict[int, _Trace] = {}
+        self._active: Optional[int] = None
+
+    @property
+    def active_trace(self) -> Optional[int]:
+        return self._active
+
+    def begin(self, trace_id: int) -> None:
+        if self._active is not None:
+            raise RuntimeError(f"trace {self._active} already active")
+        self._active = trace_id
+        trace = self._traces.setdefault(trace_id, _Trace())
+        trace.current = []
+
+    def observe(self, signature: OpSignature) -> bool:
+        """Record one operation; returns True when it matches the recorded
+        trace so far (i.e. the analysis for it can be replayed)."""
+        if self._active is None:
+            return False
+        trace = self._traces[self._active]
+        trace.current.append(signature)
+        if trace.recorded is None:
+            return False
+        idx = len(trace.current) - 1
+        return idx < len(trace.recorded) and trace.recorded[idx] == signature
+
+    def end(self, trace_id: int) -> bool:
+        """Close the trace; returns True when the whole iteration replayed."""
+        if self._active != trace_id:
+            raise RuntimeError(f"trace {trace_id} is not active")
+        self._active = None
+        trace = self._traces[trace_id]
+        if trace.recorded is None:
+            trace.recorded = list(trace.current)
+            return False
+        if trace.recorded == trace.current:
+            trace.replays += 1
+            return True
+        # The iteration diverged: re-record (Legion invalidates the trace).
+        trace.broken += 1
+        trace.recorded = list(trace.current)
+        return False
+
+    def replays(self, trace_id: int) -> int:
+        return self._traces[trace_id].replays if trace_id in self._traces else 0
+
+    def broken(self, trace_id: int) -> int:
+        return self._traces[trace_id].broken if trace_id in self._traces else 0

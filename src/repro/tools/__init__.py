@@ -1,0 +1,6 @@
+"""Developer tooling: task-graph export and launch inspection."""
+
+from repro.tools.graph import GraphRecorder, to_dot
+from repro.tools.explain import explain_launch
+
+__all__ = ["GraphRecorder", "to_dot", "explain_launch"]

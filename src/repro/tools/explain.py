@@ -1,0 +1,57 @@
+"""Human-readable explanations of launch safety decisions.
+
+``explain_launch`` runs the hybrid analysis on a candidate launch and
+renders the verdict — which rule fired for each argument, what the dynamic
+checks found, and the resulting execution strategy — as a small report.
+Useful for debugging "why did my forall fall back to a serial loop?".
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.launch import IndexLaunch
+from repro.core.safety import SafetyMethod, analyze_launch_safety
+from repro.core.static_analysis import classify_functor
+
+__all__ = ["explain_launch"]
+
+
+def explain_launch(launch: IndexLaunch, run_dynamic: bool = True) -> str:
+    """Analyze ``launch`` and return a formatted explanation."""
+    verdict = analyze_launch_safety(launch, run_dynamic=run_dynamic)
+    lines: List[str] = [
+        f"index launch {launch.name}: |D| = {launch.parallelism}, "
+        f"{len(launch.requirements)} region argument(s)",
+        f"descriptor size: {launch.encoded_size()} bytes "
+        f"(vs ~{sum(t.encoded_size() for t in launch.expand())} bytes "
+        f"expanded)" if launch.parallelism <= 4096 else
+        f"descriptor size: {launch.encoded_size()} bytes",
+    ]
+    for i, req in enumerate(launch.requirements):
+        part = req.partition
+        lines.append(
+            f"  arg{i}: {req.privilege!r} on partition {part.name!r} "
+            f"({'disjoint' if part.disjoint else 'aliased'}, "
+            f"{part.n_colors} colors) via {req.functor.describe()} "
+            f"[{classify_functor(req.functor)}]"
+        )
+    lines.append("analysis trail:")
+    for reason in verdict.reasons:
+        lines.append(f"  - {reason}")
+    if verdict.safe:
+        how = {
+            SafetyMethod.STATIC: "proven safe at compile time",
+            SafetyMethod.HYBRID:
+                f"proven safe with {len(verdict.dynamic_results)} dynamic "
+                f"check(s), {verdict.check_evaluations} functor evaluations",
+            SafetyMethod.UNVERIFIED:
+                "assumed safe (dynamic checks disabled)",
+        }[verdict.method]
+        lines.append(f"verdict: SAFE — {how}; executes as an index launch")
+    else:
+        lines.append(
+            "verdict: UNSAFE — tasks would interfere; executes as the "
+            "original serial task loop"
+        )
+    return "\n".join(lines)

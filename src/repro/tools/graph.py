@@ -1,0 +1,119 @@
+"""Task-graph recording and Graphviz (DOT) export.
+
+Attach a :class:`GraphRecorder` to a runtime to capture the operation- and
+task-level dependence graphs the analyses compute, then render them with
+:func:`to_dot`:
+
+    recorder = GraphRecorder()
+    recorder.attach(runtime)
+    ...issue launches...
+    open("graph.dot", "w").write(to_dot(recorder, level="logical"))
+
+The logical level shows one node per *operation* (an index launch is a
+single node however many tasks it denotes — the visual analogue of the
+boxes in Figures 2 and 3); the physical level shows individual tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["GraphRecorder", "to_dot"]
+
+
+@dataclass(frozen=True)
+class OpNode:
+    op_id: int
+    name: str
+    kind: str  # "index_launch" | "task" | "fallback_loop"
+
+
+@dataclass(frozen=True)
+class TaskNode:
+    task_id: int
+    name: str
+    op_id: int
+    node: int  # mapped node
+
+
+class GraphRecorder:
+    """Captures operations, tasks, and dependence edges from a runtime."""
+
+    def __init__(self):
+        self.ops: Dict[int, OpNode] = {}
+        self.tasks: Dict[int, TaskNode] = {}
+        self.logical_edges: List[Tuple[int, int]] = []
+        self.physical_edges: List[Tuple[int, int]] = []
+
+    def attach(self, runtime) -> "GraphRecorder":
+        """Register this recorder on ``runtime`` (one recorder at a time)."""
+        runtime.graph_recorder = self
+        return self
+
+    # Hooks called by the runtime ------------------------------------------
+    def record_op(self, op_id: int, name: str, kind: str) -> None:
+        self.ops[op_id] = OpNode(op_id, name, kind)
+
+    def record_logical_edges(self, deps) -> None:
+        for d in deps:
+            self.logical_edges.append((d.earlier_op, d.later_op))
+
+    def record_task(self, task_id: int, name: str, op_id: int,
+                    node: int) -> None:
+        self.tasks[task_id] = TaskNode(task_id, name, op_id, node)
+
+    def record_physical_edges(self, deps) -> None:
+        for d in deps:
+            self.physical_edges.append((d.earlier_task, d.later_task))
+
+    # Queries ---------------------------------------------------------------
+    @property
+    def n_ops(self) -> int:
+        return len(self.ops)
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.tasks)
+
+
+def _dot_escape(text: str) -> str:
+    return text.replace('"', r"\"")
+
+
+def to_dot(recorder: GraphRecorder, level: str = "logical") -> str:
+    """Render the recorded graph as Graphviz DOT.
+
+    ``level="logical"`` draws operations (index launches as boxes, single
+    tasks as ellipses); ``level="physical"`` draws individual tasks grouped
+    by mapped node.
+    """
+    lines = ["digraph taskgraph {", "  rankdir=TB;"]
+    if level == "logical":
+        for op in recorder.ops.values():
+            shape = "box" if op.kind == "index_launch" else "ellipse"
+            style = ' style="dashed"' if op.kind == "fallback_loop" else ""
+            lines.append(
+                f'  op{op.op_id} [label="{_dot_escape(op.name)}" '
+                f'shape={shape}{style}];'
+            )
+        for src, dst in sorted(set(recorder.logical_edges)):
+            lines.append(f"  op{src} -> op{dst};")
+    elif level == "physical":
+        by_node: Dict[int, List[TaskNode]] = {}
+        for t in recorder.tasks.values():
+            by_node.setdefault(t.node, []).append(t)
+        for node, tasks in sorted(by_node.items()):
+            lines.append(f"  subgraph cluster_node{node} {{")
+            lines.append(f'    label="node {node}";')
+            for t in tasks:
+                lines.append(
+                    f'    t{t.task_id} [label="{_dot_escape(t.name)}"];'
+                )
+            lines.append("  }")
+        for src, dst in sorted(set(recorder.physical_edges)):
+            lines.append(f"  t{src} -> t{dst};")
+    else:
+        raise ValueError("level must be 'logical' or 'physical'")
+    lines.append("}")
+    return "\n".join(lines)

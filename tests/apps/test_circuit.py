@@ -1,0 +1,130 @@
+"""Tests for the Circuit application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.circuit import (
+    CircuitConfig,
+    build_circuit,
+    circuit_iteration,
+    reference_circuit,
+    run_circuit,
+)
+from repro.runtime import Runtime, RuntimeConfig
+
+
+def small_config(**kw):
+    defaults = dict(n_pieces=4, nodes_per_piece=12, wires_per_piece=20, steps=4)
+    defaults.update(kw)
+    return CircuitConfig(**defaults)
+
+
+class TestGraphConstruction:
+    def test_partition_structure(self):
+        rt = Runtime()
+        g = build_circuit(rt, small_config())
+        assert g.wire_pieces.disjoint
+        assert g.node_owned.disjoint
+        assert g.node_owned.verify_disjointness()
+        # Reachable is aliased when wires cross pieces (with 20% cross wires
+        # and this seed, they do).
+        assert not g.node_reachable.verify_disjointness()
+
+    def test_ghosts_are_remote_nodes(self):
+        rt = Runtime()
+        g = build_circuit(rt, small_config())
+        for c in range(g.n_pieces):
+            ghost_ids = g.node_ghost[c].subset.linear_indices(g.nodes.bounds)
+            owned_ids = g.node_owned[c].subset.linear_indices(g.nodes.bounds)
+            assert not np.isin(ghost_ids, owned_ids).any()
+
+    def test_reachable_covers_wire_endpoints(self):
+        rt = Runtime()
+        g = build_circuit(rt, small_config())
+        for c in range(g.n_pieces):
+            reach = set(g.node_reachable[c].subset.linear_indices(g.nodes.bounds))
+            wires = g.wire_pieces[c]
+            for fieldname in ("in_node", "out_node"):
+                assert set(wires.read(fieldname)) <= reach
+
+    def test_wires_all_assigned(self):
+        rt = Runtime()
+        cfg = small_config()
+        g = build_circuit(rt, cfg)
+        total = sum(g.wire_pieces[c].volume for c in range(cfg.n_pieces))
+        assert total == cfg.n_pieces * cfg.wires_per_piece
+
+    def test_single_piece_graph(self):
+        rt = Runtime()
+        g = build_circuit(rt, small_config(n_pieces=1))
+        assert g.n_pieces == 1
+        ref = reference_circuit(g)  # snapshot before execution mutates state
+        assert np.allclose(run_circuit(rt, g), ref)
+
+
+class TestExecution:
+    @pytest.mark.parametrize("dcr,idx", [(True, True), (True, False),
+                                         (False, True), (False, False)])
+    def test_matches_reference_all_configs(self, dcr, idx):
+        rt = Runtime(RuntimeConfig(n_nodes=2, dcr=dcr, index_launches=idx))
+        g = build_circuit(rt, small_config())
+        ref = reference_circuit(g)
+        assert np.allclose(run_circuit(rt, g), ref)
+
+    def test_shuffled_execution_matches(self):
+        rt = Runtime(RuntimeConfig(n_nodes=3, shuffle_intra_launch=True, seed=11))
+        g = build_circuit(rt, small_config())
+        ref = reference_circuit(g)
+        assert np.allclose(run_circuit(rt, g), ref)
+
+    def test_all_launches_statically_verified(self):
+        """Circuit uses only trivial functors: zero dynamic-check cost
+        (Section 6.1)."""
+        rt = Runtime()
+        g = build_circuit(rt, small_config(steps=3))
+        run_circuit(rt, g)
+        assert rt.stats.launches_verified_static == 9  # 3 launches x 3 steps
+        assert rt.stats.launches_verified_dynamic == 0
+        assert rt.stats.check_evaluations == 0
+        assert rt.stats.launches_fallback_serial == 0
+
+    def test_charge_reset_each_step(self):
+        rt = Runtime()
+        g = build_circuit(rt, small_config(steps=2))
+        run_circuit(rt, g)
+        assert np.allclose(g.nodes.storage("charge"), 0.0)
+
+    def test_voltage_decays_toward_zero(self):
+        # Leakage means long simulations relax the system.
+        rt = Runtime()
+        g = build_circuit(rt, small_config(steps=1))
+        v0 = np.abs(g.nodes.storage("voltage")).sum()
+        run_circuit(rt, g, steps=50)
+        assert np.abs(g.nodes.storage("voltage")).sum() < v0
+
+    def test_traces_replay_across_steps(self):
+        rt = Runtime()
+        g = build_circuit(rt, small_config(steps=5))
+        run_circuit(rt, g)
+        assert rt.stats.trace_replays == 4
+
+
+class TestWorkloadGenerator:
+    def test_three_launches_per_iteration(self):
+        it = circuit_iteration(16)
+        assert len(it.launches) == 3
+        assert it.total_tasks == 48
+
+    def test_weak_scaling_work_units(self):
+        assert circuit_iteration(8, wires_per_node=100).work_units == 800
+
+    def test_overdecomposition_splits_tasks(self):
+        it = circuit_iteration(4, overdecompose=10)
+        assert all(l.n_tasks == 40 for l in it.launches)
+        base = circuit_iteration(4)
+        # Same total compute, more tasks.
+        assert sum(l.n_tasks * l.task_seconds for l in it.launches) == \
+            pytest.approx(sum(l.n_tasks * l.task_seconds for l in base.launches))
+
+    def test_no_dynamic_checks_needed(self):
+        assert not any(l.needs_dynamic_check for l in circuit_iteration(4).launches)

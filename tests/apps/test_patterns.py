@@ -1,0 +1,116 @@
+"""Tests for the Figure-1 task-graph pattern programs."""
+
+import numpy as np
+import pytest
+
+from repro.apps.patterns import PATTERNS, run_pattern
+from repro.runtime import Runtime, RuntimeConfig
+from repro.runtime.pipeline import Stage
+
+ALL = sorted(PATTERNS)
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_pattern_matches_reference(name):
+    rt = Runtime()
+    res = run_pattern(name, rt)
+    assert res.correct, name
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_pattern_correct_when_shuffled(name):
+    rt = Runtime(RuntimeConfig(n_nodes=3, shuffle_intra_launch=True, seed=2))
+    res = run_pattern(name, rt)
+    assert res.correct, name
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_pattern_correct_without_index_launches(name):
+    rt = Runtime(RuntimeConfig(index_launches=False))
+    res = run_pattern(name, rt)
+    assert res.correct, name
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_no_serial_fallbacks(name):
+    """Every pattern's launches are genuinely parallel — nothing may be
+    rejected by the safety analysis."""
+    rt = Runtime()
+    run_pattern(name, rt)
+    assert rt.stats.launches_fallback_serial == 0
+
+
+def test_representation_compression():
+    """The O(PT) -> O(T) claim: with IDX, the issuance-stage representation
+    counts launches; without, it counts tasks."""
+    for name in ALL:
+        rt_idx = Runtime(RuntimeConfig(index_launches=True))
+        res = run_pattern(name, rt_idx)
+        assert rt_idx.stats.stage_total(Stage.ISSUANCE) == res.launches, name
+
+        rt_no = Runtime(RuntimeConfig(index_launches=False))
+        res = run_pattern(name, rt_no)
+        assert rt_no.stats.stage_total(Stage.ISSUANCE) == res.tasks, name
+
+
+def test_trivial_fully_static():
+    rt = Runtime()
+    res = run_pattern("trivial", rt)
+    assert rt.stats.launches_verified_static == res.launches
+    assert rt.stats.check_evaluations == 0
+
+
+def test_fft_reads_safe_regardless_of_functor():
+    """The butterfly partner functor is opaque but read-only: no check."""
+    rt = Runtime()
+    res = run_pattern("fft", rt, width=16)
+    assert rt.stats.launches_verified_static == res.launches
+    assert rt.stats.check_evaluations == 0
+
+
+def test_unstructured_needs_dynamic_checks():
+    rt = Runtime()
+    res = run_pattern("unstructured", rt)
+    assert rt.stats.launches_verified_dynamic == res.launches
+    assert rt.stats.check_evaluations > 0
+
+
+def test_sweep_launch_count_is_diagonal_count():
+    rt = Runtime()
+    res = run_pattern("sweep", rt, width=5)
+    assert res.launches == 2 * 5 - 1
+    assert res.tasks == 25
+
+
+def test_sweep_wavefronts_dynamic_checked():
+    rt = Runtime()
+    run_pattern("sweep", rt, width=3)
+    assert rt.stats.launches_verified_dynamic > 0
+    assert rt.stats.launches_fallback_serial == 0
+
+
+def test_tree_result_is_total_sum():
+    rt = Runtime()
+    res = run_pattern("tree", rt, width=16)
+    assert res.values[0] == sum(range(16))
+    assert res.launches == 4  # log2(16)
+
+
+def test_tree_statically_verified():
+    """2j / 2j+1 reads + identity write: all static (affine cross-check)."""
+    rt = Runtime()
+    res = run_pattern("tree", rt)
+    assert rt.stats.launches_verified_static == res.launches
+
+
+def test_power_of_two_validation():
+    rt = Runtime()
+    with pytest.raises(ValueError):
+        run_pattern("fft", rt, width=6)
+    with pytest.raises(ValueError):
+        run_pattern("tree", rt, width=12)
+
+
+def test_unknown_pattern():
+    with pytest.raises(KeyError):
+        run_pattern("spiral", Runtime())

@@ -1,0 +1,181 @@
+"""Tests for the mini Soleil-X application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.soleil import (
+    OCTANTS,
+    SoleilConfig,
+    _near_cubic_factors,
+    build_soleil,
+    reference_soleil,
+    run_soleil,
+    soleil_iteration,
+    sweep_wavefronts,
+)
+from repro.core.domain import Domain, Point
+from repro.core.projection import PlaneProjectionFunctor
+from repro.runtime import Runtime, RuntimeConfig
+
+
+def small_config(**kw):
+    defaults = dict(tiles=(2, 2, 2), cells_per_tile=(3, 3, 3), steps=2)
+    defaults.update(kw)
+    return SoleilConfig(**defaults)
+
+
+class TestSweepWavefronts:
+    def test_front_count(self):
+        fronts = sweep_wavefronts((2, 3, 4), (1, 1, 1))
+        assert len(fronts) == 2 + 3 + 4 - 2
+
+    def test_fronts_partition_tiles(self):
+        tiles = (2, 3, 2)
+        fronts = sweep_wavefronts(tiles, (1, -1, 1))
+        pts = [p for f in fronts for p in f]
+        assert len(pts) == 12
+        assert len(set(pts)) == 12
+
+    def test_first_front_is_corner(self):
+        fronts = sweep_wavefronts((3, 3, 3), (1, 1, 1))
+        assert fronts[0] == [Point(0, 0, 0)]
+        fronts = sweep_wavefronts((3, 3, 3), (-1, -1, -1))
+        assert fronts[0] == [Point(2, 2, 2)]
+
+    def test_dependence_order(self):
+        """Every tile's upstream neighbour sits in an earlier front."""
+        tiles = (3, 2, 3)
+        octant = (1, -1, 1)
+        fronts = sweep_wavefronts(tiles, octant)
+        front_of = {p: k for k, f in enumerate(fronts) for p in f}
+        for p, k in front_of.items():
+            for axis, sign in enumerate(octant):
+                up = list(p)
+                up[axis] -= sign
+                if all(0 <= up[d] < tiles[d] for d in range(3)):
+                    assert front_of[Point(*up)] == k - 1
+
+    def test_no_duplicate_plane_pairs_within_front(self):
+        """The DOM validity condition (Section 6.2.3): each front has no
+        duplicate (x,y), (y,z), or (x,z) pairs — so the plane projections
+        are injective and the dynamic check accepts every wavefront."""
+        for tiles in [(2, 2, 2), (3, 2, 4)]:
+            for octant in OCTANTS:
+                for front in sweep_wavefronts(tiles, octant):
+                    for axes in ([0, 1], [1, 2], [0, 2]):
+                        proj = PlaneProjectionFunctor(axes)
+                        images = [proj.apply(p) for p in front]
+                        assert len(set(images)) == len(images)
+
+
+class TestExecution:
+    def test_matches_reference_full(self):
+        cfg = small_config()
+        rt = Runtime(RuntimeConfig(n_nodes=2))
+        res = run_soleil(rt, build_soleil(rt, cfg))
+        ref = reference_soleil(cfg)
+        for key in res:
+            assert np.allclose(res[key], ref[key]), key
+
+    def test_matches_reference_fluid_only(self):
+        cfg = small_config()
+        rt = Runtime()
+        res = run_soleil(rt, build_soleil(rt, cfg), radiation=False,
+                         particles=False)
+        ref = reference_soleil(cfg, radiation=False, particles=False)
+        assert np.allclose(res["temp"], ref["temp"])
+
+    def test_matches_reference_no_particles(self):
+        cfg = small_config()
+        rt = Runtime()
+        res = run_soleil(rt, build_soleil(rt, cfg), particles=False)
+        ref = reference_soleil(cfg, particles=False)
+        assert np.allclose(res["temp"], ref["temp"])
+
+    def test_asymmetric_tiles(self):
+        cfg = small_config(tiles=(3, 1, 2), cells_per_tile=(2, 4, 3))
+        rt = Runtime(RuntimeConfig(n_nodes=3))
+        res = run_soleil(rt, build_soleil(rt, cfg))
+        ref = reference_soleil(cfg)
+        for key in res:
+            assert np.allclose(res[key], ref[key]), key
+
+    def test_shuffled_wavefronts_match(self):
+        """Tasks within one wavefront are independent: shuffling them must
+        not change results (the guarantee the dynamic check establishes)."""
+        cfg = small_config(tiles=(2, 3, 2))
+        rt = Runtime(RuntimeConfig(shuffle_intra_launch=True, seed=13))
+        res = run_soleil(rt, build_soleil(rt, cfg))
+        ref = reference_soleil(cfg)
+        for key in res:
+            assert np.allclose(res[key], ref[key]), key
+
+    def test_dom_launches_verified_dynamically(self):
+        cfg = small_config(steps=1)
+        rt = Runtime()
+        run_soleil(rt, build_soleil(rt, cfg))
+        # Multi-tile wavefronts require the dynamic check; none may fall
+        # back to the serial loop.
+        assert rt.stats.launches_verified_dynamic > 0
+        assert rt.stats.launches_fallback_serial == 0
+        assert rt.stats.check_evaluations > 0
+
+    def test_checks_disabled_still_correct(self):
+        """Section 4: the check is advisory; disabling it must not change
+        results of a valid program."""
+        cfg = small_config()
+        rt = Runtime(RuntimeConfig(dynamic_checks=False))
+        res = run_soleil(rt, build_soleil(rt, cfg))
+        ref = reference_soleil(cfg)
+        for key in res:
+            assert np.allclose(res[key], ref[key]), key
+        assert rt.stats.check_evaluations == 0
+        assert rt.stats.launches_unverified > 0
+
+    def test_radiation_heats_fluid(self):
+        cfg = small_config(steps=3)
+        rt1, rt2 = Runtime(), Runtime()
+        with_rad = run_soleil(rt1, build_soleil(rt1, cfg), particles=False)
+        without = run_soleil(rt2, build_soleil(rt2, cfg), radiation=False,
+                             particles=False)
+        assert with_rad["temp"].mean() > without["temp"].mean()
+
+
+class TestNearCubicFactors:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 12, 16, 32, 100, 128, 512])
+    def test_product_exact(self, n):
+        a, b, c = _near_cubic_factors(n)
+        assert a * b * c == n
+
+    def test_cubes_factor_perfectly(self):
+        assert _near_cubic_factors(27) == (3, 3, 3)
+        assert _near_cubic_factors(64) == (4, 4, 4)
+
+    def test_prime_degenerates(self):
+        assert _near_cubic_factors(13) == (13, 1, 1)
+
+
+class TestWorkloadGenerator:
+    def test_fluid_only_has_no_sweeps(self):
+        it = soleil_iteration(8, fluid_only=True)
+        assert all("dom" not in l.name for l in it.launches)
+        assert not any(l.needs_dynamic_check for l in it.launches)
+
+    def test_full_has_octant_sweeps(self):
+        it = soleil_iteration(8, fluid_only=False)
+        sweeps = [l for l in it.launches if l.name.startswith("dom_sweep")]
+        # 8 tiles -> (2,2,2): 4 fronts per octant, 8 octants.
+        assert len(sweeps) == 32
+        assert all(l.needs_dynamic_check for l in sweeps)
+        assert sum(l.n_tasks for l in sweeps) == 8 * 8
+
+    def test_sweep_node_assignment_covers_all_tasks(self):
+        it = soleil_iteration(12, fluid_only=False)
+        for l in it.launches:
+            if l.node_assignment is not None:
+                assert sum(c for _, c in l.node_assignment) == l.n_tasks
+
+    def test_checks_flag_threads_through(self):
+        it = soleil_iteration(8, checks=False)
+        sweeps = [l for l in it.launches if l.name.startswith("dom_sweep")]
+        assert not any(l.needs_dynamic_check for l in sweeps)

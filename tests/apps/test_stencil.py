@@ -1,0 +1,108 @@
+"""Tests for the PRK stencil application."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.stencil import (
+    StencilConfig,
+    build_stencil,
+    reference_stencil,
+    run_stencil,
+    star_weights,
+    stencil_iteration,
+)
+from repro.runtime import Runtime, RuntimeConfig
+
+
+class TestWeights:
+    def test_star_count(self):
+        assert len(star_weights(1)) == 4
+        assert len(star_weights(2)) == 8
+
+    def test_antisymmetric(self):
+        w = dict(((di, dj), v) for di, dj, v in star_weights(3))
+        for (di, dj), v in w.items():
+            assert w[(-di, -dj)] == -v
+
+    def test_prk_values(self):
+        w = dict(((di, dj), v) for di, dj, v in star_weights(2))
+        assert w[(0, 1)] == pytest.approx(1.0 / 4.0)
+        assert w[(0, 2)] == pytest.approx(1.0 / 8.0)
+
+
+class TestExecution:
+    @pytest.mark.parametrize("dcr,idx", [(True, True), (True, False),
+                                         (False, True), (False, False)])
+    def test_matches_reference_all_configs(self, dcr, idx):
+        cfg = StencilConfig(n=24, blocks=(2, 2), radius=2, steps=3)
+        rt = Runtime(RuntimeConfig(n_nodes=2, dcr=dcr, index_launches=idx))
+        out = run_stencil(rt, build_stencil(rt, cfg))
+        assert np.allclose(out, reference_stencil(cfg))
+
+    def test_uneven_blocks(self):
+        cfg = StencilConfig(n=25, blocks=(3, 2), radius=1, steps=2)
+        rt = Runtime()
+        out = run_stencil(rt, build_stencil(rt, cfg))
+        assert np.allclose(out, reference_stencil(cfg))
+
+    def test_radius_one(self):
+        cfg = StencilConfig(n=16, blocks=(2, 2), radius=1, steps=2)
+        rt = Runtime()
+        out = run_stencil(rt, build_stencil(rt, cfg))
+        assert np.allclose(out, reference_stencil(cfg))
+
+    def test_single_block(self):
+        cfg = StencilConfig(n=12, blocks=(1, 1), radius=2, steps=2)
+        rt = Runtime()
+        out = run_stencil(rt, build_stencil(rt, cfg))
+        assert np.allclose(out, reference_stencil(cfg))
+
+    def test_shuffled_execution(self):
+        cfg = StencilConfig(n=20, blocks=(2, 3), radius=2, steps=3)
+        rt = Runtime(RuntimeConfig(shuffle_intra_launch=True, seed=5))
+        out = run_stencil(rt, build_stencil(rt, cfg))
+        assert np.allclose(out, reference_stencil(cfg))
+
+    def test_fully_static_verification(self):
+        """Stencil's halo-read/block-write field split verifies statically."""
+        cfg = StencilConfig(n=16, blocks=(2, 2), radius=1, steps=2)
+        rt = Runtime()
+        run_stencil(rt, build_stencil(rt, cfg))
+        assert rt.stats.launches_verified_static == 4  # 2 launches x 2 steps
+        assert rt.stats.launches_fallback_serial == 0
+        assert rt.stats.check_evaluations == 0
+
+    def test_grid_too_small_rejected(self):
+        rt = Runtime()
+        with pytest.raises(ValueError):
+            build_stencil(rt, StencilConfig(n=3, radius=2))
+
+    @given(
+        n=st.integers(10, 30),
+        bx=st.integers(1, 3),
+        by=st.integers(1, 3),
+        steps=st.integers(1, 3),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_matches_reference(self, n, bx, by, steps):
+        cfg = StencilConfig(n=n, blocks=(bx, by), radius=1, steps=steps)
+        rt = Runtime()
+        out = run_stencil(rt, build_stencil(rt, cfg))
+        assert np.allclose(out, reference_stencil(cfg))
+
+
+class TestWorkloadGenerator:
+    def test_two_launches(self):
+        assert len(stencil_iteration(8).launches) == 2
+
+    def test_halo_bytes_scale_with_edge(self):
+        small = stencil_iteration(1, cells_per_node=1e4)
+        large = stencil_iteration(1, cells_per_node=1e6)
+        ratio = (large.launches[0].comm_bytes_per_task
+                 / small.launches[0].comm_bytes_per_task)
+        assert ratio == pytest.approx(10.0)  # sqrt(100)
+
+    def test_work_units(self):
+        assert stencil_iteration(4, cells_per_node=1e6).work_units == 4e6

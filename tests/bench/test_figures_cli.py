@@ -1,0 +1,67 @@
+"""Tests for the canonical figure definitions and the CLI."""
+
+import pytest
+
+from repro.bench.figures import FIGURES, FigureSpec, run_figure
+from repro.cli import main
+
+
+class TestFigureDefinitions:
+    def test_all_figures_registered(self):
+        assert set(FIGURES) == {f"fig{k}" for k in range(4, 11)}
+
+    def test_run_figure_small(self):
+        spec = run_figure("fig5", max_nodes=4)
+        assert isinstance(spec, FigureSpec)
+        assert spec.results[0].nodes == [1, 2, 4]
+        assert spec.metric == "throughput_per_node"
+
+    def test_unknown_figure_raises(self):
+        with pytest.raises(KeyError):
+            run_figure("fig99")
+
+    def test_fig9_has_two_series(self):
+        spec = run_figure("fig9", max_nodes=2)
+        assert [r.label for r in spec.results] == ["DCR, IDX", "DCR, No IDX"]
+
+    def test_fig10_has_three_series(self):
+        spec = run_figure("fig10", max_nodes=2)
+        labels = [r.label for r in spec.results]
+        assert labels == [
+            "DCR, IDX (dynamic check)",
+            "DCR, IDX (no check)",
+            "DCR, No IDX",
+        ]
+
+    def test_fig6_disables_tracing(self):
+        # Overdecomposed + no tracing: the IDX advantage appears even at
+        # tiny scale under No-DCR (unlike fig5's interference).
+        spec = run_figure("fig6", max_nodes=16)
+        by = {r.label: r for r in spec.results}
+        assert by["No DCR, IDX"].at(16)["throughput_per_node"] > \
+            by["No DCR, No IDX"].at(16)["throughput_per_node"]
+
+
+class TestCli:
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "statically verified : 1" in out
+        assert "serial fallbacks    : 1" in out
+
+    def test_figures_subset(self, capsys):
+        assert main(["figures", "fig5", "--max-nodes", "4", "--no-plot"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out and "DCR, IDX" in out
+
+    def test_figures_with_plot(self, capsys):
+        assert main(["figures", "fig4", "--max-nodes", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "(nodes)" in out  # the ASCII chart rendered
+
+    def test_unknown_figure_errors(self, capsys):
+        assert main(["figures", "fig99"]) == 2
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

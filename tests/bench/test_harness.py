@@ -1,0 +1,118 @@
+"""Tests for the scaling harness and reporting utilities."""
+
+import csv
+import os
+
+import pytest
+
+from repro.apps.circuit import circuit_iteration
+from repro.bench.harness import (
+    FOUR_CONFIGS,
+    ScalingResult,
+    run_scaling,
+    strong_scaling_nodes,
+    weak_scaling_nodes,
+)
+from repro.bench.reporting import (
+    format_series_table,
+    parallel_efficiency,
+    save_csv,
+)
+
+
+class TestNodeAxes:
+    def test_weak_axis(self):
+        assert weak_scaling_nodes(16) == [1, 2, 4, 8, 16]
+
+    def test_strong_axis_default(self):
+        assert strong_scaling_nodes()[-1] == 512
+
+    def test_paper_axes(self):
+        assert weak_scaling_nodes(1024)[-1] == 1024
+        assert len(weak_scaling_nodes(1024)) == 11
+
+
+class TestRunScaling:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_scaling(
+            lambda n: circuit_iteration(n, wires_per_node=50_000),
+            [1, 4, 16],
+        )
+
+    def test_four_series(self, results):
+        assert [r.label for r in results] == [
+            "DCR, IDX", "DCR, No IDX", "No DCR, IDX", "No DCR, No IDX",
+        ]
+
+    def test_node_axis_shared(self, results):
+        assert all(r.nodes == [1, 4, 16] for r in results)
+
+    def test_throughput_consistency(self, results):
+        for r in results:
+            for i, n in enumerate(r.nodes):
+                assert r.throughput_per_node[i] == pytest.approx(
+                    r.throughput[i] / n
+                )
+                assert r.sec_per_iter[i] > 0
+
+    def test_at_lookup(self, results):
+        row = results[0].at(4)
+        assert set(row) == {"throughput", "throughput_per_node", "sec_per_iter"}
+
+    def test_efficiency_baseline_is_one(self, results):
+        assert results[0].efficiency()[0] == pytest.approx(1.0)
+
+    def test_dcr_idx_wins_at_scale(self, results):
+        at16 = {r.label: r.at(16)["throughput"] for r in results}
+        assert at16["DCR, IDX"] >= max(at16.values()) * 0.999
+
+    def test_custom_config_subset(self):
+        res = run_scaling(
+            lambda n: circuit_iteration(n), [1, 2], configs=[(True, True)]
+        )
+        assert len(res) == 1
+
+    def test_checks_label(self):
+        res = run_scaling(
+            lambda n: circuit_iteration(n), [1],
+            configs=[(True, True)], checks=False,
+        )
+        assert "(no check)" in res[0].label
+
+
+class TestReporting:
+    def make_result(self):
+        r = ScalingResult("DCR, IDX")
+        r.nodes = [1, 2]
+        r.throughput = [10.0, 19.0]
+        r.throughput_per_node = [10.0, 9.5]
+        r.sec_per_iter = [0.1, 0.105]
+        return r
+
+    def test_format_table_contains_series(self):
+        table = format_series_table([self.make_result()], "throughput")
+        assert "DCR, IDX" in table and "19.000" in table
+
+    def test_format_table_unit_scale(self):
+        table = format_series_table(
+            [self.make_result()], "throughput", unit_scale=10.0
+        )
+        assert "1.900" in table
+
+    def test_format_table_rejects_mismatched_axes(self):
+        a, b = self.make_result(), self.make_result()
+        b.nodes = [1, 4]
+        with pytest.raises(ValueError):
+            format_series_table([a, b])
+
+    def test_parallel_efficiency(self):
+        assert parallel_efficiency(self.make_result(), 2) == pytest.approx(0.95)
+
+    def test_save_csv_roundtrip(self, tmp_path):
+        path = save_csv([self.make_result()], "t.csv", directory=str(tmp_path))
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 2
+        assert rows[1]["config"] == "DCR, IDX"
+        assert float(rows[1]["throughput"]) == 19.0

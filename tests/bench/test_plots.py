@@ -1,0 +1,84 @@
+"""Tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.bench.harness import ScalingResult
+from repro.bench.plots import ascii_plot
+
+
+def make_result(label, values, nodes=None):
+    r = ScalingResult(label)
+    r.nodes = nodes or [1, 2, 4, 8]
+    r.throughput = list(values)
+    r.throughput_per_node = [v / n for v, n in zip(values, r.nodes)]
+    r.sec_per_iter = [1.0 / v if v else 0.0 for v in values]
+    return r
+
+
+class TestAsciiPlot:
+    def test_contains_title_and_legend(self):
+        r = make_result("DCR, IDX", [1, 2, 4, 8])
+        out = ascii_plot([r], title="My Figure")
+        assert "My Figure" in out
+        assert "DCR, IDX" in out
+        assert "(nodes)" in out
+
+    def test_markers_differ_per_series(self):
+        a = make_result("A", [1, 2, 4, 8])
+        b = make_result("B", [8, 4, 2, 1])
+        out = ascii_plot([a, b])
+        assert "* A" in out and "o B" in out
+
+    def test_monotone_series_renders_monotone(self):
+        r = make_result("up", [1, 2, 3, 4])
+        out = ascii_plot([r], height=8, width=20)
+        rows = [l for l in out.splitlines() if "|" in l]
+        cols = []
+        for x in range(len(rows[0])):
+            for y, row in enumerate(rows):
+                if x < len(row) and row[x] == "*":
+                    cols.append((x, y))
+        xs = [c[0] for c in cols]
+        ys = [c[1] for c in cols]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys, reverse=True)  # higher value = higher row
+
+    def test_log_y_axis(self):
+        r = make_result("exp", [1, 10, 100, 1000])
+        out = ascii_plot([r], logy=True, height=10)
+        # On a log axis the exponential series is a straight diagonal:
+        # each point lands on a distinct row (exclude the legend line).
+        rows_with_marker = [
+            l for l in out.splitlines() if "|" in l and "*" in l
+        ]
+        assert len(rows_with_marker) == 4
+
+    def test_log_rejects_nonpositive(self):
+        r = make_result("bad", [0.0, 1, 2, 3])
+        with pytest.raises(ValueError):
+            ascii_plot([r], logy=True)
+
+    def test_mismatched_axes_rejected(self):
+        a = make_result("A", [1, 2, 4, 8])
+        b = make_result("B", [1, 2], nodes=[1, 2])
+        with pytest.raises(ValueError):
+            ascii_plot([a, b])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot([])
+
+    def test_flat_series_no_crash(self):
+        r = make_result("flat", [5, 5, 5, 5])
+        out = ascii_plot([r])
+        assert "*" in out
+
+    def test_unit_scale(self):
+        r = make_result("big", [1e6, 2e6, 4e6, 8e6])
+        out = ascii_plot([r], unit_scale=1e6)
+        assert "8.00" in out  # top axis label scaled down
+
+    def test_single_node_axis(self):
+        r = make_result("one", [3.0], nodes=[1])
+        out = ascii_plot([r])
+        assert "*" in out

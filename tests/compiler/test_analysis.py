@@ -1,0 +1,234 @@
+"""Tests for functor classification, candidate detection, and the pass."""
+
+import pytest
+
+from repro.compiler.ast import ForLoop
+from repro.compiler.dependence import loop_is_candidate
+from repro.compiler.functors import (
+    FunctorClass,
+    classify_index_expr,
+    eval_index_expr,
+    expr_to_functor,
+)
+from repro.compiler.optimize import (
+    DynamicCheckNode,
+    IndexLaunchNode,
+    optimize_program,
+)
+from repro.compiler.parser import parse
+from repro.core.projection import (
+    AffineFunctor,
+    CallableFunctor,
+    ConstantFunctor,
+    IdentityFunctor,
+    ModularFunctor,
+)
+
+
+def index_expr(src):
+    """The index expression of `p[...]` in a canned loop."""
+    prog = parse(f"for i = 0, 8 do foo(p[{src}]) end")
+    return prog.body[0].body[0].args[0].index
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "src,expected",
+        [
+            ("i", FunctorClass.IDENTITY),
+            ("3", FunctorClass.CONSTANT),
+            ("2 * i + 1", FunctorClass.AFFINE),
+            ("i + i", FunctorClass.AFFINE),
+            ("i - 2 * i", FunctorClass.AFFINE),     # folds to -i
+            ("i - i", FunctorClass.CONSTANT),       # folds to 0
+            ("0 * i + 7", FunctorClass.CONSTANT),
+            ("i % 3", FunctorClass.UNKNOWN),
+            ("i * i", FunctorClass.UNKNOWN),
+            ("f(i)", FunctorClass.UNKNOWN),
+            ("(i + 1) * 2", FunctorClass.AFFINE),
+        ],
+    )
+    def test_classes(self, src, expected):
+        cls, _ = classify_index_expr(index_expr(src), "i")
+        assert cls is expected
+
+    def test_affine_coefficients(self):
+        cls, coeffs = classify_index_expr(index_expr("3 * i - 2"), "i")
+        assert cls is FunctorClass.AFFINE and coeffs == (3, -2)
+
+    def test_env_constants_fold(self):
+        cls, coeffs = classify_index_expr(index_expr("k * i"), "i", {"k": 4})
+        assert cls is FunctorClass.AFFINE and coeffs == (4, 0)
+
+    def test_unbound_name_is_unknown(self):
+        cls, _ = classify_index_expr(index_expr("k * i"), "i")
+        assert cls is FunctorClass.UNKNOWN
+
+    def test_non_integer_affine_is_unknown(self):
+        cls, _ = classify_index_expr(index_expr("i / 2"), "i")
+        assert cls is FunctorClass.UNKNOWN
+
+
+class TestExprToFunctor:
+    def test_identity(self):
+        assert isinstance(expr_to_functor(index_expr("i"), "i", {}), IdentityFunctor)
+
+    def test_constant(self):
+        f = expr_to_functor(index_expr("4"), "i", {})
+        assert isinstance(f, ConstantFunctor)
+
+    def test_affine(self):
+        f = expr_to_functor(index_expr("2 * i + 3"), "i", {})
+        assert isinstance(f, AffineFunctor) and (f.a, f.b) == (2, 3)
+
+    def test_modular_recognized(self):
+        f = expr_to_functor(index_expr("(i + 2) % 5"), "i", {})
+        assert isinstance(f, ModularFunctor) and (f.n, f.k) == (5, 2)
+
+    def test_opaque_callable(self):
+        f = expr_to_functor(index_expr("f(i)"), "i", {"f": lambda i: 2 * i})
+        assert isinstance(f, CallableFunctor)
+        assert f(3) == (6,)
+
+    def test_functor_evaluation_matches_interpreter(self):
+        for src in ("i", "2*i+1", "(i+3)%4", "i*i - i"):
+            expr = index_expr(src)
+            f = expr_to_functor(expr, "i", {})
+            for i in range(8):
+                assert f(i)[0] == eval_index_expr(expr, "i", i, {})
+
+
+class TestCandidates:
+    def loop(self, src):
+        return parse(src).body[0]
+
+    def test_single_launch_eligible(self):
+        r = loop_is_candidate(self.loop("for i = 0, 4 do foo(p[i]) end"))
+        assert r.eligible
+
+    def test_var_decls_allowed(self):
+        r = loop_is_candidate(
+            self.loop("for i = 0, 4 do var j = 2 * i foo(p[j]) end")
+        )
+        assert r.eligible
+
+    def test_no_launch_not_candidate(self):
+        r = loop_is_candidate(self.loop("for i = 0, 4 do var j = i end"))
+        assert not r.eligible
+
+    def test_two_launches_not_candidate(self):
+        r = loop_is_candidate(
+            self.loop("for i = 0, 4 do foo(p[i]) bar(q[i]) end")
+        )
+        assert not r.eligible
+
+    def test_loop_carried_assignment_rejected(self):
+        r = loop_is_candidate(
+            self.loop("for i = 0, 4 do acc = acc + i foo(p[i]) end")
+        )
+        assert not r.eligible
+        assert any("loop-carried" in reason for reason in r.reasons)
+
+    def test_local_reassignment_allowed(self):
+        r = loop_is_candidate(
+            self.loop("for i = 0, 4 do var j = i j = j + 1 foo(p[j]) end")
+        )
+        assert r.eligible
+
+    def test_nested_loop_rejected(self):
+        r = loop_is_candidate(
+            self.loop("for i = 0, 4 do for j = 0, 2 do foo(p[j]) end end")
+        )
+        assert not r.eligible
+
+    def test_loop_var_redefinition_rejected(self):
+        r = loop_is_candidate(
+            self.loop("for i = 0, 4 do var i = 3 foo(p[i]) end")
+        )
+        assert not r.eligible
+
+
+TASKS = """
+task rw(c) reads(c) writes(c) do c.v = c.v + 1 end
+task ro(c) reads(c) do var x = c.v end
+task two(a, b) reads(a) writes(b) do b.v = a.v end
+task wb(a, b) reads(a) writes(a) writes(b) do b.v = a.v end
+"""
+
+
+class TestOptimizePass:
+    def opt(self, body):
+        return optimize_program(parse(TASKS + body))
+
+    def test_identity_write_becomes_index_launch(self):
+        prog, report = self.opt("for i = 0, 4 do rw(p[i]) end")
+        assert isinstance(prog.body[0], IndexLaunchNode)
+        assert report.decisions[0].action == "index-launch"
+
+    def test_affine_write_becomes_index_launch(self):
+        prog, report = self.opt("for i = 0, 4 do rw(p[2 * i]) end")
+        assert isinstance(prog.body[0], IndexLaunchNode)
+
+    def test_read_only_constant_is_fine(self):
+        prog, report = self.opt("for i = 0, 4 do two(p[0], q[i]) end")
+        assert isinstance(prog.body[0], IndexLaunchNode)
+
+    def test_constant_write_keeps_loop(self):
+        prog, report = self.opt("for i = 0, 4 do rw(p[3]) end")
+        assert isinstance(prog.body[0], ForLoop)
+        assert report.decisions[0].action == "unsafe"
+
+    def test_modular_write_gets_dynamic_check(self):
+        prog, report = self.opt("for i = 0, 5 do rw(p[i % 3]) end")
+        node = prog.body[0]
+        assert isinstance(node, DynamicCheckNode)
+        assert report.decisions[0].action == "dynamic-check"
+        assert isinstance(node.fallback, ForLoop)
+
+    def test_opaque_call_gets_dynamic_check(self):
+        prog, report = self.opt("for i = 0, 5 do rw(p[f(i)]) end")
+        assert isinstance(prog.body[0], DynamicCheckNode)
+
+    def test_identical_selections_with_write_unsafe(self):
+        prog, report = self.opt("for i = 0, 4 do wb(p[i], p[i]) end")
+        assert isinstance(prog.body[0], ForLoop)
+        assert report.decisions[0].action == "unsafe"
+
+    def test_interleaved_affine_cross_check_static(self):
+        prog, report = self.opt("for i = 0, 4 do two(p[2*i], p[2*i+1]) end")
+        assert isinstance(prog.body[0], IndexLaunchNode)
+        assert report.decisions[0].action == "index-launch"
+
+    def test_cross_check_same_stride_same_residue_dynamic(self):
+        prog, report = self.opt("for i = 0, 4 do two(p[i], p[i+8]) end")
+        # Offsets differ by a multiple of the stride: the syntactic pass
+        # cannot rule out overlap, so it defers to the dynamic machinery.
+        assert isinstance(prog.body[0], DynamicCheckNode)
+
+    def test_non_candidate_untouched(self):
+        prog, report = self.opt(
+            "for i = 0, 4 do rw(p[i]) rw(q[i]) end"
+        )
+        assert isinstance(prog.body[0], ForLoop)
+        assert report.decisions[0].action == "not-candidate"
+
+    def test_scalar_call_args_allowed(self):
+        prog, report = self.opt("""
+        task scaled(c, k) reads(c) writes(c) do c.v = c.v * k end
+        for i = 0, 4 do scaled(p[i], 2.5) end
+        """)
+        assert isinstance(prog.body[0], IndexLaunchNode)
+
+    def test_unknown_task_not_candidate(self):
+        prog, report = self.opt("for i = 0, 4 do nosuch(p[i]) end")
+        assert report.decisions[0].action == "not-candidate"
+
+    def test_report_counts(self):
+        _, report = self.opt("""
+        for i = 0, 4 do rw(p[i]) end
+        for i = 0, 4 do rw(p[i % 3]) end
+        for i = 0, 4 do rw(p[0]) end
+        """)
+        assert report.count("index-launch") == 1
+        assert report.count("dynamic-check") == 1
+        assert report.count("unsafe") == 1

@@ -1,0 +1,71 @@
+"""Tests for the ``parallel for`` annotation (__demand(__index_launch))."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import DemandViolation, compile_and_run, optimize_program, parse
+from repro.compiler.optimize import DynamicCheckNode, IndexLaunchNode
+from repro.data.partition import equal_partition
+from repro.runtime import Runtime
+
+TASKS = """
+task rw(c) reads(c) writes(c) do c.v = c.v + 1 end
+"""
+
+
+class TestParsing:
+    def test_parallel_for_sets_flag(self):
+        prog = parse("parallel for i = 0, 4 do rw(p[i]) end")
+        assert prog.body[0].demand_parallel
+
+    def test_plain_for_unflagged(self):
+        prog = parse("for i = 0, 4 do rw(p[i]) end")
+        assert not prog.body[0].demand_parallel
+
+    def test_parallel_requires_for(self):
+        from repro.compiler import ParseError
+
+        with pytest.raises(ParseError):
+            parse("parallel rw(p[0])")
+
+
+class TestEnforcement:
+    def test_demand_satisfied_statically(self):
+        prog, report = optimize_program(
+            parse(TASKS + "parallel for i = 0, 4 do rw(p[i]) end")
+        )
+        assert isinstance(prog.body[0], IndexLaunchNode)
+
+    def test_demand_satisfied_with_dynamic_check(self):
+        prog, report = optimize_program(
+            parse(TASKS + "parallel for i = 0, 8 do rw(p[(i + 1) % 8]) end")
+        )
+        assert isinstance(prog.body[0], DynamicCheckNode)
+
+    def test_demand_violated_by_unsafe_loop(self):
+        with pytest.raises(DemandViolation, match="unsafe"):
+            optimize_program(
+                parse(TASKS + "parallel for i = 0, 4 do rw(p[0]) end")
+            )
+
+    def test_demand_violated_by_non_candidate(self):
+        with pytest.raises(DemandViolation, match="not-candidate"):
+            optimize_program(
+                parse(TASKS + """
+                parallel for i = 0, 4 do
+                  rw(p[i])
+                  rw(q[i])
+                end
+                """)
+            )
+
+    def test_demand_end_to_end(self):
+        rt = Runtime()
+        region = rt.create_region("r", 8, {"v": "f8"})
+        part = equal_partition("p_demand", region, 8)
+        compile_and_run(
+            TASKS + "parallel for i = 0, 8 do rw(p[i]) end",
+            {"p": part}, rt,
+        )
+        assert np.all(region.storage("v") == 1.0)
+        assert rt.stats.index_launches == 1

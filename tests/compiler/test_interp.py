@@ -1,0 +1,205 @@
+"""End-to-end tests: compile and run mini-Regent programs on the runtime."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_and_run
+from repro.compiler.interp import InterpError
+from repro.data.partition import equal_partition
+from repro.runtime import Runtime, RuntimeConfig
+
+
+def setup_partitions(rt, sizes):
+    """Create 1-D regions with field 'v' and equal partitions per spec."""
+    out = {}
+    for name, (size, pieces, init) in sizes.items():
+        region = rt.create_region(f"r_{name}_{len(out)}", size, {"v": "f8"})
+        region.storage("v")[:] = init
+        out[name] = equal_partition(f"{name}_part", region, pieces)
+    return out
+
+
+class TestBasicExecution:
+    def test_identity_index_launch(self):
+        rt = Runtime()
+        b = setup_partitions(rt, {"p": (8, 4, np.arange(8.0))})
+        _, report, _ = compile_and_run(
+            "task inc(c) reads(c) writes(c) do c.v = c.v + 1 end\n"
+            "for i = 0, 4 do inc(p[i]) end",
+            b, rt,
+        )
+        assert report.count("index-launch") == 1
+        assert np.allclose(b["p"].region.storage("v"), np.arange(8.0) + 1)
+        assert rt.stats.index_launches == 1
+
+    def test_two_region_task(self):
+        rt = Runtime()
+        b = setup_partitions(rt, {
+            "p": (8, 4, np.arange(8.0)),
+            "q": (8, 4, 0.0),
+        })
+        compile_and_run(
+            "task cp(a, b) reads(a) writes(b) do b.v = a.v * 3 end\n"
+            "for i = 0, 4 do cp(p[i], q[i]) end",
+            b, rt,
+        )
+        assert np.allclose(b["q"].region.storage("v"), 3 * np.arange(8.0))
+
+    def test_scalar_arguments(self):
+        rt = Runtime()
+        b = setup_partitions(rt, {"p": (4, 4, 1.0)})
+        compile_and_run(
+            "task scale(c, k) reads(c) writes(c) do c.v = c.v * k end\n"
+            "for i = 0, 4 do scale(p[i], 2.5) end",
+            b, rt,
+        )
+        assert np.all(b["p"].region.storage("v") == 2.5)
+
+    def test_point_dependent_scalar(self):
+        rt = Runtime()
+        b = setup_partitions(rt, {"p": (4, 4, 0.0)})
+        compile_and_run(
+            "task setv(c, k) writes(c) do c.v = k end\n"
+            "for i = 0, 4 do setv(p[i], i * 10) end",
+            b, rt,
+        )
+        assert list(b["p"].region.storage("v")) == [0.0, 10.0, 20.0, 30.0]
+
+    def test_host_bindings_in_index_exprs(self):
+        rt = Runtime()
+        b = setup_partitions(rt, {"p": (8, 8, 0.0)})
+        b["off"] = 3
+        compile_and_run(
+            "task one(c) writes(c) do c.v = 1 end\n"
+            "for i = 0, 5 do one(p[i + off]) end",
+            b, rt,
+        )
+        assert list(b["p"].region.storage("v")) == [0, 0, 0, 1, 1, 1, 1, 1]
+
+    def test_top_level_single_call(self):
+        rt = Runtime()
+        b = setup_partitions(rt, {"p": (4, 2, 1.0)})
+        compile_and_run(
+            "task dbl(c) reads(c) writes(c) do c.v = c.v * 2 end\n"
+            "dbl(p[1])",
+            b, rt,
+        )
+        assert list(b["p"].region.storage("v")) == [1, 1, 2, 2]
+
+    def test_reduction_task_body(self):
+        rt = Runtime()
+        b = setup_partitions(rt, {"p": (4, 2, 1.0)})
+        compile_and_run(
+            "task add(c, k) reduces +(c) do c.v = k end\n"
+            "for i = 0, 2 do add(p[i], 5) end",
+            b, rt,
+        )
+        assert np.all(b["p"].region.storage("v") == 6.0)
+
+
+class TestHybridBehaviour:
+    def test_listing2_falls_back_to_serial(self):
+        """The paper's Listing 2: i % 3 over [0,5) with writes — the dynamic
+        check rejects it and the original loop runs instead."""
+        rt = Runtime()
+        b = setup_partitions(rt, {"p": (8, 8, 0.0), "q": (3, 3, 0.0)})
+        _, report, _ = compile_and_run(
+            "task foo(c1, c2) reads(c1) reads(c2) writes(c2) do c2.v = c2.v + 1 end\n"
+            "for i = 0, 5 do foo(p[i], q[i % 3]) end",
+            b, rt,
+        )
+        assert report.count("dynamic-check") == 1
+        assert rt.stats.launches_fallback_serial == 1
+        # Serial semantics: q[0] and q[1] visited twice, q[2] once.
+        assert list(b["q"].region.storage("v")) == [2, 2, 1]
+
+    def test_valid_modular_runs_as_index_launch(self):
+        rt = Runtime()
+        b = setup_partitions(rt, {"p": (8, 8, 0.0)})
+        _, report, _ = compile_and_run(
+            "task one(c) writes(c) do c.v = 1 end\n"
+            "for i = 0, 8 do one(p[(i + 3) % 8]) end",
+            b, rt,
+        )
+        assert report.count("dynamic-check") == 1
+        assert rt.stats.launches_verified_dynamic == 1
+        assert rt.stats.launches_fallback_serial == 0
+        assert np.all(b["p"].region.storage("v") == 1.0)
+
+    def test_opaque_host_function_checked_dynamically(self):
+        rt = Runtime()
+        b = setup_partitions(rt, {"p": (8, 8, 0.0)})
+        b["perm"] = lambda i: (7 - i)
+        compile_and_run(
+            "task one(c) writes(c) do c.v = 1 end\n"
+            "for i = 0, 8 do one(p[perm(i)]) end",
+            b, rt,
+        )
+        assert rt.stats.launches_verified_dynamic == 1
+        assert np.all(b["p"].region.storage("v") == 1.0)
+
+    def test_optimized_equals_unoptimized(self):
+        """Differential test: the pass must never change program results."""
+        src = (
+            "task inc(c) reads(c) writes(c) do c.v = c.v + 1 end\n"
+            "task cp(a, b) reads(a) writes(b) do b.v = a.v end\n"
+            "for i = 0, 6 do inc(p[i]) end\n"
+            "for i = 0, 6 do cp(p[i], q[(i + 2) % 6]) end\n"
+            "for i = 0, 4 do inc(q[i % 3]) end\n"
+        )
+        results = []
+        for optimize in (True, False):
+            rt = Runtime()
+            b = setup_partitions(rt, {
+                "p": (12, 6, np.arange(12.0)),
+                "q": (12, 6, 0.0),
+            })
+            compile_and_run(src, b, rt, optimize=optimize)
+            results.append(
+                (b["p"].region.storage("v").copy(),
+                 b["q"].region.storage("v").copy())
+            )
+        assert np.array_equal(results[0][0], results[1][0])
+        assert np.array_equal(results[0][1], results[1][1])
+
+    def test_constant_write_loop_serial_last_wins(self):
+        rt = Runtime()
+        b = setup_partitions(rt, {"p": (4, 4, 0.0)})
+        _, report, _ = compile_and_run(
+            "task setv(c, k) writes(c) do c.v = k end\n"
+            "for i = 0, 4 do setv(p[2], i) end",
+            b, rt,
+        )
+        assert report.count("unsafe") == 1
+        assert b["p"].region.storage("v")[2] == 3.0  # last iteration
+
+
+class TestErrors:
+    def test_unknown_partition(self):
+        rt = Runtime()
+        with pytest.raises(InterpError):
+            compile_and_run(
+                "task one(c) writes(c) do c.v = 1 end\n"
+                "for i = 0, 2 do one(zzz[i]) end",
+                {}, rt,
+            )
+
+    def test_mixed_reduction_privileges_rejected(self):
+        rt = Runtime()
+        b = setup_partitions(rt, {"p": (4, 2, 0.0)})
+        with pytest.raises(InterpError):
+            compile_and_run(
+                "task bad(c) reads(c) reduces +(c) do c.v = 1 end\n"
+                "for i = 0, 2 do bad(p[i]) end",
+                b, rt,
+            )
+
+    def test_unbound_function_in_index(self):
+        rt = Runtime()
+        b = setup_partitions(rt, {"p": (4, 4, 0.0)})
+        with pytest.raises(NameError):
+            compile_and_run(
+                "task one(c) writes(c) do c.v = 1 end\n"
+                "for i = 0, 4 do one(p[mystery(i)]) end",
+                b, rt,
+            )

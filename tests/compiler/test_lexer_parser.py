@@ -1,0 +1,212 @@
+"""Tests for the mini-Regent lexer and parser."""
+
+import pytest
+
+from repro.compiler.ast import (
+    Assign,
+    BinOp,
+    Call,
+    CallStmt,
+    FieldAssign,
+    FieldRef,
+    ForLoop,
+    Index,
+    Name,
+    Number,
+    VarDecl,
+)
+from repro.compiler.lexer import LexError, Token, tokenize
+from repro.compiler.parser import ParseError, parse
+
+
+class TestLexer:
+    def test_simple_tokens(self):
+        kinds = [t.kind for t in tokenize("for i = 0, 5 do end")]
+        assert kinds == ["keyword", "name", "symbol", "number", "symbol",
+                         "number", "keyword", "keyword", "eof"]
+
+    def test_comments_skipped(self):
+        toks = tokenize("x = 1 -- a comment\ny = 2")
+        names = [t.value for t in toks if t.kind == "name"]
+        assert names == ["x", "y"]
+
+    def test_line_col_tracking(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].col) == (1, 1)
+        assert (toks[1].line, toks[1].col) == (2, 3)
+
+    def test_numbers(self):
+        toks = tokenize("3 3.5")
+        assert [t.value for t in toks[:2]] == ["3", "3.5"]
+
+    def test_bad_number(self):
+        with pytest.raises(LexError):
+            tokenize("3.5.1")
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+    def test_two_char_symbols(self):
+        toks = tokenize("a == b ~= c")
+        syms = [t.value for t in toks if t.kind == "symbol"]
+        assert syms == ["==", "~="]
+
+    def test_keywords_vs_names(self):
+        toks = tokenize("task tasker")
+        assert toks[0].kind == "keyword" and toks[1].kind == "name"
+
+
+class TestParserExpressions:
+    def parse_expr(self, src):
+        prog = parse(f"x = {src}")
+        return prog.body[0].value
+
+    def test_precedence(self):
+        e = self.parse_expr("1 + 2 * 3")
+        assert isinstance(e, BinOp) and e.op == "+"
+        assert isinstance(e.right, BinOp) and e.right.op == "*"
+
+    def test_parentheses(self):
+        e = self.parse_expr("(1 + 2) * 3")
+        assert e.op == "*" and e.left.op == "+"
+
+    def test_modulo(self):
+        e = self.parse_expr("i % 3")
+        assert e.op == "%"
+
+    def test_unary_minus(self):
+        e = self.parse_expr("-i")
+        assert isinstance(e, BinOp) and e.op == "-" and e.left == Number(0)
+
+    def test_call_expr(self):
+        e = self.parse_expr("f(i, 2)")
+        assert isinstance(e, Call) and e.fn == "f" and len(e.args) == 2
+
+    def test_index_expr(self):
+        e = self.parse_expr("p[i + 1]")
+        assert isinstance(e, Index) and e.base == "p"
+
+    def test_field_ref(self):
+        e = self.parse_expr("c1.val + 2")
+        assert isinstance(e.left, FieldRef)
+        assert e.left.region == "c1" and e.left.fname == "val"
+
+    def test_comparison(self):
+        e = self.parse_expr("i <= 4")
+        assert e.op == "<="
+
+    def test_integer_vs_float_literals(self):
+        assert self.parse_expr("5") == Number(5)
+        assert self.parse_expr("5.0") == Number(5.0)
+        assert isinstance(self.parse_expr("5").value, int)
+
+
+class TestParserStatements:
+    def test_var_decl(self):
+        prog = parse("var j = i * 2")
+        assert isinstance(prog.body[0], VarDecl)
+
+    def test_assign(self):
+        prog = parse("j = 3")
+        assert isinstance(prog.body[0], Assign)
+
+    def test_call_stmt(self):
+        prog = parse("foo(p[i], 3)")
+        stmt = prog.body[0]
+        assert isinstance(stmt, CallStmt) and stmt.fn == "foo"
+
+    def test_for_loop(self):
+        prog = parse("for i = 0, 5 do foo(p[i]) end")
+        loop = prog.body[0]
+        assert isinstance(loop, ForLoop)
+        assert loop.var == "i" and loop.lo == Number(0) and loop.hi == Number(5)
+        assert isinstance(loop.body[0], CallStmt)
+
+    def test_nested_loops(self):
+        prog = parse("for i = 0, 2 do for j = 0, 2 do foo(p[j]) end end")
+        inner = prog.body[0].body[0]
+        assert isinstance(inner, ForLoop)
+
+    def test_field_assign_in_task(self):
+        prog = parse("""
+        task foo(c) reads(c) writes(c) do
+          c.v = c.v + 1
+        end
+        """)
+        body = prog.tasks["foo"].body
+        assert isinstance(body[0], FieldAssign)
+
+    def test_missing_end_rejected(self):
+        with pytest.raises(ParseError):
+            parse("for i = 0, 5 do foo(p[i])")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse("for = 0 do end")
+
+
+class TestParserTasks:
+    def test_task_with_privileges(self):
+        prog = parse("""
+        task saxpy(x, y, a) reads(x) reads(y) writes(y) do
+          y.v = y.v + a * x.v
+        end
+        """)
+        t = prog.tasks["saxpy"]
+        assert t.params == ["x", "y", "a"]
+        kinds = [(c.kind, c.param) for c in t.privileges]
+        assert ("reads", "x") in kinds and ("writes", "y") in kinds
+        assert t.region_params() == ["x", "y"]
+
+    def test_field_restricted_privileges(self):
+        prog = parse("task f(c) reads(c.a, c.b) writes(c.out) do c.out = c.a end")
+        clauses = prog.tasks["f"].privileges
+        assert {c.fields for c in clauses} == {("a",), ("b",), ("out",)}
+
+    def test_reduction_privilege(self):
+        prog = parse("task acc(c) reduces +(c) do c.v = 1 end")
+        c = prog.tasks["acc"].privileges[0]
+        assert c.kind == "reduces" and c.redop == "+"
+
+    def test_min_max_reductions(self):
+        prog = parse("task lo(c) reduces <(c) do c.v = 1 end")
+        assert prog.tasks["lo"].privileges[0].redop == "min"
+
+    def test_bad_reduction_op(self):
+        with pytest.raises(ParseError):
+            parse("task f(c) reduces %(c) do c.v = 1 end")
+
+    def test_privilege_on_unknown_param(self):
+        with pytest.raises(ParseError):
+            parse("task f(c) reads(zzz) do c.v = 1 end")
+
+    def test_duplicate_task_rejected(self):
+        with pytest.raises(ParseError):
+            parse("task f(c) reads(c) do end task f(c) reads(c) do end")
+
+    def test_listing1_parses(self):
+        # The paper's Listing 1 (with explicit bodies).
+        prog = parse("""
+        task foo(c) reads(c) writes(c) do c.v = c.v + 1 end
+        task bar(c) reads(c) writes(c) do c.v = c.v * 2 end
+        for i = 0, 10 do
+          foo(p[i])
+        end
+        for i = 0, 10 do
+          bar(q[f(i)])
+        end
+        """)
+        assert set(prog.tasks) == {"foo", "bar"}
+        assert len(prog.body) == 2
+
+    def test_listing2_parses(self):
+        prog = parse("""
+        task foo(c1, c2) reads(c1) writes(c2) do c2.v = c1.v end
+        for i = 0, 5 do
+          foo(p[i], q[i % 3])
+        end
+        """)
+        call = prog.body[0].body[0]
+        assert isinstance(call.args[1], Index)
+        assert call.args[1].index.op == "%"

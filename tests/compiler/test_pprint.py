@@ -1,0 +1,104 @@
+"""Round-trip tests for the mini-Regent pretty-printer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.ast import BinOp, Call, Index, Name, Number
+from repro.compiler.parser import parse
+from repro.compiler.pprint import unparse, unparse_expr
+
+SAMPLES = [
+    "x = 1 + 2 * 3",
+    "x = (1 + 2) * 3",
+    "x = i % 3 + f(i, 2)",
+    "x = p[i + 1]",
+    "x = a - b - c",          # left associativity
+    "x = a - (b - c)",
+    "x = c1.v * 2 + c2.w",
+    "var y = -i",
+    "foo(p[i], q[f(i)], 3.5)",
+]
+
+
+class TestRoundTripSamples:
+    @pytest.mark.parametrize("src", SAMPLES)
+    def test_statement_roundtrip(self, src):
+        prog = parse(src)
+        again = parse(unparse(prog))
+        assert again.body == prog.body
+
+    def test_task_roundtrip(self):
+        src = """
+        task saxpy(x, y, a) reads(x) reads(y) writes(y) do
+          y.v = y.v + a * x.v
+        end
+        task acc(c) reduces +(c) do
+          c.v = 1
+        end
+        task lo(c) reduces <(c) do
+          c.v = 2
+        end
+        for i = 0, 8 do
+          saxpy(p[i], q[i], 2.0)
+        end
+        parallel for i = 0, 4 do
+          acc(p[i])
+        end
+        """
+        prog = parse(src)
+        text = unparse(prog)
+        again = parse(text)
+        assert set(again.tasks) == set(prog.tasks)
+        for name in prog.tasks:
+            assert again.tasks[name].privileges == prog.tasks[name].privileges
+            assert again.tasks[name].body == prog.tasks[name].body
+        assert again.body == prog.body
+
+    def test_parallel_for_preserved(self):
+        prog = parse("parallel for i = 0, 4 do foo(p[i]) end")
+        assert "parallel for" in unparse(prog)
+
+    def test_field_restricted_privileges(self):
+        src = "task f(c) reads(c.a, c.b) writes(c.o) do c.o = c.a end"
+        prog = parse(src)
+        again = parse(unparse(prog))
+        assert again.tasks["f"].privileges == prog.tasks["f"].privileges
+
+
+# ----------------------------------------------------------------- fuzzing
+
+def exprs(depth=3):
+    leaf = st.one_of(
+        st.integers(0, 99).map(Number),
+        st.sampled_from(["i", "j", "k", "n"]).map(Name),
+    )
+    if depth == 0:
+        return leaf
+    sub = exprs(depth - 1)
+    return st.one_of(
+        leaf,
+        st.builds(BinOp, st.sampled_from(["+", "-", "*", "/", "%"]), sub, sub),
+        st.builds(
+            Call,
+            st.sampled_from(["f", "g"]),
+            st.tuples(sub),
+        ),
+        st.builds(Index, st.sampled_from(["p", "q"]), sub),
+    )
+
+
+@settings(max_examples=300, deadline=None)
+@given(expr=exprs())
+def test_expression_roundtrip(expr):
+    text = unparse_expr(expr)
+    prog = parse(f"x = {text}")
+    assert prog.body[0].value == expr, text
+
+
+@settings(max_examples=100, deadline=None)
+@given(expr=exprs(depth=4))
+def test_deep_expression_roundtrip(expr):
+    text = unparse_expr(expr)
+    prog = parse(f"x = {text}")
+    assert prog.body[0].value == expr, text

@@ -1,0 +1,19 @@
+"""Test-suite configuration.
+
+Hypothesis runs derandomized by default so CI results are reproducible;
+set ``HYPOTHESIS_PROFILE=explore`` locally to hunt for new counterexamples
+with fresh random seeds.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("explore", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))

@@ -1,0 +1,246 @@
+"""Tests for projection functors and their static injectivity knowledge."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.domain import Domain, Point
+from repro.core.projection import (
+    AffineFunctor,
+    AffineNDFunctor,
+    CallableFunctor,
+    ComposedFunctor,
+    ConstantFunctor,
+    IdentityFunctor,
+    Injectivity,
+    ModularFunctor,
+    PlaneProjectionFunctor,
+    QuadraticFunctor,
+)
+
+D10 = Domain.range(10)
+
+
+def batch_matches_scalar(functor, domain):
+    """Vectorized evaluation must agree with point-at-a-time evaluation."""
+    pts = domain.point_array()
+    batch = functor.apply_batch(pts)
+    if batch.ndim == 1:
+        batch = batch.reshape(-1, 1)
+    for row_in, row_out in zip(pts, batch):
+        assert functor.apply(Point(*row_in)) == Point(*row_out)
+
+
+class TestIdentity:
+    def test_apply(self):
+        f = IdentityFunctor()
+        assert f(Point(3)) == Point(3)
+        assert f(Point(1, 2)) == Point(1, 2)
+
+    def test_statically_injective(self):
+        assert IdentityFunctor().static_injectivity(D10) is Injectivity.INJECTIVE
+
+    def test_batch(self):
+        batch_matches_scalar(IdentityFunctor(), D10)
+
+    def test_equality(self):
+        assert IdentityFunctor() == IdentityFunctor()
+
+
+class TestConstant:
+    def test_apply(self):
+        assert ConstantFunctor(4)(Point(9)) == Point(4)
+
+    def test_not_injective_over_multi_point_domain(self):
+        assert ConstantFunctor(0).static_injectivity(D10) is Injectivity.NOT_INJECTIVE
+
+    def test_injective_over_singleton(self):
+        assert (
+            ConstantFunctor(0).static_injectivity(Domain.range(1))
+            is Injectivity.INJECTIVE
+        )
+
+    def test_nd_constant(self):
+        f = ConstantFunctor((1, 2))
+        assert f(Point(0)) == Point(1, 2)
+        assert f.apply_batch(D10.point_array()).shape == (10, 2)
+
+    def test_batch(self):
+        batch_matches_scalar(ConstantFunctor(7), D10)
+
+
+class TestAffine:
+    def test_apply(self):
+        assert AffineFunctor(2, 1)(Point(3)) == Point(7)
+
+    def test_injective_iff_nondegenerate(self):
+        assert AffineFunctor(2, 5).static_injectivity(D10) is Injectivity.INJECTIVE
+        assert AffineFunctor(0, 5).static_injectivity(D10) is Injectivity.NOT_INJECTIVE
+
+    def test_negative_stride_injective(self):
+        assert AffineFunctor(-1, 9).static_injectivity(D10) is Injectivity.INJECTIVE
+
+    def test_batch(self):
+        batch_matches_scalar(AffineFunctor(-3, 100), D10)
+
+    @given(a=st.integers(-5, 5), b=st.integers(-10, 10))
+    def test_static_verdict_matches_brute_force(self, a, b):
+        f = AffineFunctor(a, b)
+        images = {f.apply(p) for p in D10}
+        injective = len(images) == D10.volume
+        verdict = f.static_injectivity(D10)
+        if verdict is Injectivity.INJECTIVE:
+            assert injective
+        elif verdict is Injectivity.NOT_INJECTIVE:
+            assert not injective
+
+
+class TestModular:
+    def test_listing2_example(self):
+        # i % 3 over [0, 5): 0,1,2,0,1 — not injective.
+        f = ModularFunctor(3)
+        vals = [f.apply(p)[0] for p in Domain.range(5)]
+        assert vals == [0, 1, 2, 0, 1]
+
+    def test_statically_unknown(self):
+        assert ModularFunctor(3).static_injectivity(D10) is Injectivity.UNKNOWN
+
+    def test_rotation_with_offset(self):
+        f = ModularFunctor(10, k=4)
+        images = {f.apply(p) for p in D10}
+        assert len(images) == 10  # a full rotation is injective
+
+    def test_invalid_modulus(self):
+        with pytest.raises(ValueError):
+            ModularFunctor(0)
+
+    def test_batch(self):
+        batch_matches_scalar(ModularFunctor(7, k=3), D10)
+
+
+class TestQuadratic:
+    def test_apply(self):
+        assert QuadraticFunctor(1, 0, 0)(Point(4)) == Point(16)
+
+    def test_statically_unknown(self):
+        assert QuadraticFunctor(1).static_injectivity(D10) is Injectivity.UNKNOWN
+
+    def test_batch(self):
+        batch_matches_scalar(QuadraticFunctor(2, -3, 5), D10)
+
+
+class TestCallable:
+    def test_opaque_function(self):
+        f = CallableFunctor(lambda i: 2 * i + 1, name="odd")
+        assert f(Point(3)) == Point(7)
+        assert f.static_injectivity(D10) is Injectivity.UNKNOWN
+        assert "odd" in f.describe()
+
+    def test_nd_output(self):
+        f = CallableFunctor(lambda i: (i, i + 1))
+        assert f(Point(2)) == Point(2, 3)
+
+    def test_batch_fallback(self):
+        batch_matches_scalar(CallableFunctor(lambda i: i * i - i), D10)
+
+
+class TestComposed:
+    def test_apply(self):
+        f = ComposedFunctor(AffineFunctor(2), AffineFunctor(1, 3))
+        assert f(Point(1)) == Point(8)  # 2 * (1 + 3)
+
+    def test_injective_composition(self):
+        f = ComposedFunctor(AffineFunctor(2), IdentityFunctor())
+        assert f.static_injectivity(D10) is Injectivity.INJECTIVE
+
+    def test_noninjective_inner(self):
+        f = ComposedFunctor(IdentityFunctor(), ConstantFunctor(0))
+        assert f.static_injectivity(D10) is Injectivity.NOT_INJECTIVE
+
+    def test_unknown_inner(self):
+        f = ComposedFunctor(IdentityFunctor(), ModularFunctor(3))
+        assert f.static_injectivity(D10) is Injectivity.UNKNOWN
+
+    def test_batch(self):
+        batch_matches_scalar(
+            ComposedFunctor(AffineFunctor(-1, 5), ModularFunctor(4)), D10
+        )
+
+
+class TestAffineND:
+    def test_apply(self):
+        f = AffineNDFunctor([[1, 0], [0, 1], [1, 1]], offset=[0, 0, 10])
+        assert f(Point(2, 3)) == Point(2, 3, 15)
+
+    def test_full_rank_injective(self):
+        f = AffineNDFunctor([[1, 0], [0, 1]])
+        d = Domain.rect((0, 0), (3, 3))
+        assert f.static_injectivity(d) is Injectivity.INJECTIVE
+
+    def test_rank_deficient_unknown(self):
+        # (x, y) -> x + y is not injective on a square but is on a diagonal.
+        f = AffineNDFunctor([[1, 1]])
+        d = Domain.rect((0, 0), (3, 3))
+        assert f.static_injectivity(d) is Injectivity.UNKNOWN
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            AffineNDFunctor([1, 2, 3])
+        with pytest.raises(ValueError):
+            AffineNDFunctor([[1, 0]], offset=[1, 2])
+
+    def test_batch(self):
+        f = AffineNDFunctor([[2, 0], [0, 3]], offset=[1, -1])
+        batch_matches_scalar(f, Domain.rect((0, 0), (2, 2)))
+
+
+class TestPlaneProjection:
+    def test_apply(self):
+        f = PlaneProjectionFunctor([0, 1])
+        assert f(Point(1, 2, 3)) == Point(1, 2)
+
+    def test_unknown_over_volume(self):
+        f = PlaneProjectionFunctor([0, 1])
+        cube = Domain.rect((0, 0, 0), (2, 2, 2))
+        assert f.static_injectivity(cube) is Injectivity.UNKNOWN
+
+    def test_injective_over_diagonal_slice(self):
+        # The DOM sweep case (Section 6.2.3): a diagonal slice has no
+        # duplicate (x, y) pairs, so projecting away z is injective there.
+        slice_pts = [(x, y, 4 - x - y) for x in range(3) for y in range(3)]
+        d = Domain.points(slice_pts)
+        f = PlaneProjectionFunctor([0, 1])
+        images = {f.apply(p) for p in d}
+        assert len(images) == d.volume
+
+    def test_rejects_duplicate_axes(self):
+        with pytest.raises(ValueError):
+            PlaneProjectionFunctor([0, 0])
+
+    def test_batch(self):
+        f = PlaneProjectionFunctor([2, 0])
+        batch_matches_scalar(f, Domain.rect((0, 0, 0), (1, 1, 1)))
+
+
+@given(
+    a=st.integers(-4, 4),
+    b=st.integers(-8, 8),
+    n=st.integers(1, 12),
+    k=st.integers(0, 12),
+)
+def test_batch_scalar_agreement_randomized(a, b, n, k):
+    """apply_batch == pointwise apply for every functor family."""
+    domain = Domain.range(10)
+    functors = [
+        IdentityFunctor(),
+        ConstantFunctor(b),
+        AffineFunctor(a, b),
+        ModularFunctor(n, k),
+        QuadraticFunctor(a, b, k),
+    ]
+    for f in functors:
+        pts = domain.point_array()
+        batch = f.apply_batch(pts).reshape(domain.volume, -1)
+        for row_in, row_out in zip(pts, batch):
+            assert f.apply(Point(*row_in)) == Point(*row_out)

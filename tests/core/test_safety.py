@@ -1,0 +1,320 @@
+"""Tests for the hybrid launch-safety analysis (Section 3 + Section 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.domain import Domain, Point, Rect
+from repro.core.launch import IndexLaunch, RegionRequirement
+from repro.core.projection import (
+    AffineFunctor,
+    CallableFunctor,
+    ConstantFunctor,
+    IdentityFunctor,
+    ModularFunctor,
+    PlaneProjectionFunctor,
+)
+from repro.core.safety import SafetyMethod, analyze_launch_safety
+from repro.data.collection import Region
+from repro.data.partition import block_partition, equal_partition, explicit_partition
+from repro.data.privileges import PrivilegeSpec
+
+
+class FakeTask:
+    """Launch safety only needs a named task object."""
+
+    name = "foo"
+
+
+def launch_over(n, *reqs, domain=None):
+    return IndexLaunch(
+        task=FakeTask(),
+        domain=domain if domain is not None else Domain.range(n),
+        requirements=list(reqs),
+    )
+
+
+def req(partition, functor, priv):
+    return RegionRequirement(
+        privilege=PrivilegeSpec.parse(priv), partition=partition, functor=functor
+    )
+
+
+@pytest.fixture
+def regions():
+    r1 = Region("c1", Rect((0,), (15,)), {"x": "f8"})
+    r2 = Region("c2", Rect((0,), (15,)), {"y": "f8"})
+    return r1, r2
+
+
+@pytest.fixture
+def parts(regions):
+    r1, r2 = regions
+    p = equal_partition("p", r1, 8)
+    q = equal_partition("q", r2, 8)
+    return p, q
+
+
+class TestSelfChecks:
+    def test_identity_write_static_safe(self, parts):
+        p, _ = parts
+        v = analyze_launch_safety(launch_over(8, req(p, IdentityFunctor(), "writes")))
+        assert v.safe and v.method is SafetyMethod.STATIC
+        assert v.check_evaluations == 0
+
+    def test_read_only_any_functor_safe(self, parts):
+        p, _ = parts
+        v = analyze_launch_safety(launch_over(8, req(p, ConstantFunctor(0), "reads")))
+        assert v.safe and v.method is SafetyMethod.STATIC
+
+    def test_reduction_any_functor_safe(self, parts):
+        p, _ = parts
+        v = analyze_launch_safety(
+            launch_over(8, req(p, ConstantFunctor(0), "reduces +"))
+        )
+        assert v.safe and v.method is SafetyMethod.STATIC
+
+    def test_constant_write_statically_unsafe(self, parts):
+        p, _ = parts
+        v = analyze_launch_safety(launch_over(8, req(p, ConstantFunctor(0), "writes")))
+        assert not v.safe and v.method is SafetyMethod.UNSAFE
+        assert v.check_evaluations == 0  # rejected without any dynamic check
+
+    def test_write_on_aliased_partition_unsafe(self, regions):
+        r1, _ = regions
+        grid = Region("g", Rect((0, 0), (7, 7)), {"v": "f8"})
+        halo = block_partition("halo", grid, (2, 2), halo=1)
+        v = analyze_launch_safety(
+            launch_over(
+                4,
+                req(halo, IdentityFunctor(), "writes"),
+                domain=Domain.rect((0, 0), (1, 1)),
+            )
+        )
+        assert not v.safe and v.method is SafetyMethod.UNSAFE
+
+    def test_modular_write_resolved_dynamically(self, parts):
+        p, _ = parts
+        # (i + 3) mod 8 over [0,8) is a rotation: injective.
+        v = analyze_launch_safety(launch_over(8, req(p, ModularFunctor(8, 3), "writes")))
+        assert v.safe and v.method is SafetyMethod.HYBRID
+        assert v.check_evaluations == 8
+
+    def test_listing2_rejected_dynamically(self, regions):
+        # foo(p[i], q[i % 3]) over [0, 5) with writes on q (Listing 2).
+        r1, r2 = regions
+        p = equal_partition("p", r1, 5)
+        q = equal_partition("q", r2, 3)
+        v = analyze_launch_safety(
+            launch_over(
+                5,
+                req(p, IdentityFunctor(), "reads"),
+                req(q, ModularFunctor(3), "writes"),
+            )
+        )
+        assert not v.safe and v.method is SafetyMethod.UNSAFE
+        assert any("i=" not in s and "dynamic" in s for s in v.reasons)
+
+    def test_opaque_functor_dynamic(self, parts):
+        p, _ = parts
+        f = CallableFunctor(lambda i: (7 * i) % 8, name="f")
+        v = analyze_launch_safety(launch_over(8, req(p, f, "writes")))
+        assert v.safe and v.method is SafetyMethod.HYBRID
+
+
+class TestCrossChecks:
+    def test_distinct_collections_pass(self, parts):
+        p, q = parts
+        v = analyze_launch_safety(
+            launch_over(
+                8,
+                req(p, IdentityFunctor(), "writes"),
+                req(q, IdentityFunctor(), "reads"),
+            )
+        )
+        assert v.safe and v.method is SafetyMethod.STATIC
+
+    def test_both_read_same_partition_pass(self, parts):
+        p, _ = parts
+        v = analyze_launch_safety(
+            launch_over(
+                8,
+                req(p, IdentityFunctor(), "reads"),
+                req(p, ModularFunctor(8), "reads"),
+            )
+        )
+        assert v.safe and v.method is SafetyMethod.STATIC
+
+    def test_same_op_reductions_pass(self, parts):
+        p, _ = parts
+        v = analyze_launch_safety(
+            launch_over(
+                8,
+                req(p, IdentityFunctor(), "reduces +"),
+                req(p, ModularFunctor(8, 1), "reduces +"),
+            )
+        )
+        assert v.safe and v.method is SafetyMethod.STATIC
+
+    def test_different_op_reductions_checked(self, parts):
+        p, _ = parts
+        # + vs * on the same partition: images must be disjoint; identity vs
+        # identity overlap -> unsafe.
+        v = analyze_launch_safety(
+            launch_over(
+                8,
+                req(p, IdentityFunctor(), "reduces +"),
+                req(p, IdentityFunctor(), "reduces *"),
+            )
+        )
+        assert not v.safe
+
+    def test_affine_interleaving_statically_disjoint(self, regions):
+        r1, _ = regions
+        p = equal_partition("p", r1, 16)
+        v = analyze_launch_safety(
+            launch_over(
+                8,
+                req(p, AffineFunctor(2, 0), "writes"),
+                req(p, AffineFunctor(2, 1), "reads"),
+            )
+        )
+        assert v.safe and v.method is SafetyMethod.STATIC
+
+    def test_affine_same_offset_statically_unsafe(self, regions):
+        r1, _ = regions
+        p = equal_partition("p", r1, 16)
+        v = analyze_launch_safety(
+            launch_over(
+                8,
+                req(p, AffineFunctor(2, 0), "writes"),
+                req(p, AffineFunctor(2, 2), "reads"),
+            )
+        )
+        assert not v.safe and v.method is SafetyMethod.UNSAFE
+
+    def test_shifted_window_statically_disjoint(self, regions):
+        r1, _ = regions
+        p = equal_partition("p", r1, 16)
+        # write p[i], read p[i + 8] over [0,8): same residue class, but the
+        # offset gap (8) exceeds the domain extent (7), so the images
+        # {0..7} and {8..15} are disjoint — decidable statically.
+        v = analyze_launch_safety(
+            launch_over(
+                8,
+                req(p, AffineFunctor(1, 0), "writes"),
+                req(p, AffineFunctor(1, 8), "reads"),
+            )
+        )
+        assert v.safe and v.method is SafetyMethod.STATIC
+
+    def test_shifted_window_overlap_detected(self, regions):
+        r1, _ = regions
+        p = equal_partition("p", r1, 16)
+        # write p[i], read p[i + 4] over [0,8): images {0..7} and {4..11}
+        # overlap on {4..7} — statically unsafe.
+        v = analyze_launch_safety(
+            launch_over(
+                8,
+                req(p, AffineFunctor(1, 0), "writes"),
+                req(p, AffineFunctor(1, 4), "reads"),
+            )
+        )
+        assert not v.safe and v.method is SafetyMethod.UNSAFE
+
+    def test_different_partitions_same_region_unsafe(self, regions):
+        r1, _ = regions
+        pa = equal_partition("pa", r1, 8)
+        pb = equal_partition("pb", r1, 4)
+        v = analyze_launch_safety(
+            launch_over(
+                4,
+                req(pa, IdentityFunctor(), "writes"),
+                req(pb, IdentityFunctor(), "reads"),
+            )
+        )
+        assert not v.safe and v.method is SafetyMethod.UNSAFE
+
+    def test_cross_group_subsumes_self_check(self, regions):
+        r1, _ = regions
+        p = equal_partition("p", r1, 16)
+        # Both functors need dynamic analysis AND share a partition: one
+        # shared-bitmask check must cover both (write images 0..7 and 8..15).
+        f1 = CallableFunctor(lambda i: i, name="lo")
+        f2 = CallableFunctor(lambda i: i + 8, name="hi")
+        v = analyze_launch_safety(
+            launch_over(8, req(p, f1, "writes"), req(p, f2, "writes"))
+        )
+        assert v.safe and v.method is SafetyMethod.HYBRID
+        assert len(v.dynamic_results) == 1
+        assert v.check_evaluations == 16  # 2 args x |D|=8, single pass
+
+
+class TestDisabledChecks:
+    def test_disabled_dynamic_check_is_unverified(self, parts):
+        p, _ = parts
+        v = analyze_launch_safety(
+            launch_over(8, req(p, ModularFunctor(8, 3), "writes")),
+            run_dynamic=False,
+        )
+        assert v.safe and v.method is SafetyMethod.UNVERIFIED
+        assert v.check_evaluations == 0
+
+    def test_static_rejection_still_fires_when_disabled(self, parts):
+        p, _ = parts
+        v = analyze_launch_safety(
+            launch_over(8, req(p, ConstantFunctor(0), "writes")),
+            run_dynamic=False,
+        )
+        assert not v.safe
+
+    def test_pure_python_path_agrees(self, parts):
+        p, _ = parts
+        launch = launch_over(8, req(p, ModularFunctor(8, 3), "writes"))
+        a = analyze_launch_safety(launch, use_numpy=True)
+        b = analyze_launch_safety(launch, use_numpy=False)
+        assert a.safe == b.safe and a.method == b.method
+
+
+class TestDOMScenario:
+    def test_diagonal_slice_plane_projection(self):
+        """Soleil-X DOM: diagonal 3-D slices projected to 2-D exchange planes."""
+        nx = ny = nz = 3
+        planes = Region("planes", Rect((0, 0), (nx - 1, ny - 1)), {"flux": "f8"})
+        plane_part = block_partition("pp", planes, (nx, ny))
+        # Diagonal slice x+y+z == 4 has no duplicate (x, y) pairs.
+        pts = [
+            (x, y, 4 - x - y)
+            for x in range(nx)
+            for y in range(ny)
+            if 0 <= 4 - x - y < nz
+        ]
+        launch = IndexLaunch(
+            task=FakeTask(),
+            domain=Domain.points(pts),
+            requirements=[
+                RegionRequirement(
+                    privilege=PrivilegeSpec.parse("reads writes"),
+                    partition=plane_part,
+                    functor=PlaneProjectionFunctor([0, 1]),
+                )
+            ],
+        )
+        v = analyze_launch_safety(launch)
+        assert v.safe and v.method is SafetyMethod.HYBRID
+
+    def test_full_cube_plane_projection_rejected(self):
+        nx = ny = nz = 2
+        planes = Region("planes", Rect((0, 0), (nx - 1, ny - 1)), {"flux": "f8"})
+        plane_part = block_partition("pp", planes, (nx, ny))
+        launch = IndexLaunch(
+            task=FakeTask(),
+            domain=Domain.rect((0, 0, 0), (nx - 1, ny - 1, nz - 1)),
+            requirements=[
+                RegionRequirement(
+                    privilege=PrivilegeSpec.parse("writes"),
+                    partition=plane_part,
+                    functor=PlaneProjectionFunctor([0, 1]),
+                )
+            ],
+        )
+        assert not analyze_launch_safety(launch).safe

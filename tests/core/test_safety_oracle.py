@@ -1,0 +1,228 @@
+"""Soundness of the hybrid safety analysis against a brute-force oracle.
+
+The paper's correctness requirement (Section 3): an index launch is valid
+iff its tasks are pairwise non-interfering — no task accesses (with any
+privilege) data written by another task of the same launch.
+
+The oracle below materializes every task's exact footprint (set of region
+elements, per field, per access kind) and decides interference by brute
+force.  Hypothesis then generates random launches — random partitions,
+functors, privileges, domains — and checks:
+
+* **soundness** (must hold): whenever the analysis says SAFE (statically or
+  dynamically), the oracle agrees there is no interference;
+* **fallback correctness**: whenever the analysis rejects a launch, the
+  runtime's serial fallback produces results identical to sequential
+  execution (checked elsewhere); here we additionally measure how often
+  rejection was conservative (oracle says independent) — allowed, since
+  the analysis is deliberately conservative for aliased partitions and
+  whole-partition reasoning.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.domain import Domain, Point, Rect
+from repro.core.launch import IndexLaunch, RegionRequirement
+from repro.core.projection import (
+    AffineFunctor,
+    CallableFunctor,
+    ConstantFunctor,
+    IdentityFunctor,
+    ModularFunctor,
+    QuadraticFunctor,
+)
+from repro.core.safety import SafetyMethod, analyze_launch_safety
+from repro.data.collection import Region
+from repro.data.partition import explicit_partition
+from repro.data.privileges import Privilege, PrivilegeSpec
+
+
+class FakeTask:
+    name = "oracle_task"
+
+
+# ---------------------------------------------------------------- the oracle
+
+def task_footprints(launch):
+    """For each domain point: list of (region uid, element ids, privilege)."""
+    out = {}
+    for p in launch.domain:
+        accesses = []
+        for req in launch.requirements:
+            sub = req.project(p)
+            ids = frozenset(sub.subset.linear_indices(sub.region.bounds))
+            accesses.append((sub.region.uid, ids, req.privilege))
+        out[p] = accesses
+    return out
+
+
+def interferes(launch) -> bool:
+    """Brute force: do any two tasks conflict on any element?"""
+    feet = task_footprints(launch)
+    points = list(feet)
+    for a, b in itertools.combinations(points, 2):
+        for (ra, ids_a, pa) in feet[a]:
+            for (rb, ids_b, pb) in feet[b]:
+                if ra != rb:
+                    continue
+                if pa.compatible_with(pb):
+                    continue
+                if ids_a & ids_b:
+                    return True
+    return False
+
+
+# ------------------------------------------------------------- the generator
+
+functor_strategy = st.one_of(
+    st.builds(IdentityFunctor),
+    st.builds(ConstantFunctor, st.integers(0, 5)),
+    st.builds(AffineFunctor, st.integers(-2, 3), st.integers(0, 4)),
+    st.builds(ModularFunctor, st.integers(1, 6), st.integers(0, 6)),
+    st.builds(QuadraticFunctor, st.integers(0, 2), st.integers(-2, 2),
+              st.integers(0, 3)),
+)
+
+privilege_strategy = st.sampled_from(
+    ["reads", "writes", "reads writes", "reduces +", "reduces *"]
+)
+
+
+@st.composite
+def random_launch(draw):
+    """A random 1-D launch over random partitions of 1-2 regions."""
+    n_colors = draw(st.integers(1, 6))
+    domain_size = draw(st.integers(1, 8))
+    n_regions = draw(st.integers(1, 2))
+    regions = [
+        Region(f"r{k}", Rect((0,), (11,)), {"f": "f8"}) for k in range(n_regions)
+    ]
+    partitions = []
+    for region in regions:
+        # Random subsets: possibly overlapping (aliased), possibly empty.
+        subsets = {}
+        for c in range(n_colors):
+            members = draw(
+                st.lists(st.integers(0, 11), max_size=5).map(np.array)
+            )
+            subsets[c] = np.asarray(members, dtype=np.int64)
+        partitions.append(
+            explicit_partition(f"p{region.uid}", region, subsets)
+        )
+    n_args = draw(st.integers(1, 3))
+    requirements = []
+    for _ in range(n_args):
+        part = draw(st.sampled_from(partitions))
+        functor = draw(functor_strategy)
+        priv = PrivilegeSpec.parse(draw(privilege_strategy))
+        requirements.append(
+            RegionRequirement(privilege=priv, partition=part, functor=functor)
+        )
+    return IndexLaunch(
+        task=FakeTask(),
+        domain=Domain.range(domain_size),
+        requirements=requirements,
+    )
+
+
+def in_bounds(launch) -> bool:
+    """All functor values inside the color space (out-of-bounds colors
+    would raise at projection time; the runtime treats them as programming
+    errors, so the oracle only considers well-formed launches)."""
+    for p in launch.domain:
+        for req in launch.requirements:
+            color = req.functor.apply(p)
+            if not req.partition.color_bounds.contains(color):
+                return False
+    return True
+
+
+# ----------------------------------------------------------------- the tests
+
+@settings(max_examples=300, deadline=None)
+@given(launch=random_launch())
+def test_safe_verdicts_are_sound(launch):
+    """analysis says safe => brute force finds no interference."""
+    assume(in_bounds(launch))
+    verdict = analyze_launch_safety(launch, run_dynamic=True)
+    if verdict.safe and verdict.method is not SafetyMethod.UNVERIFIED:
+        assert not interferes(launch), (
+            f"UNSOUND: verdict {verdict.method} for "
+            f"{[r.functor.describe() for r in launch.requirements]} "
+            f"with {[str(r.privilege) for r in launch.requirements]} "
+            f"over |D|={launch.domain.volume}; reasons={verdict.reasons}"
+        )
+
+
+@settings(max_examples=300, deadline=None)
+@given(launch=random_launch())
+def test_static_only_verdicts_are_sound(launch):
+    """Even with dynamic checks disabled, a STATIC safe verdict is sound."""
+    assume(in_bounds(launch))
+    verdict = analyze_launch_safety(launch, run_dynamic=False)
+    if verdict.safe and verdict.method is SafetyMethod.STATIC:
+        assert not interferes(launch)
+
+
+@settings(max_examples=200, deadline=None)
+@given(launch=random_launch())
+def test_pure_python_and_numpy_agree(launch):
+    assume(in_bounds(launch))
+    a = analyze_launch_safety(launch, use_numpy=True)
+    b = analyze_launch_safety(launch, use_numpy=False)
+    assert a.safe == b.safe
+    assert a.method == b.method
+
+
+@settings(max_examples=200, deadline=None)
+@given(launch=random_launch())
+def test_rejections_carry_reasons(launch):
+    assume(in_bounds(launch))
+    verdict = analyze_launch_safety(launch)
+    if not verdict.safe:
+        assert verdict.reasons
+        assert verdict.method is SafetyMethod.UNSAFE
+
+
+def test_oracle_detects_known_interference():
+    """Sanity-check the oracle itself on Listing 2."""
+    region = Region("r", Rect((0,), (11,)), {"f": "f8"})
+    part = explicit_partition(
+        "p", region, {c: np.array([c]) for c in range(3)}
+    )
+    launch = IndexLaunch(
+        task=FakeTask(),
+        domain=Domain.range(5),
+        requirements=[
+            RegionRequirement(
+                privilege=PrivilegeSpec.parse("writes"),
+                partition=part,
+                functor=ModularFunctor(3),
+            )
+        ],
+    )
+    assert interferes(launch)
+
+
+def test_oracle_accepts_known_independent():
+    region = Region("r", Rect((0,), (11,)), {"f": "f8"})
+    part = explicit_partition(
+        "p", region, {c: np.array([c]) for c in range(5)}
+    )
+    launch = IndexLaunch(
+        task=FakeTask(),
+        domain=Domain.range(5),
+        requirements=[
+            RegionRequirement(
+                privilege=PrivilegeSpec.parse("writes"),
+                partition=part,
+                functor=IdentityFunctor(),
+            )
+        ],
+    )
+    assert not interferes(launch)

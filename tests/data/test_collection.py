@@ -1,0 +1,197 @@
+"""Tests for regions, subregions, and subsets."""
+
+import numpy as np
+import pytest
+
+from repro.core.domain import Point, Rect
+from repro.data.collection import (
+    RectSubset,
+    Region,
+    SparseSubset,
+    Subregion,
+)
+from repro.data.fields import FieldSpace
+from repro.data.privileges import REDUCTION_OPS
+
+
+def make_region(n=10, fields=None):
+    return Region("r", Rect((0,), (n - 1,)), fields or {"x": "f8", "tag": "i8"})
+
+
+class TestFieldSpace:
+    def test_basic(self):
+        fs = FieldSpace({"a": "f8", "b": "i4"})
+        assert "a" in fs and fs.dtype("b") == np.dtype("i4")
+        assert fs.names == ("a", "b")
+        assert fs.bytes_per_point() == 12
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            FieldSpace({})
+
+    def test_rejects_bad_name(self):
+        with pytest.raises(ValueError):
+            FieldSpace({"not a name": "f8"})
+
+    def test_equality(self):
+        assert FieldSpace({"a": "f8"}) == FieldSpace({"a": "f8"})
+        assert FieldSpace({"a": "f8"}) != FieldSpace({"a": "f4"})
+
+
+class TestRegion:
+    def test_storage_shape_and_dtype(self):
+        r = make_region(7)
+        assert r.storage("x").shape == (7,)
+        assert r.storage("x").dtype == np.float64
+        assert r.storage("tag").dtype == np.int64
+
+    def test_fill(self):
+        r = make_region(4)
+        r.fill("x", 2.5)
+        assert np.all(r.storage("x") == 2.5)
+
+    def test_field_nd_is_view(self):
+        r = Region("g", Rect((0, 0), (2, 3)), {"v": "f8"})
+        nd = r.field_nd("v")
+        assert nd.shape == (3, 4)
+        nd[1, 2] = 9.0
+        assert r.storage("v")[1 * 4 + 2] == 9.0
+
+    def test_unique_uids(self):
+        assert make_region().uid != make_region().uid
+
+    def test_root_subregion_covers_region(self):
+        r = make_region(5)
+        root = r.root_subregion()
+        assert root.volume == 5 and root.color is None
+
+
+class TestRectSubset:
+    def test_linear_indices_1d(self):
+        s = RectSubset(Rect((2,), (4,)))
+        assert list(s.linear_indices(Rect((0,), (9,)))) == [2, 3, 4]
+
+    def test_linear_indices_2d_row_major(self):
+        bounds = Rect((0, 0), (2, 3))  # 3 x 4
+        s = RectSubset(Rect((1, 1), (2, 2)))
+        assert sorted(s.linear_indices(bounds)) == [5, 6, 9, 10]
+
+    def test_linear_indices_offset_bounds(self):
+        bounds = Rect((10,), (19,))
+        s = RectSubset(Rect((12,), (13,)))
+        assert list(s.linear_indices(bounds)) == [2, 3]
+
+    def test_out_of_bounds_raises(self):
+        with pytest.raises(ValueError):
+            RectSubset(Rect((0,), (12,))).linear_indices(Rect((0,), (9,)))
+
+    def test_empty(self):
+        s = RectSubset(Rect((0,), (-1,)))
+        assert s.volume() == 0
+        assert len(s.linear_indices(Rect((0,), (9,)))) == 0
+
+    def test_overlap_rects(self):
+        b = Rect((0, 0), (9, 9))
+        a = RectSubset(Rect((0, 0), (4, 4)))
+        c = RectSubset(Rect((4, 4), (8, 8)))
+        d = RectSubset(Rect((5, 5), (8, 8)))
+        assert a.overlaps(c, b)
+        assert not a.overlaps(d, b)
+
+
+class TestSparseSubset:
+    def test_dedups_and_sorts(self):
+        s = SparseSubset(np.array([5, 1, 5, 3]))
+        assert list(s.indices) == [1, 3, 5]
+        assert s.volume() == 3
+
+    def test_from_points(self):
+        bounds = Rect((0, 0), (1, 2))
+        s = SparseSubset.from_points([(0, 1), (1, 0)], bounds)
+        assert sorted(s.indices) == [1, 3]
+
+    def test_overlap_sparse_vs_rect(self):
+        bounds = Rect((0,), (9,))
+        sp = SparseSubset(np.array([2, 7]))
+        assert sp.overlaps(RectSubset(Rect((7,), (9,))), bounds)
+        assert not sp.overlaps(RectSubset(Rect((3,), (6,))), bounds)
+
+    def test_overlap_sparse_sparse(self):
+        bounds = Rect((0,), (9,))
+        a = SparseSubset(np.array([1, 2]))
+        b = SparseSubset(np.array([2, 3]))
+        c = SparseSubset(np.array([4]))
+        assert a.overlaps(b, bounds)
+        assert not a.overlaps(c, bounds)
+
+    def test_empty_never_overlaps(self):
+        bounds = Rect((0,), (9,))
+        e = SparseSubset(np.array([], dtype=np.int64))
+        assert not e.overlaps(SparseSubset(np.array([1])), bounds)
+
+
+class TestSubregionAccess:
+    def test_read_write_roundtrip_sparse(self):
+        r = make_region(6)
+        sub = Subregion(r, SparseSubset(np.array([1, 4])), Point(0), None)
+        sub.write("x", [10.0, 40.0])
+        assert r.storage("x")[1] == 10.0 and r.storage("x")[4] == 40.0
+        assert list(sub.read("x")) == [10.0, 40.0]
+
+    def test_read_1d_rect_returns_view(self):
+        r = make_region(6)
+        sub = Subregion(r, RectSubset(Rect((2,), (4,))), Point(0), None)
+        view = sub.read("x")
+        view[:] = 7.0
+        assert list(r.storage("x")) == [0, 0, 7, 7, 7, 0]
+
+    def test_read_nd_view(self):
+        r = Region("g", Rect((0, 0), (3, 3)), {"v": "f8"})
+        sub = Subregion(r, RectSubset(Rect((1, 1), (2, 2))), Point(0), None)
+        nd = sub.read_nd("v")
+        assert nd.shape == (2, 2)
+        nd[:] = 5.0
+        assert r.field_nd("v")[1, 1] == 5.0 and r.field_nd("v")[0, 0] == 0.0
+
+    def test_read_nd_requires_rect(self):
+        r = make_region(6)
+        sub = Subregion(r, SparseSubset(np.array([0])), Point(0), None)
+        with pytest.raises(TypeError):
+            sub.read_nd("x")
+
+    def test_fill(self):
+        r = make_region(5)
+        sub = Subregion(r, SparseSubset(np.array([0, 2])), Point(0), None)
+        sub.fill("x", 3.0)
+        assert list(r.storage("x")) == [3, 0, 3, 0, 0]
+
+    def test_reduce_sum(self):
+        r = make_region(4)
+        r.fill("x", 1.0)
+        sub = Subregion(r, SparseSubset(np.array([1, 2])), Point(0), None)
+        sub.reduce("x", [2.0, 3.0], REDUCTION_OPS["+"])
+        assert list(r.storage("x")) == [1, 3, 4, 1]
+
+    def test_reduce_min_max(self):
+        r = make_region(3)
+        r.fill("x", 5.0)
+        sub = Subregion(r, SparseSubset(np.array([0, 1, 2])), Point(0), None)
+        sub.reduce("x", [7.0, 1.0, 5.0], REDUCTION_OPS["min"])
+        assert list(r.storage("x")) == [5, 1, 5]
+        sub.reduce("x", [9.0, 0.0, 6.0], REDUCTION_OPS["max"])
+        assert list(r.storage("x")) == [9, 1, 6]
+
+    def test_views_share_storage_across_partitions(self):
+        # Subregions are views: writes through one are visible through another.
+        r = make_region(8)
+        a = Subregion(r, RectSubset(Rect((0,), (7,))), Point(0), None)
+        b = Subregion(r, SparseSubset(np.array([3])), Point(0), None)
+        b.write("x", [42.0])
+        assert a.read("x")[3] == 42.0
+
+    def test_overlaps_requires_same_region(self):
+        r1, r2 = make_region(4), make_region(4)
+        a = Subregion(r1, RectSubset(r1.bounds), Point(0), None)
+        b = Subregion(r2, RectSubset(r2.bounds), Point(0), None)
+        assert not a.overlaps(b)
+        assert a.overlaps(Subregion(r1, SparseSubset(np.array([2])), Point(1), None))

@@ -1,0 +1,133 @@
+"""Property-based invariants of dependent partitioning (Treichler et al. [29]).
+
+The circuit's private/shared/ghost derivation relies on algebraic facts
+about image/preimage and the color-wise set operations; hypothesis checks
+them on random graphs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.domain import Rect
+from repro.data.collection import Region
+from repro.data.partition import (
+    equal_partition,
+    image_partition,
+    partition_by_field,
+    partition_difference,
+    partition_intersection,
+    partition_union,
+    preimage_partition,
+)
+
+
+@st.composite
+def pointer_graph(draw):
+    """A small src region with a pointer field into a dst region, plus a
+    disjoint partition of each."""
+    n_src = draw(st.integers(1, 24))
+    n_dst = draw(st.integers(1, 16))
+    n_colors = draw(st.integers(1, 5))
+    ptrs = draw(
+        st.lists(st.integers(0, n_dst - 1), min_size=n_src, max_size=n_src)
+    )
+    src_colors = draw(
+        st.lists(st.integers(0, n_colors - 1), min_size=n_src, max_size=n_src)
+    )
+    src = Region("src", Rect((0,), (n_src - 1,)), {"ptr": "i8", "c": "i8"})
+    dst = Region("dst", Rect((0,), (n_dst - 1,)), {"v": "f8"})
+    src.storage("ptr")[:] = ptrs
+    src.storage("c")[:] = src_colors
+    src_part = partition_by_field("sp", src, "c", n_colors)
+    dst_part = equal_partition("dp", dst, n_colors)
+    return src, dst, src_part, dst_part
+
+
+@settings(max_examples=80, deadline=None)
+@given(g=pointer_graph())
+def test_image_contains_exactly_the_pointed_targets(g):
+    src, dst, src_part, dst_part = g
+    img = image_partition("img", src_part, "ptr", dst)
+    for color in src_part.color_space:
+        expected = set(src_part[color].read("ptr"))
+        actual = set(img[color].subset.linear_indices(dst.bounds))
+        assert actual == expected
+
+
+@settings(max_examples=80, deadline=None)
+@given(g=pointer_graph())
+def test_preimage_of_disjoint_is_disjoint_partition_of_all_pointers(g):
+    src, dst, src_part, dst_part = g
+    pre = preimage_partition("pre", src, "ptr", dst_part)
+    assert pre.verify_disjointness()
+    # Every source element lands in exactly one preimage subset.
+    total = sum(pre[c].volume for c in pre)
+    assert total == src.volume
+
+
+@settings(max_examples=80, deadline=None)
+@given(g=pointer_graph())
+def test_preimage_membership_matches_pointer(g):
+    src, dst, src_part, dst_part = g
+    pre = preimage_partition("pre", src, "ptr", dst_part)
+    ptrs = src.storage("ptr")
+    for color in pre.color_space:
+        dst_ids = set(dst_part[color].subset.linear_indices(dst.bounds))
+        for s in pre[color].subset.linear_indices(src.bounds):
+            assert int(ptrs[s]) in dst_ids
+
+
+@settings(max_examples=60, deadline=None)
+@given(g=pointer_graph())
+def test_set_algebra_identities(g):
+    """(A \\ B), (A & B) partition A; their union with B covers A | B."""
+    src, dst, src_part, dst_part = g
+    img = image_partition("img", src_part, "ptr", dst)
+    # Reuse dst_part colors only when the color spaces line up.
+    assume(img.color_space == dst_part.color_space)
+    diff = partition_difference("d", img, dst_part)
+    inter = partition_intersection("i", img, dst_part)
+    union = partition_union("u", img, dst_part)
+    for c in img.color_space:
+        a = set(img[c].subset.linear_indices(dst.bounds))
+        b = set(dst_part[c].subset.linear_indices(dst.bounds))
+        d = set(diff[c].subset.linear_indices(dst.bounds))
+        i = set(inter[c].subset.linear_indices(dst.bounds))
+        u = set(union[c].subset.linear_indices(dst.bounds))
+        assert d == a - b
+        assert i == a & b
+        assert u == a | b
+        assert d | i == a
+        assert d & i == set()
+
+
+@settings(max_examples=60, deadline=None)
+@given(g=pointer_graph())
+def test_ghost_decomposition_invariants(g):
+    """The circuit idiom: ghost = image \\ owned never intersects owned,
+    and owned + ghost covers the image."""
+    src, dst, src_part, dst_part = g
+    img = image_partition("img", src_part, "ptr", dst)
+    assume(img.color_space == dst_part.color_space)
+    ghost = partition_difference("gh", img, dst_part)
+    for c in img.color_space:
+        owned = set(dst_part[c].subset.linear_indices(dst.bounds))
+        gh = set(ghost[c].subset.linear_indices(dst.bounds))
+        image = set(img[c].subset.linear_indices(dst.bounds))
+        assert not (gh & owned)
+        assert image <= owned | gh
+
+
+@settings(max_examples=60, deadline=None)
+@given(g=pointer_graph())
+def test_image_after_preimage_roundtrip(g):
+    """image(preimage(P)) is contained in P (per color)."""
+    src, dst, src_part, dst_part = g
+    pre = preimage_partition("pre", src, "ptr", dst_part)
+    img = image_partition("img2", pre, "ptr", dst)
+    for c in dst_part.color_space:
+        image = set(img[c].subset.linear_indices(dst.bounds))
+        target = set(dst_part[c].subset.linear_indices(dst.bounds))
+        assert image <= target

@@ -1,0 +1,184 @@
+"""Tests for nested partitioning (the Legion region tree).
+
+Subregions of a disjoint partition are themselves disjoint collections, so
+partitions nested under *different* colors of a disjoint ancestor can be
+proven independent by tree reasoning — the generalized cross-check rule 2.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.domain import Domain, Rect
+from repro.core.launch import IndexLaunch, RegionRequirement
+from repro.core.projection import IdentityFunctor
+from repro.core.safety import SafetyMethod, analyze_launch_safety
+from repro.data.collection import Region, SparseSubset, Subregion
+from repro.data.partition import equal_partition, explicit_partition
+from repro.data.privileges import PrivilegeSpec
+from repro.runtime import Runtime, RuntimeConfig, task
+
+
+@pytest.fixture
+def tree():
+    """region -> halves (disjoint) -> quarters nested under each half."""
+    region = Region("r", Rect((0,), (15,)), {"x": "f8"})
+    halves = equal_partition("halves", region, 2)
+    left = equal_partition("left_q", halves[0], 2)
+    right = equal_partition("right_q", halves[1], 2)
+    return region, halves, left, right
+
+
+class TestNestedConstruction:
+    def test_nested_subsets_within_parent(self, tree):
+        region, halves, left, right = tree
+        for part, half in ((left, halves[0]), (right, halves[1])):
+            for c in part:
+                assert half.subset.covers(part[c].subset, region.bounds)
+
+    def test_nested_partition_covers_parent(self, tree):
+        region, halves, left, right = tree
+        assert sum(left[c].volume for c in left) == halves[0].volume
+
+    def test_ancestry_chain(self, tree):
+        region, halves, left, right = tree
+        assert halves.ancestry() == []
+        chain = left.ancestry()
+        assert len(chain) == 1
+        assert chain[0][0] == halves.uid
+        assert chain[0][2] is True  # disjoint ancestor
+
+    def test_nested_sparse_parent(self):
+        region = Region("r", Rect((0,), (9,)), {"x": "f8"})
+        sparse = explicit_partition(
+            "sp", region, {0: np.array([0, 2, 4, 6]), 1: np.array([1, 3])}
+        )
+        nested = equal_partition("nested", sparse[0], 2)
+        ids = [sorted(nested[c].subset.linear_indices(region.bounds))
+               for c in nested]
+        assert ids == [[0, 2], [4, 6]]
+        assert nested.parent_subregion is sparse[0]
+
+    def test_deep_nesting(self):
+        region = Region("r", Rect((0,), (31,)), {"x": "f8"})
+        level = equal_partition("l0", region, 2)
+        parts = [level]
+        for k in range(1, 3):
+            level = equal_partition(f"l{k}", level[0], 2)
+            parts.append(level)
+        assert len(parts[-1].ancestry()) == 2
+        assert parts[-1][0].volume == 4
+
+
+class TestTreeDisjointness:
+    def test_siblings_of_disjoint_ancestor(self, tree):
+        region, halves, left, right = tree
+        assert left.disjoint_from(right)
+        assert right.disjoint_from(left)
+
+    def test_same_parent_not_provable(self, tree):
+        region, halves, left, right = tree
+        other_left = equal_partition("left_q2", halves[0], 4)
+        assert not left.disjoint_from(other_left)
+
+    def test_root_partitions_not_provable(self, tree):
+        region, halves, left, right = tree
+        other = equal_partition("other", region, 4)
+        assert not halves.disjoint_from(other)
+
+    def test_distinct_regions_trivially_disjoint(self, tree):
+        region, halves, left, right = tree
+        other_region = Region("o", Rect((0,), (15,)), {"x": "f8"})
+        other = equal_partition("op", other_region, 2)
+        assert halves.disjoint_from(other)
+
+    def test_aliased_ancestor_not_used(self):
+        region = Region("r", Rect((0,), (15,)), {"x": "f8"})
+        aliased = explicit_partition(
+            "al", region,
+            {0: np.array([0, 1, 2, 3, 4]), 1: np.array([4, 5, 6, 7])},
+        )
+        a = equal_partition("a", aliased[0], 2)
+        b = equal_partition("b", aliased[1], 2)
+        # The common ancestor is aliased: colors differ but overlap is
+        # possible (element 4), so no proof.
+        assert not a.disjoint_from(b)
+
+
+class TestSafetyWithTree:
+    def make_launch(self, pa, pb, priv_a="writes", priv_b="reads"):
+        class T:
+            name = "t"
+
+        return IndexLaunch(
+            task=T(),
+            domain=Domain.range(2),
+            requirements=[
+                RegionRequirement(privilege=PrivilegeSpec.parse(priv_a),
+                                  partition=pa, functor=IdentityFunctor()),
+                RegionRequirement(privilege=PrivilegeSpec.parse(priv_b),
+                                  partition=pb, functor=IdentityFunctor()),
+            ],
+        )
+
+    def test_cross_check_passes_for_tree_disjoint_partitions(self, tree):
+        region, halves, left, right = tree
+        verdict = analyze_launch_safety(self.make_launch(left, right))
+        assert verdict.safe and verdict.method is SafetyMethod.STATIC
+        assert any("region-tree" in r for r in verdict.reasons)
+
+    def test_cross_check_still_rejects_unprovable(self, tree):
+        region, halves, left, right = tree
+        other_left = equal_partition("lq3", halves[0], 2)
+        verdict = analyze_launch_safety(self.make_launch(left, other_left))
+        assert not verdict.safe
+
+    def test_end_to_end_launch_with_nested_partitions(self, tree):
+        region, halves, left, right = tree
+
+        @task(privileges=["reads writes", "reads"])
+        def mix(ctx, mine, other):
+            mine.write("x", mine.read("x") + other.read("x").sum())
+
+        rt = Runtime(RuntimeConfig(shuffle_intra_launch=True))
+        region.storage("x")[:] = 1.0
+        rt.index_launch(mix, 2, left, right)
+        assert rt.stats.launches_verified_static == 1
+        assert rt.stats.launches_fallback_serial == 0
+        # left quarters are 4 wide; each added sum(right quarter) = 4.
+        assert np.all(region.storage("x")[:8] == 5.0)
+        assert np.all(region.storage("x")[8:] == 1.0)
+
+
+class TestContainmentValidation:
+    def test_builders_produce_contained_children(self, tree):
+        region, halves, left, right = tree
+        assert left.validate_containment()
+        assert right.validate_containment()
+        assert halves.validate_containment()  # root: trivially true
+
+    def test_nested_block_partition_contained(self):
+        region = Region("g", Rect((0, 0), (7, 7)), {"v": "f8"})
+        from repro.data.partition import block_partition
+
+        quads = block_partition("q", region, (2, 2))
+        nested = block_partition("n", quads[(1, 0)], (2, 2))
+        assert nested.validate_containment()
+        assert nested.disjoint
+
+    def test_escaping_subset_detected(self, tree):
+        from repro.core.domain import Domain as D
+        from repro.data.collection import SparseSubset
+        from repro.data.partition import Partition
+
+        region, halves, left, right = tree
+        import numpy as np
+
+        from repro.core.domain import Point
+
+        bad = Partition(
+            "bad", region, D.range(1),
+            # 15 escapes halves[0] (which covers [0, 7]).
+            {Point(0): SparseSubset(np.array([0, 15]))},
+            parent_subregion=halves[0],
+        )
+        assert not bad.validate_containment()

@@ -1,0 +1,271 @@
+"""Tests for partitions, partitioners, and dependent partitioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.domain import Domain, Point, Rect
+from repro.data.collection import Region
+from repro.data.partition import (
+    Partition,
+    block_partition,
+    equal_partition,
+    explicit_partition,
+    image_partition,
+    partition_by_field,
+    partition_difference,
+    partition_intersection,
+    partition_union,
+    preimage_partition,
+)
+
+
+def region1d(n=12, fields=None):
+    return Region("r", Rect((0,), (n - 1,)), fields or {"x": "f8", "ptr": "i8"})
+
+
+class TestEqualPartition:
+    def test_covers_disjointly(self):
+        r = region1d(10)
+        p = equal_partition("p", r, 3)
+        sizes = [p[c].volume for c in p]
+        assert sizes == [4, 3, 3]
+        assert p.disjoint and p.verify_disjointness()
+
+    def test_single_color(self):
+        r = region1d(5)
+        p = equal_partition("p", r, 1)
+        assert p[0].volume == 5
+
+    def test_more_colors_than_elements(self):
+        r = region1d(2)
+        p = equal_partition("p", r, 4)
+        assert [p[c].volume for c in p] == [1, 1, 0, 0]
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            equal_partition("p", region1d(), 0)
+
+    def test_rejects_2d_region(self):
+        r = Region("g", Rect((0, 0), (3, 3)), {"v": "f8"})
+        with pytest.raises(ValueError):
+            equal_partition("p", r, 2)
+
+    @given(n=st.integers(1, 50), k=st.integers(1, 10))
+    @settings(max_examples=60, deadline=None)
+    def test_property_exact_cover(self, n, k):
+        r = Region("r", Rect((0,), (n - 1,)), {"x": "f8"})
+        p = equal_partition("p", r, k)
+        total = sum(p[c].volume for c in p)
+        assert total == n
+        assert p.verify_disjointness()
+        # Near-equal: sizes differ by at most one.
+        sizes = [p[c].volume for c in p]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestBlockPartition:
+    def test_2d_blocks_disjoint_cover(self):
+        r = Region("g", Rect((0, 0), (7, 7)), {"v": "f8"})
+        p = block_partition("blocks", r, (2, 2))
+        assert p.n_colors == 4
+        assert sum(s.volume for s in p.subregions()) == 64
+        assert p.disjoint
+
+    def test_uneven_split(self):
+        r = Region("g", Rect((0,), (9,)), {"v": "f8"})
+        p = block_partition("b", r, (3,))
+        assert [p[c].volume for c in p] == [4, 3, 3]
+
+    def test_halo_is_aliased(self):
+        r = Region("g", Rect((0, 0), (7, 7)), {"v": "f8"})
+        halo = block_partition("halo", r, (2, 2), halo=1)
+        assert not halo.disjoint
+        # Interior tiles grow by the halo in each direction but clamp at edges.
+        assert halo[Point(0, 0)].subset.rect == Rect((0, 0), (4, 4))
+        assert halo[Point(1, 1)].subset.rect == Rect((3, 3), (7, 7))
+
+    def test_halo_contains_compute_block(self):
+        r = Region("g", Rect((0, 0), (9, 9)), {"v": "f8"})
+        interior = block_partition("b", r, (2, 2))
+        halo = block_partition("h", r, (2, 2), halo=2)
+        for c in interior:
+            assert halo[c].subset.rect.contains_rect(interior[c].subset.rect)
+
+    def test_rejects_wrong_dims(self):
+        r = Region("g", Rect((0, 0), (3, 3)), {"v": "f8"})
+        with pytest.raises(ValueError):
+            block_partition("b", r, (2,))
+        with pytest.raises(ValueError):
+            block_partition("b", r, (0, 2))
+
+
+class TestExplicitPartition:
+    def test_from_rects(self):
+        r = region1d(10)
+        p = explicit_partition(
+            "p", r, {0: Rect((0,), (4,)), 1: Rect((5,), (9,))}
+        )
+        assert p.disjoint
+
+    def test_from_point_lists_aliased(self):
+        r = region1d(10)
+        p = explicit_partition("p", r, {0: [(0,), (1,)], 1: [(1,), (2,)]})
+        assert not p.disjoint
+
+    def test_from_index_arrays(self):
+        r = region1d(10)
+        p = explicit_partition(
+            "p", r, {0: np.array([0, 1]), 1: np.array([2, 3])}
+        )
+        assert p.disjoint and p[1].volume == 2
+
+    def test_declared_disjointness_trusted_until_verified(self):
+        r = region1d(10)
+        p = explicit_partition("p", r, {0: np.array([0, 1]), 1: np.array([1])},
+                               disjoint=True)
+        assert p.disjoint          # declared
+        assert not p.verify_disjointness()  # but actually aliased
+
+    def test_missing_color_rejected(self):
+        from repro.data.collection import RectSubset
+
+        r = region1d(4)
+        with pytest.raises(ValueError):
+            Partition(
+                "p", r, Domain.range(2), {Point(0): RectSubset(Rect((0,), (3,)))}
+            )
+
+
+class TestPartitionByField:
+    def test_colors_from_field(self):
+        r = region1d(6, fields={"x": "f8", "piece": "i8"})
+        r.storage("piece")[:] = [0, 1, 0, 2, 1, 0]
+        p = partition_by_field("p", r, "piece", 3)
+        assert sorted(p[0].subset.indices) == [0, 2, 5]
+        assert sorted(p[1].subset.indices) == [1, 4]
+        assert sorted(p[2].subset.indices) == [3]
+        assert p.disjoint
+
+    def test_out_of_range_values_unassigned(self):
+        r = region1d(4, fields={"x": "f8", "piece": "i8"})
+        r.storage("piece")[:] = [0, 7, -1, 0]
+        p = partition_by_field("p", r, "piece", 1)
+        assert sorted(p[0].subset.indices) == [0, 3]
+
+    def test_rejects_float_field(self):
+        r = region1d(4)
+        with pytest.raises(ValueError):
+            partition_by_field("p", r, "x", 2)
+
+
+class TestDependentPartitioning:
+    def make_graph(self):
+        """4 wires pointing into 4 nodes, wires split into 2 pieces."""
+        wires = Region("wires", Rect((0,), (3,)), {"ptr": "i8"})
+        nodes = Region("nodes", Rect((0,), (3,)), {"v": "f8"})
+        wires.storage("ptr")[:] = [0, 1, 1, 3]
+        wp = equal_partition("wp", wires, 2)  # {0,1}, {2,3}
+        return wires, nodes, wp
+
+    def test_image(self):
+        wires, nodes, wp = self.make_graph()
+        img = image_partition("img", wp, "ptr", nodes)
+        assert sorted(img[0].subset.indices) == [0, 1]
+        assert sorted(img[1].subset.indices) == [1, 3]
+        assert img.region is nodes
+
+    def test_image_rejects_bad_pointers(self):
+        wires, nodes, wp = self.make_graph()
+        wires.storage("ptr")[0] = 99
+        with pytest.raises(ValueError):
+            image_partition("img", wp, "ptr", nodes)
+
+    def test_preimage(self):
+        wires, nodes, wp = self.make_graph()
+        np_part = equal_partition("np", nodes, 2)  # {0,1}, {2,3}
+        pre = preimage_partition("pre", wires, "ptr", np_part)
+        assert sorted(pre[0].subset.indices) == [0, 1, 2]  # wires into nodes 0-1
+        assert sorted(pre[1].subset.indices) == [3]
+        assert pre.disjoint
+
+    def test_image_aliasing_detected(self):
+        wires, nodes, wp = self.make_graph()
+        img = image_partition("img", wp, "ptr", nodes)
+        assert not img.disjoint  # node 1 shared by both pieces
+
+
+class TestSetAlgebra:
+    def setup_method(self):
+        self.r = region1d(8)
+        self.a = explicit_partition(
+            "a", self.r, {0: np.array([0, 1, 2]), 1: np.array([4, 5])}
+        )
+        self.b = explicit_partition(
+            "b", self.r, {0: np.array([2, 3]), 1: np.array([5, 6])}
+        )
+
+    def test_difference(self):
+        d = partition_difference("d", self.a, self.b)
+        assert sorted(d[0].subset.indices) == [0, 1]
+        assert sorted(d[1].subset.indices) == [4]
+
+    def test_intersection(self):
+        i = partition_intersection("i", self.a, self.b)
+        assert sorted(i[0].subset.indices) == [2]
+        assert sorted(i[1].subset.indices) == [5]
+
+    def test_union(self):
+        u = partition_union("u", self.a, self.b)
+        assert sorted(u[0].subset.indices) == [0, 1, 2, 3]
+        assert sorted(u[1].subset.indices) == [4, 5, 6]
+
+    def test_requires_same_region(self):
+        other = region1d(8)
+        c = explicit_partition("c", other, {0: np.array([0]), 1: np.array([1])})
+        with pytest.raises(ValueError):
+            partition_union("u", self.a, c)
+
+    def test_requires_same_color_space(self):
+        c = explicit_partition("c", self.r, {0: np.array([0])})
+        with pytest.raises(ValueError):
+            partition_union("u", self.a, c)
+
+    def test_private_shared_ghost_decomposition(self):
+        """The Circuit idiom: private = owned \\ shared, ghost = image \\ owned."""
+        nodes = region1d(8)
+        owned = explicit_partition(
+            "owned", nodes, {0: np.array([0, 1, 2, 3]), 1: np.array([4, 5, 6, 7])}
+        )
+        reachable = explicit_partition(
+            "reach", nodes, {0: np.array([0, 1, 2, 3, 4]), 1: np.array([3, 4, 5, 6, 7])}
+        )
+        shared_all = partition_intersection("sh", owned, reachable)
+        ghost = partition_difference("gh", reachable, owned)
+        assert sorted(ghost[0].subset.indices) == [4]
+        assert sorted(ghost[1].subset.indices) == [3]
+        private = partition_difference("pv", owned, ghost)
+        # Every private index is owned and not someone's ghost target per color.
+        assert sorted(private[0].subset.indices) == [0, 1, 2, 3]
+
+
+class TestDisjointnessVerification:
+    def test_empty_partition_is_disjoint(self):
+        r = region1d(4)
+        p = explicit_partition(
+            "p", r,
+            {0: np.array([], dtype=np.int64), 1: np.array([], dtype=np.int64)},
+        )
+        assert p.verify_disjointness()
+
+    @given(
+        assignment=st.lists(st.integers(0, 3), min_size=1, max_size=24),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_field_partitions_always_disjoint(self, assignment):
+        r = Region("r", Rect((0,), (len(assignment) - 1,)), {"c": "i8"})
+        r.storage("c")[:] = assignment
+        p = partition_by_field("p", r, "c", 4)
+        assert p.verify_disjointness()
+        assert sum(s.volume for s in p.subregions()) == len(assignment)

@@ -1,0 +1,111 @@
+"""Tests for privileges and reduction operators."""
+
+import numpy as np
+import pytest
+
+from repro.data.privileges import (
+    REDUCTION_OPS,
+    Privilege,
+    PrivilegeSpec,
+    ReductionOp,
+)
+
+
+class TestPrivilege:
+    def test_read_is_read_only(self):
+        assert Privilege.READ.is_read_only
+        assert not Privilege.WRITE.is_read_only
+        assert not Privilege.REDUCE.is_read_only
+
+    def test_writes_flag(self):
+        assert not Privilege.READ.writes
+        assert Privilege.WRITE.writes
+        assert Privilege.READ_WRITE.writes
+        assert Privilege.REDUCE.writes
+
+    def test_reads_flag(self):
+        assert Privilege.READ.reads
+        assert Privilege.READ_WRITE.reads
+        assert not Privilege.WRITE.reads
+
+
+class TestReductionOps:
+    def test_builtin_ops_present(self):
+        assert set(REDUCTION_OPS) == {"+", "*", "min", "max"}
+
+    def test_sum_identity(self):
+        op = REDUCTION_OPS["+"]
+        x = np.array([1.0, 2.0])
+        assert np.allclose(op.apply(x, np.full(2, op.identity)), x)
+
+    def test_prod_identity(self):
+        op = REDUCTION_OPS["*"]
+        x = np.array([3.0, 4.0])
+        assert np.allclose(op.apply(x, np.full(2, op.identity)), x)
+
+    def test_min_max(self):
+        assert REDUCTION_OPS["min"].apply(np.array([3.0]), np.array([1.0]))[0] == 1.0
+        assert REDUCTION_OPS["max"].apply(np.array([3.0]), np.array([5.0]))[0] == 5.0
+
+    def test_commutativity_of_sum(self):
+        op = REDUCTION_OPS["+"]
+        a, b = np.array([2.0]), np.array([7.0])
+        assert op.apply(a, b) == op.apply(b, a)
+
+
+class TestPrivilegeSpec:
+    def test_parse_reads(self):
+        assert PrivilegeSpec.parse("reads").privilege is Privilege.READ
+
+    def test_parse_writes(self):
+        assert PrivilegeSpec.parse("writes").privilege is Privilege.WRITE
+
+    def test_parse_reads_writes_both_orders(self):
+        assert PrivilegeSpec.parse("reads writes").privilege is Privilege.READ_WRITE
+        assert PrivilegeSpec.parse("writes reads").privilege is Privilege.READ_WRITE
+
+    def test_parse_reduction(self):
+        spec = PrivilegeSpec.parse("reduces +")
+        assert spec.privilege is Privilege.REDUCE
+        assert spec.redop.name == "+"
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(ValueError):
+            PrivilegeSpec.parse("scribbles")
+
+    def test_parse_bad_redop_raises(self):
+        with pytest.raises(ValueError):
+            PrivilegeSpec.parse("reduces xor")
+
+    def test_reduce_requires_op(self):
+        with pytest.raises(ValueError):
+            PrivilegeSpec(Privilege.REDUCE)
+
+    def test_non_reduce_rejects_op(self):
+        with pytest.raises(ValueError):
+            PrivilegeSpec(Privilege.READ, REDUCTION_OPS["+"])
+
+    def test_compatible_reads(self):
+        r = PrivilegeSpec(Privilege.READ)
+        assert r.compatible_with(r)
+
+    def test_compatible_same_op_reductions(self):
+        a = PrivilegeSpec(Privilege.REDUCE, REDUCTION_OPS["+"])
+        b = PrivilegeSpec(Privilege.REDUCE, REDUCTION_OPS["+"])
+        assert a.compatible_with(b)
+
+    def test_incompatible_different_op_reductions(self):
+        a = PrivilegeSpec(Privilege.REDUCE, REDUCTION_OPS["+"])
+        b = PrivilegeSpec(Privilege.REDUCE, REDUCTION_OPS["*"])
+        assert not a.compatible_with(b)
+
+    def test_incompatible_read_write(self):
+        r = PrivilegeSpec(Privilege.READ)
+        w = PrivilegeSpec(Privilege.WRITE)
+        assert not r.compatible_with(w)
+        assert not w.compatible_with(w)
+
+    def test_incompatible_read_reduce(self):
+        r = PrivilegeSpec(Privilege.READ)
+        red = PrivilegeSpec(Privilege.REDUCE, REDUCTION_OPS["+"])
+        assert not r.compatible_with(red)

@@ -1,0 +1,171 @@
+"""Tests for the performance model: the paper's asymptotic claims as code."""
+
+import pytest
+
+from repro.machine.costmodel import CostModel
+from repro.machine.perf import SimConfig, simulate_iteration, simulate_steady_state
+from repro.machine.workload import IterationSpec, LaunchSpec
+
+
+def simple_iteration(n_tasks, task_seconds=1e-3, n_launches=3, **kw):
+    launches = [
+        LaunchSpec(f"l{k}", n_tasks, task_seconds, **kw)
+        for k in range(n_launches)
+    ]
+    return IterationSpec(launches, work_units=1.0)
+
+
+class TestBasicBehaviour:
+    def test_single_node_times_are_positive_and_finite(self):
+        for dcr in (True, False):
+            for idx in (True, False):
+                t = simulate_iteration(
+                    simple_iteration(1), SimConfig(1, dcr=dcr, idx=idx)
+                )
+                assert 0 < t < 1.0
+
+    def test_deterministic(self):
+        cfg = SimConfig(8)
+        it = simple_iteration(8)
+        assert simulate_iteration(it, cfg) == simulate_iteration(it, cfg)
+
+    def test_compute_bound_iteration_near_task_time(self):
+        # With large tasks, overheads vanish: time/iter ~ sum of launch times.
+        it = simple_iteration(4, task_seconds=1.0, n_launches=2)
+        t = simulate_iteration(it, SimConfig(4))
+        assert t == pytest.approx(2.0, rel=0.05)
+
+    def test_steady_state_metrics(self):
+        m = simulate_steady_state(simple_iteration(4), SimConfig(4))
+        assert m["throughput"] == pytest.approx(1.0 / m["sec_per_iter"])
+        assert m["throughput_per_node"] == pytest.approx(m["throughput"] / 4)
+
+
+class TestAsymptoticClaims:
+    def test_dcr_noidx_overhead_linear_in_tasks(self):
+        """The replicated control program pays O(|D|) per node per launch."""
+        cfg = lambda n: SimConfig(n, dcr=True, idx=False)
+        t256 = simulate_iteration(simple_iteration(256, task_seconds=0.0), cfg(256))
+        t1024 = simulate_iteration(simple_iteration(1024, task_seconds=0.0), cfg(1024))
+        assert t1024 > 3.0 * t256  # ~4x with fixed costs
+
+    def test_dcr_idx_overhead_constant_in_nodes(self):
+        """With index launches, per-node control is O(|D|_local) = O(1)."""
+        cfg = lambda n: SimConfig(n, dcr=True, idx=True)
+        t16 = simulate_iteration(simple_iteration(16, task_seconds=0.0), cfg(16))
+        t1024 = simulate_iteration(simple_iteration(1024, task_seconds=0.0), cfg(1024))
+        assert t1024 < 3.0 * t16  # near-flat (contention term only)
+
+    def test_idx_beats_noidx_at_scale_under_dcr(self):
+        it = lambda n: simple_iteration(n, task_seconds=2e-3)
+        idx = simulate_iteration(it(512), SimConfig(512, idx=True))
+        noidx = simulate_iteration(it(512), SimConfig(512, idx=False))
+        assert idx < noidx
+
+    def test_configs_equivalent_at_one_node(self):
+        it = simple_iteration(1, task_seconds=10e-3)
+        times = [
+            simulate_iteration(it, SimConfig(1, dcr=dcr, idx=idx))
+            for dcr in (True, False)
+            for idx in (True, False)
+        ]
+        assert max(times) / min(times) < 1.05
+
+    def test_nodcr_centralizes_on_node0(self):
+        """Without DCR, node 0's O(|D|) work bounds the rate."""
+        it = lambda n: simple_iteration(n, task_seconds=1e-3)
+        t_dcr = simulate_iteration(it(256), SimConfig(256, dcr=True, idx=True))
+        t_nodcr = simulate_iteration(it(256), SimConfig(256, dcr=False, idx=True))
+        assert t_nodcr > t_dcr
+
+    def test_tracing_interference_without_dcr(self):
+        """Section 6.2.1: with tracing, No-DCR IDX is slightly WORSE than
+        No-DCR No-IDX; without tracing, IDX is much better (Figure 6)."""
+        it = lambda: simple_iteration(256, task_seconds=1e-3)
+        idx_tr = simulate_iteration(it(), SimConfig(256, dcr=False, idx=True, tracing=True))
+        noidx_tr = simulate_iteration(it(), SimConfig(256, dcr=False, idx=False, tracing=True))
+        assert idx_tr >= noidx_tr  # interference
+
+        idx_notr = simulate_iteration(it(), SimConfig(256, dcr=False, idx=True, tracing=False))
+        noidx_notr = simulate_iteration(it(), SimConfig(256, dcr=False, idx=False, tracing=False))
+        assert idx_notr < 0.7 * noidx_notr  # broadcast tree wins
+
+    def test_tracing_amortizes_analysis(self):
+        it = simple_iteration(128, task_seconds=0.0)
+        traced = simulate_iteration(it, SimConfig(128, idx=False, tracing=True))
+        untraced = simulate_iteration(it, SimConfig(128, idx=False, tracing=False))
+        assert traced < untraced
+
+    def test_overdecomposition_hurts_noidx_more(self):
+        """Figure 6's setup: 10x the tasks for the same total work."""
+        base = simple_iteration(64, task_seconds=1e-2)
+        over = simple_iteration(640, task_seconds=1e-3)
+        cfg = SimConfig(64, dcr=True, idx=False, tracing=False)
+        t_base = simulate_iteration(base, cfg)
+        t_over = simulate_iteration(over, cfg)
+        assert t_over > 2.0 * t_base
+
+
+class TestDynamicCheckCost:
+    def test_check_cost_charged_when_needed(self):
+        spec = lambda chk: IterationSpec(
+            [LaunchSpec("l", 1024, 0.0, needs_dynamic_check=chk, check_args=3)],
+            work_units=1.0,
+        )
+        with_check = simulate_iteration(spec(True), SimConfig(1024, checks=True))
+        without = simulate_iteration(spec(True), SimConfig(1024, checks=False))
+        no_need = simulate_iteration(spec(False), SimConfig(1024, checks=True))
+        assert with_check >= without
+        assert without == pytest.approx(no_need)
+
+    def test_check_cost_negligible_at_paper_scales(self):
+        """Table 2/3 conclusion: sub-3ms even at |D| = 1e6."""
+        c = CostModel()
+        assert c.dynamic_check_time(10**6, 1, 10**6) < 3.5e-3
+
+    def test_checks_ignored_for_noidx(self):
+        spec = IterationSpec(
+            [LaunchSpec("l", 256, 1e-3, needs_dynamic_check=True)], 1.0
+        )
+        a = simulate_iteration(spec, SimConfig(256, idx=False, checks=True))
+        b = simulate_iteration(spec, SimConfig(256, idx=False, checks=False))
+        assert a == pytest.approx(b)
+
+
+class TestWorkloadSpec:
+    def test_local_tasks_block_distribution(self):
+        spec = LaunchSpec("l", 10, 1e-3)
+        local = spec.local_tasks(4)
+        assert sum(local.values()) == 10
+        assert max(local.values()) - min(local.values()) <= 1
+
+    def test_local_tasks_explicit_assignment(self):
+        spec = LaunchSpec("l", 5, 1e-3, node_assignment=((0, 2), (3, 3)))
+        assert spec.local_tasks(8) == {0: 2, 3: 3}
+
+    def test_colors_default_to_tasks(self):
+        assert LaunchSpec("l", 7, 0.0).colors == 7
+        assert LaunchSpec("l", 7, 0.0, partition_size=3).colors == 3
+
+    def test_iteration_total_tasks(self):
+        it = simple_iteration(8, n_launches=3)
+        assert it.total_tasks == 24
+
+    def test_sweep_serialization_limits_scaling(self):
+        """Chained small launches (DOM wavefronts) serialize on the gpu."""
+        wide = IterationSpec(
+            [LaunchSpec("w", 16, 1e-3)], work_units=1.0
+        )
+        chained = IterationSpec(
+            [
+                LaunchSpec(
+                    f"s{k}", 1, 1e-3,
+                    node_assignment=((k, 1),),
+                )
+                for k in range(16)
+            ],
+            work_units=1.0,
+        )
+        t_wide = simulate_iteration(wide, SimConfig(16))
+        t_chain = simulate_iteration(chained, SimConfig(16))
+        assert t_chain > 5.0 * t_wide

@@ -1,0 +1,164 @@
+"""Property-based tests for the performance model.
+
+These pin down structural invariants the cost model must satisfy regardless
+of calibration: determinism, sane scaling directions, and the ordering
+relations between configurations that the paper's asymptotic analysis
+implies.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.costmodel import CostModel
+from repro.machine.perf import SimConfig, simulate_iteration
+from repro.machine.workload import IterationSpec, LaunchSpec
+
+
+def iteration(n_tasks, task_seconds=1e-3, n_launches=2, comm=0.0):
+    return IterationSpec(
+        [
+            LaunchSpec(
+                f"l{k}", n_tasks, task_seconds,
+                comm_bytes_per_task=comm, comm_neighbors=2 if comm else 0,
+            )
+            for k in range(n_launches)
+        ],
+        work_units=1.0,
+    )
+
+
+config_strategy = st.builds(
+    SimConfig,
+    n_nodes=st.sampled_from([1, 2, 8, 32, 128]),
+    dcr=st.booleans(),
+    idx=st.booleans(),
+    tracing=st.booleans(),
+    bulk_tracing=st.booleans(),
+    checks=st.booleans(),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(cfg=config_strategy, tasks_per_node=st.integers(1, 4))
+def test_simulation_deterministic_and_positive(cfg, tasks_per_node):
+    it = iteration(cfg.n_nodes * tasks_per_node)
+    t1 = simulate_iteration(it, cfg)
+    t2 = simulate_iteration(it, cfg)
+    assert t1 == t2
+    assert t1 > 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(cfg=config_strategy)
+def test_more_compute_never_faster(cfg):
+    """Doubling per-task compute cannot reduce iteration time."""
+    slow = iteration(cfg.n_nodes, task_seconds=2e-3)
+    fast = iteration(cfg.n_nodes, task_seconds=1e-3)
+    assert simulate_iteration(slow, cfg) >= simulate_iteration(fast, cfg)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.sampled_from([16, 64, 256]),
+    dcr=st.booleans(),
+    tracing=st.booleans(),
+)
+def test_idx_never_loses_at_scale(n, dcr, tracing):
+    """From moderate scale on, index launches never hurt — except the
+    (paper-documented) No-DCR task-tracing interference case.  At very
+    small |D| the O(1) launch's fixed costs can exceed a handful of
+    per-task costs, which is why the paper's curves overlap at the left
+    edge of every figure; that regime is deliberately excluded here."""
+    it = iteration(n, task_seconds=0.0)
+    t_idx = simulate_iteration(it, SimConfig(n, dcr=dcr, idx=True,
+                                             tracing=tracing))
+    t_no = simulate_iteration(it, SimConfig(n, dcr=dcr, idx=False,
+                                            tracing=tracing))
+    if dcr or not tracing:
+        assert t_idx <= t_no * 1.001
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.sampled_from([8, 64, 256]))
+def test_overhead_ordering_matches_paper(n):
+    """With compute removed, per-iteration overhead orders as
+    DCR+IDX <= DCR/NoIDX <= NoDCR/NoIDX at any scale past a few nodes."""
+    it = iteration(n, task_seconds=0.0)
+    t = {
+        (dcr, idx): simulate_iteration(it, SimConfig(n, dcr=dcr, idx=idx))
+        for dcr in (True, False)
+        for idx in (True, False)
+    }
+    assert t[(True, True)] <= t[(True, False)] * 1.001
+    assert t[(True, False)] <= t[(False, False)] * 1.001
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    factor=st.sampled_from([2.0, 4.0]),
+    n=st.sampled_from([16, 64]),
+)
+def test_costs_scale_overheads(factor, n):
+    """Scaling every control cost scales the overhead-bound iteration."""
+    base = CostModel()
+    scaled = base.with_overrides(
+        t_issue_task=base.t_issue_task * factor,
+        t_trace_replay_task=base.t_trace_replay_task * factor,
+        t_issue_launch=base.t_issue_launch * factor,
+    )
+    it = iteration(n, task_seconds=0.0)
+    cfg = SimConfig(n, idx=False)
+    t_base = simulate_iteration(it, cfg, base)
+    t_scaled = simulate_iteration(it, cfg, scaled)
+    assert t_scaled > t_base
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.sampled_from([2, 8, 32]), comm_kb=st.sampled_from([1, 64, 1024]))
+def test_communication_adds_time(n, comm_kb):
+    dry = iteration(n, comm=0.0)
+    wet = iteration(n, comm=comm_kb * 1024.0)
+    cfg = SimConfig(n)
+    assert simulate_iteration(wet, cfg) > simulate_iteration(dry, cfg)
+
+
+def test_weak_scaling_per_node_rate_never_improves():
+    """Adding nodes at fixed per-node work can only hold or lose
+    throughput per node (no superlinear artifacts)."""
+    cfg = lambda n: SimConfig(n, dcr=True, idx=True)
+    rates = []
+    for n in (1, 4, 16, 64, 256):
+        t = simulate_iteration(iteration(n, task_seconds=5e-3), cfg(n))
+        rates.append(1.0 / (t * n))
+    assert all(b <= a * 1.001 for a, b in zip(rates, rates[1:]))
+
+
+def test_empty_iteration():
+    t = simulate_iteration(IterationSpec([], work_units=1.0), SimConfig(4))
+    assert t == 0.0
+
+
+def test_single_launch_no_tasks_on_some_nodes():
+    """A launch smaller than the machine (|D| < N) must still simulate."""
+    it = IterationSpec([LaunchSpec("tiny", 2, 1e-3)], work_units=1.0)
+    t = simulate_iteration(it, SimConfig(16))
+    assert t > 0
+
+
+def test_more_gpus_per_node_speed_overdecomposed_compute():
+    """With several tasks per node, extra GPUs shorten the compute phase."""
+    it = IterationSpec(
+        [LaunchSpec("l", 8 * 4, 5e-3)], work_units=1.0  # 4 tasks/node
+    )
+    one_gpu = simulate_iteration(it, SimConfig(8), CostModel(gpus_per_node=1))
+    four_gpu = simulate_iteration(it, SimConfig(8), CostModel(gpus_per_node=4))
+    assert four_gpu < one_gpu
+    assert four_gpu >= one_gpu / 4.0 - 1e-9
+
+
+def test_extra_gpus_no_help_at_one_task_per_node():
+    it = IterationSpec([LaunchSpec("l", 8, 5e-3)], work_units=1.0)
+    one = simulate_iteration(it, SimConfig(8), CostModel(gpus_per_node=1))
+    many = simulate_iteration(it, SimConfig(8), CostModel(gpus_per_node=4))
+    assert many == pytest.approx(one)

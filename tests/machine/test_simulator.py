@@ -1,0 +1,148 @@
+"""Tests for the activity-graph scheduler and cost model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.costmodel import CostModel
+from repro.machine.simulator import Activity, MachineSimulator, Resource
+
+
+class TestMachineSimulator:
+    def test_single_activity(self):
+        sim = MachineSimulator(1)
+        sim.add(0, "control", 2.0)
+        assert sim.run() == 2.0
+
+    def test_serialization_on_one_resource(self):
+        sim = MachineSimulator(1)
+        sim.add(0, "control", 1.0)
+        sim.add(0, "control", 1.0)
+        assert sim.run() == 2.0
+
+    def test_parallel_resources(self):
+        sim = MachineSimulator(2)
+        sim.add(0, "control", 1.0)
+        sim.add(1, "control", 1.0)
+        assert sim.run() == 1.0
+
+    def test_dependency_ordering(self):
+        sim = MachineSimulator(2)
+        a = sim.add(0, "control", 1.0)
+        b = sim.add(1, "gpu", 2.0, deps=(a,))
+        assert sim.run() == 3.0
+        assert sim.activity(b).start == 1.0
+
+    def test_diamond_dependencies(self):
+        sim = MachineSimulator(2)
+        a = sim.add(0, "control", 1.0)
+        b = sim.add(0, "gpu", 3.0, deps=(a,))
+        c = sim.add(1, "gpu", 1.0, deps=(a,))
+        d = sim.add(1, "control", 1.0, deps=(b, c))
+        assert sim.run() == 5.0  # 1 + 3 + 1 via the b branch
+
+    def test_forward_dependency_rejected(self):
+        sim = MachineSimulator(1)
+        with pytest.raises(ValueError):
+            sim.add(0, "control", 1.0, deps=(5,))
+
+    def test_negative_duration_rejected(self):
+        sim = MachineSimulator(1)
+        with pytest.raises(ValueError):
+            sim.add(0, "control", -1.0)
+
+    def test_node_out_of_range(self):
+        sim = MachineSimulator(2)
+        with pytest.raises(ValueError):
+            sim.add(2, "control", 1.0)
+
+    def test_barrier_does_not_occupy_control(self):
+        # Legion's control runs ahead of compute: a sync point observing
+        # completion must not serialize with control work.
+        sim = MachineSimulator(1)
+        a = sim.add(0, "gpu", 5.0)
+        sim.barrier([a])
+        b = sim.add(0, "control", 1.0)
+        sim.run()
+        assert sim.activity(b).start == 0.0  # control was never blocked
+
+    def test_resource_busy_time(self):
+        sim = MachineSimulator(1)
+        sim.add(0, "control", 1.0)
+        sim.add(0, "control", 2.5)
+        sim.add(0, "gpu", 4.0)
+        sim.run()
+        assert sim.resource_busy_time(0, "control") == 3.5
+        assert sim.resource_busy_time(0, "gpu") == 4.0
+
+    def test_deterministic(self):
+        def build():
+            sim = MachineSimulator(3)
+            ids = []
+            for i in range(30):
+                deps = (ids[-1],) if ids and i % 3 == 0 else ()
+                ids.append(sim.add(i % 3, "gpu" if i % 2 else "control",
+                                   0.1 * (i % 5), deps=deps))
+            return sim.run()
+
+        assert build() == build()
+
+    def test_critical_path_reaches_makespan(self):
+        sim = MachineSimulator(2)
+        a = sim.add(0, "control", 1.0)
+        sim.add(1, "control", 0.5)
+        b = sim.add(0, "gpu", 2.0, deps=(a,))
+        sim.run()
+        path = sim.critical_path()
+        assert path[-1].aid == b
+
+    @given(
+        durations=st.lists(st.floats(0.0, 10.0), min_size=1, max_size=30),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_makespan_bounds(self, durations):
+        """Makespan is at least the longest single activity and at most the
+        sum of all durations (single-resource worst case)."""
+        sim = MachineSimulator(2)
+        for i, d in enumerate(durations):
+            sim.add(i % 2, "control", d)
+        makespan = sim.run()
+        assert makespan <= sum(durations) + 1e-9
+        assert makespan >= max(durations) - 1e-9
+
+
+class TestCostModel:
+    def test_message_time(self):
+        c = CostModel()
+        assert c.message_time(0) == c.net_latency
+        assert c.message_time(c.net_bandwidth) == pytest.approx(
+            c.net_latency + 1.0
+        )
+
+    def test_dynamic_check_linear_in_domain(self):
+        c = CostModel()
+        t1 = c.dynamic_check_time(1000, 1, 1000)
+        t2 = c.dynamic_check_time(2000, 1, 2000)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_dynamic_check_linear_in_args(self):
+        # Table 3's property: linear scaling with the argument count.
+        c = CostModel()
+        base = c.dynamic_check_time(10_000, 1, 10_000)
+        bitmask = 10_000 * c.t_check_bitmask_init
+        for k in (2, 3, 4, 5):
+            t = c.dynamic_check_time(10_000, k, 10_000)
+            assert t - bitmask == pytest.approx(k * (base - bitmask))
+
+    def test_physical_task_log_in_partition(self):
+        c = CostModel()
+        t1 = c.physical_task_time(2**4)
+        t2 = c.physical_task_time(2**8)
+        assert t2 - t1 == pytest.approx(4 * c.t_physical_log_factor)
+
+    def test_with_overrides(self):
+        c = CostModel().with_overrides(t_issue_task=1.0)
+        assert c.t_issue_task == 1.0
+        assert CostModel().t_issue_task != 1.0

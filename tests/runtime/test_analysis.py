@@ -1,0 +1,173 @@
+"""Tests for the logical (launch-level) and physical (task-level) analyses."""
+
+import numpy as np
+import pytest
+
+from repro.core.domain import Point, Rect
+from repro.data.collection import RectSubset, Region, SparseSubset, Subregion
+from repro.data.privileges import PrivilegeSpec
+from repro.runtime.logical import LogicalAnalyzer, LogicalDependence
+from repro.runtime.physical import PhysicalAnalyzer
+
+R = PrivilegeSpec.parse("reads")
+W = PrivilegeSpec.parse("writes")
+RW = PrivilegeSpec.parse("reads writes")
+RED = PrivilegeSpec.parse("reduces +")
+RED_MUL = PrivilegeSpec.parse("reduces *")
+
+
+class TestLogicalAnalyzer:
+    def test_read_after_write(self):
+        a = LogicalAnalyzer()
+        assert a.analyze_operation(1, [(0, ("f",), W)]) == []
+        deps = a.analyze_operation(2, [(0, ("f",), R)])
+        assert deps == [LogicalDependence(1, 2, 0)]
+
+    def test_write_after_reads_depends_on_all_readers(self):
+        a = LogicalAnalyzer()
+        a.analyze_operation(1, [(0, ("f",), W)])
+        a.analyze_operation(2, [(0, ("f",), R)])
+        a.analyze_operation(3, [(0, ("f",), R)])
+        deps = a.analyze_operation(4, [(0, ("f",), W)])
+        assert {d.earlier_op for d in deps} == {2, 3}
+
+    def test_reads_coalesce_into_one_epoch(self):
+        a = LogicalAnalyzer()
+        a.analyze_operation(1, [(0, ("f",), W)])
+        deps2 = a.analyze_operation(2, [(0, ("f",), R)])
+        deps3 = a.analyze_operation(3, [(0, ("f",), R)])
+        # Both readers depend only on the writer, not on each other.
+        assert {d.earlier_op for d in deps2} == {1}
+        assert {d.earlier_op for d in deps3} == {1}
+
+    def test_same_op_reductions_coalesce(self):
+        a = LogicalAnalyzer()
+        a.analyze_operation(1, [(0, ("f",), W)])
+        a.analyze_operation(2, [(0, ("f",), RED)])
+        deps = a.analyze_operation(3, [(0, ("f",), RED)])
+        assert {d.earlier_op for d in deps} == {1}
+
+    def test_different_op_reductions_serialize(self):
+        a = LogicalAnalyzer()
+        a.analyze_operation(1, [(0, ("f",), RED)])
+        deps = a.analyze_operation(2, [(0, ("f",), RED_MUL)])
+        assert {d.earlier_op for d in deps} == {1}
+
+    def test_read_after_reduction_epoch(self):
+        a = LogicalAnalyzer()
+        a.analyze_operation(1, [(0, ("f",), RED)])
+        a.analyze_operation(2, [(0, ("f",), RED)])
+        deps = a.analyze_operation(3, [(0, ("f",), R)])
+        assert {d.earlier_op for d in deps} == {1, 2}
+
+    def test_distinct_regions_independent(self):
+        a = LogicalAnalyzer()
+        a.analyze_operation(1, [(0, ("f",), W)])
+        assert a.analyze_operation(2, [(1, ("f",), W)]) == []
+
+    def test_distinct_fields_independent(self):
+        # The stencil pattern: read "input", write "output", same region.
+        a = LogicalAnalyzer()
+        a.analyze_operation(1, [(0, ("input",), R)])
+        assert a.analyze_operation(2, [(0, ("output",), RW)]) == []
+
+    def test_overlapping_field_sets_conflict(self):
+        a = LogicalAnalyzer()
+        a.analyze_operation(1, [(0, ("a", "b"), W)])
+        deps = a.analyze_operation(2, [(0, ("b", "c"), R)])
+        assert {d.earlier_op for d in deps} == {1}
+
+    def test_write_after_write(self):
+        a = LogicalAnalyzer()
+        a.analyze_operation(1, [(0, ("f",), W)])
+        deps = a.analyze_operation(2, [(0, ("f",), RW)])
+        assert deps == [LogicalDependence(1, 2, 0)]
+
+    def test_users_processed_counts_per_arg(self):
+        a = LogicalAnalyzer()
+        a.analyze_operation(1, [(0, ("f",), W), (1, ("g",), R)])
+        assert a.users_processed == 2
+
+    def test_edge_dedup_across_fields(self):
+        a = LogicalAnalyzer()
+        a.analyze_operation(1, [(0, ("a", "b"), W)])
+        deps = a.analyze_operation(2, [(0, ("a", "b"), W)])
+        assert len(deps) == 1  # one edge, not one per field
+
+
+@pytest.fixture
+def region():
+    return Region("r", Rect((0,), (19,)), {"f": "f8", "g": "f8"})
+
+
+def sub(region, lo, hi):
+    return Subregion(region, RectSubset(Rect((lo,), (hi,))), None, None)
+
+
+class TestPhysicalAnalyzer:
+    def test_disjoint_tasks_independent(self, region):
+        p = PhysicalAnalyzer()
+        p.record_task(1, [(sub(region, 0, 9), W, ("f",))])
+        assert p.record_task(2, [(sub(region, 10, 19), W, ("f",))]) == []
+
+    def test_overlapping_write_read(self, region):
+        p = PhysicalAnalyzer()
+        p.record_task(1, [(sub(region, 0, 9), W, ("f",))])
+        deps = p.record_task(2, [(sub(region, 5, 14), R, ("f",))])
+        assert [d.earlier_task for d in deps] == [1]
+
+    def test_readers_do_not_conflict(self, region):
+        p = PhysicalAnalyzer()
+        p.record_task(1, [(sub(region, 0, 9), R, ("f",))])
+        assert p.record_task(2, [(sub(region, 0, 9), R, ("f",))]) == []
+
+    def test_field_disjoint_accesses_independent(self, region):
+        p = PhysicalAnalyzer()
+        p.record_task(1, [(sub(region, 0, 19), R, ("f",))])
+        assert p.record_task(2, [(sub(region, 0, 19), RW, ("g",))]) == []
+
+    def test_covering_write_retires_prior_user(self, region):
+        p = PhysicalAnalyzer()
+        p.record_task(1, [(sub(region, 0, 9), W, ("f",))])
+        p.record_task(2, [(sub(region, 0, 19), W, ("f",))])  # covers task 1
+        deps = p.record_task(3, [(sub(region, 0, 9), R, ("f",))])
+        assert [d.earlier_task for d in deps] == [2]
+        assert p.active_users(region.uid) == 2  # task 1 retired
+
+    def test_partial_write_keeps_prior_user_alive(self, region):
+        p = PhysicalAnalyzer()
+        p.record_task(1, [(sub(region, 0, 9), W, ("f",))])
+        p.record_task(2, [(sub(region, 5, 6), W, ("f",))])  # partial overlap
+        deps = p.record_task(3, [(sub(region, 0, 1), R, ("f",))])
+        # Task 1's write of [0,1] was NOT superseded; the read depends on it.
+        assert [d.earlier_task for d in deps] == [1]
+
+    def test_narrower_fields_do_not_retire_wider_user(self, region):
+        p = PhysicalAnalyzer()
+        p.record_task(1, [(sub(region, 0, 9), W, ("f", "g"))])
+        p.record_task(2, [(sub(region, 0, 19), W, ("f",))])
+        deps = p.record_task(3, [(sub(region, 0, 9), R, ("g",))])
+        # Task 2 wrote only "f", so the read of "g" still sees task 1.
+        assert [d.earlier_task for d in deps] == [1]
+
+    def test_same_op_reductions_compatible(self, region):
+        p = PhysicalAnalyzer()
+        p.record_task(1, [(sub(region, 0, 9), RED, ("f",))])
+        assert p.record_task(2, [(sub(region, 0, 9), RED, ("f",))]) == []
+        deps = p.record_task(3, [(sub(region, 0, 9), R, ("f",))])
+        assert {d.earlier_task for d in deps} == {1, 2}
+
+    def test_sparse_subset_overlap(self, region):
+        p = PhysicalAnalyzer()
+        a = Subregion(region, SparseSubset(np.array([1, 3, 5])), None, None)
+        b = Subregion(region, SparseSubset(np.array([5, 7])), None, None)
+        c = Subregion(region, SparseSubset(np.array([2, 4])), None, None)
+        p.record_task(1, [(a, W, ("f",))])
+        assert [d.earlier_task for d in p.record_task(2, [(b, R, ("f",))])] == [1]
+        assert p.record_task(3, [(c, W, ("f",))]) == []
+
+    def test_overlap_queries_counted(self, region):
+        p = PhysicalAnalyzer()
+        p.record_task(1, [(sub(region, 0, 9), W, ("f",))])
+        p.record_task(2, [(sub(region, 0, 9), R, ("f",))])
+        assert p.overlap_queries >= 1

@@ -1,0 +1,110 @@
+"""Tests for the bulk-tracing extension (the paper's future work, §6.2.1).
+
+With task-granularity tracing (Legion's current design, the default),
+tracing without DCR forces index launches to expand before distribution.
+Bulk tracing records launch-level signatures instead, so the O(1)
+representation survives distribution even without DCR.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.circuit import (
+    CircuitConfig,
+    build_circuit,
+    reference_circuit,
+    run_circuit,
+)
+from repro.data.partition import equal_partition
+from repro.machine.perf import SimConfig, simulate_iteration
+from repro.machine.workload import IterationSpec, LaunchSpec
+from repro.runtime import Runtime, RuntimeConfig, task
+from repro.runtime.pipeline import Stage
+
+
+@task(privileges=["reads writes"])
+def bump(ctx, r):
+    r.write("x", r.read("x") + 1.0)
+
+
+def make_rt(**cfg):
+    rt = Runtime(RuntimeConfig(n_nodes=4, dcr=False, **cfg))
+    region = rt.create_region("r", 16, {"x": "f8"})
+    part = equal_partition(f"p{region.uid}", region, 8)
+    return rt, region, part
+
+
+class TestFunctionalBehaviour:
+    def test_task_tracing_expands_at_issuance(self):
+        rt, region, part = make_rt(tracing=True, bulk_tracing=False)
+        rt.index_launch(bump, 8, part)
+        # Degraded: per-task logical processing on node 0.
+        assert rt.stats.stage_total(Stage.LOGICAL) == 8
+
+    def test_bulk_tracing_keeps_o1_through_logical(self):
+        rt, region, part = make_rt(tracing=True, bulk_tracing=True)
+        rt.index_launch(bump, 8, part)
+        assert rt.stats.representation[(Stage.LOGICAL, 0)] == 1
+        assert rt.stats.slice_messages > 0  # broadcast tree ran
+
+    def test_bulk_tracing_results_identical(self):
+        outs = []
+        for bulk in (False, True):
+            rt, region, part = make_rt(tracing=True, bulk_tracing=bulk)
+            region.storage("x")[:] = np.arange(16.0)
+            rt.index_launch(bump, 8, part)
+            rt.index_launch(bump, 8, part)
+            outs.append(region.storage("x").copy())
+        assert np.array_equal(outs[0], outs[1])
+
+    def test_bulk_tracing_still_replays_traces(self):
+        rt, region, part = make_rt(tracing=True, bulk_tracing=True)
+        for _ in range(3):
+            rt.begin_trace(5)
+            rt.index_launch(bump, 8, part)
+            rt.end_trace(5)
+        assert rt.stats.trace_replays == 2
+
+    def test_circuit_correct_under_bulk_tracing(self):
+        rt = Runtime(RuntimeConfig(n_nodes=2, dcr=False, bulk_tracing=True))
+        g = build_circuit(rt, CircuitConfig(n_pieces=4, nodes_per_piece=10,
+                                            wires_per_piece=16, steps=4))
+        ref = reference_circuit(g)
+        assert np.allclose(run_circuit(rt, g), ref)
+
+    def test_bulk_tracing_noop_under_dcr(self):
+        # DCR never expands early, so bulk tracing changes nothing there.
+        for bulk in (False, True):
+            rt = Runtime(RuntimeConfig(n_nodes=4, dcr=True, bulk_tracing=bulk))
+            region = rt.create_region("r", 16, {"x": "f8"})
+            part = equal_partition(f"pp{region.uid}", region, 8)
+            rt.index_launch(bump, 8, part)
+            assert rt.stats.max_units_any_node(Stage.ISSUANCE) == 1
+
+
+class TestPerformanceModel:
+    def iteration(self, n):
+        return IterationSpec(
+            [LaunchSpec(f"l{k}", n, 1e-3) for k in range(3)], work_units=1.0
+        )
+
+    def test_bulk_tracing_removes_the_interference(self):
+        n = 512
+        base = SimConfig(n, dcr=False, idx=True, tracing=True)
+        bulk = SimConfig(n, dcr=False, idx=True, tracing=True,
+                         bulk_tracing=True)
+        noidx = SimConfig(n, dcr=False, idx=False, tracing=True)
+        t_base = simulate_iteration(self.iteration(n), base)
+        t_bulk = simulate_iteration(self.iteration(n), bulk)
+        t_noidx = simulate_iteration(self.iteration(n), noidx)
+        assert t_base >= t_noidx * 0.999   # the paper's anomaly
+        assert t_bulk < 0.6 * t_base       # the extension fixes it
+
+    def test_bulk_tracing_at_least_as_good_as_untraced(self):
+        n = 256
+        bulk = SimConfig(n, dcr=False, idx=True, tracing=True,
+                         bulk_tracing=True)
+        untraced = SimConfig(n, dcr=False, idx=True, tracing=False)
+        t_bulk = simulate_iteration(self.iteration(n), bulk)
+        t_untraced = simulate_iteration(self.iteration(n), untraced)
+        assert t_bulk <= t_untraced * 1.001

@@ -1,0 +1,117 @@
+"""Co-execution: multiple applications sharing one runtime instance.
+
+A Legion runtime hosts many independent computations at once; their region
+trees are distinct collections, so the whole-partition logical analysis
+must find zero cross-application dependences, and interleaving their time
+steps must not change any result.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.circuit import (
+    CircuitConfig,
+    build_circuit,
+    calc_new_currents,
+    distribute_charge,
+    reference_circuit,
+    update_voltages,
+)
+from repro.apps.stencil import (
+    StencilConfig,
+    build_stencil,
+    increment,
+    reference_stencil,
+    stencil_step,
+    star_weights,
+)
+from repro.core.domain import Domain
+from repro.runtime import Runtime, RuntimeConfig
+
+
+def circuit_step(rt, graph):
+    cfg = graph.config
+    domain = Domain.range(graph.n_pieces)
+    rt.index_launch(calc_new_currents, domain, graph.wire_pieces,
+                    graph.node_reachable, args=(cfg.dt,))
+    rt.index_launch(distribute_charge, domain, graph.wire_pieces,
+                    graph.node_reachable, args=(cfg.dt,))
+    rt.index_launch(update_voltages, domain, graph.node_owned)
+
+
+def stencil_step_once(rt, grid):
+    cfg = grid.config
+    weights = star_weights(cfg.radius)
+    domain = Domain.rect((0, 0), (cfg.blocks[0] - 1, cfg.blocks[1] - 1))
+    rt.index_launch(stencil_step, domain, grid.halo, grid.interior,
+                    args=(cfg.n, cfg.radius, weights))
+    rt.index_launch(increment, domain, grid.interior)
+
+
+class TestCoexecution:
+    def test_interleaved_apps_both_correct(self):
+        rt = Runtime(RuntimeConfig(n_nodes=2, shuffle_intra_launch=True))
+        ccfg = CircuitConfig(n_pieces=4, nodes_per_piece=10,
+                             wires_per_piece=16, steps=4)
+        scfg = StencilConfig(n=24, blocks=(2, 2), radius=2, steps=4)
+        graph = build_circuit(rt, ccfg)
+        grid = build_stencil(rt, scfg)
+        circuit_ref = reference_circuit(graph)
+        stencil_ref = reference_stencil(scfg)
+
+        for _ in range(4):  # interleave one step of each
+            circuit_step(rt, graph)
+            stencil_step_once(rt, grid)
+
+        assert np.allclose(graph.nodes.storage("voltage"), circuit_ref)
+        assert np.allclose(grid.grid.field_nd("output"), stencil_ref)
+
+    def test_no_cross_application_dependences(self):
+        rt = Runtime(RuntimeConfig(n_nodes=2))
+        ccfg = CircuitConfig(n_pieces=4, nodes_per_piece=8,
+                             wires_per_piece=12, steps=1)
+        scfg = StencilConfig(n=16, blocks=(2, 2), radius=1, steps=1)
+        graph = build_circuit(rt, ccfg)
+        grid = build_stencil(rt, scfg)
+
+        circuit_step(rt, graph)
+        deps_after_circuit = rt.stats.logical_dependences
+        stencil_step_once(rt, grid)
+        first_stencil_pass = rt.stats.logical_dependences
+
+        # The stencil's first step depends only on itself (its second
+        # launch reads what the first wrote within this step... actually
+        # the two stencil launches touch disjoint fields on the first
+        # pass, so exactly the edges a standalone run would produce).
+        standalone = Runtime(RuntimeConfig(n_nodes=2))
+        grid2 = build_stencil(standalone, scfg)
+        stencil_step_once(standalone, grid2)
+        assert (first_stencil_pass - deps_after_circuit
+                == standalone.stats.logical_dependences)
+
+    def test_interleaved_equals_sequential(self):
+        """Interleaving two independent apps must give the same results as
+        running them back to back."""
+        def run(interleaved):
+            rt = Runtime(RuntimeConfig(n_nodes=3))
+            ccfg = CircuitConfig(n_pieces=3, nodes_per_piece=8,
+                                 wires_per_piece=10, steps=3)
+            scfg = StencilConfig(n=18, blocks=(3, 1), radius=1, steps=3)
+            graph = build_circuit(rt, ccfg)
+            grid = build_stencil(rt, scfg)
+            if interleaved:
+                for _ in range(3):
+                    circuit_step(rt, graph)
+                    stencil_step_once(rt, grid)
+            else:
+                for _ in range(3):
+                    circuit_step(rt, graph)
+                for _ in range(3):
+                    stencil_step_once(rt, grid)
+            return (graph.nodes.storage("voltage").copy(),
+                    grid.grid.field_nd("output").copy())
+
+        a = run(True)
+        b = run(False)
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(a[1], b[1])

@@ -1,0 +1,87 @@
+"""Tests for fill/copy operations as first-class pipeline operations."""
+
+import numpy as np
+import pytest
+
+from repro.core.domain import Domain
+from repro.data.partition import equal_partition
+from repro.runtime import Runtime, RuntimeConfig, task
+
+
+@task(privileges=["reads"])
+def total(ctx, r):
+    return float(r.read("a").sum())
+
+
+@task(privileges=["reads writes"])
+def double(ctx, r):
+    r.write("a", 2.0 * r.read("a"))
+
+
+@pytest.fixture
+def setup():
+    rt = Runtime()
+    r = rt.create_region("r", 8, {"a": "f8", "b": "f8"})
+    p = equal_partition(f"p{r.uid}", r, 4)
+    return rt, r, p
+
+
+class TestFill:
+    def test_fill_whole_region(self, setup):
+        rt, r, p = setup
+        rt.fill(r, "a", 7.0)
+        assert np.all(r.storage("a") == 7.0)
+
+    def test_fill_subregion(self, setup):
+        rt, r, p = setup
+        rt.fill(p[2], "a", 5.0)
+        assert list(r.storage("a")) == [0, 0, 0, 0, 5, 5, 0, 0]
+
+    def test_fill_is_a_pipeline_op(self, setup):
+        rt, r, p = setup
+        before = rt.stats.ops_issued
+        rt.fill(r, "a", 1.0)
+        assert rt.stats.ops_issued == before + 1
+        assert rt.stats.single_tasks >= 1
+
+    def test_fill_creates_dependence_with_readers(self, setup):
+        rt, r, p = setup
+        rt.index_launch(total, 4, p)          # readers of "a"
+        before = rt.stats.logical_dependences
+        rt.fill(r, "a", 2.0)                  # write after reads
+        assert rt.stats.logical_dependences > before
+
+    def test_fill_returns_future(self, setup):
+        rt, r, p = setup
+        fut = rt.fill(r, "a", 1.0)
+        assert fut.done
+
+
+class TestCopy:
+    def test_copy_between_fields(self, setup):
+        rt, r, p = setup
+        r.storage("a")[:] = np.arange(8.0)
+        rt.copy_field(r, r, "a", "b")
+        assert np.array_equal(r.storage("b"), np.arange(8.0))
+
+    def test_copy_between_regions(self, setup):
+        rt, r, p = setup
+        r.storage("a")[:] = np.arange(8.0)
+        other = rt.create_region("o", 8, {"a": "f8"})
+        rt.copy_field(r, other, "a")
+        assert np.array_equal(other.storage("a"), np.arange(8.0))
+
+    def test_copy_subregions(self, setup):
+        rt, r, p = setup
+        r.storage("a")[:] = np.arange(8.0)
+        rt.copy_field(p[0], p[3], "a")
+        assert list(r.storage("a")[6:]) == [0.0, 1.0]
+
+    def test_copy_orders_after_producer(self, setup):
+        rt, r, p = setup
+        r.storage("a")[:] = 1.0
+        rt.index_launch(double, 4, p)
+        rt.copy_field(r, r, "a", "b")
+        assert np.all(r.storage("b") == 2.0)
+        # Dependence edges: copy read "a" after the launch's write.
+        assert rt.stats.physical_dependences >= 1

@@ -1,0 +1,167 @@
+"""Unit tests for futures, the trace recorder, and pipeline statistics."""
+
+import pytest
+
+from repro.core.domain import Point
+from repro.runtime.futures import Future, FutureMap
+from repro.runtime.pipeline import PipelineStats, Stage
+from repro.runtime.tracing import TraceRecorder
+
+
+class TestFuture:
+    def test_set_get(self):
+        f = Future()
+        assert not f.done
+        f.set(42)
+        assert f.done and f.get() == 42
+
+    def test_get_before_set_raises(self):
+        with pytest.raises(RuntimeError):
+            Future().get()
+
+    def test_double_set_raises(self):
+        f = Future()
+        f.set(1)
+        with pytest.raises(RuntimeError):
+            f.set(2)
+
+    def test_none_is_a_value(self):
+        f = Future()
+        f.set(None)
+        assert f.done and f.get() is None
+
+
+class TestFutureMap:
+    def test_per_point_values(self):
+        fm = FutureMap()
+        fm.set(Point(0), 10)
+        fm.set(Point(1), 20)
+        assert fm.get(0) == 10 and fm.get(Point(1)) == 20
+        assert len(fm) == 2
+
+    def test_duplicate_point_raises(self):
+        fm = FutureMap()
+        fm.set(Point(0), 1)
+        with pytest.raises(RuntimeError):
+            fm.set(Point(0), 2)
+
+    def test_reduce_sum(self):
+        fm = FutureMap()
+        for i in range(5):
+            fm.set(Point(i), float(i))
+        assert fm.reduce("+") == 10.0
+
+    def test_reduce_min_max(self):
+        fm = FutureMap()
+        for i, v in enumerate([3.0, -1.0, 7.0]):
+            fm.set(Point(i), v)
+        assert fm.reduce("min") == -1.0
+        assert fm.reduce("max") == 7.0
+
+    def test_reduce_unknown_op(self):
+        with pytest.raises(ValueError):
+            FutureMap().reduce("xor")
+
+    def test_reduce_empty_is_none(self):
+        assert FutureMap().reduce("+") is None
+
+
+class TestTraceRecorder:
+    def test_first_pass_records(self):
+        tr = TraceRecorder()
+        tr.begin(1)
+        assert not tr.observe(("op", 1))
+        assert not tr.end(1)  # first end: recorded, not replayed
+
+    def test_second_pass_replays(self):
+        tr = TraceRecorder()
+        for _ in range(2):
+            tr.begin(1)
+            tr.observe(("op", 1))
+            tr.observe(("op", 2))
+            replayed = tr.end(1)
+        assert replayed
+        assert tr.replays(1) == 1
+
+    def test_observe_matches_prefix(self):
+        tr = TraceRecorder()
+        tr.begin(1)
+        tr.observe(("a",))
+        tr.observe(("b",))
+        tr.end(1)
+        tr.begin(1)
+        assert tr.observe(("a",))      # matches recorded prefix
+        assert not tr.observe(("c",))  # diverged
+        assert not tr.end(1)
+        assert tr.broken(1) == 1
+
+    def test_broken_trace_rerecords(self):
+        tr = TraceRecorder()
+        tr.begin(1)
+        tr.observe(("a",))
+        tr.end(1)
+        tr.begin(1)
+        tr.observe(("b",))
+        tr.end(1)  # re-records with ("b",)
+        tr.begin(1)
+        tr.observe(("b",))
+        assert tr.end(1)  # now replays the new recording
+
+    def test_nested_traces_rejected(self):
+        tr = TraceRecorder()
+        tr.begin(1)
+        with pytest.raises(RuntimeError):
+            tr.begin(2)
+
+    def test_end_wrong_trace_rejected(self):
+        tr = TraceRecorder()
+        tr.begin(1)
+        with pytest.raises(RuntimeError):
+            tr.end(2)
+
+    def test_observe_outside_trace_is_noop(self):
+        tr = TraceRecorder()
+        assert not tr.observe(("a",))
+
+    def test_independent_trace_ids(self):
+        tr = TraceRecorder()
+        for tid in (1, 2, 1, 2):
+            tr.begin(tid)
+            tr.observe((tid,))
+            tr.end(tid)
+        assert tr.replays(1) == 1 and tr.replays(2) == 1
+
+
+class TestPipelineStats:
+    def test_representation_accumulates(self):
+        s = PipelineStats()
+        s.add_representation(Stage.ISSUANCE, 0, 2)
+        s.add_representation(Stage.ISSUANCE, 0, 3)
+        s.add_representation(Stage.ISSUANCE, 1, 1)
+        assert s.representation[(Stage.ISSUANCE, 0)] == 5
+        assert s.stage_total(Stage.ISSUANCE) == 6
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineStats().add_representation("warp-drive", 0, 1)
+
+    def test_node_total(self):
+        s = PipelineStats()
+        s.add_representation(Stage.ISSUANCE, 0, 2)
+        s.add_representation(Stage.PHYSICAL, 0, 4)
+        assert s.node_total(0) == 6
+
+    def test_max_units_any_node(self):
+        s = PipelineStats()
+        s.add_representation(Stage.PHYSICAL, 0, 4)
+        s.add_representation(Stage.PHYSICAL, 1, 7)
+        assert s.max_units_any_node(Stage.PHYSICAL) == 7
+        assert s.max_units_any_node(Stage.ISSUANCE) == 0
+
+    def test_as_table_sorted(self):
+        s = PipelineStats()
+        s.add_representation(Stage.PHYSICAL, 1, 1)
+        s.add_representation(Stage.ISSUANCE, 0, 1)
+        rows = s.as_table()
+        assert rows[0][0] == Stage.ISSUANCE
+        assert rows[-1][0] == Stage.PHYSICAL

@@ -1,0 +1,114 @@
+"""Tests for epoch-user coalescing in the physical analyzer.
+
+Identical compatible footprints (e.g. repeated readers of one subregion)
+must coalesce into a single tracked user — bounding analyzer state — while
+still yielding one dependence edge per *task* when a conflicting access
+arrives.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.domain import Rect
+from repro.data.collection import RectSubset, Region, Subregion
+from repro.data.partition import equal_partition
+from repro.data.privileges import PrivilegeSpec
+from repro.runtime import Runtime, RuntimeConfig, task
+from repro.runtime.physical import PhysicalAnalyzer
+
+R = PrivilegeSpec.parse("reads")
+W = PrivilegeSpec.parse("writes")
+RED = PrivilegeSpec.parse("reduces +")
+
+
+@pytest.fixture
+def region():
+    return Region("r", Rect((0,), (15,)), {"f": "f8"})
+
+
+def sub(region, lo, hi):
+    return Subregion(region, RectSubset(Rect((lo,), (hi,))), None, None)
+
+
+class TestCoalescing:
+    def test_identical_readers_coalesce(self, region):
+        p = PhysicalAnalyzer()
+        for tid in range(50):
+            p.record_task(tid, [(sub(region, 0, 7), R, ("f",))])
+        assert p.active_users(region.uid) == 1
+
+    def test_writer_still_depends_on_every_reader(self, region):
+        p = PhysicalAnalyzer()
+        for tid in range(5):
+            p.record_task(tid, [(sub(region, 0, 7), R, ("f",))])
+        deps = p.record_task(99, [(sub(region, 0, 7), W, ("f",))])
+        assert sorted(d.earlier_task for d in deps) == [0, 1, 2, 3, 4]
+
+    def test_same_op_reductions_coalesce(self, region):
+        p = PhysicalAnalyzer()
+        for tid in range(10):
+            p.record_task(tid, [(sub(region, 0, 7), RED, ("f",))])
+        assert p.active_users(region.uid) == 1
+        deps = p.record_task(99, [(sub(region, 0, 7), R, ("f",))])
+        assert len(deps) == 10
+
+    def test_different_footprints_do_not_coalesce(self, region):
+        p = PhysicalAnalyzer()
+        p.record_task(0, [(sub(region, 0, 7), R, ("f",))])
+        p.record_task(1, [(sub(region, 8, 15), R, ("f",))])
+        assert p.active_users(region.uid) == 2
+
+    def test_different_fields_do_not_coalesce(self):
+        region = Region("r2", Rect((0,), (15,)), {"f": "f8", "g": "f8"})
+        p = PhysicalAnalyzer()
+        p.record_task(0, [(sub(region, 0, 7), R, ("f",))])
+        p.record_task(1, [(sub(region, 0, 7), R, ("g",))])
+        assert p.active_users(region.uid) == 2
+
+    def test_incompatible_privileges_do_not_coalesce(self, region):
+        # A write epoch never absorbs another writer (they conflict).
+        p = PhysicalAnalyzer()
+        p.record_task(0, [(sub(region, 0, 7), W, ("f",))])
+        deps = p.record_task(1, [(sub(region, 0, 7), W, ("f",))])
+        assert [d.earlier_task for d in deps] == [0]
+
+    def test_write_retires_coalesced_group(self, region):
+        p = PhysicalAnalyzer()
+        for tid in range(5):
+            p.record_task(tid, [(sub(region, 0, 15), R, ("f",))])
+        p.record_task(99, [(sub(region, 0, 15), W, ("f",))])
+        assert p.active_users(region.uid) == 1  # only the writer remains
+
+
+class TestBoundedStateEndToEnd:
+    def test_repeated_readonly_launches_bounded(self):
+        """The regression the microbenchmark exposed: unbounded reader
+        accumulation made read-only launches quadratic over time."""
+
+        @task(privileges=["reads"])
+        def observe(ctx, r):
+            pass
+
+        rt = Runtime(RuntimeConfig())
+        region = rt.create_region("r", 32, {"x": "f8"})
+        part = equal_partition(f"pc{region.uid}", region, 8)
+        for _ in range(40):
+            rt.index_launch(observe, 8, part)
+        # 8 distinct footprints, not 8 * 40 users.
+        assert rt.physical.active_users(region.uid) == 8
+        # Overlap work stays linear: bounded users means bounded queries
+        # per launch (8 footprints x 8 tasks = 64 per launch).
+        assert rt.physical.overlap_queries <= 40 * 8 * 8
+
+    def test_repeated_root_reads_bounded(self):
+        @task(privileges=["reads"])
+        def observe(ctx, r):
+            pass
+
+        rt = Runtime(RuntimeConfig())
+        region = rt.create_region("r", 32, {"x": "f8"})
+        for _ in range(30):
+            rt.execute_task(observe, region)
+        # Fresh root subregions have distinct subset objects but equal
+        # rects: they must still coalesce.
+        assert rt.physical.active_users(region.uid) == 1

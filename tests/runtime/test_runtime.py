@@ -1,0 +1,250 @@
+"""End-to-end tests for the runtime pipeline under all four configurations."""
+
+import numpy as np
+import pytest
+
+from repro.core.domain import Domain, Point
+from repro.core.projection import (
+    AffineFunctor,
+    ConstantFunctor,
+    IdentityFunctor,
+    ModularFunctor,
+)
+from repro.data.partition import equal_partition
+from repro.runtime import Runtime, RuntimeConfig, task
+from repro.runtime.pipeline import Stage
+
+
+@task(privileges=["reads", "writes"])
+def copy_scaled(ctx, src, dst, alpha):
+    dst.write("y", alpha * src.read("x"))
+
+
+@task(privileges=["reads writes"])
+def bump(ctx, r):
+    r.write("x", r.read("x") + 1.0)
+
+
+@task(privileges=["reduces +"])
+def accumulate(ctx, r, value):
+    r.reduce("x", np.full(r.volume, value))
+
+
+@task(privileges=["reads"])
+def total(ctx, r):
+    return float(r.read("x").sum())
+
+
+ALL_CONFIGS = [
+    dict(dcr=True, index_launches=True),
+    dict(dcr=True, index_launches=False),
+    dict(dcr=False, index_launches=True),
+    dict(dcr=False, index_launches=False),
+]
+
+
+def make_setup(config=None, n=16, pieces=8):
+    rt = Runtime(config or RuntimeConfig())
+    rx = rt.create_region("rx", n, {"x": "f8"})
+    ry = rt.create_region("ry", n, {"y": "f8"})
+    rx.storage("x")[:] = np.arange(float(n))
+    px = equal_partition(f"px{rx.uid}", rx, pieces)
+    py = equal_partition(f"py{ry.uid}", ry, pieces)
+    return rt, rx, ry, px, py
+
+
+class TestIndexLaunchExecution:
+    @pytest.mark.parametrize("cfg", ALL_CONFIGS)
+    def test_results_identical_across_configs(self, cfg):
+        rt, rx, ry, px, py = make_setup(RuntimeConfig(n_nodes=4, **cfg))
+        rt.index_launch(copy_scaled, 8, px, py, args=(3.0,))
+        assert np.allclose(ry.storage("y"), 3.0 * np.arange(16.0))
+
+    def test_futuremap_collects_point_results(self):
+        rt, rx, ry, px, py = make_setup()
+        fm = rt.index_launch(total, 8, px)
+        assert fm.get(Point(0)) == 0.0 + 1.0
+        assert fm.get(Point(7)) == 14.0 + 15.0
+
+    def test_reduction_launch_returns_future(self):
+        rt, rx, ry, px, py = make_setup()
+        fut = rt.index_launch(total, 8, px, reduce="+")
+        assert fut.get() == np.arange(16.0).sum()
+
+    def test_functor_argument(self):
+        rt, rx, ry, px, py = make_setup()
+        # dst block = src block rotated by 2.
+        rt.index_launch(
+            copy_scaled, 8, px, (py, ModularFunctor(8, 2)), args=(1.0,)
+        )
+        rotated = ry.storage("y").reshape(8, 2)
+        src = rx.storage("x").reshape(8, 2)
+        for i in range(8):
+            assert np.all(rotated[(i + 2) % 8] == src[i])
+
+    def test_unsafe_launch_falls_back_to_serial_loop(self):
+        rt, rx, ry, px, py = make_setup()
+        rt.index_launch(
+            copy_scaled, 8, px, (py, ConstantFunctor(0)), args=(1.0,)
+        )
+        # Serial loop semantics: last iteration wins on the shared block.
+        assert np.all(ry.storage("y").reshape(8, 2)[0] == rx.storage("x").reshape(8, 2)[7])
+        assert rt.stats.launches_fallback_serial == 1
+
+    def test_arg_count_mismatch_rejected(self):
+        rt, rx, ry, px, py = make_setup()
+        with pytest.raises(ValueError):
+            rt.index_launch(copy_scaled, 8, px, args=(1.0,))
+
+    def test_int_domain_sugar(self):
+        rt, rx, ry, px, py = make_setup()
+        fm = rt.index_launch(bump, 8, px)
+        assert len(fm) == 8
+
+    def test_shuffled_execution_matches_ordered(self):
+        out = []
+        for shuffle in (False, True):
+            rt, rx, ry, px, py = make_setup(
+                RuntimeConfig(shuffle_intra_launch=shuffle, seed=3)
+            )
+            rt.index_launch(copy_scaled, 8, px, py, args=(2.0,))
+            rt.index_launch(bump, 8, px)
+            out.append((rx.storage("x").copy(), ry.storage("y").copy()))
+        assert np.array_equal(out[0][0], out[1][0])
+        assert np.array_equal(out[0][1], out[1][1])
+
+
+class TestRepresentationCounts:
+    def test_idx_issuance_is_o1_per_node(self):
+        rt, rx, ry, px, py = make_setup(RuntimeConfig(n_nodes=4))
+        rt.index_launch(bump, 8, px)
+        # One descriptor per issuing node, NOT 8 tasks per node.
+        assert rt.stats.stage_total(Stage.ISSUANCE) == 4
+        assert rt.stats.max_units_any_node(Stage.ISSUANCE) == 1
+
+    def test_no_idx_issuance_is_op_per_node(self):
+        rt, rx, ry, px, py = make_setup(
+            RuntimeConfig(n_nodes=4, index_launches=False)
+        )
+        rt.index_launch(bump, 8, px)
+        assert rt.stats.stage_total(Stage.ISSUANCE) == 8 * 4
+        assert rt.stats.max_units_any_node(Stage.ISSUANCE) == 8
+
+    def test_physical_expansion_distributed(self):
+        rt, rx, ry, px, py = make_setup(RuntimeConfig(n_nodes=4))
+        rt.index_launch(bump, 8, px)
+        # 8 tasks distributed over 4 nodes: no node holds the full expansion.
+        assert rt.stats.stage_total(Stage.PHYSICAL) == 8
+        assert rt.stats.max_units_any_node(Stage.PHYSICAL) == 2
+
+    def test_non_dcr_slicing_messages_logged(self):
+        rt, rx, ry, px, py = make_setup(
+            RuntimeConfig(n_nodes=4, dcr=False, tracing=False)
+        )
+        rt.index_launch(bump, 8, px)
+        assert rt.stats.slice_messages > 0
+        assert rt.stats.max_slice_depth >= 1
+
+    def test_sharding_memoized_across_iterations(self):
+        rt, rx, ry, px, py = make_setup(RuntimeConfig(n_nodes=4))
+        for _ in range(5):
+            rt.index_launch(bump, 8, px)
+        assert rt.sharding_cache.misses == 1
+        assert rt.sharding_cache.hits == 4
+
+
+class TestSafetyAccounting:
+    def test_static_verification_counted(self):
+        rt, rx, ry, px, py = make_setup()
+        rt.index_launch(bump, 8, px)
+        assert rt.stats.launches_verified_static == 1
+        assert rt.stats.check_evaluations == 0
+
+    def test_dynamic_verification_counted(self):
+        rt, rx, ry, px, py = make_setup()
+        rt.index_launch(bump, 8, (px, ModularFunctor(8, 1)))
+        assert rt.stats.launches_verified_dynamic == 1
+        assert rt.stats.check_evaluations == 8
+
+    def test_checks_disabled_counts_unverified(self):
+        rt, rx, ry, px, py = make_setup(RuntimeConfig(dynamic_checks=False))
+        rt.index_launch(bump, 8, (px, ModularFunctor(8, 1)))
+        assert rt.stats.launches_unverified == 1
+        assert rt.stats.check_evaluations == 0
+        # Execution is still correct: the launch really was valid.
+        assert np.all(rx.storage("x") == np.arange(16.0) + 1.0)
+
+    def test_validate_safety_off_trusts_launches(self):
+        rt, rx, ry, px, py = make_setup(RuntimeConfig(validate_safety=False))
+        rt.index_launch(bump, 8, (px, ModularFunctor(8, 1)))
+        assert rt.safety_log == []
+
+
+class TestSingleTasks:
+    def test_execute_task_on_root_region(self):
+        rt, rx, ry, px, py = make_setup()
+        fut = rt.execute_task(total, rx)
+        assert fut.get() == np.arange(16.0).sum()
+
+    def test_execute_task_on_subregion(self):
+        rt, rx, ry, px, py = make_setup()
+        fut = rt.execute_task(total, px[0])
+        assert fut.get() == 1.0
+
+    def test_execute_task_arg_mismatch(self):
+        rt, rx, ry, px, py = make_setup()
+        with pytest.raises(ValueError):
+            rt.execute_task(copy_scaled, rx)
+
+    def test_reduction_task(self):
+        rt, rx, ry, px, py = make_setup()
+        rt.execute_task(accumulate, rx, args=(1.5,))
+        assert rx.storage("x")[0] == 1.5
+
+
+class TestTracing:
+    def test_trace_replays_counted(self):
+        rt, rx, ry, px, py = make_setup()
+        for _ in range(4):
+            rt.begin_trace(7)
+            rt.index_launch(bump, 8, px)
+            rt.end_trace(7)
+        # First iteration records; the remaining three replay.
+        assert rt.stats.trace_replays == 3
+
+    def test_divergent_trace_rerecords(self):
+        rt, rx, ry, px, py = make_setup()
+        rt.begin_trace(7)
+        rt.index_launch(bump, 8, px)
+        rt.end_trace(7)
+        rt.begin_trace(7)
+        rt.index_launch(bump, 4, px)  # different domain: trace broken
+        rt.end_trace(7)
+        assert rt.stats.trace_replays == 0
+        assert rt.tracer.broken(7) == 1
+
+    def test_tracing_disabled_ignores_traces(self):
+        rt, rx, ry, px, py = make_setup(RuntimeConfig(tracing=False))
+        rt.begin_trace(7)
+        rt.index_launch(bump, 8, px)
+        rt.end_trace(7)
+        assert rt.stats.trace_replays == 0
+
+
+class TestInterLaunchDependences:
+    def test_read_after_write_edge_found(self):
+        rt, rx, ry, px, py = make_setup()
+        rt.index_launch(bump, 8, px)            # writes rx
+        rt.index_launch(copy_scaled, 8, px, py, args=(1.0,))  # reads rx
+        assert rt.stats.logical_dependences >= 1
+
+    def test_independent_launches_no_edges(self):
+        rt, rx, ry, px, py = make_setup()
+        rt.index_launch(bump, 8, px)
+        rt.index_launch(bump, 8, px)  # rw after rw on same region: 1 edge
+        before = rt.stats.logical_dependences
+        # Distinct region: no new edges with rx.
+        rz = rt.create_region("rz", 16, {"x": "f8"})
+        pz = equal_partition("pz", rz, 8)
+        rt.index_launch(bump, 8, pz)
+        assert rt.stats.logical_dependences == before

@@ -1,0 +1,155 @@
+"""Tests for task-graph export and launch explanation tooling."""
+
+import numpy as np
+import pytest
+
+from repro.core.domain import Domain
+from repro.core.launch import IndexLaunch, RegionRequirement
+from repro.core.projection import ConstantFunctor, IdentityFunctor, ModularFunctor
+from repro.data.partition import equal_partition
+from repro.data.privileges import PrivilegeSpec
+from repro.runtime import Runtime, RuntimeConfig, task
+from repro.tools import GraphRecorder, explain_launch, to_dot
+
+
+@task(privileges=["reads writes"])
+def bump(ctx, r):
+    r.write("x", r.read("x") + 1.0)
+
+
+@task(privileges=["reads", "writes"])
+def copy_to(ctx, src, dst):
+    dst.write("x", src.read("x"))
+
+
+def setup(n_nodes=2, **cfg):
+    rt = Runtime(RuntimeConfig(n_nodes=n_nodes, **cfg))
+    rec = GraphRecorder().attach(rt)
+    r = rt.create_region("r", 8, {"x": "f8"})
+    p = equal_partition(f"p{r.uid}", r, 4)
+    return rt, rec, r, p
+
+
+class TestGraphRecorder:
+    def test_index_launch_is_one_logical_node(self):
+        rt, rec, r, p = setup()
+        rt.index_launch(bump, 4, p)
+        assert rec.n_ops == 1
+        assert rec.ops[0].kind == "index_launch"
+        assert rec.n_tasks == 4
+
+    def test_dependent_launches_connected(self):
+        rt, rec, r, p = setup()
+        rt.index_launch(bump, 4, p)
+        rt.index_launch(bump, 4, p)
+        assert (0, 1) in rec.logical_edges
+        # Physical: each point task depends on its predecessor on the same
+        # block (4 edges).
+        assert len(rec.physical_edges) == 4
+
+    def test_no_idx_records_individual_ops(self):
+        rt, rec, r, p = setup(index_launches=False)
+        rt.index_launch(bump, 4, p)
+        assert rec.n_ops == 4
+        assert all(op.kind == "task" for op in rec.ops.values())
+
+    def test_fallback_marked(self):
+        rt, rec, r, p = setup()
+        rt.index_launch(bump, 4, (p, ConstantFunctor(0)))
+        assert all(op.kind == "fallback_loop" for op in rec.ops.values())
+
+    def test_single_task_recorded(self):
+        rt, rec, r, p = setup()
+        rt.execute_task(bump, r)
+        assert rec.n_ops == 1 and rec.ops[0].kind == "task"
+
+    def test_tasks_carry_mapped_node(self):
+        rt, rec, r, p = setup(n_nodes=4)
+        rt.index_launch(bump, 4, p)
+        assert {t.node for t in rec.tasks.values()} == {0, 1, 2, 3}
+
+
+class TestDotExport:
+    def test_logical_dot_well_formed(self):
+        rt, rec, r, p = setup()
+        rt.index_launch(bump, 4, p)
+        rt.index_launch(bump, 4, p)
+        dot = to_dot(rec, "logical")
+        assert dot.startswith("digraph")
+        assert dot.count("shape=box") == 2
+        assert "op0 -> op1;" in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_physical_dot_groups_by_node(self):
+        rt, rec, r, p = setup(n_nodes=2)
+        rt.index_launch(bump, 4, p)
+        dot = to_dot(rec, "physical")
+        assert "cluster_node0" in dot and "cluster_node1" in dot
+        assert dot.count("[label=") == 4
+
+    def test_physical_dot_edges(self):
+        rt, rec, r, p = setup()
+        rt.index_launch(bump, 4, p)
+        rt.index_launch(bump, 4, p)
+        dot = to_dot(rec, "physical")
+        assert "t0 -> t4;" in dot
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(ValueError):
+            to_dot(GraphRecorder(), "quantum")
+
+    def test_label_escaping(self):
+        rec = GraphRecorder()
+        rec.record_op(0, 'weird"name', "task")
+        assert '\\"' in to_dot(rec, "logical")
+
+
+class FakeTask:
+    name = "foo"
+
+
+class TestExplain:
+    def make_launch(self, functor, priv="writes", n=8):
+        rt = Runtime()
+        r = rt.create_region("er", 16, {"x": "f8"})
+        p = equal_partition(f"ep{r.uid}", r, 8)
+        return IndexLaunch(
+            task=FakeTask(),
+            domain=Domain.range(n),
+            requirements=[
+                RegionRequirement(
+                    privilege=PrivilegeSpec.parse(priv),
+                    partition=p,
+                    functor=functor,
+                )
+            ],
+        )
+
+    def test_static_safe_explanation(self):
+        text = explain_launch(self.make_launch(IdentityFunctor()))
+        assert "SAFE" in text and "compile time" in text
+        assert "identity" in text
+        assert "descriptor size" in text
+
+    def test_dynamic_safe_explanation(self):
+        text = explain_launch(self.make_launch(ModularFunctor(8, 3)))
+        assert "SAFE" in text and "dynamic" in text
+        assert "8 functor evaluations" in text
+
+    def test_unsafe_explanation(self):
+        text = explain_launch(self.make_launch(ConstantFunctor(0)))
+        assert "UNSAFE" in text and "serial task loop" in text
+
+    def test_unverified_explanation(self):
+        text = explain_launch(
+            self.make_launch(ModularFunctor(8, 3)), run_dynamic=False
+        )
+        assert "assumed safe" in text
+
+    def test_descriptor_size_is_o1(self):
+        small = self.make_launch(IdentityFunctor(), n=2)
+        large = self.make_launch(IdentityFunctor(), n=8)
+        assert small.encoded_size() == large.encoded_size()
+        # ... while the expanded representation grows linearly.
+        assert sum(t.encoded_size() for t in large.expand()) == \
+            4 * sum(t.encoded_size() for t in small.expand())
