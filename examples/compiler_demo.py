@@ -41,10 +41,18 @@ for i = 0, 8 do          -- opaque host function f: dynamic check
   bar(q[f(i)])
 end
 
--- Listing 2: i % 3 over [0, 5) is NOT injective; the dynamic check
--- rejects the launch and the loop runs with sequential semantics.
+-- Listing 2: i % 3 over [0, 5) is NOT injective; the symbolic engine
+-- proves the wrap-around at compile time (period test: 5 > 3), so the
+-- loop is rejected statically and runs with sequential semantics.
 for i = 0, 5 do
   copy(p[i], s[i % 3])
+end
+
+-- A non-injective *opaque* functor: nothing provable statically, so
+-- the Listing-3 dynamic check runs, finds the duplicate, and the loop
+-- falls back to serial execution at runtime.
+for i = 0, 4 do
+  foo(p[g(i)])
 end
 
 -- An affine pair on one partition: 2i writes never meet 2i+1 reads,
@@ -64,6 +72,7 @@ def build_bindings(rt):
         region.storage("v")[:] = np.arange(float(size))
         bindings[name] = equal_partition(f"{name}_part", region, pieces)
     bindings["f"] = lambda i: (i * 3) % 8  # a permutation of [0, 8)
+    bindings["g"] = lambda i: i // 2       # NOT injective: 0,0,1,1
     return bindings
 
 
@@ -96,7 +105,9 @@ def main():
     print("runtime saw:", stats.index_launches, "index launches,",
           stats.launches_verified_static, "static,",
           stats.launches_verified_dynamic, "dynamic,",
-          stats.launches_fallback_serial, "serial fallback (Listing 2).")
+          stats.launches_fallback_serial,
+          "serial fallback (the opaque non-injective functor);",
+          "Listing 2 never launched — it was rejected at compile time.")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,28 @@
+-- A program the linter proves entirely safe: every self- and
+-- cross-check is decided statically by the symbolic affine engine.
+
+task inc(c) reads(c) writes(c) do
+  c.v = c.v + 1
+end
+
+task copy(a, b) reads(a) writes(b) do
+  b.v = a.v
+end
+
+-- identity functor: injective over any domain
+for i = 0, 8 do
+  inc(p[i])
+end
+
+-- interleaved affine pair on one partition: 2i+1 writes never meet
+-- 2i reads (GCD residue separation)
+for i = 0, 4 do
+  copy(t[2 * i], t[2 * i + 1])
+end
+
+-- a full modular rotation: (i + 3) % 8 over [0, 8) is injective
+-- (period test), and its image [0, 8) never meets the p-loop above
+-- because the two launches write distinct partitions
+parallel for i = 0, 8 do
+  inc(q[(i + 3) % 8])
+end

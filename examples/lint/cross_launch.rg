@@ -1,0 +1,26 @@
+-- Cross-launch interference: no single loop is wrong, but the first
+-- two launches name the same partition and the second reads what the
+-- first wrote — they must serialize (rule IL-X02, a warning: correct,
+-- yet the parallelism the launches suggest is not there).
+
+task produce(c) writes(c) do
+  c.v = 1
+end
+
+task consume(a, b) reads(a) writes(b) do
+  b.v = a.v
+end
+
+for i = 0, 4 do
+  produce(p[i])
+end
+
+for i = 0, 4 do
+  consume(p[i], q[i])
+end
+
+-- this launch, by contrast, is proven independent of the first: the
+-- producer wrote p[0..4) and this one reads p[4..8)
+for i = 0, 4 do
+  consume(p[i + 4], r[i])
+end

@@ -1,0 +1,17 @@
+-- Statically undecidable shapes: the linter reports NEEDS_DYNAMIC and
+-- the compiler emits the Listing-3 dynamic check for each.
+
+task one(c) writes(c) do
+  c.v = 1
+end
+
+-- opaque host functor: nothing to reason about statically
+for i = 0, 8 do
+  one(p[f(i)])
+end
+
+-- modular functor with a trip count unknown at compile time: the
+-- period test needs the extent
+for i = 0, n do
+  one(q[i % 4])
+end

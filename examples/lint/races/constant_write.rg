@@ -1,0 +1,10 @@
+-- A statically-proven race: every iteration writes partition piece 2.
+-- The linter exits nonzero (rule IL-S02).
+
+task setv(c, k) writes(c) do
+  c.v = k
+end
+
+for i = 0, 4 do
+  setv(p[2], i)
+end

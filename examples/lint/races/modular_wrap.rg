@@ -1,0 +1,12 @@
+-- The paper's Listing 2: i % 3 over [0, 5) wraps around, so iterations
+-- 0 and 3 write the same subregion of s.  The period test refutes
+-- injectivity statically (rule IL-S02) — no dynamic check is needed to
+-- reject this launch.
+
+task copy(a, b) reads(a) writes(b) do
+  b.v = a.v
+end
+
+for i = 0, 5 do
+  copy(p[i], s[i % 3])
+end

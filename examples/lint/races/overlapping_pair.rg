@@ -1,0 +1,11 @@
+-- A cross-check failure inside one launch: i and i+2 have the same
+-- stride and residue, and over [0, 6) the images [0,6) and [2,8)
+-- provably intersect while one side writes (rule IL-C02).
+
+task mix(a, b) reads(a) writes(b) do
+  b.v = a.v
+end
+
+for i = 0, 6 do
+  mix(p[i], p[i + 2])
+end

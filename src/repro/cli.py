@@ -9,6 +9,10 @@ Commands:
   every configuration and compare against the serial references.
 * ``demo`` — a one-minute index-launch walkthrough (same content as
   ``examples/quickstart.py``'s summary).
+* ``lint <file>... [--json]`` — run the whole-program static interference
+  linter over mini-Regent sources (``.rg`` files, or python files with an
+  embedded ``SOURCE = \"\"\"...\"\"\"`` program).  Exits 1 on a
+  statically-proven race, 2 on a parse error.
 """
 
 from __future__ import annotations
@@ -138,6 +142,55 @@ def _cmd_demo(args) -> int:
     return 0
 
 
+def _extract_program(path: str) -> str:
+    """Read a mini-Regent program from ``path``.
+
+    ``.rg`` (or any non-python) files are taken verbatim; for ``.py``
+    files the embedded ``SOURCE = \"\"\"...\"\"\"`` block(s) are linted,
+    which keeps the example scripts checkable without executing them.
+    """
+    import re
+
+    with open(path) as fh:
+        text = fh.read()
+    if not path.endswith(".py"):
+        return text
+    blocks = re.findall(
+        r'^[A-Z_]*SOURCE\s*=\s*"""(.*?)"""', text, re.M | re.S
+    )
+    if not blocks:
+        raise ValueError(
+            f"{path}: no embedded SOURCE = \"\"\"...\"\"\" program found"
+        )
+    return "\n".join(blocks)
+
+
+def _cmd_lint(args) -> int:
+    import json
+
+    from repro.compiler.lint import lint_source
+
+    reports = []
+    worst = 0
+    for path in args.files:
+        try:
+            source = _extract_program(path)
+        except (OSError, ValueError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        report = lint_source(source, path)
+        reports.append(report)
+        worst = max(worst, report.exit_code)
+    if args.json:
+        payload = (reports[0].to_dict() if len(reports) == 1
+                   else {"programs": [r.to_dict() for r in reports],
+                         "exit_code": worst})
+        print(json.dumps(payload, indent=2))
+    else:
+        print("\n\n".join(r.render() for r in reports))
+    return worst
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -165,6 +218,16 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     p_demo = sub.add_parser("demo", help="one-minute index-launch demo")
     p_demo.set_defaults(fn=_cmd_demo)
+
+    p_lint = sub.add_parser(
+        "lint", help="static interference linter for mini-Regent programs"
+    )
+    p_lint.add_argument("files", nargs="+",
+                        help=".rg sources (or .py files with an embedded "
+                             "SOURCE block)")
+    p_lint.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+    p_lint.set_defaults(fn=_cmd_lint)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -12,14 +12,23 @@ The pipeline mirrors the paper's description of the Regent implementation:
 2. **Identify candidates** (:mod:`repro.compiler.dependence`): loops whose
    body is a single task launch plus simple statements, with no
    loop-carried dependencies (other than reductions).
-3. **Classify projection functors** (:mod:`repro.compiler.functors`): a
-   static analysis recognizing constant / identity / affine index
-   expressions; everything else is *unknown*.
+3. **Normalize projection functors** (:mod:`repro.compiler.symbolic`):
+   index expressions become symbolic affine forms — ``a*i + b``, possibly
+   ``mod m`` — decided by the shared engine in
+   :mod:`repro.core.static_analysis` (the same procedures the runtime
+   uses, so the layers cannot disagree).  The coarse constant / identity /
+   affine / unknown classes of :mod:`repro.compiler.functors` are a
+   projection of the forms.
 4. **Transform** (:mod:`repro.compiler.optimize`): replace the loop AST
    with a dynamic check followed by a branch that selects the index launch
    or the original task loop — the program transformation of Listing 3.
+   Every decision carries a structured diagnostic
+   (:mod:`repro.compiler.diagnostics`) with a §3 rule id and source span.
 5. **Execute** (:mod:`repro.compiler.interp`): run the compiled program
    against the runtime of :mod:`repro.runtime`.
+
+:mod:`repro.compiler.lint` drives the same analysis standalone over whole
+programs — plus cross-launch interference checks — for ``repro lint``.
 """
 
 from repro.compiler.ast import (
@@ -37,14 +46,25 @@ from repro.compiler.ast import (
 )
 from repro.compiler.lexer import Token, tokenize, LexError
 from repro.compiler.parser import parse, ParseError
+from repro.compiler.diagnostics import Diagnostic, Severity, Span
 from repro.compiler.functors import classify_index_expr, expr_to_functor, FunctorClass
+from repro.compiler.symbolic import (
+    normalize_index_expr,
+    const_eval,
+    injective_over,
+    images_disjoint_over,
+    form_to_functor,
+)
 from repro.compiler.dependence import loop_is_candidate, CandidateReport
 from repro.compiler.optimize import (
     optimize_program,
+    analyze_loop,
+    LoopAnalysis,
     IndexLaunchNode,
     DynamicCheckNode,
     DemandViolation,
 )
+from repro.compiler.lint import lint_source, LintReport, LoopReport
 from repro.compiler.interp import compile_and_run, Interpreter
 from repro.compiler.pprint import unparse, unparse_expr, unparse_stmt
 
@@ -65,15 +85,28 @@ __all__ = [
     "LexError",
     "parse",
     "ParseError",
+    "Diagnostic",
+    "Severity",
+    "Span",
     "classify_index_expr",
     "expr_to_functor",
     "FunctorClass",
+    "normalize_index_expr",
+    "const_eval",
+    "injective_over",
+    "images_disjoint_over",
+    "form_to_functor",
     "loop_is_candidate",
     "CandidateReport",
     "optimize_program",
+    "analyze_loop",
+    "LoopAnalysis",
     "IndexLaunchNode",
     "DynamicCheckNode",
     "DemandViolation",
+    "lint_source",
+    "LintReport",
+    "LoopReport",
     "compile_and_run",
     "Interpreter",
     "unparse",

@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro.compiler.diagnostics import Span
+
 __all__ = [
     "Expr", "Number", "Name", "FieldRef", "BinOp", "Call", "Index",
     "Stmt", "VarDecl", "Assign", "FieldAssign", "CallStmt", "ForLoop",
@@ -33,6 +35,9 @@ class Expr:
 @dataclass(frozen=True)
 class Number(Expr):
     value: float
+    #: Source location (line/col from the lexer); excluded from equality
+    #: so structural comparisons and pretty-print round-trips ignore it.
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def __repr__(self) -> str:
         return f"Number({self.value})"
@@ -41,6 +46,9 @@ class Number(Expr):
 @dataclass(frozen=True)
 class Name(Expr):
     ident: str
+    #: Source location (line/col from the lexer); excluded from equality
+    #: so structural comparisons and pretty-print round-trips ignore it.
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def __repr__(self) -> str:
         return f"Name({self.ident})"
@@ -52,6 +60,9 @@ class FieldRef(Expr):
 
     region: str
     fname: str
+    #: Source location (line/col from the lexer); excluded from equality
+    #: so structural comparisons and pretty-print round-trips ignore it.
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -59,6 +70,9 @@ class BinOp(Expr):
     op: str  # + - * / % == <= >= < > ~=
     left: Expr
     right: Expr
+    #: Source location (line/col from the lexer); excluded from equality
+    #: so structural comparisons and pretty-print round-trips ignore it.
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -67,6 +81,9 @@ class Call(Expr):
 
     fn: str
     args: Tuple[Expr, ...]
+    #: Source location (line/col from the lexer); excluded from equality
+    #: so structural comparisons and pretty-print round-trips ignore it.
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -75,6 +92,9 @@ class Index(Expr):
 
     base: str
     index: Expr
+    #: Source location (line/col from the lexer); excluded from equality
+    #: so structural comparisons and pretty-print round-trips ignore it.
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
 
 # ----------------------------------------------------------------- statements
@@ -87,12 +107,18 @@ class Stmt:
 class VarDecl(Stmt):
     name: str
     value: Expr
+    #: Source location (line/col from the lexer); excluded from equality
+    #: so structural comparisons and pretty-print round-trips ignore it.
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
 
 @dataclass
 class Assign(Stmt):
     name: str
     value: Expr
+    #: Source location (line/col from the lexer); excluded from equality
+    #: so structural comparisons and pretty-print round-trips ignore it.
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
 
 @dataclass
@@ -102,6 +128,9 @@ class FieldAssign(Stmt):
     region: str
     fname: str
     value: Expr
+    #: Source location (line/col from the lexer); excluded from equality
+    #: so structural comparisons and pretty-print round-trips ignore it.
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
 
 @dataclass
@@ -110,6 +139,9 @@ class CallStmt(Stmt):
 
     fn: str
     args: List[Expr]
+    #: Source location (line/col from the lexer); excluded from equality
+    #: so structural comparisons and pretty-print round-trips ignore it.
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
 
 @dataclass
@@ -121,6 +153,9 @@ class ForLoop(Stmt):
     #: ``parallel for`` — Regent's __demand(__index_launch): the optimizer
     #: must transform this loop or reject the program.
     demand_parallel: bool = False
+    #: Source location (line/col from the lexer); excluded from equality
+    #: so structural comparisons and pretty-print round-trips ignore it.
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
 
 # ------------------------------------------------------------------ top level
@@ -141,6 +176,9 @@ class TaskDef(Stmt):
     params: List[str]
     privileges: List[PrivClause]
     body: List[Stmt]
+    #: Source location (line/col from the lexer); excluded from equality
+    #: so structural comparisons and pretty-print round-trips ignore it.
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def region_params(self) -> List[str]:
         """Parameters that appear in at least one privilege clause, in

@@ -1,0 +1,176 @@
+"""Structured compiler diagnostics: severities, source spans, rule catalogue.
+
+Every finding the static interference analysis produces — from the
+optimization pass, the ``repro lint`` driver, or the runtime-launch
+explainer — is a :class:`Diagnostic`: a rule id from the catalogue below, a
+severity, a source :class:`Span` (the lexer's line/column, threaded through
+the parser onto AST nodes), and a human-readable message.  Diagnostics
+render either as compiler-style text (``file:line:col: error[IL-S02]: ...``)
+or as JSON (:meth:`Diagnostic.to_dict`), so editors and CI can consume them.
+
+The rule ids map onto the paper's Section-3 validity clauses:
+
+* ``IL-S*`` — the *self-check*: each write-privileged argument ``<P, f>``
+  needs ``P`` disjoint and ``f`` injective over the launch domain.
+* ``IL-C*`` — the *cross-check*: each argument pair on one partition needs
+  compatible privileges or disjoint functor images over the domain.
+* ``IL-X*`` — whole-program extension: interference *between* launches
+  naming the same partition (no race — program order is preserved — but
+  the launches must serialize, which caps parallelism).
+* ``IL-D*`` / ``IL-N*`` / ``IL-P*`` — demand violations, non-candidate
+  loops, and parse failures.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["Severity", "Span", "Diagnostic", "RULES", "render_diagnostics"]
+
+
+class Severity(enum.Enum):
+    """Diagnostic severity, ordered from worst to mildest."""
+
+    ERROR = "error"      # statically-proven interference (a race if launched)
+    WARNING = "warning"  # well-formed but suspicious (e.g. forced serialization)
+    INFO = "info"        # verdict context (e.g. a dynamic check will be emitted)
+    NOTE = "note"        # supporting detail
+
+    @property
+    def rank(self) -> int:
+        return ["error", "warning", "info", "note"].index(self.value)
+
+
+@dataclass(frozen=True)
+class Span:
+    """A source location: 1-based line and column, optionally an end point."""
+
+    line: int
+    col: int
+    end_line: Optional[int] = None
+    end_col: Optional[int] = None
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.col}"
+
+    def to_dict(self) -> Dict[str, int]:
+        d = {"line": self.line, "col": self.col}
+        if self.end_line is not None:
+            d["end_line"] = self.end_line
+        if self.end_col is not None:
+            d["end_col"] = self.end_col
+        return d
+
+
+#: Rule catalogue: id -> (title, which §3 clause / analysis stage it traces to).
+RULES: Dict[str, Dict[str, str]] = {
+    "IL-S01": {
+        "title": "write functor statically injective",
+        "clause": "§3 self-check: P disjoint and f injective over D — proven",
+    },
+    "IL-S02": {
+        "title": "write through non-injective functor",
+        "clause": "§3 self-check: f is provably not injective over D — "
+                  "distinct tasks write one subregion",
+    },
+    "IL-S03": {
+        "title": "injectivity undecided statically",
+        "clause": "§3 self-check deferred to the Listing-3 dynamic check",
+    },
+    "IL-C01": {
+        "title": "argument images statically disjoint",
+        "clause": "§3 cross-check: images of f_i and f_j over D are disjoint "
+                  "— proven",
+    },
+    "IL-C02": {
+        "title": "conflicting arguments overlap",
+        "clause": "§3 cross-check: privileges conflict and the images of f_i "
+                  "and f_j provably intersect",
+    },
+    "IL-C03": {
+        "title": "image disjointness undecided statically",
+        "clause": "§3 cross-check deferred to the Listing-3 dynamic check",
+    },
+    "IL-X01": {
+        "title": "cross-launch write/write interference",
+        "clause": "whole-program: two launches write overlapping subregions "
+                  "of one partition; they must serialize",
+    },
+    "IL-X02": {
+        "title": "cross-launch write/read interference",
+        "clause": "whole-program: one launch writes subregions another "
+                  "reads; they must serialize",
+    },
+    "IL-X03": {
+        "title": "cross-launch relation undecided",
+        "clause": "whole-program: image overlap between launches could not "
+                  "be decided statically",
+    },
+    "IL-D01": {
+        "title": "parallel-for contract violated",
+        "clause": "__demand(__index_launch): the annotated loop cannot be "
+                  "executed as an index launch",
+    },
+    "IL-N01": {
+        "title": "loop is not an index-launch candidate",
+        "clause": "§4 eligibility: single task launch plus simple "
+                  "statements, no loop-carried dependencies",
+    },
+    "IL-P01": {
+        "title": "parse failure",
+        "clause": "the program could not be lexed/parsed",
+    },
+}
+
+
+@dataclass
+class Diagnostic:
+    """One finding, tied to a rule and (when known) a source span."""
+
+    rule: str
+    severity: Severity
+    message: str
+    span: Optional[Span] = None
+    notes: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.rule not in RULES:
+            raise ValueError(f"unknown diagnostic rule {self.rule!r}")
+
+    @property
+    def clause(self) -> str:
+        return RULES[self.rule]["clause"]
+
+    def format(self, filename: str = "<program>") -> str:
+        """Compiler-style one-line rendering plus indented notes."""
+        where = f"{filename}:{self.span}: " if self.span else f"{filename}: "
+        head = f"{where}{self.severity.value}[{self.rule}]: {self.message}"
+        return "\n".join([head] + [f"    note: {n}" for n in self.notes])
+
+    def to_dict(self) -> Dict:
+        d = {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+            "clause": self.clause,
+        }
+        if self.span is not None:
+            d["span"] = self.span.to_dict()
+        if self.notes:
+            d["notes"] = list(self.notes)
+        return d
+
+
+def render_diagnostics(
+    diagnostics: List[Diagnostic], filename: str = "<program>"
+) -> str:
+    """Render diagnostics in severity-then-source order."""
+    ordered = sorted(
+        diagnostics,
+        key=lambda d: (d.severity.rank,
+                       d.span.line if d.span else 0,
+                       d.span.col if d.span else 0),
+    )
+    return "\n".join(d.format(filename) for d in ordered)

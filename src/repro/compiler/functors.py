@@ -1,14 +1,21 @@
 """Static classification of projection-functor expressions (Section 4).
 
 Given the index expression of a partition argument (``p[<expr>]``) and the
-loop variable, the classifier recognizes the paper's trivial cases:
+loop variable, the classifier reports the paper's coarse functor classes:
 
-* **constant** — no occurrence of the loop variable: not injective (over
+* **constant** — no dependence on the loop variable: not injective (over
   any domain with more than one point);
 * **identity** — exactly the loop variable: injective;
 * **affine** — ``a*i + b`` after constant folding: injective iff ``a != 0``;
 * **unknown** — anything else (modulo, quadratic, opaque calls): deferred
   to the dynamic check.
+
+The classification is a thin projection of the symbolic affine engine
+(:mod:`repro.compiler.symbolic`): the expression is normalized into an
+:class:`~repro.core.static_analysis.AffineForm` and the form's shape
+decides the class.  Modular forms still classify as UNKNOWN — the coarse
+class vocabulary cannot express them — but the optimizer consults the
+form directly, where ``(i + k) % m`` *is* decidable given the bounds.
 
 :func:`expr_to_functor` lowers the expression to the runtime's functor
 objects, choosing the specialized classes where the shape is recognized
@@ -19,10 +26,9 @@ interpreting :class:`~repro.core.projection.CallableFunctor` otherwise.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
-from repro.compiler.ast import BinOp, Call, Expr, Name, Number, expr_names
+from repro.compiler.ast import BinOp, Call, Expr, Name, Number
 from repro.core.projection import (
     AffineFunctor,
     CallableFunctor,
@@ -48,52 +54,17 @@ class FunctorClass(enum.Enum):
     UNKNOWN = "unknown"
 
 
-@dataclass(frozen=True)
-class _Affine:
-    """Symbolic value a*i + b (or None when not affine in i)."""
-
-    a: Optional[float]
-    b: Optional[float]
-
-    @property
-    def ok(self) -> bool:
-        return self.a is not None
-
-
-_NOT_AFFINE = _Affine(None, None)
-
-
-def _affine_of(expr: Expr, var: str, env: Dict[str, float]) -> _Affine:
-    """Symbolically evaluate ``expr`` as a*var + b with constant a, b."""
-    if isinstance(expr, Number):
-        return _Affine(0.0, float(expr.value))
-    if isinstance(expr, Name):
-        if expr.ident == var:
-            return _Affine(1.0, 0.0)
-        if expr.ident in env and isinstance(env[expr.ident], (int, float)):
-            return _Affine(0.0, float(env[expr.ident]))
-        return _NOT_AFFINE
-    if isinstance(expr, BinOp):
-        left = _affine_of(expr.left, var, env)
-        right = _affine_of(expr.right, var, env)
-        if not (left.ok and right.ok):
-            return _NOT_AFFINE
-        if expr.op == "+":
-            return _Affine(left.a + right.a, left.b + right.b)
-        if expr.op == "-":
-            return _Affine(left.a - right.a, left.b - right.b)
-        if expr.op == "*":
-            if left.a == 0.0:
-                return _Affine(left.b * right.a, left.b * right.b)
-            if right.a == 0.0:
-                return _Affine(left.a * right.b, left.b * right.b)
-            return _NOT_AFFINE  # i * i: quadratic
-        if expr.op == "/":
-            if right.a == 0.0 and right.b not in (0.0, None):
-                return _Affine(left.a / right.b, left.b / right.b)
-            return _NOT_AFFINE
-        return _NOT_AFFINE  # %, comparisons
-    return _NOT_AFFINE  # calls and anything else
+def _int_env(env: Optional[Dict[str, object]]) -> Dict[str, int]:
+    """Keep only the integer-valued host bindings the normalizer can use."""
+    out: Dict[str, int] = {}
+    for k, v in (env or {}).items():
+        if isinstance(v, bool):
+            continue
+        if isinstance(v, int):
+            out[k] = v
+        elif isinstance(v, float) and v.is_integer():
+            out[k] = int(v)
+    return out
 
 
 def classify_index_expr(
@@ -104,23 +75,16 @@ def classify_index_expr(
     Returns ``(class, (a, b))`` where the affine coefficients are provided
     for CONSTANT/IDENTITY/AFFINE and None for UNKNOWN.
     """
-    env = env or {}
-    if var not in expr_names(expr):
-        aff = _affine_of(expr, var, env)
-        if aff.ok and float(aff.b).is_integer():
-            return FunctorClass.CONSTANT, (0, int(aff.b))
+    from repro.compiler.symbolic import normalize_index_expr
+
+    form = normalize_index_expr(expr, var, _int_env(env))
+    if form is None or form.mod is not None:
         return FunctorClass.UNKNOWN, None
-    aff = _affine_of(expr, var, env)
-    if not aff.ok:
-        return FunctorClass.UNKNOWN, None
-    if not (float(aff.a).is_integer() and float(aff.b).is_integer()):
-        return FunctorClass.UNKNOWN, None
-    a, b = int(aff.a), int(aff.b)
-    if a == 1 and b == 0:
+    if form.a == 1 and form.b == 0:
         return FunctorClass.IDENTITY, (1, 0)
-    if a == 0:
-        return FunctorClass.CONSTANT, (0, b)
-    return FunctorClass.AFFINE, (a, b)
+    if form.a == 0:
+        return FunctorClass.CONSTANT, (0, form.b)
+    return FunctorClass.AFFINE, (form.a, form.b)
 
 
 def eval_index_expr(
@@ -188,15 +152,14 @@ def expr_to_functor(
         return ConstantFunctor(coeffs[1])
     if cls is FunctorClass.AFFINE:
         return AffineFunctor(coeffs[0], coeffs[1])
-    # Recognize (e mod n) with e affine as the modular functor family so the
-    # runtime can report it distinctly (still dynamically checked).
-    if isinstance(expr, BinOp) and expr.op == "%" and isinstance(expr.right, Number):
-        inner = _affine_of(
-            expr.left, var,
-            {k: v for k, v in env.items() if isinstance(v, (int, float))},
-        )
-        if inner.ok and inner.a == 1.0 and float(inner.b).is_integer():
-            return ModularFunctor(int(expr.right.value), int(inner.b))
+    # Recognize (e mod m) with e of unit stride as the modular functor
+    # family so the runtime can report it distinctly (and, given known
+    # bounds, decide it statically).
+    from repro.compiler.symbolic import normalize_index_expr
+
+    form = normalize_index_expr(expr, var, _int_env(env))
+    if form is not None and form.mod is not None and form.a == 1:
+        return ModularFunctor(form.mod, form.b)
     return CallableFunctor(
         lambda i: eval_index_expr(expr, var, i, env), name=f"<{var} expr>"
     )

@@ -1,0 +1,299 @@
+"""Whole-program interference linter for mini-Regent programs.
+
+``lint_source`` parses a program and runs the full static interference
+analysis over **every** top-level loop — the same per-loop analysis the
+optimizer applies (:func:`repro.compiler.optimize.analyze_loop`, §3
+self-checks and cross-checks via the shared symbolic affine engine) —
+and then a pass nothing in the compile pipeline performs: *cross-launch*
+interference between distinct index launches naming the same partition.
+Two launches whose write images overlap (write/write), or where one
+launch writes subregions another reads (write/read), are not races —
+program order is preserved by the runtime's dependence analysis — but
+they must serialize, which caps the parallelism the launches were
+written to expose.  The linter proves or refutes those overlaps with the
+same engine (image disjointness over each loop's own domain).
+
+Verdicts per loop:
+
+* ``SAFE`` — every §3 check statically proven; the loop launches with
+  no dynamic checks.
+* ``NEEDS_DYNAMIC`` — some check undecided; the Listing-3 dynamic check
+  will run at launch time.
+* ``UNSAFE`` — interference statically proven; executing the loop as an
+  index launch would race, so the compiler keeps the serial loop.
+* ``NOT_A_CANDIDATE`` — structurally ineligible (§4); runs serially.
+
+A report renders as compiler-style text or JSON (``to_dict``).  Exit
+codes: 0 clean, 1 when any ERROR-severity diagnostic fired (a
+statically-proven race or a violated ``parallel for`` contract), 2 when
+the program does not parse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.compiler.ast import Assign, ForLoop, Program, VarDecl
+from repro.compiler.diagnostics import (
+    Diagnostic,
+    Severity,
+    Span,
+    render_diagnostics,
+)
+from repro.compiler.functors import FunctorClass
+from repro.compiler.lexer import LexError
+from repro.compiler.optimize import LoopAnalysis, RegionArg, analyze_loop
+from repro.compiler.parser import ParseError, parse
+from repro.compiler.symbolic import const_eval, images_disjoint_over
+
+__all__ = ["LoopReport", "LintReport", "lint_source", "seed_classifier_action"]
+
+#: optimizer action -> lint verdict
+_VERDICTS = {
+    "index-launch": "SAFE",
+    "dynamic-check": "NEEDS_DYNAMIC",
+    "unsafe": "UNSAFE",
+    "not-candidate": "NOT_A_CANDIDATE",
+}
+
+
+@dataclass
+class LoopReport:
+    """Lint findings for one source loop."""
+
+    index: int                     # position among the program's loops
+    verdict: str                   # SAFE | NEEDS_DYNAMIC | UNSAFE | NOT_A_CANDIDATE
+    analysis: LoopAnalysis
+
+    @property
+    def span(self) -> Optional[Span]:
+        return self.analysis.loop.span
+
+    @property
+    def diagnostics(self) -> List[Diagnostic]:
+        return self.analysis.decision.diagnostics
+
+    @property
+    def headline(self) -> str:
+        loop = self.analysis.loop
+        task = self.analysis.call.fn if self.analysis.call else "?"
+        where = f"{self.span}" if self.span else "?"
+        return (f"loop #{self.index} at {where} "
+                f"(for {loop.var}, task {task}): {self.verdict}")
+
+    def to_dict(self) -> Dict:
+        loop = self.analysis.loop
+        d: Dict = {
+            "loop": self.index,
+            "verdict": self.verdict,
+            "action": self.analysis.decision.action,
+            "var": loop.var,
+            "demand_parallel": loop.demand_parallel,
+            "diagnostics": [g.to_dict() for g in self.diagnostics],
+        }
+        if self.analysis.call is not None:
+            d["task"] = self.analysis.call.fn
+        if self.span is not None:
+            d["span"] = self.span.to_dict()
+        lo, hi = self.analysis.bounds
+        if lo is not None and hi is not None:
+            d["domain"] = [lo, hi]
+        return d
+
+
+@dataclass
+class LintReport:
+    """All findings for one program."""
+
+    path: str
+    loops: List[LoopReport] = field(default_factory=list)
+    cross_launch: List[Diagnostic] = field(default_factory=list)
+    parse_error: Optional[Diagnostic] = None
+
+    @property
+    def diagnostics(self) -> List[Diagnostic]:
+        out = [] if self.parse_error is None else [self.parse_error]
+        for lr in self.loops:
+            out.extend(lr.diagnostics)
+        out.extend(self.cross_launch)
+        return out
+
+    @property
+    def exit_code(self) -> int:
+        if self.parse_error is not None:
+            return 2
+        if any(d.severity is Severity.ERROR for d in self.diagnostics):
+            return 1
+        return 0
+
+    def counts(self) -> Dict[str, int]:
+        out = {v: 0 for v in _VERDICTS.values()}
+        for lr in self.loops:
+            out[lr.verdict] += 1
+        return out
+
+    def to_dict(self) -> Dict:
+        d: Dict = {
+            "path": self.path,
+            "loops": [lr.to_dict() for lr in self.loops],
+            "cross_launch": [g.to_dict() for g in self.cross_launch],
+            "summary": self.counts(),
+            "exit_code": self.exit_code,
+        }
+        if self.parse_error is not None:
+            d["parse_error"] = self.parse_error.to_dict()
+        return d
+
+    def render(self) -> str:
+        if self.parse_error is not None:
+            return self.parse_error.format(self.path)
+        lines: List[str] = []
+        for lr in self.loops:
+            lines.append(lr.headline)
+            for g in lr.diagnostics:
+                lines.append("  " + g.format(self.path))
+        if self.cross_launch:
+            lines.append("cross-launch analysis:")
+            for g in self.cross_launch:
+                lines.append("  " + g.format(self.path))
+        counts = self.counts()
+        summary = ", ".join(
+            f"{n} {v}" for v, n in counts.items() if n
+        ) or "no loops"
+        lines.append(f"{self.path}: {summary}")
+        return "\n".join(lines)
+
+
+def _writes(arg: RegionArg) -> bool:
+    return arg.mode in ("write", "reduce")
+
+
+def _cross_launch_pass(reports: List[LoopReport]) -> List[Diagnostic]:
+    """Interference between distinct launches naming the same partition.
+
+    Only loops that will actually launch (SAFE or NEEDS_DYNAMIC) take
+    part — statically-rejected and non-candidate loops execute serially,
+    so program order already sequences them.  For each pair of launches
+    and each pair of arguments on one partition with a write involved,
+    the engine decides image disjointness over each loop's *own* domain.
+    """
+    out: List[Diagnostic] = []
+    launching = [r for r in reports
+                 if r.verdict in ("SAFE", "NEEDS_DYNAMIC")]
+    for x, ri in enumerate(launching):
+        for rj in launching[x + 1:]:
+            ai_list = ri.analysis.region_args
+            aj_list = rj.analysis.region_args
+            for ai in ai_list:
+                for aj in aj_list:
+                    if ai.base != aj.base:
+                        continue
+                    if not (_writes(ai) or _writes(aj)):
+                        continue
+                    if ai.fields is not None and aj.fields is not None \
+                            and not (ai.fields & aj.fields):
+                        continue
+                    kind = "write/write" if _writes(ai) and _writes(aj) \
+                        else "write/read"
+                    pair = (f"loop #{ri.index} arg{ai.pos} and "
+                            f"loop #{rj.index} arg{aj.pos} on {ai.base!r}")
+                    disjoint = images_disjoint_over(
+                        ai.form, ri.analysis.domain_range,
+                        aj.form, rj.analysis.domain_range,
+                    )
+                    if disjoint is True:
+                        continue  # proven independent: launches overlap freely
+                    if disjoint is False:
+                        rule = "IL-X01" if kind == "write/write" else "IL-X02"
+                        out.append(Diagnostic(
+                            rule, Severity.WARNING,
+                            f"{kind} interference between {pair}: images "
+                            f"overlap, the launches must serialize",
+                            aj.span,
+                            notes=[f"first launch at {ri.span}"
+                                   if ri.span else "first launch"],
+                        ))
+                    else:
+                        out.append(Diagnostic(
+                            "IL-X03", Severity.NOTE,
+                            f"possible {kind} interference between {pair}: "
+                            f"overlap undecided statically",
+                            aj.span,
+                        ))
+    return out
+
+
+def lint_source(source: str, path: str = "<program>") -> LintReport:
+    """Lint a mini-Regent program; never raises on bad input."""
+    report = LintReport(path=path)
+    try:
+        program = parse(source)
+    except (ParseError, LexError) as exc:
+        span = None
+        # Parse errors carry "... at line:col" — surface it as the span.
+        import re
+
+        m = re.search(r"at (\d+):(\d+)", str(exc))
+        if m:
+            span = Span(int(m.group(1)), int(m.group(2)))
+        report.parse_error = Diagnostic(
+            "IL-P01", Severity.ERROR, str(exc), span
+        )
+        return report
+
+    env: Dict[str, int] = {}
+    for stmt in program.body:
+        if isinstance(stmt, ForLoop):
+            analysis = analyze_loop(stmt, program.tasks, env)
+            report.loops.append(LoopReport(
+                index=len(report.loops),
+                verdict=_VERDICTS[analysis.decision.action],
+                analysis=analysis,
+            ))
+        elif isinstance(stmt, (VarDecl, Assign)):
+            v = const_eval(stmt.value, env)
+            if v is None:
+                env.pop(stmt.name, None)
+            else:
+                env[stmt.name] = v
+    report.cross_launch = _cross_launch_pass(report.loops)
+    return report
+
+
+def seed_classifier_action(analysis: LoopAnalysis) -> str:
+    """The verdict the *seed* (pre-engine) classifier would have reached.
+
+    Reconstructs the original optimizer's logic — coarse functor classes
+    only, no loop bounds, no symbolic modular reasoning, equal-stride
+    offset comparison for cross-checks — from an already-computed
+    analysis.  Kept as the baseline for the before/after verdict-count
+    comparison: the symbolic engine must strictly reduce NEEDS_DYNAMIC.
+    """
+    if analysis.decision.action == "not-candidate":
+        return "not-candidate"
+    undecided = False
+    args = analysis.region_args
+    for arg in args:
+        if arg.mode != "write":
+            continue
+        if arg.cls in (FunctorClass.IDENTITY, FunctorClass.AFFINE):
+            continue
+        if arg.cls is FunctorClass.CONSTANT:
+            return "unsafe"
+        undecided = True
+    for x, ai in enumerate(args):
+        for aj in args[x + 1:]:
+            if ai.base != aj.base:
+                continue
+            if ai.mode == "read" and aj.mode == "read":
+                continue  # seed: conflict when either side writes/reduces
+            if ai.index == aj.index:
+                return "unsafe"
+            affine = (FunctorClass.IDENTITY, FunctorClass.AFFINE)
+            if ai.cls in affine and aj.cls in affine \
+                    and ai.form.a == aj.form.a and ai.form.a != 0 \
+                    and (ai.form.b - aj.form.b) % abs(ai.form.a) != 0:
+                continue  # interleaved: seed proved disjointness
+            undecided = True
+    return "dynamic-check" if undecided else "index-launch"

@@ -1,23 +1,33 @@
 """The index-launch optimization pass (Section 4).
 
 Walks the program, finds candidate loops (:mod:`repro.compiler.dependence`),
-classifies each partition argument's index expression
-(:mod:`repro.compiler.functors`), and rewrites the loop:
+normalizes each partition argument's index expression into the shared
+symbolic affine form (:mod:`repro.compiler.symbolic`), and rewrites the
+loop:
 
-* every write-privileged argument statically injective (identity / affine
-  with nonzero stride) -> :class:`IndexLaunchNode` — the loop becomes an
-  index launch outright;
-* some argument statically *non-injective* (constant with a write) -> the
-  loop is left untouched (executing it as an index launch would race);
+* every §3 check statically *proven* -> :class:`IndexLaunchNode` — the
+  loop becomes an index launch outright;
+* some check statically *refuted* (non-injective write functor, or
+  conflicting arguments with provably overlapping images) -> the loop is
+  left untouched (executing it as an index launch would race);
 * anything undecided -> :class:`DynamicCheckNode` — the Listing-3
   transformation: a dynamic check selecting between the index launch and
   the original task loop at runtime.
 
-Static *cross*-checks between arguments naming the same partition use the
-same small decision procedure as the runtime
-(:func:`repro.core.static_analysis.images_disjoint_static` semantics,
-restricted to what is visible syntactically): structurally identical
-expressions conflict; equal-stride affine pairs are compared by offset.
+Both the self-checks (injectivity of a write functor over the launch
+domain) and the cross-checks (pairwise image disjointness on a shared
+partition) are decided by the *same* engine the runtime uses
+(:mod:`repro.core.static_analysis`) — stride/period reasoning for
+injectivity, GCD residue separation and bounded Diophantine solving for
+disjointness — so the two layers cannot drift apart.  Loop bounds and
+host constants are folded from the top-level program text when they are
+statically known, which is what lets the engine decide modular functors
+(``(i + 1) % n``) that pure syntactic classification must defer.
+
+Every decision is recorded twice: as a human-readable reason string (the
+audit trail) and as a structured :class:`~repro.compiler.diagnostics.Diagnostic`
+carrying the §3 rule id, severity, and source span — consumed by
+``repro lint``.
 
 The pass is purely structural — partition disjointness is a runtime
 property (in Regent it lives in the type system), so the emitted launches
@@ -28,9 +38,10 @@ same check-then-branch behaviour the generated AST of Listing 3 encodes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.compiler.ast import (
+    Assign,
     CallStmt,
     Expr,
     ForLoop,
@@ -38,16 +49,28 @@ from repro.compiler.ast import (
     Program,
     Stmt,
     TaskDef,
+    VarDecl,
 )
 from repro.compiler.dependence import loop_is_candidate
+from repro.compiler.diagnostics import Diagnostic, Severity, Span
 from repro.compiler.functors import FunctorClass, classify_index_expr
+from repro.compiler.symbolic import (
+    const_eval,
+    images_disjoint_over,
+    injective_over,
+    normalize_index_expr,
+)
+from repro.core.static_analysis import AffineForm
 
 __all__ = [
     "IndexLaunchNode",
     "DynamicCheckNode",
     "LoopDecision",
+    "LoopAnalysis",
+    "RegionArg",
     "OptimizationReport",
     "DemandViolation",
+    "analyze_loop",
     "optimize_program",
 ]
 
@@ -91,6 +114,62 @@ class LoopDecision:
 
     action: str  # "index-launch" | "dynamic-check" | "unsafe" | "not-candidate"
     reasons: List[str] = field(default_factory=list)
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+
+@dataclass
+class RegionArg:
+    """One partition-valued call argument, normalized for the engine."""
+
+    pos: int                       # call-argument position
+    param: str                     # task parameter name
+    base: str                      # partition name at the call site
+    index: Expr                    # the index expression of p[<expr>]
+    mode: str                      # "read" | "write" | "reduce"
+    redop: Optional[str]           # operator when mode == "reduce"
+    fields: Optional[FrozenSet[str]]  # None = all fields
+    form: Optional[AffineForm]     # symbolic normal form (None = opaque)
+    cls: FunctorClass              # coarse class, kept for reporting
+    span: Optional[Span]
+
+    def conflicts_with(self, other: "RegionArg") -> bool:
+        """Privilege compatibility (§3): both read, or same-op reductions."""
+        if self.mode == "read" and other.mode == "read":
+            return False
+        if self.mode == "reduce" and other.mode == "reduce" \
+                and self.redop == other.redop:
+            return False
+        return True
+
+
+@dataclass
+class LoopAnalysis:
+    """Everything the pass learned about one source loop.
+
+    ``replacement`` is the node the optimizer would substitute;
+    ``decision`` carries the verdict, audit trail, and diagnostics; the
+    remaining fields expose the normalized arguments so whole-program
+    passes (``repro lint``'s cross-launch analysis) can reason about
+    launches pairwise without re-deriving anything.
+    """
+
+    loop: ForLoop
+    replacement: Stmt
+    decision: LoopDecision
+    call: Optional[CallStmt] = None
+    task: Optional[TaskDef] = None
+    region_args: List[RegionArg] = field(default_factory=list)
+    bounds: Tuple[Optional[int], Optional[int]] = (None, None)
+
+    @property
+    def domain_range(self) -> Optional[Tuple[int, int]]:
+        lo, hi = self.bounds
+        return None if lo is None or hi is None else (lo, hi)
+
+    @property
+    def extent(self) -> Optional[int]:
+        rng = self.domain_range
+        return None if rng is None else max(0, rng[1] - rng[0])
 
 
 @dataclass
@@ -101,114 +180,223 @@ class OptimizationReport:
         return sum(1 for d in self.decisions if d.action == action)
 
 
-def _writes(kind: str) -> bool:
-    return kind in ("writes", "reduces")
+def _collapse_privileges(task: TaskDef, param: str) -> Tuple[str, Optional[str]]:
+    """Collapse a parameter's privilege clauses to read/write/reduce."""
+    kinds = [(c.kind, c.redop) for c in task.privileges if c.param == param]
+    if any(k == "writes" for k, _ in kinds):
+        return "write", None
+    redops = {r for k, r in kinds if k == "reduces"}
+    if redops:
+        if len(redops) == 1 and all(k == "reduces" for k, _ in kinds):
+            return "reduce", next(iter(redops))
+        return "write", None  # mixed reduction/read clauses: be conservative
+    return "read", None
 
 
-def _privilege_kinds(task: TaskDef, param: str) -> List[str]:
-    return [c.kind for c in task.privileges if c.param == param]
+def _fields_of(task: TaskDef, param: str) -> Optional[FrozenSet[str]]:
+    """The fields a parameter's privileges touch (None = all fields)."""
+    fields: set = set()
+    for c in task.privileges:
+        if c.param != param:
+            continue
+        if not c.fields:
+            return None
+        fields.update(c.fields)
+    return frozenset(fields)
 
 
-def _analyze_loop(
-    loop: ForLoop, tasks: Dict[str, TaskDef]
-) -> Tuple[Stmt, LoopDecision]:
+def _diag(
+    decision: LoopDecision,
+    rule: str,
+    severity: Severity,
+    message: str,
+    span: Optional[Span],
+) -> None:
+    decision.reasons.append(message)
+    decision.diagnostics.append(Diagnostic(rule, severity, message, span))
+
+
+def _not_candidate(
+    analysis: LoopAnalysis, reasons: List[str]
+) -> LoopAnalysis:
+    decision = analysis.decision
+    decision.action = "not-candidate"
+    decision.reasons.extend(reasons)
+    decision.diagnostics.append(Diagnostic(
+        "IL-N01", Severity.INFO,
+        "loop is not an index-launch candidate: " + "; ".join(reasons),
+        analysis.loop.span,
+    ))
+    return _finish(analysis)
+
+
+def _finish(analysis: LoopAnalysis) -> LoopAnalysis:
+    """Record the demand-contract diagnostic when it applies."""
+    loop, decision = analysis.loop, analysis.decision
+    if loop.demand_parallel and decision.action in ("not-candidate", "unsafe"):
+        decision.diagnostics.append(Diagnostic(
+            "IL-D01", Severity.ERROR,
+            f"'parallel for {loop.var}' cannot be executed as an index "
+            f"launch ({decision.action})",
+            loop.span,
+        ))
+    return analysis
+
+
+def analyze_loop(
+    loop: ForLoop,
+    tasks: Dict[str, TaskDef],
+    env: Optional[Dict[str, int]] = None,
+) -> LoopAnalysis:
+    """Run the full static analysis on one loop.
+
+    ``env`` maps host names to statically-known integer values (folded
+    top-level constants); it sharpens both the loop bounds and the index
+    expressions the engine sees.
+    """
+    env = dict(env or {})
+    analysis = LoopAnalysis(loop=loop, replacement=loop,
+                            decision=LoopDecision("index-launch"))
     report = loop_is_candidate(loop)
     if not report.eligible:
-        return loop, LoopDecision("not-candidate", report.reasons)
+        return _not_candidate(analysis, report.reasons)
     call = report.call
+    analysis.call = call
     task = tasks.get(call.fn)
     if task is None:
-        return loop, LoopDecision(
-            "not-candidate", [f"call target {call.fn!r} is not a task"]
+        return _not_candidate(
+            analysis, [f"call target {call.fn!r} is not a task"]
         )
+    analysis.task = task
 
     # Map call arguments to task parameters; region params must be p[expr].
     if len(call.args) != len(task.params):
-        return loop, LoopDecision(
-            "not-candidate",
+        return _not_candidate(
+            analysis,
             [f"{call.fn} takes {len(task.params)} args, got {len(call.args)}"],
         )
     region_positions = [
-        i for i, p in enumerate(task.params) if _privilege_kinds(task, p)
+        i for i, p in enumerate(task.params)
+        if any(c.param == p for c in task.privileges)
     ]
     for i in region_positions:
         if not isinstance(call.args[i], Index):
-            return loop, LoopDecision(
-                "not-candidate",
+            return _not_candidate(
+                analysis,
                 [f"region argument {i} is not a partition selection p[expr]"],
             )
 
-    decision = LoopDecision("index-launch")
-    classes: Dict[int, FunctorClass] = {}
+    # Loop-local constant declarations feed the normalizer too (they are
+    # re-evaluated per iteration but may still be loop-invariant or affine
+    # in the loop variable — only plain constants are folded here).
+    local_env = dict(env)
+    for stmt in loop.body:
+        if isinstance(stmt, (VarDecl, Assign)) and stmt.name != loop.var:
+            v = const_eval(stmt.value, local_env)
+            if v is None:
+                local_env.pop(stmt.name, None)
+            else:
+                local_env[stmt.name] = v
+
+    analysis.bounds = (const_eval(loop.lo, env), const_eval(loop.hi, env))
+    extent = analysis.extent
+    domain_range = analysis.domain_range
+    decision = analysis.decision
     undecided: List[int] = []
 
-    # --- self-checks
     for i in region_positions:
         param = task.params[i]
-        kinds = _privilege_kinds(task, param)
-        expr = call.args[i].index
-        cls, coeffs = classify_index_expr(expr, loop.var)
-        classes[i] = cls
-        wr = any(k == "writes" for k in kinds)
-        if not wr:
+        arg = call.args[i]
+        mode, redop = _collapse_privileges(task, param)
+        form = normalize_index_expr(arg.index, loop.var, local_env)
+        cls, _ = classify_index_expr(arg.index, loop.var, local_env)
+        analysis.region_args.append(RegionArg(
+            pos=i, param=param, base=arg.base, index=arg.index,
+            mode=mode, redop=redop, fields=_fields_of(task, param),
+            form=form, cls=cls, span=arg.span,
+        ))
+
+    # --- self-checks (§3 first clause): write functors must be injective.
+    for arg in analysis.region_args:
+        label = f"arg{arg.pos} ({arg.param})"
+        if arg.mode != "write":
             decision.reasons.append(
-                f"arg{i} ({param}): {'/'.join(kinds)} privilege, "
-                f"self-check passes"
+                f"{label}: {arg.mode} privilege, self-check passes"
             )
             continue
-        if cls in (FunctorClass.IDENTITY, FunctorClass.AFFINE):
-            decision.reasons.append(
-                f"arg{i} ({param}): statically injective ({cls.value})"
-            )
-        elif cls is FunctorClass.CONSTANT:
-            decision.reasons.append(
-                f"arg{i} ({param}): constant functor with write privilege — "
-                f"not injective, loop kept"
-            )
-            return loop, LoopDecision("unsafe", decision.reasons)
+        verdict = injective_over(arg.form, extent)
+        shape = arg.form.describe(loop.var) if arg.form is not None else "opaque"
+        if verdict is True:
+            _diag(decision, "IL-S01", Severity.NOTE,
+                  f"{label}: functor {shape} statically injective"
+                  + (f" over extent {extent}" if extent is not None else ""),
+                  arg.span)
+        elif verdict is False:
+            _diag(decision, "IL-S02", Severity.ERROR,
+                  f"{label}: functor {shape} with write privilege is not "
+                  f"injective"
+                  + (f" over extent {extent}" if extent is not None else "")
+                  + " — distinct tasks write the same subregion",
+                  arg.span)
+            decision.action = "unsafe"
+            return _finish(analysis)
         else:
-            decision.reasons.append(
-                f"arg{i} ({param}): undecided functor, dynamic check emitted"
-            )
-            undecided.append(i)
+            _diag(decision, "IL-S03", Severity.INFO,
+                  f"{label}: injectivity of {shape} undecided, dynamic "
+                  f"check emitted",
+                  arg.span)
+            undecided.append(arg.pos)
 
-    # --- static cross-checks: same partition name, conflicting privileges.
-    for ai_pos, i in enumerate(region_positions):
-        for j in region_positions[ai_pos + 1:]:
-            pi, pj = call.args[i], call.args[j]
-            if pi.base != pj.base:
-                continue
-            ki = _privilege_kinds(task, task.params[i])
-            kj = _privilege_kinds(task, task.params[j])
-            if not (any(_writes(k) for k in ki) or any(_writes(k) for k in kj)):
-                continue
-            ci, coi = classify_index_expr(pi.index, loop.var)
-            cj, coj = classify_index_expr(pj.index, loop.var)
-            if pi.index == pj.index:
+    # --- cross-checks (§3 third clause): pairs naming the same partition.
+    args = analysis.region_args
+    for x, ai in enumerate(args):
+        for aj in args[x + 1:]:
+            if ai.base != aj.base:
+                continue  # partitions of distinct collections
+            if not ai.conflicts_with(aj):
+                continue  # both read, or same-operator reductions
+            if ai.fields is not None and aj.fields is not None \
+                    and not (ai.fields & aj.fields):
                 decision.reasons.append(
-                    f"args {i},{j}: identical selections of {pi.base!r} with a "
-                    f"write — images overlap, loop kept"
-                )
-                return loop, LoopDecision("unsafe", decision.reasons)
-            if (
-                ci in (FunctorClass.IDENTITY, FunctorClass.AFFINE)
-                and cj in (FunctorClass.IDENTITY, FunctorClass.AFFINE)
-                and coi[0] == coj[0]
-                and coi[0] != 0
-                and (coi[1] - coj[1]) % abs(coi[0]) != 0
-            ):
-                decision.reasons.append(
-                    f"args {i},{j}: interleaved affine selections of "
-                    f"{pi.base!r}, statically disjoint"
+                    f"args {ai.pos},{aj.pos}: disjoint field sets on "
+                    f"{ai.base!r}, no interference"
                 )
                 continue
-            decision.reasons.append(
-                f"args {i},{j}: cross-check on {pi.base!r} undecided, "
-                f"dynamic check emitted"
+            label = f"args {ai.pos},{aj.pos}"
+            if analysis.extent == 0:
+                decision.reasons.append(
+                    f"{label}: empty launch domain, images trivially disjoint"
+                )
+                continue
+            if ai.index == aj.index:
+                _diag(decision, "IL-C02", Severity.ERROR,
+                      f"{label}: identical selections of {ai.base!r} with a "
+                      f"write — images overlap, loop kept",
+                      aj.span)
+                decision.action = "unsafe"
+                return _finish(analysis)
+            disjoint = images_disjoint_over(
+                ai.form, domain_range, aj.form, domain_range
             )
-            for k in (i, j):
-                if k not in undecided:
-                    undecided.append(k)
+            if disjoint is True:
+                _diag(decision, "IL-C01", Severity.NOTE,
+                      f"{label}: images on {ai.base!r} statically disjoint",
+                      aj.span)
+            elif disjoint is False:
+                _diag(decision, "IL-C02", Severity.ERROR,
+                      f"{label}: conflicting privileges on {ai.base!r} and "
+                      f"the images provably intersect — loop kept",
+                      aj.span)
+                decision.action = "unsafe"
+                return _finish(analysis)
+            else:
+                _diag(decision, "IL-C03", Severity.INFO,
+                      f"{label}: cross-check on {ai.base!r} undecided, "
+                      f"dynamic check emitted",
+                      aj.span)
+                for k in (ai.pos, aj.pos):
+                    if k not in undecided:
+                        undecided.append(k)
 
     launch = IndexLaunchNode(
         task=call.fn,
@@ -216,29 +404,34 @@ def _analyze_loop(
         lo=loop.lo,
         hi=loop.hi,
         call=call,
-        region_arg_classes=classes,
+        region_arg_classes={a.pos: a.cls for a in analysis.region_args},
     )
     if undecided:
         decision.action = "dynamic-check"
-        return (
-            DynamicCheckNode(launch=launch, fallback=loop,
-                             undecided_args=sorted(undecided)),
-            decision,
+        analysis.replacement = DynamicCheckNode(
+            launch=launch, fallback=loop, undecided_args=sorted(undecided)
         )
-    return launch, decision
+    else:
+        analysis.replacement = launch
+    return _finish(analysis)
 
 
 def optimize_program(program: Program) -> Tuple[Program, OptimizationReport]:
     """Apply the index-launch pass to every top-level loop.
 
     Returns a new :class:`Program` (task definitions unchanged) and the
-    per-loop report.
+    per-loop report.  Top-level constant declarations are folded into a
+    static environment as the body is walked, so later loops can use them
+    in bounds and index expressions; a rebinding to a non-constant value
+    invalidates the folding.
     """
     report = OptimizationReport()
     new_body: List[Stmt] = []
+    env: Dict[str, int] = {}
     for stmt in program.body:
         if isinstance(stmt, ForLoop):
-            replacement, decision = _analyze_loop(stmt, program.tasks)
+            analysis = analyze_loop(stmt, program.tasks, env)
+            decision = analysis.decision
             if stmt.demand_parallel and decision.action in (
                 "not-candidate", "unsafe"
             ):
@@ -247,7 +440,13 @@ def optimize_program(program: Program) -> Tuple[Program, OptimizationReport]:
                     f"({decision.action}): " + "; ".join(decision.reasons)
                 )
             report.decisions.append(decision)
-            new_body.append(replacement)
+            new_body.append(analysis.replacement)
         else:
+            if isinstance(stmt, (VarDecl, Assign)):
+                v = const_eval(stmt.value, env)
+                if v is None:
+                    env.pop(stmt.name, None)
+                else:
+                    env[stmt.name] = v
             new_body.append(stmt)
     return Program(tasks=program.tasks, body=new_body), report

@@ -45,9 +45,14 @@ from repro.compiler.ast import (
     TaskDef,
     VarDecl,
 )
+from repro.compiler.diagnostics import Span
 from repro.compiler.lexer import Token, tokenize
 
 __all__ = ["parse", "ParseError"]
+
+
+def _span(tok: Token) -> Span:
+    return Span(tok.line, tok.col)
 
 _REDOPS = {"+", "*", "<", ">"}  # < and > spell min/max in our surface syntax
 _REDOP_NAMES = {"+": "+", "*": "*", "<": "min", ">": "max"}
@@ -99,7 +104,7 @@ class _Parser:
         return Program(tasks=tasks, body=body)
 
     def taskdef(self) -> TaskDef:
-        self.expect("keyword", "task")
+        kw = self.expect("keyword", "task")
         name = self.expect("name").value
         self.expect("symbol", "(")
         params: List[str] = []
@@ -116,7 +121,8 @@ class _Parser:
         self.expect("keyword", "do")
         body = self.body()
         self.expect("keyword", "end")
-        return TaskDef(name=name, params=params, privileges=privileges, body=body)
+        return TaskDef(name=name, params=params, privileges=privileges,
+                       body=body, span=_span(kw))
 
     def privclause(self, params: List[str]) -> List[PrivClause]:
         kind = self.next().value
@@ -155,13 +161,14 @@ class _Parser:
 
     def stmt(self) -> Stmt:
         if self.at("keyword", "var"):
-            self.next()
+            kw = self.next()
             name = self.expect("name").value
             self.expect("symbol", "=")
-            return VarDecl(name, self.expr())
+            return VarDecl(name, self.expr(), span=_span(kw))
         demand = False
+        loop_tok = None
         if self.at("keyword", "parallel"):
-            self.next()
+            loop_tok = self.next()
             demand = True
             if not self.at("keyword", "for"):
                 tok = self.peek()
@@ -170,7 +177,8 @@ class _Parser:
                     f"at {tok.line}:{tok.col}"
                 )
         if self.at("keyword", "for"):
-            self.next()
+            tok = self.next()
+            loop_tok = loop_tok or tok
             var = self.expect("name").value
             self.expect("symbol", "=")
             lo = self.expr()
@@ -180,9 +188,10 @@ class _Parser:
             body = self.body()
             self.expect("keyword", "end")
             return ForLoop(var=var, lo=lo, hi=hi, body=body,
-                           demand_parallel=demand)
+                           demand_parallel=demand, span=_span(loop_tok))
         if self.at("name"):
-            name = self.next().value
+            name_tok = self.next()
+            name = name_tok.value
             if self.at("symbol", "("):
                 self.next()
                 args: List[Expr] = []
@@ -192,14 +201,15 @@ class _Parser:
                         self.next()
                         args.append(self.expr())
                 self.expect("symbol", ")")
-                return CallStmt(fn=name, args=args)
+                return CallStmt(fn=name, args=args, span=_span(name_tok))
             if self.at("symbol", "."):
                 self.next()
                 fname = self.expect("name").value
                 self.expect("symbol", "=")
-                return FieldAssign(region=name, fname=fname, value=self.expr())
+                return FieldAssign(region=name, fname=fname, value=self.expr(),
+                                   span=_span(name_tok))
             self.expect("symbol", "=")
-            return Assign(name, self.expr())
+            return Assign(name, self.expr(), span=_span(name_tok))
         tok = self.peek()
         raise ParseError(
             f"unexpected {tok.value!r} at {tok.line}:{tok.col}"
@@ -211,41 +221,44 @@ class _Parser:
         if self.at("symbol") and self.peek().value in ("==", "<=", ">=", "<", ">", "~="):
             op = self.next().value
             right = self.additive()
-            return BinOp(op, left, right)
+            return BinOp(op, left, right, span=left.span)
         return left
 
     def additive(self) -> Expr:
         left = self.term()
         while self.at("symbol") and self.peek().value in ("+", "-"):
             op = self.next().value
-            left = BinOp(op, left, self.term())
+            left = BinOp(op, left, self.term(), span=left.span)
         return left
 
     def term(self) -> Expr:
         left = self.unary()
         while self.at("symbol") and self.peek().value in ("*", "/", "%"):
             op = self.next().value
-            left = BinOp(op, left, self.unary())
+            left = BinOp(op, left, self.unary(), span=left.span)
         return left
 
     def unary(self) -> Expr:
         if self.at("symbol", "-"):
-            self.next()
-            return BinOp("-", Number(0), self.unary())
+            tok = self.next()
+            return BinOp("-", Number(0), self.unary(), span=_span(tok))
         return self.atom()
 
     def atom(self) -> Expr:
         if self.at("number"):
-            text = self.next().value
+            tok = self.next()
+            text = tok.value
             value = float(text)
-            return Number(int(value) if value.is_integer() and "." not in text else value)
+            return Number(int(value) if value.is_integer() and "." not in text
+                          else value, span=_span(tok))
         if self.at("symbol", "("):
             self.next()
             inner = self.expr()
             self.expect("symbol", ")")
             return inner
         if self.at("name"):
-            name = self.next().value
+            tok = self.next()
+            name = tok.value
             if self.at("symbol", "("):
                 self.next()
                 args: List[Expr] = []
@@ -255,19 +268,19 @@ class _Parser:
                         self.next()
                         args.append(self.expr())
                 self.expect("symbol", ")")
-                return Call(fn=name, args=tuple(args))
+                return Call(fn=name, args=tuple(args), span=_span(tok))
             if self.at("symbol", "["):
                 self.next()
                 idx = self.expr()
                 self.expect("symbol", "]")
-                return Index(base=name, index=idx)
+                return Index(base=name, index=idx, span=_span(tok))
             if self.at("symbol", ".") and self.tokens[self.pos + 1].kind == "name" \
                     and not (self.tokens[self.pos + 2].kind == "symbol"
                              and self.tokens[self.pos + 2].value == "="):
                 self.next()
                 fname = self.expect("name").value
-                return FieldRef(region=name, fname=fname)
-            return Name(name)
+                return FieldRef(region=name, fname=fname, span=_span(tok))
+            return Name(name, span=_span(tok))
         tok = self.peek()
         raise ParseError(f"unexpected {tok.value!r} at {tok.line}:{tok.col}")
 

@@ -1,0 +1,196 @@
+"""Symbolic normalization of index expressions into affine forms.
+
+The front half of the whole-program interference linter: lower a
+mini-Regent index expression (the ``e`` of ``p[e]``) into the shared
+:class:`~repro.core.static_analysis.AffineForm` normal form — ``a*i + b``
+or ``(a*i + b) mod m`` with integer coefficients — so the decision
+procedures in :mod:`repro.core.static_analysis` (injectivity by the
+stride/period test, image disjointness by GCD/Diophantine reasoning) apply
+to compiler ASTs exactly as they apply to runtime functors.
+
+Normalization is strictly stronger than the seed classifier
+(:func:`repro.compiler.functors.classify_index_expr`): it folds nested
+arithmetic and negation, performs exact constant division, resolves host
+constants from an environment, and — crucially — represents ``% m``
+expressions symbolically instead of giving up on them.
+
+Soundness contract: a returned form is *exactly* equal, as a function on
+integers, to what :func:`repro.compiler.functors.eval_index_expr` computes
+for the expression (Python floor-``%`` semantics; division is only folded
+when it is exact, because the interpreter evaluates ``/`` in floating
+point).  When exact equivalence cannot be guaranteed the normalizer
+returns None and the verdict falls back to the dynamic check — the same
+"completeness buys performance, never correctness" split as the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.compiler.ast import BinOp, Call, Expr, Name, Number
+from repro.core.projection import (
+    AffineFunctor,
+    CallableFunctor,
+    ConstantFunctor,
+    IdentityFunctor,
+    ModularFunctor,
+    ProjectionFunctor,
+)
+from repro.core.static_analysis import (
+    AffineForm,
+    affine_form,
+    form_images_disjoint,
+    form_injective,
+    residue_separated,
+)
+
+__all__ = [
+    "normalize_index_expr",
+    "const_eval",
+    "form_to_functor",
+    "injective_over",
+    "images_disjoint_over",
+]
+
+
+def _as_int(value) -> Optional[int]:
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return None
+
+
+def _normalize(expr: Expr, var: str, env: Dict[str, int]) -> Optional[AffineForm]:
+    if isinstance(expr, Number):
+        v = _as_int(expr.value)
+        return None if v is None else AffineForm(0, v)
+    if isinstance(expr, Name):
+        if expr.ident == var:
+            return AffineForm(1, 0)
+        if expr.ident in env:
+            v = _as_int(env[expr.ident])
+            return None if v is None else AffineForm(0, v)
+        return None
+    if isinstance(expr, BinOp):
+        left = _normalize(expr.left, var, env)
+        if left is None:
+            return None
+        right = _normalize(expr.right, var, env)
+        if right is None:
+            return None
+        return _combine(expr.op, left, right)
+    return None  # calls, field refs, comparisons: opaque
+
+
+def _combine(op: str, left: AffineForm, right: AffineForm) -> Optional[AffineForm]:
+    if op == "%":
+        if not right.is_constant or right.b <= 0:
+            return None
+        m = right.b
+        if left.mod is None:
+            return affine_form(left.a, left.b, mod=m)
+        # (x mod m1) mod m: values already lie in [0, m1).
+        if m >= left.mod:
+            return left
+        if left.mod % m == 0:
+            return affine_form(left.a, left.b, mod=m)
+        return None
+    if left.mod is not None or right.mod is not None:
+        return None  # sums/products of modular forms leave the normal form
+    if op == "+":
+        return AffineForm(left.a + right.a, left.b + right.b)
+    if op == "-":
+        return AffineForm(left.a - right.a, left.b - right.b)
+    if op == "*":
+        if left.a == 0:
+            return AffineForm(left.b * right.a, left.b * right.b)
+        if right.a == 0:
+            return AffineForm(left.a * right.b, left.b * right.b)
+        return None  # quadratic
+    if op == "/":
+        # The interpreter evaluates "/" in floating point; folding is only
+        # sound when the division is exact on both coefficients.
+        if right.is_constant and right.b != 0 \
+                and left.a % right.b == 0 and left.b % right.b == 0:
+            return AffineForm(left.a // right.b, left.b // right.b)
+        return None
+    return None  # comparisons
+
+
+def normalize_index_expr(
+    expr: Expr, var: str, env: Optional[Dict[str, int]] = None
+) -> Optional[AffineForm]:
+    """Normalize ``expr`` over loop variable ``var`` into an affine form.
+
+    ``env`` supplies statically-known integer host bindings (folded as
+    constants).  Returns None when the expression leaves the normal form
+    (opaque calls, quadratics, inexact division, compound modular
+    arithmetic).
+    """
+    return _normalize(expr, var, dict(env or {}))
+
+
+def const_eval(expr: Expr, env: Optional[Dict[str, int]] = None) -> Optional[int]:
+    """Evaluate ``expr`` to an integer constant if statically possible."""
+    # Normalizing against an unnameable loop variable makes every Name
+    # resolve through the environment; a constant form is a folded value.
+    form = normalize_index_expr(expr, "\0", env)
+    if form is not None and form.is_constant:
+        return form.b
+    return None
+
+
+def injective_over(form: Optional[AffineForm], extent: Optional[int]) -> Optional[bool]:
+    """Self-check verdict for one write argument (§3, first clause).
+
+    Returns True (injective), False (proven not injective), or None
+    (undecided — emit the Listing-3 dynamic check).  With an unknown
+    extent, affine forms are still decidable (stride rule); a constant is
+    reported non-injective, matching the paper's treatment of constants
+    (any domain with more than one point); modular forms need the extent.
+    """
+    if form is None:
+        return None
+    if extent is not None:
+        return form_injective(form, extent)
+    if form.mod is None:
+        return form.a != 0
+    return None
+
+
+def images_disjoint_over(
+    f: Optional[AffineForm],
+    range_f: Optional[Tuple[int, int]],
+    g: Optional[AffineForm],
+    range_g: Optional[Tuple[int, int]],
+) -> Optional[bool]:
+    """Cross-check verdict for one argument pair (§3, third clause).
+
+    Ranges are half-open ``[lo, hi)`` loop bounds; None means statically
+    unknown, in which case only the domain-independent GCD residue test
+    applies.
+    """
+    if f is None or g is None:
+        return None
+    if range_f is not None and range_g is not None:
+        return form_images_disjoint(f, range_f, g, range_g)
+    # Bounds unknown: a residue separation holds over any bounds.
+    if residue_separated(f, g):
+        return True
+    return None
+
+
+def form_to_functor(form: AffineForm, name: str = "i") -> ProjectionFunctor:
+    """Lower an affine form to the equivalent runtime projection functor."""
+    if form.mod is not None:
+        if form.a == 1:
+            return ModularFunctor(form.mod, form.b)
+        return CallableFunctor(form.evaluate, name=form.describe(name))
+    if form.a == 1 and form.b == 0:
+        return IdentityFunctor()
+    if form.a == 0:
+        return ConstantFunctor(form.b)
+    return AffineFunctor(form.a, form.b)

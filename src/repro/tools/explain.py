@@ -4,22 +4,66 @@
 renders the verdict — which rule fired for each argument, what the dynamic
 checks found, and the resulting execution strategy — as a small report.
 Useful for debugging "why did my forall fall back to a serial loop?".
+
+Each step of the analysis trail is tagged with the same §3 rule ids the
+compiler's linter emits (:mod:`repro.compiler.diagnostics`), so a runtime
+explanation and a ``repro lint`` finding for the same launch shape point
+at the same rule in the catalogue.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
+from repro.compiler.diagnostics import Diagnostic, Severity
 from repro.core.launch import IndexLaunch
-from repro.core.safety import SafetyMethod, analyze_launch_safety
+from repro.core.safety import SafetyMethod, SafetyVerdict, analyze_launch_safety
 from repro.core.static_analysis import classify_functor
 
-__all__ = ["explain_launch"]
+__all__ = ["explain_launch", "diagnostics_for_verdict"]
+
+#: substring of a reason line -> (rule id, severity); first match wins.
+_REASON_RULES = [
+    ("statically injective", "IL-S01", Severity.NOTE),
+    ("statically non-injective", "IL-S02", Severity.ERROR),
+    ("dynamic self-check found duplicate", "IL-S02", Severity.ERROR),
+    ("write privilege on aliased partition", "IL-S02", Severity.ERROR),
+    ("deferring to dynamic check", "IL-S03", Severity.INFO),
+    ("dynamic self-check passed", "IL-S03", Severity.NOTE),
+    ("images statically disjoint", "IL-C01", Severity.NOTE),
+    ("statically overlap", "IL-C02", Severity.ERROR),
+    ("dynamic cross-check conflict", "IL-C02", Severity.ERROR),
+    ("conflicting privileges", "IL-C02", Severity.ERROR),
+    ("dynamic cross-check passed", "IL-C03", Severity.NOTE),
+]
+
+
+def _rule_for(reason: str) -> Optional[Diagnostic]:
+    for needle, rule, severity in _REASON_RULES:
+        if needle in reason:
+            return Diagnostic(rule, severity, reason)
+    return None
+
+
+def diagnostics_for_verdict(verdict: SafetyVerdict) -> List[Diagnostic]:
+    """Map a runtime safety verdict's audit trail onto rule diagnostics.
+
+    Reasons that carry no §3 rule (trivially-passing privileges,
+    bookkeeping) are omitted; the full trail stays available on the
+    verdict itself.
+    """
+    out: List[Diagnostic] = []
+    for reason in verdict.reasons:
+        diag = _rule_for(reason)
+        if diag is not None:
+            out.append(diag)
+    return out
 
 
 def explain_launch(launch: IndexLaunch, run_dynamic: bool = True) -> str:
     """Analyze ``launch`` and return a formatted explanation."""
     verdict = analyze_launch_safety(launch, run_dynamic=run_dynamic)
+    rules = {d.message: d.rule for d in diagnostics_for_verdict(verdict)}
     lines: List[str] = [
         f"index launch {launch.name}: |D| = {launch.parallelism}, "
         f"{len(launch.requirements)} region argument(s)",
@@ -38,7 +82,8 @@ def explain_launch(launch: IndexLaunch, run_dynamic: bool = True) -> str:
         )
     lines.append("analysis trail:")
     for reason in verdict.reasons:
-        lines.append(f"  - {reason}")
+        tag = f"[{rules[reason]}] " if reason in rules else ""
+        lines.append(f"  - {tag}{reason}")
     if verdict.safe:
         how = {
             SafetyMethod.STATIC: "proven safe at compile time",

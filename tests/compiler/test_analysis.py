@@ -178,12 +178,26 @@ class TestOptimizePass:
         assert isinstance(prog.body[0], ForLoop)
         assert report.decisions[0].action == "unsafe"
 
-    def test_modular_write_gets_dynamic_check(self):
-        prog, report = self.opt("for i = 0, 5 do rw(p[i % 3]) end")
+    def test_modular_write_unknown_bounds_gets_dynamic_check(self):
+        # With the loop extent unknown the period test cannot run, so the
+        # modular functor falls back to the Listing-3 dynamic check.
+        prog, report = self.opt("for i = 0, n do rw(p[i % 3]) end")
         node = prog.body[0]
         assert isinstance(node, DynamicCheckNode)
         assert report.decisions[0].action == "dynamic-check"
         assert isinstance(node.fallback, ForLoop)
+
+    def test_modular_write_within_period_launches(self):
+        # i % 3 over [0, 3) is injective — the symbolic engine proves it.
+        prog, report = self.opt("for i = 0, 3 do rw(p[i % 3]) end")
+        assert isinstance(prog.body[0], IndexLaunchNode)
+        assert report.decisions[0].action == "index-launch"
+
+    def test_modular_write_past_period_unsafe(self):
+        # i % 3 over [0, 5) wraps: tasks 0 and 3 write the same subregion.
+        prog, report = self.opt("for i = 0, 5 do rw(p[i % 3]) end")
+        assert isinstance(prog.body[0], ForLoop)
+        assert report.decisions[0].action == "unsafe"
 
     def test_opaque_call_gets_dynamic_check(self):
         prog, report = self.opt("for i = 0, 5 do rw(p[f(i)]) end")
@@ -199,10 +213,18 @@ class TestOptimizePass:
         assert isinstance(prog.body[0], IndexLaunchNode)
         assert report.decisions[0].action == "index-launch"
 
-    def test_cross_check_same_stride_same_residue_dynamic(self):
+    def test_cross_check_shifted_ranges_static(self):
+        # Offsets differ by a multiple of the stride, so the residue test
+        # is silent — but with known bounds [0,4) the images are [0,4) and
+        # [8,12), and the bounded Diophantine test proves them disjoint.
         prog, report = self.opt("for i = 0, 4 do two(p[i], p[i+8]) end")
-        # Offsets differ by a multiple of the stride: the syntactic pass
-        # cannot rule out overlap, so it defers to the dynamic machinery.
+        assert isinstance(prog.body[0], IndexLaunchNode)
+        assert report.decisions[0].action == "index-launch"
+
+    def test_cross_check_same_stride_same_residue_dynamic(self):
+        # Unknown bounds: same stride, same residue — statically undecided,
+        # so the pass defers to the dynamic machinery.
+        prog, report = self.opt("for i = 0, n do two(p[i], p[i+8]) end")
         assert isinstance(prog.body[0], DynamicCheckNode)
 
     def test_non_candidate_untouched(self):
@@ -226,7 +248,7 @@ class TestOptimizePass:
     def test_report_counts(self):
         _, report = self.opt("""
         for i = 0, 4 do rw(p[i]) end
-        for i = 0, 4 do rw(p[i % 3]) end
+        for i = 0, 4 do rw(p[f(i)]) end
         for i = 0, 4 do rw(p[0]) end
         """)
         assert report.count("index-launch") == 1

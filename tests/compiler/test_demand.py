@@ -36,9 +36,19 @@ class TestEnforcement:
         )
         assert isinstance(prog.body[0], IndexLaunchNode)
 
-    def test_demand_satisfied_with_dynamic_check(self):
+    def test_demand_satisfied_statically_modular(self):
+        # (i + 1) % 8 over [0, 8) is a full rotation — the symbolic engine
+        # proves injectivity, so the demand is met without a dynamic check.
         prog, report = optimize_program(
             parse(TASKS + "parallel for i = 0, 8 do rw(p[(i + 1) % 8]) end")
+        )
+        assert isinstance(prog.body[0], IndexLaunchNode)
+
+    def test_demand_satisfied_with_dynamic_check(self):
+        # An opaque host functor stays undecided: the demand is satisfied
+        # by emitting the Listing-3 dynamic check.
+        prog, report = optimize_program(
+            parse(TASKS + "parallel for i = 0, 8 do rw(p[f(i)]) end")
         )
         assert isinstance(prog.body[0], DynamicCheckNode)
 

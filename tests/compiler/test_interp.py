@@ -98,9 +98,11 @@ class TestBasicExecution:
 
 
 class TestHybridBehaviour:
-    def test_listing2_falls_back_to_serial(self):
-        """The paper's Listing 2: i % 3 over [0,5) with writes — the dynamic
-        check rejects it and the original loop runs instead."""
+    def test_listing2_statically_rejected_runs_serial(self):
+        """The paper's Listing 2: i % 3 over [0,5) with writes.  The
+        symbolic engine now proves the wrap-around statically (5 > 3), so
+        the loop is rejected at compile time and runs serially — no
+        dynamic check is ever emitted."""
         rt = Runtime()
         b = setup_partitions(rt, {"p": (8, 8, 0.0), "q": (3, 3, 0.0)})
         _, report, _ = compile_and_run(
@@ -108,9 +110,24 @@ class TestHybridBehaviour:
             "for i = 0, 5 do foo(p[i], q[i % 3]) end",
             b, rt,
         )
+        assert report.count("unsafe") == 1
+        assert rt.stats.launches_fallback_serial == 0
+        # Serial semantics: q[0] and q[1] visited twice, q[2] once.
+        assert list(b["q"].region.storage("v")) == [2, 2, 1]
+
+    def test_listing2_shape_with_unknown_bound_falls_back_to_serial(self):
+        """With the trip count unknown at compile time the same loop gets
+        the Listing-3 treatment: dynamic check fails, serial fallback."""
+        rt = Runtime()
+        b = setup_partitions(rt, {"p": (8, 8, 0.0), "q": (3, 3, 0.0)})
+        b["n"] = 5
+        _, report, _ = compile_and_run(
+            "task foo(c1, c2) reads(c1) reads(c2) writes(c2) do c2.v = c2.v + 1 end\n"
+            "for i = 0, n do foo(p[i], q[i % 3]) end",
+            b, rt,
+        )
         assert report.count("dynamic-check") == 1
         assert rt.stats.launches_fallback_serial == 1
-        # Serial semantics: q[0] and q[1] visited twice, q[2] once.
         assert list(b["q"].region.storage("v")) == [2, 2, 1]
 
     def test_valid_modular_runs_as_index_launch(self):
@@ -121,7 +138,10 @@ class TestHybridBehaviour:
             "for i = 0, 8 do one(p[(i + 3) % 8]) end",
             b, rt,
         )
-        assert report.count("dynamic-check") == 1
+        # The compiler proves the full rotation statically; the runtime's
+        # own hybrid analysis still verifies the modular functor with one
+        # dynamic check (Table 2 behaviour is unchanged).
+        assert report.count("index-launch") == 1
         assert rt.stats.launches_verified_dynamic == 1
         assert rt.stats.launches_fallback_serial == 0
         assert np.all(b["p"].region.storage("v") == 1.0)

@@ -1,0 +1,201 @@
+"""Tests for the symbolic affine engine: normalization and decisions.
+
+Two layers under test:
+
+* :mod:`repro.compiler.symbolic` — lowering index expressions to
+  :class:`~repro.core.static_analysis.AffineForm`; the soundness contract
+  is exact agreement with the interpreter (``eval_index_expr``);
+* :mod:`repro.core.static_analysis` — the decision procedures
+  (injectivity by the period test, image disjointness by residue /
+  Diophantine reasoning), brute-force checked against enumeration.
+"""
+
+import random
+
+import pytest
+
+from repro.compiler.functors import eval_index_expr
+from repro.compiler.parser import parse
+from repro.compiler.symbolic import (
+    const_eval,
+    form_to_functor,
+    images_disjoint_over,
+    injective_over,
+    normalize_index_expr,
+)
+from repro.core.static_analysis import (
+    AffineForm,
+    affine_form,
+    form_images_disjoint,
+    form_injective,
+    residue_separated,
+)
+
+
+def index_expr(src):
+    prog = parse(f"for i = 0, 8 do foo(p[{src}]) end")
+    return prog.body[0].body[0].args[0].index
+
+
+def norm(src, env=None):
+    return normalize_index_expr(index_expr(src), "i", env)
+
+
+class TestNormalization:
+    @pytest.mark.parametrize("src,a,b,mod", [
+        ("i", 1, 0, None),
+        ("7", 0, 7, None),
+        ("2 * i + 1", 2, 1, None),
+        ("i + i", 2, 0, None),
+        ("i - 2 * i", -1, 0, None),
+        ("-i + 3", -1, 3, None),
+        ("(i + 1) * 2", 2, 2, None),
+        ("i % 3", 1, 0, 3),
+        ("(i + 1) % 8", 1, 1, 8),
+        ("(2 * i + 5) % 4", 2, 1, 4),
+        ("(3 * i) / 3", 1, 0, None),
+        ("(4 * i + 8) / 2", 2, 4, None),
+    ])
+    def test_forms(self, src, a, b, mod):
+        form = norm(src)
+        assert form == AffineForm(a, b, mod)
+
+    @pytest.mark.parametrize("src", [
+        "f(i)",          # opaque call
+        "i * i",         # quadratic
+        "i / 2",         # inexact division
+        "i / 3 * 3",     # folding would change float-division semantics
+        "i % k",         # non-constant modulus
+        "i % 0",         # degenerate modulus
+        "(i % 5) + 1",   # arithmetic on a modular form
+        "k * i",         # unbound host name
+    ])
+    def test_unrepresentable(self, src):
+        assert norm(src) is None
+
+    def test_env_constants_fold(self):
+        assert norm("k * i + off", {"k": 3, "off": 2}) == AffineForm(3, 2)
+        assert norm("n - i", {"n": 10}) == AffineForm(-1, 10)
+
+    def test_nested_mod_folds_when_divisible(self):
+        assert norm("(i % 6) % 3") == AffineForm(1, 0, 3)
+        assert norm("(i % 3) % 7") == AffineForm(1, 0, 3)
+        assert norm("(i % 6) % 4") is None
+
+    def test_soundness_against_interpreter(self):
+        """A returned form equals the interpreted expression exactly."""
+        env = {"k": 3, "off": 2, "n": 10}
+        sources = [
+            "i", "7", "2 * i + 1", "-i + 3", "(i + 1) * 2", "i % 3",
+            "(i + 1) % 8", "(2 * i + 5) % 4", "(3 * i) / 3",
+            "k * i + off", "n - i", "(i % 6) % 3", "i - 2 * i",
+        ]
+        for src in sources:
+            expr = index_expr(src)
+            form = normalize_index_expr(expr, "i", env)
+            assert form is not None, src
+            for i in range(-6, 13):
+                assert form.evaluate(i) == eval_index_expr(
+                    expr, "i", i, dict(env)
+                ), (src, i)
+
+    def test_const_eval(self):
+        assert const_eval(index_expr("3 * 4 + 1")) == 13
+        assert const_eval(index_expr("k + 1"), {"k": 5}) == 6
+        assert const_eval(index_expr("k + 1")) is None
+        assert const_eval(index_expr("10 % 3")) == 1
+
+
+def _form_grid():
+    forms = []
+    for a in range(-4, 5):
+        for b in range(-3, 4):
+            forms.append(affine_form(a, b))
+            for m in (2, 3, 5, 8):
+                forms.append(affine_form(a, b, mod=m))
+    return forms
+
+
+class TestInjectivity:
+    def test_brute_force(self):
+        """form_injective agrees with enumeration on a dense grid."""
+        for form in _form_grid():
+            for extent in range(0, 12):
+                vals = [form.evaluate(i) for i in range(extent)]
+                expected = len(set(vals)) == len(vals)
+                assert form_injective(form, extent) is expected, (form, extent)
+
+    def test_unknown_extent(self):
+        assert injective_over(AffineForm(2, 1), None) is True
+        assert injective_over(AffineForm(0, 4), None) is False
+        assert injective_over(AffineForm(1, 0, 8), None) is None
+        assert injective_over(None, 4) is None
+
+    def test_period_boundary(self):
+        rot = AffineForm(1, 3, 8)
+        assert form_injective(rot, 8) is True
+        assert form_injective(rot, 9) is False
+        stride = AffineForm(2, 0, 8)   # period 8/gcd(2,8) = 4
+        assert form_injective(stride, 4) is True
+        assert form_injective(stride, 5) is False
+
+
+class TestDisjointness:
+    def test_brute_force_random(self):
+        """form_images_disjoint is exact (never wrong, rarely undecided)."""
+        rng = random.Random(7)
+        forms = _form_grid()
+        undecided = 0
+        for _ in range(3000):
+            f, g = rng.choice(forms), rng.choice(forms)
+            rf = (rng.randint(-3, 3), rng.randint(-3, 8))
+            rg = (rng.randint(-3, 3), rng.randint(-3, 8))
+            imf = {f.evaluate(i) for i in range(*rf)}
+            img = {g.evaluate(i) for i in range(*rg)}
+            expected = not (imf & img)
+            got = form_images_disjoint(f, rf, g, rg)
+            if got is None:
+                undecided += 1
+            else:
+                assert got is expected, (f, rf, g, rg)
+        # These small ranges are all within the enumeration cap, so the
+        # ladder should never give up.
+        assert undecided == 0
+
+    def test_residue_separation(self):
+        assert residue_separated(AffineForm(2, 0), AffineForm(2, 1))
+        assert not residue_separated(AffineForm(2, 0), AffineForm(2, 2))
+        assert residue_separated(AffineForm(4, 1), AffineForm(6, 0))
+        assert not residue_separated(AffineForm(3, 0), AffineForm(5, 0))
+
+    def test_unknown_bounds(self):
+        two_i, two_i_1 = AffineForm(2, 0), AffineForm(2, 1)
+        assert images_disjoint_over(two_i, None, two_i_1, None) is True
+        ident, shifted = AffineForm(1, 0), AffineForm(1, 8)
+        assert images_disjoint_over(ident, None, shifted, None) is None
+        assert images_disjoint_over(ident, (0, 4), shifted, (0, 4)) is True
+        assert images_disjoint_over(None, (0, 4), ident, (0, 4)) is None
+
+    def test_large_ranges_beyond_enumeration(self):
+        """Diophantine reasoning handles ranges far past the enum cap."""
+        a = AffineForm(6, 1)
+        b = AffineForm(4, 3)
+        # 6x+1 = 4y+3 -> 6x - 4y = 2, solvable: gcd(6,4)=2 | 2.
+        assert form_images_disjoint(a, (0, 10**7), b, (0, 10**7)) is False
+        # 6x+1 = 4y+2 is impossible mod 2.
+        c = AffineForm(4, 2)
+        assert form_images_disjoint(a, (0, 10**7), c, (0, 10**7)) is True
+
+
+class TestFormToFunctor:
+    @pytest.mark.parametrize("form", [
+        AffineForm(1, 0),
+        AffineForm(0, 4),
+        AffineForm(3, -2),
+        AffineForm(1, 3, 8),
+        AffineForm(2, 1, 5),
+    ])
+    def test_round_trip_evaluation(self, form):
+        functor = form_to_functor(form)
+        for i in range(12):
+            assert functor(i)[0] == form.evaluate(i)

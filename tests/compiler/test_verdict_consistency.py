@@ -1,0 +1,158 @@
+"""Property test: the compiler's static verdict never contradicts the
+runtime's dynamic check.
+
+Both layers consume the same symbolic engine
+(:mod:`repro.core.static_analysis`), so for any loop the contract is:
+
+* static ``SAFE`` (index-launch) — the Listing-3 dynamic check must pass;
+* static ``UNSAFE`` — the dynamic check must find the conflict;
+* static ``NEEDS_DYNAMIC`` — no constraint (that is exactly what the
+  verdict means), but running the check must still work.
+
+The test enumerates (index expression x domain extent) combinations for
+self-checks, and expression pairs for cross-checks, building each loop as
+real mini-Regent source so the whole pipeline (parse -> normalize ->
+decide) is exercised, then replays the launch through the reference
+dynamic checks of :mod:`repro.core.checks`.
+"""
+
+import itertools
+
+import pytest
+
+from repro.compiler.functors import expr_to_functor
+from repro.compiler.optimize import optimize_program
+from repro.compiler.parser import parse
+from repro.core.checks import cross_check_reference, self_check_reference
+from repro.core.domain import Domain, Rect
+
+SELF_EXPRS = [
+    "i",
+    "i + 3",
+    "2 * i",
+    "2 * i + 1",
+    "3 * i - 2",
+    "-i + 4",
+    "i + i",
+    "5",
+    "i % 3",
+    "(i + 1) % 4",
+    "(2 * i) % 8",
+    "(3 * i + 1) % 5",
+]
+
+EXTENTS = [0, 1, 2, 3, 4, 5, 8]
+
+SELF_TEMPLATE = """
+task rw(c) reads(c) writes(c) do
+  c.v = c.v + 1
+end
+for i = 0, {n} do
+  rw(p[{expr}])
+end
+"""
+
+CROSS_TEMPLATE = """
+task cp(a, b) reads(a) writes(b) do
+  b.v = a.v
+end
+for i = 0, {n} do
+  cp(p[{read}], p[{write}])
+end
+"""
+
+
+def analyze(source):
+    """Run the optimization pass; return (loop decision, loop AST)."""
+    program = parse(source)
+    optimized, report = optimize_program(program)
+    assert len(report.decisions) == 1
+    loop = next(s for s in program.body if type(s).__name__ == "ForLoop")
+    return report.decisions[0], loop
+
+
+def functor_for(loop, arg_pos, env=None):
+    expr = loop.body[0].args[arg_pos].index
+    return expr_to_functor(expr, loop.var, env or {})
+
+
+def image_bounds(functors, domain):
+    """Color bounds covering every functor value over the domain.
+
+    The dynamic checks skip out-of-bounds values (Listing 3's bounds
+    test), so the bounds must cover the full image or duplicates could
+    be silently masked and the comparison would be vacuous.
+    """
+    values = [f.apply(i)[0] for f in functors for i in domain]
+    if not values:
+        return Rect([0], [0])
+    return Rect([min(values)], [max(values)])
+
+
+class TestSelfCheckConsistency:
+    @pytest.mark.parametrize(
+        "expr,n", list(itertools.product(SELF_EXPRS, EXTENTS))
+    )
+    def test_static_agrees_with_dynamic(self, expr, n):
+        decision, loop = analyze(SELF_TEMPLATE.format(expr=expr, n=n))
+        functor = functor_for(loop, 0)
+        domain = Domain.range(n)
+        result = self_check_reference(
+            domain, functor, image_bounds([functor], domain)
+        )
+        assert result.out_of_bounds == 0
+        if decision.action == "index-launch":
+            assert result.safe, (expr, n, decision.reasons)
+        elif decision.action == "unsafe":
+            assert not result.safe, (expr, n, decision.reasons)
+        else:
+            assert decision.action == "dynamic-check", decision.action
+
+    def test_every_affine_expr_is_decided(self):
+        """All the affine/modular shapes above are statically decided —
+        the engine defers to runtime only for genuinely opaque functors."""
+        for expr, n in itertools.product(SELF_EXPRS, EXTENTS):
+            decision, _ = analyze(SELF_TEMPLATE.format(expr=expr, n=n))
+            assert decision.action in ("index-launch", "unsafe"), (expr, n)
+
+    def test_opaque_functor_defers_then_agrees(self):
+        decision, loop = analyze(SELF_TEMPLATE.format(expr="f(i)", n=4))
+        assert decision.action == "dynamic-check"
+        for fn, expect_safe in [
+            (lambda i: (i * 3) % 8, True),   # injective over [0, 4)
+            (lambda i: i // 2, False),       # duplicates: 0, 0, 1, 1
+        ]:
+            functor = functor_for(loop, 0, {"f": fn})
+            domain = Domain.range(4)
+            result = self_check_reference(
+                domain, functor, image_bounds([functor], domain)
+            )
+            assert result.safe is expect_safe
+
+
+CROSS_EXPRS = ["i", "i + 2", "2 * i", "2 * i + 1", "i % 3", "3", "-i + 5"]
+
+
+class TestCrossCheckConsistency:
+    @pytest.mark.parametrize(
+        "read,write,n",
+        list(itertools.product(CROSS_EXPRS, CROSS_EXPRS, [0, 1, 3, 4, 6])),
+    )
+    def test_static_agrees_with_dynamic(self, read, write, n):
+        decision, loop = analyze(
+            CROSS_TEMPLATE.format(read=read, write=write, n=n)
+        )
+        f_read = functor_for(loop, 0)
+        f_write = functor_for(loop, 1)
+        domain = Domain.range(n)
+        bounds = image_bounds([f_read, f_write], domain)
+        result = cross_check_reference(
+            domain, [(f_read, "read"), (f_write, "write")], bounds
+        )
+        assert result.out_of_bounds == 0
+        if decision.action == "index-launch":
+            assert result.safe, (read, write, n, decision.reasons)
+        elif decision.action == "unsafe":
+            assert not result.safe, (read, write, n, decision.reasons)
+        else:
+            assert decision.action == "dynamic-check", decision.action
