@@ -6,9 +6,14 @@ in the hot paths show up.  Run with larger ``--benchmark-*`` options for
 stable numbers.
 """
 
+import json
+import os
+import time
+
 import numpy as np
 import pytest
 
+from repro.bench.reporting import results_dir
 from repro.core.checks import dynamic_self_check
 from repro.core.domain import Domain, Rect
 from repro.core.projection import IdentityFunctor, ModularFunctor
@@ -87,3 +92,140 @@ def test_bench_sharding_memoized(benchmark):
     hits_before = rt.sharding_cache.hits
     benchmark(lambda: rt.index_launch(noop_rw, 64, part))
     assert rt.sharding_cache.hits > hits_before
+
+
+# --------------------------------------------------------------------------
+# Iterated launches: the launch-replay cache's target workload.  A time loop
+# reissues the *same* 64-task launch; the first traced iteration pays the
+# full analysis pipeline, steady-state iterations replay from the cache.
+
+PIECES = 64
+
+
+def iterated(n_nodes=4, idx=True, cache=True):
+    rt = Runtime(
+        RuntimeConfig(
+            n_nodes=n_nodes, dcr=True, tracing=True,
+            index_launches=idx, analysis_cache=cache,
+        )
+    )
+    region = rt.create_region("it", PIECES * 4, {"x": "f8"})
+    part = equal_partition(f"it{region.uid}", region, PIECES)
+
+    def one_iteration():
+        rt.begin_trace(1)
+        rt.index_launch(noop_rw, PIECES, part)
+        rt.end_trace(1)
+
+    return rt, one_iteration
+
+
+def test_bench_iterated_first_issue(benchmark):
+    """Cold traced issue of a 64-task launch: full analysis + recording."""
+
+    def setup():
+        rt, one_iteration = iterated()
+        return (one_iteration,), {}
+
+    benchmark.pedantic(lambda f: f(), setup=setup, rounds=10)
+
+
+def test_bench_iterated_replay(benchmark):
+    """Steady-state reissue: every analysis layer served from the cache."""
+    rt, one_iteration = iterated()
+    for _ in range(3):
+        one_iteration()
+    hits_before = rt.stats.analysis_cache_hits
+    benchmark(one_iteration)
+    assert rt.stats.analysis_cache_hits > hits_before
+
+
+def test_bench_iterated_replay_cache_off(benchmark):
+    """The same steady state with ``analysis_cache=False`` (the baseline)."""
+    rt, one_iteration = iterated(cache=False)
+    for _ in range(3):
+        one_iteration()
+    benchmark(one_iteration)
+    assert rt.stats.analysis_cache_hits == 0
+
+
+def test_bench_iterated_noidx(benchmark):
+    """No-IDX contrast: eager expansion reissues 64 individual launches, so
+    there is no launch signature to replay and no cache savings."""
+    rt, one_iteration = iterated(idx=False)
+    for _ in range(3):
+        one_iteration()
+    benchmark(one_iteration)
+
+
+def _min_time_us(fn, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best * 1e6
+
+
+def test_bench_replay_snapshot():
+    """First-issue vs steady-state replay snapshot -> BENCH_runtime.json.
+
+    Times with ``time.perf_counter`` directly (not the ``benchmark``
+    fixture) so the snapshot is produced even under ``--benchmark-disable``
+    smoke runs, and asserts the issue's floor: steady-state replay of an
+    identical 64-task launch at least 3x faster than its first issue.
+    """
+    # First issue: a fresh runtime per measurement (min-of-7).
+    firsts = []
+    for _ in range(7):
+        rt, one_iteration = iterated()
+        start = time.perf_counter()
+        one_iteration()
+        firsts.append(time.perf_counter() - start)
+    first_us = min(firsts) * 1e6
+
+    # Steady state: warm three iterations, then min-of-30 replays.
+    rt, one_iteration = iterated()
+    for _ in range(3):
+        one_iteration()
+    replay_us = _min_time_us(one_iteration, 30)
+    assert rt.stats.analysis_cache_hits > 0
+
+    # Cache-off steady state and the No-IDX path, for contrast.
+    rt_off, iter_off = iterated(cache=False)
+    for _ in range(3):
+        iter_off()
+    cache_off_us = _min_time_us(iter_off, 10)
+
+    noidx_firsts = []
+    for _ in range(3):
+        rt_n, iter_noidx = iterated(idx=False)
+        start = time.perf_counter()
+        iter_noidx()
+        noidx_firsts.append(time.perf_counter() - start)
+    noidx_first_us = min(noidx_firsts) * 1e6
+    rt_n, iter_noidx = iterated(idx=False)
+    for _ in range(3):
+        iter_noidx()
+    noidx_steady_us = _min_time_us(iter_noidx, 10)
+
+    speedup = first_us / replay_us
+    snapshot = {
+        "n_tasks": PIECES,
+        "n_nodes": 4,
+        "idx": {
+            "first_issue_us": round(first_us, 1),
+            "steady_replay_us": round(replay_us, 1),
+            "steady_cache_off_us": round(cache_off_us, 1),
+            "replay_speedup": round(speedup, 2),
+        },
+        "noidx": {
+            "first_issue_us": round(noidx_first_us, 1),
+            "steady_us": round(noidx_steady_us, 1),
+        },
+    }
+    with open(os.path.join(results_dir(), "BENCH_runtime.json"), "w") as fh:
+        json.dump(snapshot, fh, indent=2)
+        fh.write("\n")
+    print(f"\nBENCH_runtime: {json.dumps(snapshot)}")
+    assert speedup >= 3.0, snapshot

@@ -171,17 +171,21 @@ def _linearize_batch(values: np.ndarray, color_bounds: Rect) -> Tuple[np.ndarray
 
 
 def _first_duplicate(linear: np.ndarray) -> Optional[int]:
-    """Index (into ``linear``) of the first value already seen, or None."""
-    seen_sorted = np.sort(linear, kind="stable")
-    if not np.any(seen_sorted[1:] == seen_sorted[:-1]):
-        return None
-    # There is a duplicate; find the earliest second occurrence in order.
+    """Index (into ``linear``) of the first value already seen, or None.
+
+    A single stable argsort serves both the existence test and the recovery
+    of the earliest second occurrence: within a run of equal values the
+    stable order preserves original positions, so every sorted position
+    whose left neighbour is equal is a non-first occurrence, and the
+    earliest one in the original order is simply the minimum index among
+    them.
+    """
     order = np.argsort(linear, kind="stable")
     sorted_vals = linear[order]
-    dup_mask = np.zeros(len(linear), dtype=bool)
     dup_positions = np.nonzero(sorted_vals[1:] == sorted_vals[:-1])[0] + 1
-    dup_mask[order[dup_positions]] = True
-    return int(np.nonzero(dup_mask)[0][0])
+    if len(dup_positions) == 0:
+        return None
+    return int(order[dup_positions].min())
 
 
 def dynamic_self_check(

@@ -153,6 +153,30 @@ class Rect:
             index = index * e + (c - l)
         return index
 
+    def linearize_batch(self, points: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`linearize` for a ``(n, dim)`` int array.
+
+        All points must be contained in the rectangle; the scalar method's
+        bounds check is hoisted into one vectorized comparison.
+        """
+        pts = np.asarray(points, dtype=np.int64)
+        if pts.ndim == 1:
+            pts = pts.reshape(-1, 1)
+        if pts.shape[1] != self.dim:
+            raise ValueError(
+                f"expected {self.dim}-D points, got {pts.shape[1]}-D batch"
+            )
+        lo = np.asarray(self.lo, dtype=np.int64)
+        hi = np.asarray(self.hi, dtype=np.int64)
+        if len(pts) and not np.all((pts >= lo) & (pts <= hi)):
+            bad = pts[~np.all((pts >= lo) & (pts <= hi), axis=1)][0]
+            raise ValueError(f"{Point(*bad)} not contained in {self}")
+        extents = np.asarray(self.extents, dtype=np.int64)
+        strides = np.ones_like(extents)
+        for d in range(len(extents) - 2, -1, -1):
+            strides[d] = strides[d + 1] * extents[d + 1]
+        return (pts - lo) @ strides
+
     def delinearize(self, index: int) -> Point:
         """Inverse of :meth:`linearize`."""
         if not 0 <= index < self.volume:

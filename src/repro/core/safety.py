@@ -66,6 +66,9 @@ class SafetyVerdict:
         check_evaluations: total projection-functor evaluations spent in
             dynamic checks — the O(|D|) cost the paper measures in
             Tables 2 and 3 (zero when everything was static).
+        cached: True when this verdict was served from the launch-replay
+            cache rather than computed afresh (check_evaluations then
+            reports the cost the *original* analysis paid).
     """
 
     safe: bool
@@ -73,6 +76,7 @@ class SafetyVerdict:
     reasons: List[str] = field(default_factory=list)
     dynamic_results: List[CheckResult] = field(default_factory=list)
     check_evaluations: int = 0
+    cached: bool = False
 
     @property
     def static_only(self) -> bool:
@@ -92,6 +96,7 @@ def analyze_launch_safety(
     launch: IndexLaunch,
     run_dynamic: bool = True,
     use_numpy: bool = True,
+    check_memo=None,
 ) -> SafetyVerdict:
     """Apply the full Section-3 procedure to ``launch``.
 
@@ -102,7 +107,14 @@ def analyze_launch_safety(
             ``method=UNVERIFIED`` (and ``safe=True``, since the check is
             advisory).
         use_numpy: choose the vectorized check implementation.
+        check_memo: optional memo with a ``run(domain, args, bounds,
+            use_numpy)`` method (see
+            :class:`repro.runtime.replay.DynamicCheckMemo`) substituted for
+            :func:`dynamic_cross_check` — dynamic checks are pure in
+            (domain, functors, bounds), so their results can be shared even
+            across distinct launches.
     """
+    run_check = dynamic_cross_check if check_memo is None else check_memo.run
     domain = launch.domain
     reasons: List[str] = []
     dynamic_results: List[CheckResult] = []
@@ -220,7 +232,7 @@ def analyze_launch_safety(
     evaluations = 0
     for idx in pending_self:
         req = launch.requirements[idx]
-        result = dynamic_cross_check(
+        result = run_check(
             domain,
             [(req.functor, "write")],
             req.partition.color_bounds,
@@ -242,7 +254,7 @@ def analyze_launch_safety(
         reqs = [(launch.requirements[k].functor, _mode(launch.requirements[k]))
                 for k in arg_indices]
         bounds = launch.requirements[arg_indices[0]].partition.color_bounds
-        result = dynamic_cross_check(domain, reqs, bounds, use_numpy=use_numpy)
+        result = run_check(domain, reqs, bounds, use_numpy=use_numpy)
         dynamic_results.append(result)
         evaluations += result.evaluations
         if not result.safe:

@@ -38,6 +38,10 @@ class CostModel:
     t_trace_replay_task: float = 8.0e-6  # per-task cost of replaying a trace
     t_trace_record_task: float = 8e-6    # extra per-task cost while recording
     t_idx_expand_task: float = 10e-6     # expanding one point task from a launch
+    # Launch-replay cache: one signature lookup + validation per launch
+    # replay, replacing the memoized per-point work (sharding/slicing eval,
+    # point-task expansion, safety re-verification).
+    t_replay_cache_hit: float = 1.5e-6
 
     # --- distribution -------------------------------------------------------
     t_shard_point: float = 0.4e-6    # sharding functor eval per local point

@@ -12,7 +12,12 @@ Two mechanisms, matching Legion:
 
 :func:`build_slices` returns both the final slices and the tree's transfer
 list so the machine model can charge communication, and tests can verify
-the O(log) depth.
+the O(log) depth.  Shard targets are evaluated once for the whole domain
+(one batched :meth:`Mapper.shard_batch` call) and threaded through the
+recursion, instead of re-invoking the sharding functor for every point at
+every tree level.  Slicing is pure in (mapper, domain, n_nodes, origin), so
+:class:`SlicingCache` memoizes whole results the same way sharding maps are
+memoized on the DCR path.
 """
 
 from __future__ import annotations
@@ -23,7 +28,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.domain import Domain, Point
 from repro.runtime.mapper import Mapper
 
-__all__ = ["Slice", "SliceTransfer", "SlicingResult", "build_slices", "shard_points"]
+__all__ = [
+    "Slice",
+    "SliceTransfer",
+    "SlicingResult",
+    "SlicingCache",
+    "build_slices",
+    "shard_points",
+]
 
 
 @dataclass
@@ -63,9 +75,11 @@ def shard_points(
 ) -> Dict[int, List[Point]]:
     """DCR path: node -> locally owned points via the sharding functor."""
     assignment: Dict[int, List[Point]] = {}
-    for p in domain:
-        node = mapper.shard(p, domain, n_nodes)
-        assignment.setdefault(node, []).append(p)
+    points = list(domain)
+    if points:
+        nodes = mapper.shard_batch(domain.point_array(), domain, n_nodes)
+        for p, node in zip(points, nodes):
+            assignment.setdefault(int(node), []).append(p)
     return assignment
 
 
@@ -87,15 +101,19 @@ def build_slices(
     slices: List[Slice] = []
     max_depth = 0
 
-    def target(pts: Sequence[Point]) -> int:
-        return mapper.shard(pts[0], domain, n_nodes)
+    # One batched functor evaluation for the whole domain; the recursion
+    # below only does set arithmetic on the precomputed targets.
+    shard_of: Dict[Point, int] = {}
+    if points:
+        targets = mapper.shard_batch(domain.point_array(), domain, n_nodes)
+        shard_of = {p: int(node) for p, node in zip(points, targets)}
 
     def recurse(pts: List[Point], holder: int, depth: int) -> None:
         nonlocal max_depth
         max_depth = max(max_depth, depth)
         if not pts:
             return
-        nodes = {mapper.shard(p, domain, n_nodes) for p in pts}
+        nodes = {shard_of[p] for p in pts}
         if len(nodes) == 1:
             dst = nodes.pop()
             if dst != holder:
@@ -117,3 +135,36 @@ def build_slices(
 
     recurse(points, origin_node, 0)
     return SlicingResult(slices=slices, transfers=transfers, max_depth=max_depth)
+
+
+class SlicingCache:
+    """Memoizes :func:`build_slices` per (mapper, domain, n_nodes, origin).
+
+    Slicing functors, like sharding functors, are required to be pure, so a
+    launch domain slices identically every time it is issued.  The cached
+    :class:`SlicingResult` is shared — callers must not mutate it.
+    """
+
+    def __init__(self):
+        self._cache: Dict[Tuple[int, Domain, int, int], SlicingResult] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def clear(self) -> int:
+        """Drop all memoized slicings; returns how many were dropped."""
+        n = len(self._cache)
+        self._cache.clear()
+        return n
+
+    def slice(
+        self, mapper: Mapper, domain: Domain, n_nodes: int, origin_node: int = 0
+    ) -> SlicingResult:
+        key = (id(mapper), domain, n_nodes, origin_node)
+        found = self._cache.get(key)
+        if found is not None:
+            self.hits += 1
+            return found
+        self.misses += 1
+        result = build_slices(mapper, domain, n_nodes, origin_node)
+        self._cache[key] = result
+        return result

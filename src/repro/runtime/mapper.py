@@ -5,12 +5,21 @@ mappers choose which node runs each task.  Under DCR the relevant hook is
 the *sharding functor* (point -> node, a pure function, memoized); without
 DCR it is the *slicing functor*, which splits a launch domain recursively so
 slices can be scattered down a broadcast tree.
+
+Because sharding functors are pure, a whole launch domain can be sharded in
+one batched evaluation: :meth:`Mapper.shard_batch` takes the ``(|D|, dim)``
+point array of :meth:`repro.core.domain.Domain.point_array` and returns one
+node id per point.  The built-in mappers implement it with vectorized numpy
+arithmetic; custom mappers inherit a per-point fallback that preserves the
+pure-``shard`` contract.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.domain import Domain, Point
 
@@ -26,6 +35,21 @@ class Mapper:
         Must be a pure function of its arguments.
         """
         raise NotImplementedError
+
+    def shard_batch(
+        self, points: np.ndarray, domain: Domain, n_nodes: int
+    ) -> np.ndarray:
+        """Vectorized sharding: node ids for a ``(n, dim)`` point array.
+
+        Must agree elementwise with :meth:`shard`; the default evaluates the
+        scalar functor per point so custom mappers only need to override it
+        when they want the numpy fast path.
+        """
+        return np.fromiter(
+            (self.shard(Point(*row), domain, n_nodes) for row in points),
+            dtype=np.int64,
+            count=len(points),
+        )
 
     def slice_domain(
         self, points: Sequence[Point], domain: Domain, n_nodes: int
@@ -71,6 +95,15 @@ class DefaultMapper(Mapper):
         node = index * n_nodes // total
         return min(node, n_nodes - 1)
 
+    def shard_batch(
+        self, points: np.ndarray, domain: Domain, n_nodes: int
+    ) -> np.ndarray:
+        if n_nodes <= 1 or domain.volume == 0 or len(points) == 0:
+            return np.zeros(len(points), dtype=np.int64)
+        index = domain.bounds.linearize_batch(points)
+        total = domain.bounds.volume
+        return np.minimum(index * n_nodes // total, n_nodes - 1)
+
     def select_node(self, task_launch, n_nodes: int) -> int:
         if task_launch.point is not None and n_nodes > 1:
             parent = task_launch.parent
@@ -88,18 +121,33 @@ class CyclicMapper(Mapper):
             return 0
         return domain.bounds.linearize(point) % n_nodes
 
+    def shard_batch(
+        self, points: np.ndarray, domain: Domain, n_nodes: int
+    ) -> np.ndarray:
+        if n_nodes <= 1 or len(points) == 0:
+            return np.zeros(len(points), dtype=np.int64)
+        return domain.bounds.linearize_batch(points) % n_nodes
+
 
 class ShardingCache:
     """Memoizes sharding decisions per (mapper, domain, n_nodes).
 
     Sharding functors are pure, so Legion memoizes them; we do the same and
-    expose hit statistics so tests can assert the memoization happens.
+    expose hit statistics so tests can assert the memoization happens.  The
+    miss path evaluates the whole domain in one :meth:`Mapper.shard_batch`
+    call instead of |D| scalar ``shard`` calls.
     """
 
     def __init__(self):
         self._cache: Dict[Tuple[int, Domain, int], Dict[int, List[Point]]] = {}
         self.hits = 0
         self.misses = 0
+
+    def clear(self) -> int:
+        """Drop all memoized assignments; returns how many were dropped."""
+        n = len(self._cache)
+        self._cache.clear()
+        return n
 
     def shard_map(
         self, mapper: Mapper, domain: Domain, n_nodes: int
@@ -111,13 +159,18 @@ class ShardingCache:
             self.hits += 1
             return found
         self.misses += 1
+        points = list(domain)
         assignment: Dict[int, List[Point]] = {}
-        for p in domain:
-            node = mapper.shard(p, domain, n_nodes)
-            if not 0 <= node < max(n_nodes, 1):
+        if points:
+            nodes = mapper.shard_batch(domain.point_array(), domain, n_nodes)
+            bad = (nodes < 0) | (nodes >= max(n_nodes, 1))
+            if np.any(bad):
+                pos = int(np.nonzero(bad)[0][0])
                 raise ValueError(
-                    f"sharding functor sent {p} to node {node} of {n_nodes}"
+                    f"sharding functor sent {points[pos]} to node "
+                    f"{int(nodes[pos])} of {n_nodes}"
                 )
-            assignment.setdefault(node, []).append(p)
+            for p, node in zip(points, nodes):
+                assignment.setdefault(int(node), []).append(p)
         self._cache[key] = assignment
         return assignment

@@ -10,17 +10,36 @@ charged by the machine model, not measured from this Python code).
 
 The analyzer also records how many overlap queries it performed so tests
 can verify the claimed access patterns.
+
+Replay support (tracing [20]): when an identical launch is reissued inside
+a validated trace, its dependence structure is the same *shape* — only the
+task ids differ.  :meth:`PhysicalAnalyzer.record_task` can therefore
+capture a :class:`DependenceTemplate` describing each access symbolically
+(which footprints it depended on, retired, coalesced into, or created), and
+:meth:`PhysicalAnalyzer.replay_tasks` re-stamps that template with fresh
+task ids without re-running overlap queries.  Footprints are addressed by a
+*key* — (partition uid, color, subset identity-or-rect, fields, privilege)
+— rather than by object reference, so a template survives the record/retire
+churn of iterative write-read patterns.  Replay is validated (ordered
+per-region key snapshots must match, every referenced key must resolve
+uniquely) and bails to the live path on any mismatch.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.data.collection import Subregion
 from repro.data.privileges import Privilege, PrivilegeSpec
 
-__all__ = ["TaskDependence", "PhysicalAnalyzer"]
+__all__ = [
+    "TaskDependence",
+    "PhysicalAnalyzer",
+    "AccessOp",
+    "DependenceTemplate",
+    "make_template",
+]
 
 
 @dataclass(frozen=True)
@@ -51,6 +70,26 @@ def _same_subset(a, b) -> bool:
     )
 
 
+def _footprint_key(
+    subregion: Subregion, privilege: PrivilegeSpec, fields: frozenset
+):
+    """Identity-free address of a user footprint within one region bucket.
+
+    Partition subregions reuse a single subset object, so its ``id`` is a
+    stable token across iterations; fresh root subregions are RectSubsets
+    addressed by rectangle value instead.
+    """
+    from repro.data.collection import RectSubset
+
+    part = subregion.partition.uid if subregion.partition is not None else None
+    subset = subregion.subset
+    if isinstance(subset, RectSubset):
+        ident = ("rect", subset.rect)
+    else:
+        ident = ("id", id(subset))
+    return (part, subregion.color, ident, fields, privilege)
+
+
 @dataclass
 class _User:
     """One active footprint; ``task_ids`` holds every task sharing it.
@@ -68,9 +107,66 @@ class _User:
     fields: frozenset
 
     def footprint_key(self):
-        sub = self.subregion
-        part = sub.partition.uid if sub.partition is not None else None
-        return (part, sub.color, id(sub.subset), self.fields)
+        return _footprint_key(self.subregion, self.privilege, self.fields)
+
+
+@dataclass
+class AccessOp:
+    """Symbolic record of what one region access did to the user state."""
+
+    region_uid: int
+    n_scanned: int
+    dep_keys: List[tuple] = field(default_factory=list)
+    retire_keys: List[tuple] = field(default_factory=list)
+    coalesce_key: Optional[tuple] = None
+    create: Optional[Tuple[Subregion, PrivilegeSpec, frozenset]] = None
+    ambiguous: bool = False  # two live users shared a key: not replayable
+
+
+@dataclass
+class DependenceTemplate:
+    """Replayable dependence structure of one whole launch.
+
+    ``task_ops`` holds the per-task access ops in expansion order;
+    ``entry_keys`` is the ordered footprint-key snapshot of every touched
+    region at the moment recording started — replay requires an exact match
+    so that foreign mutations of the region state force a live re-analysis.
+    """
+
+    task_ops: List[List[AccessOp]]
+    entry_keys: Dict[int, Tuple[tuple, ...]]
+    n_queries: int
+
+
+def make_template(
+    task_ops: List[List[AccessOp]], entry_keys: Dict[int, Tuple[tuple, ...]]
+) -> Optional[DependenceTemplate]:
+    """Assemble a template from captured ops; None when not replayable."""
+    n_queries = 0
+    for ops in task_ops:
+        for op in ops:
+            if op.ambiguous:
+                return None
+            n_queries += op.n_scanned
+    if any(len(set(keys)) != len(keys) for keys in entry_keys.values()):
+        return None
+    return DependenceTemplate(task_ops, entry_keys, n_queries)
+
+
+class _OverlayEntry:
+    """One user slot during a replay dry-run: a live user or a pending one."""
+
+    __slots__ = ("key", "user", "pending", "spec")
+
+    def __init__(self, key, user=None, spec=None):
+        self.key = key
+        self.user = user  # live _User for pre-existing entries
+        self.pending: List[int] = []  # fresh task ids appended this replay
+        self.spec = spec  # (subregion, privilege, fields) for created entries
+
+    def all_ids(self) -> List[int]:
+        base = self.user.task_ids if self.user is not None else []
+        return base + self.pending
 
 
 class PhysicalAnalyzer:
@@ -92,19 +188,31 @@ class PhysicalAnalyzer:
         subregion: Subregion,
         privilege: PrivilegeSpec,
         fields: Tuple[str, ...],
+        _capture: Optional[List[AccessOp]] = None,
     ) -> List[TaskDependence]:
         """Register one region requirement of an individual task.
 
         Requirements interfere only when their *field sets* intersect (as in
         Legion, privileges are per-field), their privileges conflict, and
-        their footprints overlap."""
+        their footprints overlap.  With ``_capture`` a symbolic
+        :class:`AccessOp` describing the state transition is appended."""
         region_uid = subregion.region.uid
         fieldset = frozenset(fields)
         users = self._users.setdefault(region_uid, [])
+        op: Optional[AccessOp] = None
+        keys: List[tuple] = []
+        if _capture is not None:
+            keys = [u.footprint_key() for u in users]
+            op = AccessOp(
+                region_uid=region_uid,
+                n_scanned=len(users),
+                ambiguous=len(set(keys)) != len(keys),
+            )
+            _capture.append(op)
         deps: List[TaskDependence] = []
         survivors: List[_User] = []
         coalesced = False
-        for user in users:
+        for idx, user in enumerate(users):
             self.overlap_queries += 1
             if not (user.fields & fieldset):
                 survivors.append(user)
@@ -114,6 +222,8 @@ class PhysicalAnalyzer:
                 for tid in user.task_ids:
                     if tid != task_id:
                         deps.append(TaskDependence(tid, task_id, region_uid))
+                if op is not None:
+                    op.dep_keys.append(keys[idx])
             # A writing access retires prior users whose footprint and field
             # set it fully covers (their data is superseded for dependence
             # purposes; partial overlap must keep the old user alive for
@@ -127,6 +237,8 @@ class PhysicalAnalyzer:
                     user.subregion.subset, subregion.region.bounds
                 )
             ):
+                if op is not None:
+                    op.retire_keys.append(keys[idx])
                 continue  # retired
             # Coalesce into an existing identical compatible footprint.
             if (
@@ -137,9 +249,13 @@ class PhysicalAnalyzer:
             ):
                 user.task_ids.append(task_id)
                 coalesced = True
+                if op is not None:
+                    op.coalesce_key = keys[idx]
             survivors.append(user)
         if not coalesced:
             survivors.append(_User([task_id], subregion, privilege, fieldset))
+            if op is not None:
+                op.create = (subregion, privilege, fieldset)
         self._users[region_uid] = survivors
         return deps
 
@@ -147,19 +263,120 @@ class PhysicalAnalyzer:
         self,
         task_id: int,
         accesses: List[Tuple[Subregion, PrivilegeSpec, Tuple[str, ...]]],
+        _capture: Optional[List[List[AccessOp]]] = None,
     ) -> List[TaskDependence]:
         """Register all requirements of one task, deduplicating edges."""
+        ops: Optional[List[AccessOp]] = [] if _capture is not None else None
         seen = set()
         out: List[TaskDependence] = []
         for subregion, privilege, fields in accesses:
             for dep in self.record_task_access(
-                task_id, subregion, privilege, fields
+                task_id, subregion, privilege, fields, _capture=ops
             ):
                 key = (dep.earlier_task, dep.later_task)
                 if key not in seen:
                     seen.add(key)
                     out.append(dep)
+        if _capture is not None:
+            _capture.append(ops)
         return out
+
+    def snapshot_keys(
+        self, region_uids: Iterable[int]
+    ) -> Dict[int, Tuple[tuple, ...]]:
+        """Ordered footprint-key snapshot of the given region buckets."""
+        return {
+            uid: tuple(u.footprint_key() for u in self._users.get(uid, []))
+            for uid in region_uids
+        }
+
+    def replay_tasks(
+        self, task_ids: Sequence[int], template: DependenceTemplate
+    ) -> Optional[List[List[TaskDependence]]]:
+        """Re-stamp a recorded dependence template with fresh task ids.
+
+        Runs a validating dry-run against an overlay of the current user
+        state; only when every op of every task resolves is the state
+        mutation committed (so a failed replay leaves the analyzer
+        untouched for the live fallback).  Returns per-task dependence
+        lists matching :meth:`record_task` exactly, or None on any
+        mismatch — a changed snapshot, a missing/duplicate key, or a length
+        divergence.
+        """
+        if len(task_ids) != len(template.task_ops):
+            return None
+        overlays: Dict[int, List[_OverlayEntry]] = {}
+        for uid, recorded_keys in template.entry_keys.items():
+            users = self._users.get(uid, [])
+            current_keys = tuple(u.footprint_key() for u in users)
+            if current_keys != recorded_keys:
+                return None
+            overlays[uid] = [
+                _OverlayEntry(key, user=u) for key, u in zip(current_keys, users)
+            ]
+
+        def find(entries: List[_OverlayEntry], key) -> Optional[_OverlayEntry]:
+            for entry in entries:
+                if entry.key == key:
+                    return entry
+            return None
+
+        results: List[List[TaskDependence]] = []
+        for tid, ops in zip(task_ids, template.task_ops):
+            seen = set()
+            out: List[TaskDependence] = []
+            for op in ops:
+                entries = overlays.get(op.region_uid)
+                if entries is None or len(entries) != op.n_scanned:
+                    return None
+                for key in op.dep_keys:
+                    entry = find(entries, key)
+                    if entry is None:
+                        return None
+                    for earlier in entry.all_ids():
+                        if earlier != tid:
+                            pair = (earlier, tid)
+                            if pair not in seen:
+                                seen.add(pair)
+                                out.append(
+                                    TaskDependence(earlier, tid, op.region_uid)
+                                )
+                for key in op.retire_keys:
+                    entry = find(entries, key)
+                    if entry is None:
+                        return None
+                    entries.remove(entry)
+                if op.coalesce_key is not None:
+                    entry = find(entries, op.coalesce_key)
+                    if entry is None:
+                        return None
+                    entry.pending.append(tid)
+                if op.create is not None:
+                    subregion, privilege, fieldset = op.create
+                    key = _footprint_key(subregion, privilege, fieldset)
+                    if find(entries, key) is not None:
+                        return None
+                    entry = _OverlayEntry(key, spec=op.create)
+                    entry.pending.append(tid)
+                    entries.append(entry)
+            results.append(out)
+
+        # Commit: the overlay entry order reproduces the survivor order the
+        # live path would have built.
+        for uid, entries in overlays.items():
+            new_users: List[_User] = []
+            for entry in entries:
+                if entry.user is not None:
+                    entry.user.task_ids.extend(entry.pending)
+                    new_users.append(entry.user)
+                else:
+                    subregion, privilege, fieldset = entry.spec
+                    new_users.append(
+                        _User(list(entry.pending), subregion, privilege, fieldset)
+                    )
+            self._users[uid] = new_users
+        self.overlap_queries += template.n_queries
+        return results
 
     def active_users(self, region_uid: int) -> int:
         """Number of live users tracked for a region (test hook)."""

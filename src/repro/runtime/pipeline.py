@@ -57,7 +57,10 @@ class PipelineStats:
     launches_verified_dynamic: int = 0
     launches_unverified: int = 0
     launches_fallback_serial: int = 0   # failed checks -> original task loop
-    trace_replays: int = 0
+    trace_replays: int = 0              # whole-trace replays (end_trace)
+    launch_replays: int = 0             # per-launch trace-prefix matches
+    analysis_cache_hits: int = 0        # launch-replay cache layer hits
+    analysis_cache_invalidations: int = 0  # cache flushes/template drops
 
     def add_representation(self, stage: str, node: int, units: int) -> None:
         if stage not in Stage.ALL:

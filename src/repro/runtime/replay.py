@@ -1,0 +1,192 @@
+"""Launch-replay cache: memoized per-launch analysis (ROADMAP hot path).
+
+Iterative workloads reissue the *same* index launch every timestep, and the
+Section-5 pipeline work for it is amortizable.  This module groups the
+memoization layers, all keyed by the runtime's ``_launch_signature`` —
+(task uid, domain, per-requirement (partition uid, functor, privilege)):
+
+1. **Safety verdicts** (:meth:`LaunchReplayCache.get_verdict`): the full
+   hybrid static/dynamic :class:`~repro.core.safety.SafetyVerdict` of §3–§4
+   is a pure function of the signature, so repeated issues reuse it whole.
+2. **Dynamic check results** (:class:`DynamicCheckMemo`): the Listing-3
+   bitmask checks are pure in (domain, functors+modes, color bounds) — a
+   strictly *coarser* key than the launch signature — so even distinct
+   launches sharing a functor/domain pair skip re-evaluation.
+3. **Expansion templates** (:class:`ExpansionTemplate`): the per-point
+   concrete requirements, dependence-analysis access triples, and
+   :class:`~repro.runtime.task.PhysicalRegion` views produced by
+   ``launch.point_task(point)`` — the object churn happens once per
+   distinct launch, not once per issue.
+4. **Physical dependence templates**
+   (:class:`~repro.runtime.physical.DependenceTemplate`): recorded on a
+   trace-validated replay and re-stamped with fresh task ids on later
+   replays; dropped whenever a trace breaks or anything invalidates.
+
+Layers 1–3 are context-free (valid whenever the signature matches); layer 4
+depends on the analyzer's state and is therefore both gated on trace
+validation and self-validating (see :mod:`repro.runtime.physical`).
+
+The sharding/slicing memos live with their subsystems
+(:class:`~repro.runtime.mapper.ShardingCache`,
+:class:`~repro.runtime.distribution.SlicingCache`); the runtime's
+``invalidate_analysis_cache`` clears all of them together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.checks import CheckResult, dynamic_cross_check
+from repro.core.launch import IndexLaunch, RegionRequirement, TaskLaunch
+from repro.core.safety import SafetyVerdict
+from repro.runtime.physical import DependenceTemplate
+from repro.runtime.task import PhysicalRegion
+
+__all__ = ["DynamicCheckMemo", "PointPlan", "ExpansionTemplate", "LaunchReplayCache"]
+
+
+class DynamicCheckMemo:
+    """Memoizes :func:`~repro.core.checks.dynamic_cross_check` results.
+
+    Keyed by (domain, ((functor description, mode), ...), color bounds):
+    everything the check's outcome depends on, and nothing tied to a
+    particular launch.  The memoized :class:`CheckResult` carries the
+    evaluation count the original run paid, so verdicts assembled from
+    memoized checks report the same ``check_evaluations`` as fresh ones.
+    """
+
+    def __init__(self):
+        self._cache: Dict[tuple, CheckResult] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def clear(self) -> int:
+        n = len(self._cache)
+        self._cache.clear()
+        return n
+
+    def run(self, domain, args, bounds, use_numpy: bool = True) -> CheckResult:
+        """Drop-in for ``dynamic_cross_check`` (see ``check_memo`` in
+        :func:`~repro.core.safety.analyze_launch_safety`)."""
+        key = (
+            domain,
+            tuple((functor.describe(), mode) for functor, mode in args),
+            bounds,
+            use_numpy,
+        )
+        found = self._cache.get(key)
+        if found is not None:
+            self.hits += 1
+            return found
+        self.misses += 1
+        result = dynamic_cross_check(domain, args, bounds, use_numpy=use_numpy)
+        self._cache[key] = result
+        return result
+
+
+@dataclass
+class PointPlan:
+    """Everything reusable about one point task of a cached launch."""
+
+    task_launch: TaskLaunch
+    requirements: List[RegionRequirement]
+    accesses: List[tuple]  # (subregion, privilege, fields) for the analyzer
+    regions: List[PhysicalRegion]
+
+
+@dataclass
+class ExpansionTemplate:
+    """Memoized ``launch.point_task`` expansion for one launch signature.
+
+    The concrete requirements depend only on the signature (partition,
+    functor, domain).  The cached :class:`TaskLaunch` objects additionally
+    bake in the broadcast ``args``, so they are reused only while the
+    reissued launch carries identical args and no per-point argument map;
+    otherwise fresh ``TaskLaunch`` objects are built from the cached
+    requirements (still skipping every ``req.project`` call).
+    """
+
+    plans: Dict[tuple, PointPlan] = field(default_factory=dict)
+    base_args: tuple = ()
+    had_point_args: bool = False
+
+    def reusable_for(self, launch: IndexLaunch) -> bool:
+        return (
+            not self.had_point_args
+            and launch.point_args is None
+            and launch.args == self.base_args
+        )
+
+    def point_plan(self, launch: IndexLaunch, point) -> PointPlan:
+        """The plan for ``point``, rebuilding the TaskLaunch if args moved."""
+        plan = self.plans[tuple(point)]
+        if self.reusable_for(launch):
+            return plan
+        extra = (
+            launch.point_args.get(plan.task_launch.point)
+            if launch.point_args is not None
+            else ()
+        )
+        fresh = TaskLaunch(
+            task=launch.task,
+            requirements=plan.requirements,
+            args=launch.args + extra,
+            point=plan.task_launch.point,
+            parent=launch,
+        )
+        return PointPlan(fresh, plan.requirements, plan.accesses, plan.regions)
+
+
+class LaunchReplayCache:
+    """The per-runtime store for all launch-keyed memoization layers."""
+
+    def __init__(self):
+        self._verdicts: Dict[tuple, SafetyVerdict] = {}
+        self._expansions: Dict[tuple, ExpansionTemplate] = {}
+        self._physical: Dict[tuple, DependenceTemplate] = {}
+        self.check_memo = DynamicCheckMemo()
+
+    # ------------------------------------------------------------- verdicts
+    def get_verdict(self, sig: tuple, run_dynamic: bool) -> Optional[SafetyVerdict]:
+        return self._verdicts.get((sig, run_dynamic))
+
+    def put_verdict(self, sig: tuple, run_dynamic: bool, verdict: SafetyVerdict):
+        self._verdicts[(sig, run_dynamic)] = verdict
+
+    # ------------------------------------------------------------ expansion
+    def get_expansion(self, sig: tuple) -> Optional[ExpansionTemplate]:
+        return self._expansions.get(sig)
+
+    def put_expansion(self, sig: tuple, template: ExpansionTemplate):
+        self._expansions[sig] = template
+
+    # ------------------------------------------------------------- physical
+    def get_physical(self, sig: tuple) -> Optional[DependenceTemplate]:
+        return self._physical.get(sig)
+
+    def put_physical(self, sig: tuple, template: DependenceTemplate):
+        self._physical[sig] = template
+
+    def drop_physical_for(self, sig: tuple) -> bool:
+        return self._physical.pop(sig, None) is not None
+
+    def drop_physical(self) -> int:
+        """Drop every physical template (trace break); returns the count."""
+        n = len(self._physical)
+        self._physical.clear()
+        return n
+
+    # ----------------------------------------------------------- wholesale
+    def clear(self) -> int:
+        """Drop everything; returns how many entries were dropped."""
+        n = (
+            len(self._verdicts)
+            + len(self._expansions)
+            + len(self._physical)
+            + self.check_memo.clear()
+        )
+        self._verdicts.clear()
+        self._expansions.clear()
+        self._physical.clear()
+        return n

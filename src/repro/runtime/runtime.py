@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import itertools
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.domain import Domain, Point, Rect, coerce_point
@@ -27,12 +27,13 @@ from repro.core.safety import SafetyMethod, SafetyVerdict, analyze_launch_safety
 from repro.data.collection import Region, Subregion
 from repro.data.fields import FieldSpace
 from repro.data.partition import Partition
-from repro.runtime.distribution import build_slices, shard_points
+from repro.runtime.distribution import SlicingCache, build_slices, shard_points
 from repro.runtime.futures import Future, FutureMap
 from repro.runtime.logical import LogicalAnalyzer
 from repro.runtime.mapper import DefaultMapper, Mapper, ShardingCache
-from repro.runtime.physical import PhysicalAnalyzer
+from repro.runtime.physical import PhysicalAnalyzer, make_template
 from repro.runtime.pipeline import PipelineStats, Stage
+from repro.runtime.replay import ExpansionTemplate, LaunchReplayCache, PointPlan
 from repro.runtime.task import PhysicalRegion, Task, TaskContext
 from repro.runtime.tracing import TraceRecorder
 
@@ -67,6 +68,11 @@ class RuntimeConfig:
         dynamic_checks: run the Listing-3 checks for statically-undecided
             launches.  Disabling them corresponds to the paper's "no check"
             configuration: undecided launches are assumed valid.
+        analysis_cache: the launch-replay cache — memoize safety verdicts,
+            dynamic-check results, expansion templates, and (on validated
+            trace replays) physical dependence templates across repeated
+            issues of an identical launch.  Semantics-preserving; off
+            recomputes everything per issue.
         validate_safety: run the safety analysis at all (both static and
             dynamic).  Off means every launch is trusted.
         shuffle_intra_launch: execute the point tasks of verified launches
@@ -81,6 +87,7 @@ class RuntimeConfig:
     tracing: bool = True
     bulk_tracing: bool = False
     dynamic_checks: bool = True
+    analysis_cache: bool = True
     validate_safety: bool = True
     shuffle_intra_launch: bool = False
     seed: int = 0
@@ -107,12 +114,14 @@ class Runtime:
         mapper: Optional[Mapper] = None,
     ):
         self.config = config or RuntimeConfig()
-        self.mapper = mapper or DefaultMapper()
+        self._mapper = mapper or DefaultMapper()
         self.stats = PipelineStats()
         self.logical = LogicalAnalyzer()
         self.physical = PhysicalAnalyzer()
         self.tracer = TraceRecorder()
         self.sharding_cache = ShardingCache()
+        self.slicing_cache = SlicingCache()
+        self.replay_cache = LaunchReplayCache()
         self._op_counter = itertools.count()
         self._task_counter = itertools.count()
         self._rng = random.Random(self.config.seed)
@@ -120,6 +129,31 @@ class Runtime:
         self.safety_log: List[SafetyVerdict] = []
         #: optional repro.tools.graph.GraphRecorder capturing the task graph
         self.graph_recorder = None
+
+    # --------------------------------------------------------------- mapper
+    @property
+    def mapper(self) -> Mapper:
+        return self._mapper
+
+    @mapper.setter
+    def mapper(self, mapper: Mapper) -> None:
+        """Swapping mappers invalidates every cached mapping decision."""
+        self._mapper = mapper
+        self.invalidate_analysis_cache()
+
+    def invalidate_analysis_cache(self) -> int:
+        """Flush all memoized analysis products (launch-replay cache plus
+        the sharding/slicing memos).  Called automatically on mapper
+        changes; call it manually after any out-of-band change that affects
+        mapping or partitioning decisions.  Returns entries dropped."""
+        dropped = (
+            self.replay_cache.clear()
+            + self.slicing_cache.clear()
+            + self.sharding_cache.clear()
+        )
+        if dropped:
+            self.stats.analysis_cache_invalidations += dropped
+        return dropped
 
     # ------------------------------------------------------------ resources
     def create_region(
@@ -175,8 +209,17 @@ class Runtime:
     def end_trace(self, trace_id: int) -> None:
         """Mark the end of a traced sequence; counts whole-trace replays."""
         if self.config.tracing:
+            broken_before = self.tracer.broken(trace_id)
             if self.tracer.end(trace_id):
                 self.stats.trace_replays += 1
+            elif self.tracer.broken(trace_id) > broken_before:
+                # The iteration diverged from the recorded trace: physical
+                # dependence templates were recorded against a context that
+                # no longer recurs, so drop them (the context-free layers —
+                # verdicts, checks, expansion, sharding — remain valid).
+                dropped = self.replay_cache.drop_physical()
+                if dropped:
+                    self.stats.analysis_cache_invalidations += dropped
 
     # ------------------------------------------------------- single launches
     def execute_task(
@@ -336,14 +379,38 @@ class Runtime:
         cfg = self.config
         self.stats.ops_issued += 1
         self.stats.index_launches += 1
+        sig = self._launch_signature(launch)
+        cache = self.replay_cache if cfg.analysis_cache else None
         replay = False
         if cfg.tracing:
-            replay = self.tracer.observe(self._launch_signature(launch))
+            replay = self.tracer.observe(sig)
+            if replay:
+                self.stats.launch_replays += 1
 
         # --- safety: the hybrid analysis gates index-launch execution.
+        # Verdicts are pure in the launch signature, so replays reuse the
+        # memoized verdict (flagged ``cached``, same counters charged — a
+        # replayed launch is still a verified launch, not a skipped one).
         safe_order_free = True
         if cfg.validate_safety:
-            verdict = analyze_launch_safety(launch, run_dynamic=cfg.dynamic_checks)
+            verdict = (
+                cache.get_verdict(sig, cfg.dynamic_checks)
+                if cache is not None
+                else None
+            )
+            if verdict is not None:
+                verdict = replace(verdict, cached=True)
+                self.stats.analysis_cache_hits += 1
+            else:
+                memo = cache.check_memo if cache is not None else None
+                memo_hits = memo.hits if memo is not None else 0
+                verdict = analyze_launch_safety(
+                    launch, run_dynamic=cfg.dynamic_checks, check_memo=memo
+                )
+                if memo is not None:
+                    self.stats.analysis_cache_hits += memo.hits - memo_hits
+                if cache is not None:
+                    cache.put_verdict(sig, cfg.dynamic_checks, verdict)
             self.safety_log.append(verdict)
             self.stats.check_evaluations += verdict.check_evaluations
             if verdict.method is SafetyMethod.STATIC:
@@ -393,6 +460,8 @@ class Runtime:
             self.graph_recorder.record_logical_edges(deps)
 
         # --- distribution: sharding (DCR) or slicing (broadcast tree).
+        # Both functors are pure, so both paths are memoized (sharding was
+        # always; slicing joins it under the analysis-cache knob).
         if cfg.dcr:
             assignment = self.sharding_cache.shard_map(
                 self.mapper, launch.domain, cfg.n_nodes
@@ -400,7 +469,12 @@ class Runtime:
             for node in assignment:
                 self.stats.add_representation(Stage.DISTRIBUTION, node, 1)
         else:
-            slicing = build_slices(self.mapper, launch.domain, cfg.n_nodes)
+            if cache is not None:
+                slicing = self.slicing_cache.slice(
+                    self.mapper, launch.domain, cfg.n_nodes
+                )
+            else:
+                slicing = build_slices(self.mapper, launch.domain, cfg.n_nodes)
             self.stats.slice_messages += slicing.n_messages
             self.stats.max_slice_depth = max(
                 self.stats.max_slice_depth, slicing.max_depth
@@ -410,35 +484,92 @@ class Runtime:
                 assignment.setdefault(slc.node, []).extend(slc.points)
                 self.stats.add_representation(Stage.DISTRIBUTION, slc.node, 1)
 
-        # --- expansion + physical analysis, per node, post-distribution.
-        fmap = FutureMap()
-        executed: List[Tuple[TaskLaunch, int]] = []
-        for node in sorted(assignment):
-            for point in assignment[node]:
-                point_task = launch.point_task(point)
-                task_id = next(self._task_counter)
-                tdeps = self.physical.record_task(
-                    task_id,
-                    [
+        # --- expansion, post-distribution: materialize per-point plans, or
+        # reuse the memoized template (requirement footprints, analyzer
+        # access triples, PhysicalRegion views) built on the first issue.
+        expansion = cache.get_expansion(sig) if cache is not None else None
+        plan_list: List[Tuple[int, PointPlan]] = []
+        if expansion is not None:
+            self.stats.analysis_cache_hits += 1
+            for node in sorted(assignment):
+                for point in assignment[node]:
+                    plan_list.append((node, expansion.point_plan(launch, point)))
+        else:
+            expansion = ExpansionTemplate(
+                base_args=launch.args,
+                had_point_args=launch.point_args is not None,
+            )
+            for node in sorted(assignment):
+                for point in assignment[node]:
+                    point_task = launch.point_task(point)
+                    triples = [
                         (req.subregion, req.privilege, req.resolved_fields())
                         for req in point_task.requirements
-                    ],
-                )
-                self.stats.physical_dependences += len(tdeps)
-                self.stats.add_representation(Stage.PHYSICAL, node, 1)
-                if self.graph_recorder is not None:
-                    self.graph_recorder.record_task(
-                        task_id, point_task.name, op_id, node
+                    ]
+                    plan = PointPlan(
+                        task_launch=point_task,
+                        requirements=list(point_task.requirements),
+                        accesses=triples,
+                        regions=[PhysicalRegion(*t) for t in triples],
                     )
-                    self.graph_recorder.record_physical_edges(tdeps)
-                executed.append((point_task, node))
+                    expansion.plans[tuple(point)] = plan
+                    plan_list.append((node, plan))
+            if cache is not None:
+                cache.put_expansion(sig, expansion)
+
+        # --- physical analysis.  On a trace-validated replay, re-stamp the
+        # recorded dependence template with fresh task ids; otherwise run
+        # the live analyzer (capturing a template when this is the first
+        # validated replay, so the next one can skip it).
+        task_ids = [next(self._task_counter) for _ in plan_list]
+        tdeps_lists = None
+        if replay and cache is not None:
+            ptemplate = cache.get_physical(sig)
+            if ptemplate is not None:
+                tdeps_lists = self.physical.replay_tasks(task_ids, ptemplate)
+                if tdeps_lists is None:
+                    # Validation failed (foreign state change): drop the
+                    # template and fall back to live analysis below.
+                    cache.drop_physical_for(sig)
+                    self.stats.analysis_cache_invalidations += 1
+                else:
+                    self.stats.analysis_cache_hits += 1
+        if tdeps_lists is None:
+            capture = entry_keys = None
+            if replay and cache is not None:
+                region_uids = {req.region.uid for req in launch.requirements}
+                entry_keys = self.physical.snapshot_keys(region_uids)
+                capture = []
+            tdeps_lists = [
+                self.physical.record_task(tid, plan.accesses, _capture=capture)
+                for tid, (_, plan) in zip(task_ids, plan_list)
+            ]
+            if capture is not None:
+                ptemplate = make_template(capture, entry_keys)
+                if ptemplate is not None:
+                    cache.put_physical(sig, ptemplate)
+
+        fmap = FutureMap()
+        executed: List[Tuple[PointPlan, int]] = []
+        for tid, (node, plan), tdeps in zip(task_ids, plan_list, tdeps_lists):
+            self.stats.physical_dependences += len(tdeps)
+            self.stats.add_representation(Stage.PHYSICAL, node, 1)
+            if self.graph_recorder is not None:
+                self.graph_recorder.record_task(
+                    tid, plan.task_launch.name, op_id, node
+                )
+                self.graph_recorder.record_physical_edges(tdeps)
+            executed.append((plan, node))
         self.stats.overlap_queries = self.physical.overlap_queries
 
         # --- execution (functionally; order free for verified launches).
         if cfg.shuffle_intra_launch and safe_order_free:
             self._rng.shuffle(executed)
-        for point_task, node in executed:
-            fmap.set(point_task.point, self._run_task(point_task, node))
+        for plan, node in executed:
+            fmap.set(
+                plan.task_launch.point,
+                self._run_task(plan.task_launch, node, regions=plan.regions),
+            )
         return fmap
 
     def _issue_expanded(self, launch: IndexLaunch) -> FutureMap:
@@ -507,9 +638,14 @@ class Runtime:
         return fmap
 
     # ------------------------------------------------------------ execution
-    def _run_task(self, point_task: TaskLaunch, node: int) -> Any:
+    def _run_task(
+        self,
+        point_task: TaskLaunch,
+        node: int,
+        regions: Optional[List[PhysicalRegion]] = None,
+    ) -> Any:
         ctx = TaskContext(point=point_task.point, node=node, runtime=self)
-        physical_regions = [
+        physical_regions = regions if regions is not None else [
             PhysicalRegion(
                 req.subregion, req.privilege, req.resolved_fields()
             )

@@ -33,6 +33,7 @@ class _Trace:
     current: List[OpSignature] = field(default_factory=list)
     replays: int = 0
     broken: int = 0
+    valid: bool = False  # whole prefix of the current iteration has matched
 
 
 class TraceRecorder:
@@ -52,10 +53,13 @@ class TraceRecorder:
         self._active = trace_id
         trace = self._traces.setdefault(trace_id, _Trace())
         trace.current = []
+        trace.valid = trace.recorded is not None
 
     def observe(self, signature: OpSignature) -> bool:
-        """Record one operation; returns True when it matches the recorded
-        trace so far (i.e. the analysis for it can be replayed)."""
+        """Record one operation; returns True when the *entire* iteration
+        prefix (this operation included) matches the recorded trace — i.e.
+        the analysis for it can be replayed.  Once an iteration diverges,
+        every later operation of that iteration reports False too."""
         if self._active is None:
             return False
         trace = self._traces[self._active]
@@ -63,7 +67,9 @@ class TraceRecorder:
         if trace.recorded is None:
             return False
         idx = len(trace.current) - 1
-        return idx < len(trace.recorded) and trace.recorded[idx] == signature
+        if not (idx < len(trace.recorded) and trace.recorded[idx] == signature):
+            trace.valid = False
+        return trace.valid
 
     def end(self, trace_id: int) -> bool:
         """Close the trace; returns True when the whole iteration replayed."""

@@ -112,11 +112,19 @@ class TestDynamicCheckCost:
             [LaunchSpec("l", 1024, 0.0, needs_dynamic_check=chk, check_args=3)],
             work_units=1.0,
         )
-        with_check = simulate_iteration(spec(True), SimConfig(1024, checks=True))
-        without = simulate_iteration(spec(True), SimConfig(1024, checks=False))
-        no_need = simulate_iteration(spec(False), SimConfig(1024, checks=True))
-        assert with_check >= without
+        # The first issuance pays the check (n_iterations=2 averages in the
+        # cold iteration rather than reporting steady-state spacing)...
+        cold = lambda it, cfg: simulate_iteration(it, cfg, n_iterations=2)
+        with_check = cold(spec(True), SimConfig(1024, checks=True))
+        without = cold(spec(True), SimConfig(1024, checks=False))
+        no_need = cold(spec(False), SimConfig(1024, checks=True))
+        assert with_check > without
         assert without == pytest.approx(no_need)
+        # ...while reissues serve the memoized verdict from the
+        # launch-replay cache: the steady state is check-free.
+        steady_with = simulate_iteration(spec(True), SimConfig(1024, checks=True))
+        steady_without = simulate_iteration(spec(True), SimConfig(1024, checks=False))
+        assert steady_with == pytest.approx(steady_without)
 
     def test_check_cost_negligible_at_paper_scales(self):
         """Table 2/3 conclusion: sub-3ms even at |D| = 1e6."""
