@@ -13,6 +13,12 @@ Commands:
   linter over mini-Regent sources (``.rg`` files, or python files with an
   embedded ``SOURCE = \"\"\"...\"\"\"`` program).  Exits 1 on a
   statically-proven race, 2 on a parse error.
+* ``profile <app> [--out trace.json]`` — run one application with the
+  pipeline profiler attached and export a Chrome-trace/Perfetto JSON (or
+  JSONL / text summary).  See ``docs/observability.md``.
+
+Operational errors (bad arguments, unwritable output paths) exit with
+status 2 and a one-line message — never a traceback.
 """
 
 from __future__ import annotations
@@ -24,6 +30,10 @@ from typing import List, Optional
 import numpy as np
 
 __all__ = ["main"]
+
+
+class CLIError(Exception):
+    """A user-facing operational error: printed as one line, exit code 2."""
 
 
 def _cmd_figures(args) -> int:
@@ -191,6 +201,93 @@ def _cmd_lint(args) -> int:
     return worst
 
 
+_PROFILE_APPS = ("circuit", "stencil", "soleil")
+
+
+def _cmd_profile(args) -> int:
+    from repro.machine.costmodel import CostModel
+    from repro.machine.perf import SimConfig, simulate_iteration
+    from repro.obs import (
+        Profiler, text_summary, validate_chrome_trace_file,
+        write_chrome_trace, write_jsonl,
+    )
+    from repro.runtime import Runtime, RuntimeConfig
+
+    if args.nodes < 1:
+        raise CLIError("--nodes must be >= 1")
+    if args.steps < 1:
+        raise CLIError("--steps must be >= 1")
+    cost = CostModel()
+    prof = Profiler(costmodel=cost)
+    cfg = RuntimeConfig(
+        n_nodes=args.nodes,
+        dcr=not args.no_dcr,
+        index_launches=not args.no_idx,
+        profiler=prof,
+    )
+    rt = Runtime(cfg)
+    if args.app == "circuit":
+        from repro.apps.circuit import (
+            CircuitConfig, build_circuit, circuit_iteration, run_circuit,
+        )
+        graph = build_circuit(rt, CircuitConfig(
+            n_pieces=max(2 * args.nodes, 4), steps=args.steps))
+        run_circuit(rt, graph)
+        spec = circuit_iteration(args.nodes)
+    elif args.app == "stencil":
+        from repro.apps.stencil import (
+            StencilConfig, build_stencil, run_stencil, stencil_iteration,
+        )
+        grid = build_stencil(rt, StencilConfig(
+            n=32, blocks=(2, 2), radius=2, steps=args.steps))
+        run_stencil(rt, grid)
+        spec = stencil_iteration(args.nodes)
+    else:
+        from repro.apps.soleil import (
+            SoleilConfig, build_soleil, run_soleil, soleil_iteration,
+        )
+        state = build_soleil(rt, SoleilConfig(
+            tiles=(2, 2, 2), cells_per_tile=(3, 3, 3),
+            steps=min(args.steps, 3)))
+        run_soleil(rt, state)
+        spec = soleil_iteration(args.nodes)
+
+    # Machine-model pass: the same workload through the simulator, emitting
+    # simulated-time tracks alongside the wall-clock pipeline spans.
+    simulate_iteration(
+        spec,
+        SimConfig(n_nodes=args.nodes, dcr=cfg.dcr, idx=cfg.index_launches),
+        cost,
+        profiler=prof,
+    )
+
+    wrote = False
+    if args.out:
+        try:
+            write_chrome_trace(args.out, prof, stats=rt.stats)
+        except OSError as exc:
+            raise CLIError(f"cannot write {args.out}: {exc.strerror or exc}")
+        problems = validate_chrome_trace_file(args.out)
+        if problems:
+            raise CLIError(f"{args.out}: emitted trace failed validation: "
+                           f"{problems[0]}")
+        print(f"wrote {args.out} "
+              f"({len(prof.wall_spans())} wall spans, "
+              f"{len(prof.sim_spans())} simulated activities); "
+              f"open in https://ui.perfetto.dev")
+        wrote = True
+    if args.jsonl:
+        try:
+            write_jsonl(args.jsonl, prof)
+        except OSError as exc:
+            raise CLIError(f"cannot write {args.jsonl}: {exc.strerror or exc}")
+        print(f"wrote {args.jsonl}")
+        wrote = True
+    if args.summary or not wrote:
+        print(text_summary(prof, stats=rt.stats))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -229,8 +326,38 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="machine-readable output")
     p_lint.set_defaults(fn=_cmd_lint)
 
+    p_prof = sub.add_parser(
+        "profile",
+        help="run an app with the pipeline profiler; export a Chrome trace",
+    )
+    p_prof.add_argument("app", choices=_PROFILE_APPS,
+                        help="application to profile")
+    p_prof.add_argument("--out", default=None, metavar="TRACE.JSON",
+                        help="write a Chrome-trace/Perfetto JSON here")
+    p_prof.add_argument("--jsonl", default=None, metavar="EVENTS.JSONL",
+                        help="write the flat JSONL event log here")
+    p_prof.add_argument("--summary", action="store_true",
+                        help="print the text summary even when exporting")
+    p_prof.add_argument("--nodes", type=int, default=4,
+                        help="simulated node count (default 4)")
+    p_prof.add_argument("--steps", type=int, default=5,
+                        help="application time steps (default 5)")
+    p_prof.add_argument("--no-dcr", action="store_true",
+                        help="disable dynamic control replication")
+    p_prof.add_argument("--no-idx", action="store_true",
+                        help="disable index launches")
+    p_prof.set_defaults(fn=_cmd_profile)
+
     args = parser.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except CLIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        # Unwritable --out, unreadable input, etc.: one line, no traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

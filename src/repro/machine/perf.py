@@ -118,17 +118,19 @@ def simulate_iteration(
     cfg: SimConfig,
     cost: Optional[CostModel] = None,
     n_iterations: int = 4,
+    profiler=None,
 ) -> float:
     """Simulate ``n_iterations`` repetitions; return steady-state sec/iter.
 
     The first iteration runs untraced (recording when tracing is enabled);
     later iterations replay.  The reported rate is the spacing between the
     completion of consecutive warmed-up iterations, capturing the overlap of
-    control and compute.
+    control and compute.  With ``profiler`` attached, the scheduled
+    activities appear as simulated-time spans (one track per node/resource).
     """
     cost = cost or CostModel()
     n = cfg.n_nodes
-    sim = MachineSimulator(n)
+    sim = MachineSimulator(n, profiler=profiler)
 
     # Per-node rolling state across launches/iterations:
     last_gpu: Dict[int, int] = {}      # node -> last compute activity id
@@ -297,13 +299,14 @@ def simulate_steady_state(
     iteration: IterationSpec,
     cfg: SimConfig,
     cost: Optional[CostModel] = None,
+    profiler=None,
 ) -> Dict[str, float]:
     """Simulate and report throughput metrics for one configuration.
 
     Returns a dict with ``sec_per_iter``, ``throughput`` (work units/s),
     and ``throughput_per_node``.
     """
-    sec = simulate_iteration(iteration, cfg, cost)
+    sec = simulate_iteration(iteration, cfg, cost, profiler=profiler)
     thr = iteration.work_units / sec if sec > 0 else float("inf")
     return {
         "sec_per_iter": sec,

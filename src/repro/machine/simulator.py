@@ -51,12 +51,13 @@ class Activity:
 class MachineSimulator:
     """Builds and schedules an activity graph over a simulated cluster."""
 
-    def __init__(self, n_nodes: int):
+    def __init__(self, n_nodes: int, profiler=None):
         if n_nodes < 1:
             raise ValueError("n_nodes must be >= 1")
         self.n_nodes = n_nodes
         self._activities: List[Activity] = []
         self._scheduled = False
+        self._profiler = profiler
 
     # ------------------------------------------------------------- building
     def add(
@@ -113,6 +114,22 @@ class MachineSimulator:
             if act.finish > makespan:
                 makespan = act.finish
         self._scheduled = True
+        prof = self._profiler
+        if prof is not None and prof.enabled:
+            # Re-emit the schedule as simulated-time spans, one track per
+            # (node, resource kind).  Sinks are zero-width bookkeeping.
+            for act in acts:
+                if act.resource.kind == "sink":
+                    continue
+                prof.add_simulated(
+                    act.resource.node,
+                    act.resource.kind,
+                    act.label or f"activity:{act.aid}",
+                    act.start,
+                    act.duration,
+                    aid=act.aid,
+                )
+            prof.count("sim.makespan_runs", 1.0)
         return makespan
 
     # -------------------------------------------------------------- queries

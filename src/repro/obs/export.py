@@ -1,0 +1,263 @@
+"""Exporters: Chrome-trace/Perfetto JSON, flat JSONL, and text summaries.
+
+The Chrome trace uses the ``traceEvents`` array format understood by both
+Perfetto (https://ui.perfetto.dev) and chrome://tracing:
+
+* pid 1 — "runtime (wall)": the functional runtime's measured pipeline
+  phases, one thread row per simulated node (tid = node id).
+* pid 2 — "machine model (sim)": the simulator's scheduled activities on
+  simulated time, one thread row per (node, resource) pair, so the modeled
+  schedule reads like a Gantt chart.
+
+Wall timestamps are normalized so the first span starts at ts=0; simulated
+timestamps are simulated seconds converted to microseconds.  Events within
+one track are sorted by start time (ties broken longest-first so enclosing
+spans precede their children), which the schema validator
+(:mod:`repro.obs.schema`) relies on.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.obs.profiler import Profiler
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "jsonl_records",
+    "write_jsonl",
+    "text_summary",
+]
+
+_WALL_PID = 1
+_SIM_PID = 2
+#: Fixed resource-kind ordering for simulated thread ids (per node).
+_SIM_KINDS = ("control", "gpu", "nic_out", "nic_in", "sink")
+
+
+def _sim_tid(node: int, kind: str) -> int:
+    try:
+        k = _SIM_KINDS.index(kind)
+    except ValueError:
+        k = len(_SIM_KINDS)
+    return node * (len(_SIM_KINDS) + 1) + k
+
+
+def _json_safe(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def _safe_args(args: Dict[str, Any]) -> Dict[str, Any]:
+    return {k: _json_safe(v) for k, v in args.items()}
+
+
+def chrome_trace(
+    profiler: Profiler, stats: Optional[Any] = None
+) -> Dict[str, Any]:
+    """Build the Chrome-trace dict (``{"traceEvents": [...], ...}``).
+
+    ``stats`` (a :class:`~repro.runtime.pipeline.PipelineStats`) is
+    optional; when given, its counters are embedded under ``otherData`` so
+    a trace file is a self-contained record of the run.
+    """
+    events: List[Dict[str, Any]] = []
+    wall = profiler.wall_spans()
+    sim = profiler.sim_spans()
+    t0 = min(
+        [s.start for s in wall] + [i.ts for i in profiler.instants], default=0.0
+    )
+
+    meta: List[Dict[str, Any]] = []
+    if wall or profiler.instants:
+        meta.append(_meta_event("process_name", _WALL_PID, 0,
+                                {"name": "runtime (wall)"}))
+    wall_nodes = sorted(
+        {s.node for s in wall} | {i.node for i in profiler.instants}
+    )
+    for node in wall_nodes:
+        meta.append(_meta_event("thread_name", _WALL_PID, node,
+                                {"name": f"node {node}"}))
+        meta.append(_meta_event("thread_sort_index", _WALL_PID, node,
+                                {"sort_index": node}))
+    if sim:
+        meta.append(_meta_event("process_name", _SIM_PID, 0,
+                                {"name": "machine model (sim)"}))
+        for node, kind in sorted({(s.node, s.track or "control") for s in sim}):
+            tid = _sim_tid(node, kind)
+            meta.append(_meta_event("thread_name", _SIM_PID, tid,
+                                    {"name": f"node {node} {kind}"}))
+            meta.append(_meta_event("thread_sort_index", _SIM_PID, tid,
+                                    {"sort_index": tid}))
+
+    for s in wall:
+        events.append({
+            "name": s.name,
+            "cat": s.stage,
+            "ph": "X",
+            "ts": (s.start - t0) * 1e6,
+            "dur": max(s.duration, 0.0) * 1e6,
+            "pid": _WALL_PID,
+            "tid": s.node,
+            "args": _safe_args(s.args),
+        })
+    for i in profiler.instants:
+        events.append({
+            "name": i.name,
+            "cat": i.stage,
+            "ph": "i",
+            "s": "t",
+            "ts": (i.ts - t0) * 1e6,
+            "pid": _WALL_PID,
+            "tid": i.node,
+            "args": _safe_args(i.args),
+        })
+    for s in sim:
+        events.append({
+            "name": s.name,
+            "cat": "sim:" + (s.track or "control"),
+            "ph": "X",
+            "ts": s.start * 1e6,
+            "dur": max(s.duration, 0.0) * 1e6,
+            "pid": _SIM_PID,
+            "tid": _sim_tid(s.node, s.track or "control"),
+            "args": _safe_args(s.args),
+        })
+
+    # Per-track ordering: by start, enclosing spans before enclosed ones.
+    events.sort(key=lambda e: (e["pid"], e["tid"], e["ts"], -e.get("dur", 0.0)))
+
+    other: Dict[str, Any] = {"metrics": profiler.metrics.as_dict()}
+    if stats is not None:
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        stats.to_metrics(reg)
+        other["pipeline_stats"] = reg.as_dict()
+    return {
+        "traceEvents": meta + events,
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def _meta_event(name: str, pid: int, tid: int, args: Dict[str, Any]) -> Dict[str, Any]:
+    return {"name": name, "ph": "M", "ts": 0.0, "pid": pid, "tid": tid,
+            "args": args}
+
+
+def write_chrome_trace(
+    path: str, profiler: Profiler, stats: Optional[Any] = None
+) -> None:
+    """Serialize :func:`chrome_trace` to ``path`` (Perfetto-loadable)."""
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(profiler, stats), fh, indent=1)
+        fh.write("\n")
+
+
+def jsonl_records(profiler: Profiler) -> List[Dict[str, Any]]:
+    """The flat event log: one dict per span/instant, then the metrics."""
+    records: List[Dict[str, Any]] = []
+    for s in profiler.spans:
+        records.append({
+            "type": "span",
+            "name": s.name,
+            "stage": s.stage,
+            "node": s.node,
+            "clock": "sim" if s.sim else "wall",
+            "track": s.track,
+            "start_s": s.start,
+            "duration_s": s.duration,
+            "args": _safe_args(s.args),
+        })
+    for i in profiler.instants:
+        records.append({
+            "type": "instant",
+            "name": i.name,
+            "stage": i.stage,
+            "node": i.node,
+            "ts_s": i.ts,
+            "args": _safe_args(i.args),
+        })
+    for name, key, value in profiler.metrics.counters():
+        records.append({
+            "type": "counter",
+            "name": name,
+            "labels": {k: _json_safe(v) for k, v in key},
+            "value": value,
+        })
+    return records
+
+
+def write_jsonl(path: str, profiler: Profiler) -> None:
+    with open(path, "w") as fh:
+        for record in jsonl_records(profiler):
+            fh.write(json.dumps(record))
+            fh.write("\n")
+
+
+def text_summary(profiler: Profiler, stats: Optional[Any] = None) -> str:
+    """Human-readable digest: per-phase span totals, annotations, stats."""
+    lines: List[str] = []
+    reg = profiler.metrics
+    rows = []
+    for name, key, hist in reg.histograms():
+        if name != "span_seconds":
+            continue
+        labels = dict(key)
+        rows.append((labels.get("stage", "?"), labels.get("name", "?"), hist))
+    if rows:
+        lines.append(f"{'stage':>14} {'phase':>16} {'spans':>7} "
+                     f"{'total ms':>10} {'mean us':>9} {'max us':>9}")
+        for stage, phase, hist in sorted(rows):
+            lines.append(
+                f"{stage:>14} {phase:>16} {hist.count:>7} "
+                f"{hist.total * 1e3:>10.3f} {hist.mean * 1e6:>9.1f} "
+                f"{hist.max * 1e6:>9.1f}"
+            )
+    else:
+        lines.append("no spans recorded (profiler disabled?)")
+
+    annotations = [
+        (name, dict(key), value)
+        for name, key, value in reg.counters()
+        if name.startswith(("cache.", "trace.", "safety.", "physical."))
+    ]
+    if annotations:
+        lines.append("")
+        lines.append("annotations:")
+        for name, labels, value in annotations:
+            extra = "".join(
+                f" {k}={v}" for k, v in labels.items() if k != "stage"
+            )
+            lines.append(f"  {name}{extra}: {value:g}")
+
+    sim = profiler.sim_spans()
+    if sim:
+        lines.append("")
+        makespan = max(s.end for s in sim)
+        lines.append(f"machine model: {len(sim)} activities, "
+                     f"makespan {makespan * 1e3:.3f} ms (simulated)")
+
+    if stats is not None:
+        from repro.obs.metrics import MetricsRegistry
+
+        sreg = MetricsRegistry()
+        stats.to_metrics(sreg)
+        lines.append("")
+        lines.append("pipeline stats:")
+        for name, key, value in sreg.counters():
+            if name == "pipeline.representation_units":
+                continue  # summarized below
+            labels = dict(key)
+            extra = "".join(f" {k}={v}" for k, v in labels.items())
+            lines.append(f"  {name}{extra}: {value:g}")
+        table = stats.as_table()
+        if table:
+            lines.append("  representation units (stage, node, units):")
+            for stage, node, units in table:
+                lines.append(f"    {stage:>13} {node:>4} {units:>8}")
+    return "\n".join(lines)

@@ -1,0 +1,147 @@
+"""Metrics registry: labeled counters and histograms for the pipeline.
+
+The registry is the numeric half of the observability layer (the spans of
+:mod:`repro.obs.profiler` are the temporal half).  Two instrument kinds:
+
+* **Counters** — monotonically-increasing floats, addressed by a metric
+  name plus a label set (``stage=...``, ``node=...``, ``verdict=...``).
+* **Histograms** — distribution summaries (count/sum/min/max plus
+  power-of-two buckets) for quantities like span durations.
+
+Labels are free-form keyword arguments; a label set is stored as a sorted
+``(key, value)`` tuple so lookup is deterministic and serialization is
+trivial.  The registry subsumes the ad-hoc
+:class:`~repro.runtime.pipeline.PipelineStats` increments: calling
+``stats.to_metrics(registry)`` loads every stats field — representation
+units labeled by stage/node, verdict counts labeled by verdict, and the
+scalar work counters — without changing their values (see the test suite's
+subsumption checks).
+
+The module is dependency-free on purpose: the runtime never imports it on
+the hot path, and exporters consume it duck-typed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["Histogram", "MetricsRegistry", "label_key"]
+
+LabelKey = Tuple[Tuple[str, Any], ...]
+
+
+def label_key(labels: Dict[str, Any]) -> LabelKey:
+    """Canonical, hashable form of a label set."""
+    return tuple(sorted(labels.items()))
+
+
+@dataclass
+class Histogram:
+    """A streaming distribution summary with power-of-two bucket counts.
+
+    ``buckets[i]`` counts observations with ``2**(i-1) <= value < 2**i``
+    scaled by ``bucket_unit`` (so the default unit of 1e-6 buckets spans in
+    microseconds); values below ``bucket_unit`` land in bucket 0.
+    """
+
+    count: int = 0
+    total: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+    bucket_unit: float = 1e-6
+    buckets: Dict[int, int] = field(default_factory=dict)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        scaled = value / self.bucket_unit
+        idx = 0 if scaled < 1.0 else int(scaled).bit_length()
+        self.buckets[idx] = self.buckets.get(idx, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+            "buckets": dict(sorted(self.buckets.items())),
+        }
+
+
+class MetricsRegistry:
+    """Process-local store of labeled counters and histograms."""
+
+    def __init__(self):
+        self._counters: Dict[str, Dict[LabelKey, float]] = {}
+        self._histograms: Dict[str, Dict[LabelKey, Histogram]] = {}
+
+    # ------------------------------------------------------------- counters
+    # Positional parameters are underscore-prefixed so callers can use
+    # labels literally named ``name`` or ``value`` (e.g. span phase names).
+    def inc(self, _name: str, _value: float = 1.0, **labels: Any) -> None:
+        """Add ``_value`` to the counter ``_name{labels}``."""
+        series = self._counters.setdefault(_name, {})
+        key = label_key(labels)
+        series[key] = series.get(key, 0.0) + _value
+
+    def value(self, _name: str, **labels: Any) -> float:
+        """Current value of one counter series (0.0 when never incremented)."""
+        return self._counters.get(_name, {}).get(label_key(labels), 0.0)
+
+    def total(self, _name: str) -> float:
+        """Sum of one counter across all of its label sets."""
+        return sum(self._counters.get(_name, {}).values())
+
+    # ----------------------------------------------------------- histograms
+    def observe(self, _name: str, _value: float, **labels: Any) -> None:
+        """Record one observation into the histogram ``_name{labels}``."""
+        series = self._histograms.setdefault(_name, {})
+        key = label_key(labels)
+        hist = series.get(key)
+        if hist is None:
+            hist = series[key] = Histogram()
+        hist.observe(_value)
+
+    def histogram(self, _name: str, **labels: Any) -> Optional[Histogram]:
+        return self._histograms.get(_name, {}).get(label_key(labels))
+
+    # -------------------------------------------------------------- queries
+    def counters(self) -> Iterator[Tuple[str, LabelKey, float]]:
+        for name in sorted(self._counters):
+            for key in sorted(self._counters[name], key=repr):
+                yield name, key, self._counters[name][key]
+
+    def histograms(self) -> Iterator[Tuple[str, LabelKey, Histogram]]:
+        for name in sorted(self._histograms):
+            for key in sorted(self._histograms[name], key=repr):
+                yield name, key, self._histograms[name][key]
+
+    def counter_names(self) -> List[str]:
+        return sorted(self._counters)
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._histograms)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serializable snapshot of everything in the registry."""
+        return {
+            "counters": [
+                {"name": name, "labels": dict(key), "value": value}
+                for name, key, value in self.counters()
+            ],
+            "histograms": [
+                {"name": name, "labels": dict(key), **hist.as_dict()}
+                for name, key, hist in self.histograms()
+            ],
+        }

@@ -1,0 +1,99 @@
+"""Chrome-trace JSON schema validation (used by tests and the CI smoke).
+
+Not a full JSON-Schema implementation — a purpose-built checker for the
+subset of the Trace Event Format this repo emits:
+
+* top level: an object with a ``traceEvents`` list;
+* every event: ``name``/``ph``/``ts``/``pid``/``tid`` fields, ``ph`` one of
+  ``M`` (metadata), ``X`` (complete, requires ``dur >= 0``), ``i``
+  (instant);
+* per (pid, tid) track: non-metadata timestamps non-decreasing, so
+  Perfetto's importer never has to reorder.
+
+Run standalone: ``python -m repro.obs.schema trace.json`` exits 0 when the
+file validates, 1 with one line per problem otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, List
+
+__all__ = ["validate_chrome_trace", "validate_chrome_trace_file"]
+
+_REQUIRED = ("name", "ph", "ts", "pid", "tid")
+_PHASES = {"M", "X", "i"}
+
+
+def validate_chrome_trace(obj: Any) -> List[str]:
+    """Validate a parsed trace dict; returns a list of problems (empty = ok)."""
+    problems: List[str] = []
+    if not isinstance(obj, dict):
+        return [f"top level must be an object, got {type(obj).__name__}"]
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list 'traceEvents'"]
+    last_ts: Dict[tuple, float] = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        missing = [k for k in _REQUIRED if k not in ev]
+        if missing:
+            problems.append(f"event {i}: missing fields {missing}")
+            continue
+        ph = ev["ph"]
+        if ph not in _PHASES:
+            problems.append(f"event {i}: unknown phase {ph!r}")
+            continue
+        if not isinstance(ev["ts"], (int, float)):
+            problems.append(f"event {i}: non-numeric ts")
+            continue
+        if ph == "M":
+            continue
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {i}: 'X' event needs dur >= 0")
+        track = (ev["pid"], ev["tid"])
+        prev = last_ts.get(track)
+        if prev is not None and ev["ts"] < prev:
+            problems.append(
+                f"event {i}: track {track} timestamps not monotone "
+                f"({ev['ts']} < {prev})"
+            )
+        last_ts[track] = ev["ts"]
+    return problems
+
+
+def validate_chrome_trace_file(path: str) -> List[str]:
+    """Load ``path`` and validate; JSON errors are reported, not raised."""
+    try:
+        with open(path) as fh:
+            obj = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: {exc}"]
+    return validate_chrome_trace(obj)
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv:
+        print("usage: python -m repro.obs.schema <trace.json>...",
+              file=sys.stderr)
+        return 2
+    failures = 0
+    for path in argv:
+        problems = validate_chrome_trace_file(path)
+        if problems:
+            failures += 1
+            for p in problems:
+                print(f"{path}: {p}", file=sys.stderr)
+        else:
+            print(f"{path}: ok")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

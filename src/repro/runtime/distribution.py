@@ -145,10 +145,11 @@ class SlicingCache:
     :class:`SlicingResult` is shared — callers must not mutate it.
     """
 
-    def __init__(self):
+    def __init__(self, profiler=None):
         self._cache: Dict[Tuple[int, Domain, int, int], SlicingResult] = {}
         self.hits = 0
         self.misses = 0
+        self._profiler = profiler
 
     def clear(self) -> int:
         """Drop all memoized slicings; returns how many were dropped."""
@@ -160,11 +161,16 @@ class SlicingCache:
         self, mapper: Mapper, domain: Domain, n_nodes: int, origin_node: int = 0
     ) -> SlicingResult:
         key = (id(mapper), domain, n_nodes, origin_node)
+        prof = self._profiler
         found = self._cache.get(key)
         if found is not None:
             self.hits += 1
+            if prof is not None and prof.enabled:
+                prof.count("cache.slicing", 1.0, outcome="hit")
             return found
         self.misses += 1
+        if prof is not None and prof.enabled:
+            prof.count("cache.slicing", 1.0, outcome="miss")
         result = build_slices(mapper, domain, n_nodes, origin_node)
         self._cache[key] = result
         return result

@@ -64,9 +64,10 @@ class LogicalAnalyzer:
     exactly the IDX / No-IDX distinction.
     """
 
-    def __init__(self):
+    def __init__(self, profiler=None):
         self._regions: Dict[FieldKey, _RegionState] = {}
         self.users_processed = 0  # one per (op, region-arg) registration
+        self._profiler = profiler
 
     def record_field_access(
         self, op_id: int, region_uid: int, fname: str, privilege: PrivilegeSpec
@@ -143,4 +144,8 @@ class LogicalAnalyzer:
                     if key not in seen:
                         seen.add(key)
                         out.append(dep)
+        prof = self._profiler
+        if prof is not None and prof.enabled:
+            prof.count("logical.users", float(len(accesses)))
+            prof.count("logical.dependences", float(len(out)))
         return out

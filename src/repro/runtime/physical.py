@@ -178,9 +178,10 @@ class PhysicalAnalyzer:
     the users its footprint covers.
     """
 
-    def __init__(self):
+    def __init__(self, profiler=None):
         self._users: Dict[int, List[_User]] = {}
         self.overlap_queries = 0
+        self._profiler = profiler
 
     def record_task_access(
         self,
@@ -376,6 +377,10 @@ class PhysicalAnalyzer:
                     )
             self._users[uid] = new_users
         self.overlap_queries += template.n_queries
+        prof = self._profiler
+        if prof is not None and prof.enabled:
+            prof.count("physical.template_replays", 1.0)
+            prof.count("physical.template_tasks", float(len(task_ids)))
         return results
 
     def active_users(self, region_uid: int) -> int:

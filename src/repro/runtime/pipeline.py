@@ -58,6 +58,7 @@ class PipelineStats:
     launches_unverified: int = 0
     launches_fallback_serial: int = 0   # failed checks -> original task loop
     trace_replays: int = 0              # whole-trace replays (end_trace)
+    trace_prefix_iterations: int = 0    # strict-prefix iterations (partial replay)
     launch_replays: int = 0             # per-launch trace-prefix matches
     analysis_cache_hits: int = 0        # launch-replay cache layer hits
     analysis_cache_invalidations: int = 0  # cache flushes/template drops
@@ -90,3 +91,37 @@ class PipelineStats:
             ((s, n, v) for (s, n), v in self.representation.items()),
             key=lambda row: (Stage.ALL.index(row[0]), row[1]),
         )
+
+    #: scalar counters re-labeled by safety verdict when exported to metrics.
+    _VERDICT_FIELDS = {
+        "launches_verified_static": "static",
+        "launches_verified_dynamic": "dynamic",
+        "launches_unverified": "unverified",
+        "launches_fallback_serial": "fallback",
+    }
+
+    def to_metrics(self, registry) -> None:
+        """Load every counter into a metrics registry, values unchanged.
+
+        The registry (duck-typed; see
+        :class:`~repro.obs.metrics.MetricsRegistry`) subsumes the ad-hoc
+        increments of this class: representation units become
+        ``pipeline.representation_units{stage, node}``, the verdict
+        counters become ``pipeline.launch_verdicts{verdict}``, and every
+        other scalar becomes ``pipeline.<name>``.  Call on a fresh registry
+        (or at end of run) — values are added, not assigned.
+        """
+        from dataclasses import fields
+
+        for (stage, node), units in sorted(self.representation.items()):
+            registry.inc(
+                "pipeline.representation_units", units, stage=stage, node=node
+            )
+        for f in fields(self):
+            if f.name == "representation":
+                continue
+            value = getattr(self, f.name)
+            registry.inc(f"pipeline.{f.name}", value)
+            verdict = self._VERDICT_FIELDS.get(f.name)
+            if verdict is not None:
+                registry.inc("pipeline.launch_verdicts", value, verdict=verdict)

@@ -141,35 +141,53 @@ class ExpansionTemplate:
 class LaunchReplayCache:
     """The per-runtime store for all launch-keyed memoization layers."""
 
-    def __init__(self):
+    def __init__(self, profiler=None):
         self._verdicts: Dict[tuple, SafetyVerdict] = {}
         self._expansions: Dict[tuple, ExpansionTemplate] = {}
         self._physical: Dict[tuple, DependenceTemplate] = {}
         self.check_memo = DynamicCheckMemo()
+        self._profiler = profiler
+
+    def _note(self, layer: str, outcome: str) -> None:
+        prof = self._profiler
+        if prof is not None and prof.enabled:
+            prof.count("cache.lookups", 1.0, layer=layer, outcome=outcome)
 
     # ------------------------------------------------------------- verdicts
     def get_verdict(self, sig: tuple, run_dynamic: bool) -> Optional[SafetyVerdict]:
-        return self._verdicts.get((sig, run_dynamic))
+        found = self._verdicts.get((sig, run_dynamic))
+        self._note("verdict", "hit" if found is not None else "miss")
+        return found
 
     def put_verdict(self, sig: tuple, run_dynamic: bool, verdict: SafetyVerdict):
         self._verdicts[(sig, run_dynamic)] = verdict
+        self._note("verdict", "stored")
 
     # ------------------------------------------------------------ expansion
     def get_expansion(self, sig: tuple) -> Optional[ExpansionTemplate]:
-        return self._expansions.get(sig)
+        found = self._expansions.get(sig)
+        self._note("expansion", "hit" if found is not None else "miss")
+        return found
 
     def put_expansion(self, sig: tuple, template: ExpansionTemplate):
         self._expansions[sig] = template
+        self._note("expansion", "stored")
 
     # ------------------------------------------------------------- physical
     def get_physical(self, sig: tuple) -> Optional[DependenceTemplate]:
-        return self._physical.get(sig)
+        found = self._physical.get(sig)
+        self._note("physical", "hit" if found is not None else "miss")
+        return found
 
     def put_physical(self, sig: tuple, template: DependenceTemplate):
         self._physical[sig] = template
+        self._note("physical", "stored")
 
     def drop_physical_for(self, sig: tuple) -> bool:
-        return self._physical.pop(sig, None) is not None
+        dropped = self._physical.pop(sig, None) is not None
+        if dropped:
+            self._note("physical", "dropped")
+        return dropped
 
     def drop_physical(self) -> int:
         """Drop every physical template (trace break); returns the count."""

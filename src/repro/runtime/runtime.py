@@ -21,6 +21,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.domain import Domain, Point, Rect, coerce_point
+from repro.obs.profiler import NULL_PROFILER
 from repro.core.launch import ArgumentMap, IndexLaunch, RegionRequirement, TaskLaunch
 from repro.core.projection import IdentityFunctor, ProjectionFunctor
 from repro.core.safety import SafetyMethod, SafetyVerdict, analyze_launch_safety
@@ -79,6 +80,13 @@ class RuntimeConfig:
             in random order — a testing feature that empirically exercises
             the non-interference guarantee.
         seed: RNG seed for the shuffle.
+        profiler: optional :class:`~repro.obs.profiler.Profiler`.  When
+            set (and enabled), every pipeline phase of every operation
+            emits structured spans and metrics (see
+            :mod:`repro.obs`); when ``None`` (the default) the runtime
+            uses the shared no-op profiler and pays nothing.  Purely
+            observational: results and :class:`PipelineStats` are
+            identical either way.
     """
 
     n_nodes: int = 1
@@ -91,6 +99,7 @@ class RuntimeConfig:
     validate_safety: bool = True
     shuffle_intra_launch: bool = False
     seed: int = 0
+    profiler: Optional[Any] = None
 
     def __post_init__(self):
         if self.n_nodes < 1:
@@ -115,13 +124,18 @@ class Runtime:
     ):
         self.config = config or RuntimeConfig()
         self._mapper = mapper or DefaultMapper()
+        self.profiler = (
+            self.config.profiler
+            if self.config.profiler is not None
+            else NULL_PROFILER
+        )
         self.stats = PipelineStats()
-        self.logical = LogicalAnalyzer()
-        self.physical = PhysicalAnalyzer()
-        self.tracer = TraceRecorder()
+        self.logical = LogicalAnalyzer(profiler=self.profiler)
+        self.physical = PhysicalAnalyzer(profiler=self.profiler)
+        self.tracer = TraceRecorder(profiler=self.profiler)
         self.sharding_cache = ShardingCache()
-        self.slicing_cache = SlicingCache()
-        self.replay_cache = LaunchReplayCache()
+        self.slicing_cache = SlicingCache(profiler=self.profiler)
+        self.replay_cache = LaunchReplayCache(profiler=self.profiler)
         self._op_counter = itertools.count()
         self._task_counter = itertools.count()
         self._rng = random.Random(self.config.seed)
@@ -207,11 +221,22 @@ class Runtime:
             self.tracer.begin(trace_id)
 
     def end_trace(self, trace_id: int) -> None:
-        """Mark the end of a traced sequence; counts whole-trace replays."""
+        """Mark the end of a traced sequence; counts whole-trace replays.
+
+        Strict-prefix iterations (the trace ended early but every issued op
+        matched the recording) are counted in
+        ``stats.trace_prefix_iterations`` and do *not* break the trace:
+        their per-op replays were sound, and physical dependence templates
+        stay valid — self-validation bails them to the live path if the
+        shortened iteration left the analyzer in an unexpected state.
+        """
         if self.config.tracing:
             broken_before = self.tracer.broken(trace_id)
+            prefix_before = self.tracer.prefixes(trace_id)
             if self.tracer.end(trace_id):
                 self.stats.trace_replays += 1
+            elif self.tracer.prefixes(trace_id) > prefix_before:
+                self.stats.trace_prefix_iterations += 1
             elif self.tracer.broken(trace_id) > broken_before:
                 # The iteration diverged from the recorded trace: physical
                 # dependence templates were recorded against a context that
@@ -261,6 +286,8 @@ class Runtime:
         return future
 
     def _pipeline_single(self, launch: TaskLaunch, op_id: int, node: int) -> None:
+        prof = self.profiler
+        t0 = prof.mark()
         issuers = (
             range(self.config.n_nodes) if self.config.dcr else (0,)
         )
@@ -290,6 +317,15 @@ class Runtime:
         self.stats.physical_dependences += len(tdeps)
         self.stats.overlap_queries = self.physical.overlap_queries
         self.stats.add_representation(Stage.PHYSICAL, node, 1)
+        if prof.enabled:
+            attrs = dict(task=launch.name, op=op_id, aggregate=True)
+            prof.phase("issuance", Stage.ISSUANCE, t0,
+                       nodes=tuple(issuers), **attrs)
+            prof.phase("logical", Stage.LOGICAL, t0,
+                       nodes=tuple(issuers), **attrs)
+            prof.phase("distribution", Stage.DISTRIBUTION, t0,
+                       node=node, **attrs)
+            prof.phase("physical", Stage.PHYSICAL, t0, node=node, **attrs)
         if self.graph_recorder is not None:
             self.graph_recorder.record_op(op_id, launch.name, "task")
             self.graph_recorder.record_logical_edges(deps)
@@ -377,6 +413,9 @@ class Runtime:
 
     def _issue_index_launch(self, launch: IndexLaunch) -> FutureMap:
         cfg = self.config
+        prof = self.profiler
+        cost = prof.costmodel if prof.enabled else None
+        t_issue = prof.mark()
         self.stats.ops_issued += 1
         self.stats.index_launches += 1
         sig = self._launch_signature(launch)
@@ -386,12 +425,16 @@ class Runtime:
             replay = self.tracer.observe(sig)
             if replay:
                 self.stats.launch_replays += 1
+                if prof.enabled:
+                    prof.instant("trace.launch_replay", Stage.ISSUANCE,
+                                 launch=launch.name)
 
         # --- safety: the hybrid analysis gates index-launch execution.
         # Verdicts are pure in the launch signature, so replays reuse the
         # memoized verdict (flagged ``cached``, same counters charged — a
         # replayed launch is still a verified launch, not a skipped one).
         safe_order_free = True
+        t_safety = prof.mark()
         if cfg.validate_safety:
             verdict = (
                 cache.get_verdict(sig, cfg.dynamic_checks)
@@ -419,9 +462,26 @@ class Runtime:
                 self.stats.launches_verified_dynamic += 1
             elif verdict.method is SafetyMethod.UNVERIFIED:
                 self.stats.launches_unverified += 1
+            if prof.enabled:
+                prof.phase(
+                    "safety", "safety", t_safety,
+                    launch=launch.name,
+                    method=verdict.method.name,
+                    cached=verdict.cached,
+                    safe=verdict.safe,
+                    check_evaluations=verdict.check_evaluations,
+                )
+                if verdict.cached:
+                    prof.instant("cache.verdict_hit", "safety",
+                                 launch=launch.name)
             if not verdict.safe:
                 # Listing 3's else-branch: fall back to the original task loop.
                 self.stats.launches_fallback_serial += 1
+                if prof.enabled:
+                    prof.instant("safety.fallback_serial", "safety",
+                                 launch=launch.name)
+                    prof.phase("issuance", Stage.ISSUANCE, t_issue,
+                               launch=launch.name, fallback=True)
                 return self._run_expanded(
                     launch, order_free=False, op_kind="fallback_loop"
                 )
@@ -431,6 +491,13 @@ class Runtime:
         issuers = range(cfg.n_nodes) if cfg.dcr else (0,)
         for n in issuers:
             self.stats.add_representation(Stage.ISSUANCE, n, 1)
+        if prof.enabled:
+            attrs = dict(launch=launch.name, domain=launch.domain.volume,
+                         replay=replay)
+            if cost is not None:
+                attrs["sim_cost_s"] = cost.t_issue_launch
+            prof.phase("issuance", Stage.ISSUANCE, t_issue,
+                       nodes=tuple(issuers), **attrs)
 
         # Tracing without DCR forces expansion before distribution
         # (Section 6.2.1): the launch degrades to per-task processing from
@@ -438,11 +505,15 @@ class Runtime:
         # extension — records traces at launch granularity instead, so the
         # O(1) representation survives distribution.
         if cfg.tracing and not cfg.dcr and not cfg.bulk_tracing:
+            if prof.enabled:
+                prof.instant("trace.early_expansion", Stage.ISSUANCE,
+                             launch=launch.name)
             return self._run_expanded(
                 launch, order_free=safe_order_free, skip_issuance=True
             )
 
         # --- logical analysis: whole-partition reasoning, one user per arg.
+        t_logical = prof.mark()
         op_id = next(self._op_counter)
         deps = self.logical.analyze_operation(
             op_id,
@@ -455,6 +526,14 @@ class Runtime:
         self.stats.logical_dependences += len(deps)
         for n in issuers:
             self.stats.add_representation(Stage.LOGICAL, n, 1)
+        if prof.enabled:
+            attrs = dict(op=op_id, launch=launch.name, dependences=len(deps))
+            if cost is not None:
+                attrs["sim_cost_s"] = (
+                    cost.t_logical_launch_arg * len(launch.requirements)
+                )
+            prof.phase("logical", Stage.LOGICAL, t_logical,
+                       nodes=tuple(issuers), **attrs)
         if self.graph_recorder is not None:
             self.graph_recorder.record_op(op_id, launch.name, "index_launch")
             self.graph_recorder.record_logical_edges(deps)
@@ -462,12 +541,15 @@ class Runtime:
         # --- distribution: sharding (DCR) or slicing (broadcast tree).
         # Both functors are pure, so both paths are memoized (sharding was
         # always; slicing joins it under the analysis-cache knob).
+        t_dist = prof.mark()
+        dist_attrs: Dict[str, Any] = {}
         if cfg.dcr:
             assignment = self.sharding_cache.shard_map(
                 self.mapper, launch.domain, cfg.n_nodes
             )
             for node in assignment:
                 self.stats.add_representation(Stage.DISTRIBUTION, node, 1)
+            dist_attrs["mode"] = "shard"
         else:
             if cache is not None:
                 slicing = self.slicing_cache.slice(
@@ -483,11 +565,29 @@ class Runtime:
             for slc in slicing.slices:
                 assignment.setdefault(slc.node, []).extend(slc.points)
                 self.stats.add_representation(Stage.DISTRIBUTION, slc.node, 1)
+            dist_attrs.update(
+                mode="slice",
+                messages=slicing.n_messages,
+                max_depth=slicing.max_depth,
+            )
+        if prof.enabled:
+            for node in sorted(assignment):
+                local = len(assignment[node])
+                attrs = dict(dist_attrs, launch=launch.name, points=local)
+                if cost is not None:
+                    attrs["sim_cost_s"] = (
+                        cost.t_shard_point * local if cfg.dcr
+                        else cost.t_slice_process * (dist_attrs["max_depth"] + 1)
+                    )
+                prof.phase("distribution", Stage.DISTRIBUTION, t_dist,
+                           node=node, **attrs)
 
         # --- expansion, post-distribution: materialize per-point plans, or
         # reuse the memoized template (requirement footprints, analyzer
         # access triples, PhysicalRegion views) built on the first issue.
+        t_expand = prof.mark()
         expansion = cache.get_expansion(sig) if cache is not None else None
+        expansion_cached = expansion is not None
         plan_list: List[Tuple[int, PointPlan]] = []
         if expansion is not None:
             self.stats.analysis_cache_hits += 1
@@ -516,11 +616,20 @@ class Runtime:
                     plan_list.append((node, plan))
             if cache is not None:
                 cache.put_expansion(sig, expansion)
+        if prof.enabled:
+            prof.phase("expansion", "expansion", t_expand,
+                       launch=launch.name, cached=expansion_cached,
+                       points=len(plan_list))
+            if expansion_cached:
+                prof.instant("cache.expansion_hit", "expansion",
+                             launch=launch.name)
 
         # --- physical analysis.  On a trace-validated replay, re-stamp the
         # recorded dependence template with fresh task ids; otherwise run
         # the live analyzer (capturing a template when this is the first
         # validated replay, so the next one can skip it).
+        t_phys = prof.mark()
+        template_replayed = False
         task_ids = [next(self._task_counter) for _ in plan_list]
         tdeps_lists = None
         if replay and cache is not None:
@@ -532,8 +641,15 @@ class Runtime:
                     # template and fall back to live analysis below.
                     cache.drop_physical_for(sig)
                     self.stats.analysis_cache_invalidations += 1
+                    if prof.enabled:
+                        prof.instant("cache.physical_bail", Stage.PHYSICAL,
+                                     launch=launch.name)
                 else:
                     self.stats.analysis_cache_hits += 1
+                    template_replayed = True
+                    if prof.enabled:
+                        prof.instant("cache.physical_replay", Stage.PHYSICAL,
+                                     launch=launch.name)
         if tdeps_lists is None:
             capture = entry_keys = None
             if replay and cache is not None:
@@ -561,6 +677,24 @@ class Runtime:
                 self.graph_recorder.record_physical_edges(tdeps)
             executed.append((plan, node))
         self.stats.overlap_queries = self.physical.overlap_queries
+        if prof.enabled:
+            per_node: Dict[int, int] = {}
+            for node, _ in plan_list:
+                per_node[node] = per_node.get(node, 0) + 1
+            for node in sorted(per_node):
+                local = per_node[node]
+                attrs = dict(op=op_id, launch=launch.name, tasks=local,
+                             replayed=template_replayed)
+                if cost is not None:
+                    attrs["sim_cost_s"] = (
+                        cost.t_replay_cache_hit
+                        + cost.t_trace_replay_task * local
+                        if template_replayed
+                        else cost.physical_task_time(launch.domain.volume)
+                        * local
+                    )
+                prof.phase("physical", Stage.PHYSICAL, t_phys,
+                           node=node, **attrs)
 
         # --- execution (functionally; order free for verified launches).
         if cfg.shuffle_intra_launch and safe_order_free:
@@ -587,6 +721,8 @@ class Runtime:
         """Process a launch one task at a time (No-IDX, early-expansion, or
         serial fallback after a failed check)."""
         cfg = self.config
+        prof = self.profiler
+        t0 = prof.mark()
         fmap = FutureMap()
         issuers = range(cfg.n_nodes) if cfg.dcr else (0,)
         executed: List[Tuple[TaskLaunch, int]] = []
@@ -631,6 +767,19 @@ class Runtime:
             executed.append((point_task, node))
         self.stats.logical_users = self.logical.users_processed
         self.stats.overlap_queries = self.physical.overlap_queries
+        if prof.enabled:
+            attrs = dict(aggregate=True, kind=op_kind, launch=launch.name,
+                         tasks=launch.domain.volume)
+            if not skip_issuance:
+                prof.phase("issuance", Stage.ISSUANCE, t0,
+                           nodes=tuple(issuers), **attrs)
+            prof.phase("logical", Stage.LOGICAL, t0,
+                       nodes=tuple(issuers), **attrs)
+            exec_nodes = tuple(sorted({node for _, node in executed}))
+            prof.phase("distribution", Stage.DISTRIBUTION, t0,
+                       nodes=exec_nodes, **attrs)
+            prof.phase("physical", Stage.PHYSICAL, t0,
+                       nodes=exec_nodes, **attrs)
         if cfg.shuffle_intra_launch and order_free:
             self._rng.shuffle(executed)
         for point_task, node in executed:
@@ -653,6 +802,19 @@ class Runtime:
         ]
         self.stats.tasks_executed += 1
         self.stats.add_representation(Stage.EXECUTION, node, 1)
+        prof = self.profiler
+        if prof.enabled:
+            t0 = prof.now()
+            result = point_task.task(ctx, *physical_regions, *point_task.args)
+            point = point_task.point
+            # Group spans by the base task name; the point goes in the args.
+            base = point_task.name.split("(", 1)[0]
+            prof.phase(
+                f"execute:{base}", Stage.EXECUTION, t0, node=node,
+                task=point_task.name,
+                point=str(tuple(point)) if point is not None else None,
+            )
+            return result
         return point_task.task(ctx, *physical_regions, *point_task.args)
 
 

@@ -1,0 +1,138 @@
+"""Metrics registry: counters, histograms, and PipelineStats subsumption."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs.metrics import Histogram, MetricsRegistry, label_key
+from repro.runtime.pipeline import PipelineStats, Stage
+
+
+class TestCounters:
+    def test_inc_and_value(self):
+        reg = MetricsRegistry()
+        reg.inc("hits", 1.0, layer="verdict")
+        reg.inc("hits", 2.0, layer="verdict")
+        reg.inc("hits", 5.0, layer="physical")
+        assert reg.value("hits", layer="verdict") == 3.0
+        assert reg.value("hits", layer="physical") == 5.0
+        assert reg.total("hits") == 8.0
+
+    def test_unknown_counter_reads_zero(self):
+        reg = MetricsRegistry()
+        assert reg.value("nope") == 0.0
+        assert reg.total("nope") == 0.0
+
+    def test_label_order_irrelevant(self):
+        reg = MetricsRegistry()
+        reg.inc("m", 1.0, a=1, b=2)
+        reg.inc("m", 1.0, b=2, a=1)
+        assert reg.value("m", a=1, b=2) == 2.0
+        assert label_key({"a": 1, "b": 2}) == label_key({"b": 2, "a": 1})
+
+    def test_labels_named_name_and_value_are_legal(self):
+        # The registry's own positional parameters must not shadow label
+        # keys — span metrics are labeled by phase *name*.
+        reg = MetricsRegistry()
+        reg.inc("spans", 2.0, stage="logical", name="logical")
+        reg.observe("span_seconds", 0.25, stage="logical", name="logical")
+        assert reg.value("spans", stage="logical", name="logical") == 2.0
+        assert reg.histogram("span_seconds", stage="logical",
+                             name="logical").count == 1
+
+    def test_iteration_sorted_and_stable(self):
+        reg = MetricsRegistry()
+        reg.inc("b", 1.0)
+        reg.inc("a", 1.0, x=2)
+        reg.inc("a", 1.0, x=1)
+        names = [n for n, _, _ in reg.counters()]
+        assert names == sorted(names)
+        assert reg.counter_names() == ["a", "b"]
+        assert len(reg) == 2
+
+
+class TestHistogram:
+    def test_summary_fields(self):
+        h = Histogram()
+        for v in (1e-6, 3e-6, 10e-6):
+            h.observe(v)
+        assert h.count == 3
+        assert math.isclose(h.total, 14e-6)
+        assert math.isclose(h.min, 1e-6)
+        assert math.isclose(h.max, 10e-6)
+        assert math.isclose(h.mean, 14e-6 / 3)
+
+    def test_power_of_two_buckets(self):
+        h = Histogram(bucket_unit=1.0)
+        h.observe(0.5)   # below unit -> bucket 0
+        h.observe(1.0)   # [1, 2) -> bucket 1
+        h.observe(3.0)   # [2, 4) -> bucket 2
+        h.observe(4.0)   # [4, 8) -> bucket 3
+        assert h.buckets == {0: 1, 1: 1, 2: 1, 3: 1}
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e3,
+                              allow_nan=False), min_size=1, max_size=50))
+    def test_total_matches_sum(self, values):
+        h = Histogram()
+        for v in values:
+            h.observe(v)
+        assert h.count == len(values)
+        assert math.isclose(h.total, sum(values), abs_tol=1e-9)
+        assert sum(h.buckets.values()) == len(values)
+
+    def test_as_dict_empty(self):
+        d = Histogram().as_dict()
+        assert d["count"] == 0
+        assert d["min"] is None and d["max"] is None
+
+
+class TestStatsSubsumption:
+    def _stats(self):
+        s = PipelineStats()
+        s.add_representation(Stage.ISSUANCE, 0, 4)
+        s.add_representation(Stage.ISSUANCE, 1, 4)
+        s.add_representation(Stage.PHYSICAL, 1, 2)
+        s.ops_issued = 7
+        s.index_launches = 5
+        s.launches_verified_static = 3
+        s.launches_verified_dynamic = 1
+        s.launches_fallback_serial = 1
+        s.trace_replays = 2
+        s.trace_prefix_iterations = 1
+        return s
+
+    def test_every_field_lands_unchanged(self):
+        s = self._stats()
+        reg = MetricsRegistry()
+        s.to_metrics(reg)
+        assert reg.value("pipeline.representation_units",
+                         stage="issuance", node=0) == 4
+        assert reg.value("pipeline.representation_units",
+                         stage="physical", node=1) == 2
+        assert reg.total("pipeline.representation_units") == 10
+        assert reg.value("pipeline.ops_issued") == 7
+        assert reg.value("pipeline.trace_replays") == 2
+        assert reg.value("pipeline.trace_prefix_iterations") == 1
+
+    def test_verdict_relabeling_preserves_values(self):
+        s = self._stats()
+        reg = MetricsRegistry()
+        s.to_metrics(reg)
+        assert reg.value("pipeline.launch_verdicts", verdict="static") == 3
+        assert reg.value("pipeline.launch_verdicts", verdict="dynamic") == 1
+        assert reg.value("pipeline.launch_verdicts", verdict="fallback") == 1
+        assert reg.value("pipeline.launch_verdicts", verdict="unverified") == 0
+        # Relabeled counters are *additional* views, not replacements.
+        assert reg.value("pipeline.launches_verified_static") == 3
+
+    def test_subsumes_all_scalar_fields(self):
+        import dataclasses
+
+        s = self._stats()
+        reg = MetricsRegistry()
+        s.to_metrics(reg)
+        for f in dataclasses.fields(s):
+            if f.name == "representation":
+                continue
+            assert reg.value(f"pipeline.{f.name}") == getattr(s, f.name)

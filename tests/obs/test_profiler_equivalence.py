@@ -1,0 +1,141 @@
+"""Property test: the profiler is purely observational.
+
+For randomized launch sequences over randomized runtime configurations,
+running with a profiler attached must leave every functional observable —
+region contents, future values, dependence edges, and *every*
+``PipelineStats`` counter including the cache's own — byte-identical to
+the profiler-off run.  The emitted Chrome trace must additionally be valid
+JSON with per-track monotone timestamps.
+"""
+
+import dataclasses
+import json
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.partition import equal_partition
+from repro.machine.costmodel import CostModel
+from repro.obs import Profiler, chrome_trace, validate_chrome_trace
+from repro.runtime import Runtime, RuntimeConfig, task
+from repro.tools.graph import GraphRecorder
+
+
+@task(privileges=["reads writes"])
+def bump(ctx, r):
+    r.write("x", r.read("x") + 1.0)
+
+
+@task(privileges=["reads writes"])
+def halve(ctx, r):
+    r.write("x", r.read("x") * 0.5)
+
+
+@task(privileges=["reads", "writes"])
+def copy_over(ctx, src, dst):
+    dst.write("y", src.read("x"))
+
+
+@task(privileges=["reads"])
+def total(ctx, r):
+    return float(r.read("x").sum())
+
+
+OPS = ("bump8", "halve4", "copy", "total")
+
+
+def full_stats(rt):
+    out = {}
+    for f in dataclasses.fields(rt.stats):
+        value = getattr(rt.stats, f.name)
+        out[f.name] = dict(value) if isinstance(value, dict) else value
+    return out
+
+
+def run_program(ops, iters, trunc_at, cfg_kwargs, profiler=None):
+    rt = Runtime(RuntimeConfig(profiler=profiler, **cfg_kwargs))
+    recorder = GraphRecorder().attach(rt)
+    rx = rt.create_region("rx", 16, {"x": "f8"})
+    ry = rt.create_region("ry", 16, {"y": "f8"})
+    rx.storage("x")[:] = np.arange(16.0)
+    p8 = equal_partition(f"p8{rx.uid}", rx, 8)
+    p4 = equal_partition(f"p4{rx.uid}", rx, 4)
+    py = equal_partition(f"py{ry.uid}", ry, 8)
+    futures = []
+    for it in range(iters):
+        issue = ops if it != trunc_at else ops[: max(1, len(ops) // 2)]
+        rt.begin_trace(5)
+        for op in issue:
+            if op == "bump8":
+                rt.index_launch(bump, 8, p8)
+            elif op == "halve4":
+                rt.index_launch(halve, 4, p4)
+            elif op == "copy":
+                rt.index_launch(copy_over, 8, p8, py)
+            else:
+                futures.append(rt.index_launch(total, 8, p8, reduce="+").get())
+        rt.end_trace(5)
+    return (
+        rt,
+        rx.storage("x").copy(),
+        ry.storage("y").copy(),
+        futures,
+        list(recorder.physical_edges),
+    )
+
+
+program_strategy = st.tuples(
+    st.lists(st.sampled_from(OPS), min_size=1, max_size=4),
+    st.integers(min_value=2, max_value=4),       # iterations
+    st.one_of(st.none(), st.integers(min_value=1, max_value=3)),  # prefix at
+    st.sampled_from([
+        dict(n_nodes=4, dcr=True, tracing=True),
+        dict(n_nodes=4, dcr=True, tracing=False),
+        dict(n_nodes=3, dcr=False, tracing=False),
+        dict(n_nodes=4, dcr=False, tracing=True, bulk_tracing=True),
+        dict(n_nodes=1, dcr=True, tracing=True),
+        dict(n_nodes=4, dcr=True, tracing=True, analysis_cache=False),
+    ]),
+)
+
+
+class TestProfilerEquivalence:
+    @settings(max_examples=30)
+    @given(program_strategy)
+    def test_profiler_on_off_identical(self, program):
+        ops, iters, trunc_at, cfg = program
+        if trunc_at is not None and trunc_at >= iters:
+            trunc_at = iters - 1
+        base = run_program(ops, iters, trunc_at, cfg)
+        prof = Profiler(costmodel=CostModel())
+        probed = run_program(ops, iters, trunc_at, cfg, profiler=prof)
+        rt_off, x_off, y_off, fut_off, edges_off = base
+        rt_on, x_on, y_on, fut_on, edges_on = probed
+        assert x_on.tobytes() == x_off.tobytes()
+        assert y_on.tobytes() == y_off.tobytes()
+        assert fut_on == fut_off
+        assert edges_on == edges_off
+        assert full_stats(rt_on) == full_stats(rt_off)
+        # The profiled run actually recorded the pipeline...
+        assert len(prof.wall_spans()) > 0
+        # ...and its trace export is valid, serializable JSON.
+        trace = chrome_trace(prof, stats=rt_on.stats)
+        assert validate_chrome_trace(json.loads(json.dumps(trace))) == []
+
+    @settings(max_examples=10)
+    @given(program_strategy)
+    def test_trace_timestamps_monotone_per_track(self, program):
+        ops, iters, trunc_at, cfg = program
+        if trunc_at is not None and trunc_at >= iters:
+            trunc_at = iters - 1
+        prof = Profiler(costmodel=CostModel())
+        run_program(ops, iters, trunc_at, cfg, profiler=prof)
+        events = chrome_trace(prof)["traceEvents"]
+        last = {}
+        for ev in events:
+            if ev["ph"] == "M":
+                continue
+            track = (ev["pid"], ev["tid"])
+            assert ev["ts"] >= last.get(track, float("-inf"))
+            last[track] = ev["ts"]

@@ -276,6 +276,70 @@ class TestPhysicalTemplates:
         assert rt_on.stats.overlap_queries == rt_off.stats.overlap_queries
         assert rt_on.stats.physical_dependences == rt_off.stats.physical_dependences
 
+class TestNonDCRCharging:
+    """Virtual charging on the centralized (non-DCR) distribution path.
+
+    With DCR off, distribution builds a broadcast tree of slices; the
+    slicing memo must not change what the run *reports* — messages and tree
+    depth are properties of the pure ``SlicingResult``, charged identically
+    whether it was computed or served from the cache.
+    """
+
+    NON_DCR_CONFIGS = [
+        dict(n_nodes=4, dcr=False, tracing=False),
+        dict(n_nodes=4, dcr=False, tracing=True, bulk_tracing=True),
+        dict(n_nodes=6, dcr=False, tracing=True, bulk_tracing=True),
+    ]
+
+    @pytest.mark.parametrize("cfg", NON_DCR_CONFIGS)
+    def test_slice_charges_identical_cache_on_off(self, cfg):
+        rt_on, *_ = iterated_program(RuntimeConfig(analysis_cache=True, **cfg))
+        rt_off, *_ = iterated_program(RuntimeConfig(analysis_cache=False, **cfg))
+        assert rt_on.stats.slice_messages == rt_off.stats.slice_messages
+        assert rt_on.stats.max_slice_depth == rt_off.stats.max_slice_depth
+        assert rt_on.stats.slice_messages > 0
+        assert rt_on.stats.max_slice_depth > 0
+        assert observable_stats(rt_on) == observable_stats(rt_off)
+
+    def test_slicing_memo_engages_without_changing_charges(self):
+        cfg = dict(n_nodes=4, dcr=False, tracing=True, bulk_tracing=True)
+        rt_on, *_ = iterated_program(RuntimeConfig(analysis_cache=True, **cfg))
+        rt_off, *_ = iterated_program(RuntimeConfig(analysis_cache=False, **cfg))
+        # The memo actually served lookups on the cached run...
+        assert rt_on.slicing_cache.hits > 0
+        # ...while the uncached run never touched it.
+        assert rt_off.slicing_cache.hits == rt_off.slicing_cache.misses == 0
+        # Same launches, same trees: per-iteration charge is constant, so
+        # totals divide evenly by the iteration count.
+        assert rt_on.stats.slice_messages % 5 == 0
+
+    def test_slicing_functor_launch_charges_identical(self):
+        """A launch with an explicit (dynamic-checked) functor through the
+        non-DCR column: verdict memo + slicing memo engaged, charges even."""
+        def run(cache):
+            rt = Runtime(RuntimeConfig(n_nodes=4, dcr=False, tracing=True,
+                                       bulk_tracing=True,
+                                       analysis_cache=cache))
+            r = rt.create_region("r", 16, {"x": "f8"})
+            r.storage("x")[:] = np.arange(16.0)
+            p = equal_partition(f"p{r.uid}", r, 8)
+            for _ in range(4):
+                rt.begin_trace(3)
+                rt.index_launch(bump, 8, (p, ModularFunctor(8, 3)))
+                rt.end_trace(3)
+            return rt, r.storage("x").copy()
+
+        rt_on, x_on = run(True)
+        rt_off, x_off = run(False)
+        assert np.array_equal(x_on, x_off)
+        assert rt_on.stats.launches_verified_dynamic == 4
+        assert rt_on.stats.slice_messages == rt_off.stats.slice_messages > 0
+        assert rt_on.stats.max_slice_depth == rt_off.stats.max_slice_depth > 0
+        assert rt_on.stats.check_evaluations == rt_off.stats.check_evaluations
+        assert observable_stats(rt_on) == observable_stats(rt_off)
+
+
+class TestPhysicalTemplateArguments:
     def test_argument_changes_reuse_expansion_not_results(self):
         """Broadcast args change every iteration (args are not part of the
         launch signature): requirement footprints are reused, task launches

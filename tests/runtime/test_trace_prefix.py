@@ -1,0 +1,185 @@
+"""Strict-prefix trace iterations: accounting and replay-cache interplay.
+
+Regression tests for a counter inconsistency: an iteration that issues a
+strict prefix of the recorded trace gets per-op replay=True reports from
+``TraceRecorder.observe`` (each issued op matched the recording), but a
+naive whole-sequence equality test at ``end`` would classify the iteration
+as *broken* — contradicting the per-op reports, re-recording the shorter
+sequence (so the next full iteration "breaks" again), and making the
+runtime drop every physical dependence template it had just validated.
+
+The fix classifies these iterations distinctly (``prefix``): the recording
+is kept, nothing is dropped eagerly, and the templates' own entry-key
+validation bails any genuinely-stale replay back to the live path.
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.data.partition import equal_partition
+from repro.runtime import Runtime, RuntimeConfig, task
+from repro.runtime.tracing import TraceRecorder
+
+CACHE_ONLY_COUNTERS = {"analysis_cache_hits", "analysis_cache_invalidations"}
+
+
+@task(privileges=["reads writes"])
+def bump(ctx, r):
+    r.write("x", r.read("x") + 1.0)
+
+
+@task(privileges=["reads"])
+def total(ctx, r):
+    return float(r.read("x").sum())
+
+
+@task(privileges=["reads writes"])
+def bump_half(ctx, r):
+    r.write("x", r.read("x") + 0.5)
+
+
+def observable_stats(rt):
+    out = {}
+    for f in dataclasses.fields(rt.stats):
+        if f.name in CACHE_ONLY_COUNTERS:
+            continue
+        value = getattr(rt.stats, f.name)
+        out[f.name] = dict(value) if isinstance(value, dict) else value
+    return out
+
+
+def prefix_program(cache, iters=6, prefix_at=3):
+    """A traced loop whose ``prefix_at`` iteration stops one launch early.
+
+    The omitted third launch writes through a *different* partition (4
+    blocks instead of 8), so skipping it leaves the physical analyzer in a
+    visibly different state — exercising the template bail-to-live path on
+    the following full iteration.
+    """
+    rt = Runtime(RuntimeConfig(n_nodes=4, dcr=True, tracing=True,
+                               analysis_cache=cache))
+    r = rt.create_region("r", 16, {"x": "f8"})
+    r.storage("x")[:] = np.arange(16.0)
+    p8 = equal_partition(f"p8{r.uid}", r, 8)
+    p4 = equal_partition(f"p4{r.uid}", r, 4)
+    futures = []
+    for it in range(iters):
+        rt.begin_trace(9)
+        rt.index_launch(bump, 8, p8)
+        red = rt.index_launch(total, 8, p8, reduce="+")
+        if it != prefix_at:
+            rt.index_launch(bump_half, 4, p4)
+        rt.end_trace(9)
+        futures.append(red.get())
+    return rt, r.storage("x").copy(), futures
+
+
+class TestRecorderPrefix:
+    def test_prefix_counted_not_broken(self):
+        tr = TraceRecorder()
+        full = [("a",), ("b",), ("c",)]
+        tr.begin(1)
+        for sig in full:
+            assert tr.observe(sig) is False  # first iteration: recording
+        tr.end(1)
+        # Strict prefix: every op replays, end() must not call it broken.
+        tr.begin(1)
+        assert tr.observe(("a",)) is True
+        assert tr.observe(("b",)) is True
+        assert tr.end(1) is False
+        assert tr.prefixes(1) == 1
+        assert tr.broken(1) == 0
+
+    def test_recording_kept_after_prefix(self):
+        tr = TraceRecorder()
+        full = [("a",), ("b",), ("c",)]
+        tr.begin(1)
+        for sig in full:
+            tr.observe(sig)
+        tr.end(1)
+        tr.begin(1)
+        tr.observe(("a",))
+        tr.end(1)
+        # A later full iteration still replays whole — the prefix did not
+        # re-record the shorter sequence.
+        tr.begin(1)
+        assert all(tr.observe(sig) for sig in full)
+        assert tr.end(1) is True
+        assert tr.replays(1) == 1
+        assert tr.broken(1) == 0
+
+    def test_divergence_still_breaks(self):
+        tr = TraceRecorder()
+        tr.begin(1)
+        tr.observe(("a",))
+        tr.observe(("b",))
+        tr.end(1)
+        tr.begin(1)
+        assert tr.observe(("a",)) is True
+        assert tr.observe(("z",)) is False  # diverged, not a prefix
+        assert tr.end(1) is False
+        assert tr.broken(1) == 1
+        assert tr.prefixes(1) == 0
+        # The divergent sequence became the new recording.
+        tr.begin(1)
+        assert tr.observe(("a",)) and tr.observe(("z",))
+        assert tr.end(1) is True
+
+    def test_empty_iteration_is_a_prefix(self):
+        tr = TraceRecorder()
+        tr.begin(1)
+        tr.observe(("a",))
+        tr.end(1)
+        tr.begin(1)
+        assert tr.end(1) is False
+        assert tr.prefixes(1) == 1
+        assert tr.broken(1) == 0
+
+
+class TestRuntimePrefixAccounting:
+    def test_prefix_iteration_counters(self):
+        rt, _, _ = prefix_program(cache=True)
+        assert rt.tracer.prefixes(9) == 1
+        assert rt.tracer.broken(9) == 0
+        assert rt.stats.trace_prefix_iterations == 1
+        # its 1, 2 replay before the prefix; its 4, 5 match the kept
+        # recording exactly afterwards.
+        assert rt.stats.trace_replays == 4
+
+    def test_observe_reports_match_end_classification(self):
+        """The per-launch replay counter includes the prefix iteration's
+        ops — exactly the consistency the broken-classification violated."""
+        rt, _, _ = prefix_program(cache=True)
+        # Full replayed iterations contribute 3 launch replays each, the
+        # prefix iteration contributes its 2 observed (matching) ops.
+        assert rt.stats.launch_replays == 4 * 3 + 2
+
+    def test_bail_to_live_fires_after_prefix(self):
+        """The first full iteration after the prefix sees analyzer state the
+        recorded templates did not: entry-key validation must reject the
+        replay and fall back to live analysis (visible as invalidations)."""
+        rt, _, _ = prefix_program(cache=True)
+        assert rt.stats.analysis_cache_invalidations > 0
+
+    def test_results_and_stats_identical_cache_on_off(self):
+        on_rt, on_x, on_fut = prefix_program(cache=True)
+        off_rt, off_x, off_fut = prefix_program(cache=False)
+        assert np.array_equal(on_x, off_x)
+        assert on_fut == off_fut
+        assert observable_stats(on_rt) == observable_stats(off_rt)
+
+    def test_values_correct_through_prefix(self):
+        rt, x, futures = prefix_program(cache=True, iters=6, prefix_at=3)
+        # 6 bumps of +1 everywhere, 5 bump_half (+0.5) — iteration 3 skipped.
+        assert np.array_equal(x, np.arange(16.0) + 6.0 + 5 * 0.5)
+        # Reduction futures observe the +1 bump of their own iteration and
+        # everything before; recompute serially.
+        v = np.arange(16.0)
+        expect = []
+        for it in range(6):
+            v = v + 1.0
+            expect.append(float(v.sum()))
+            if it != 3:
+                v = v + 0.5
+        assert futures == expect

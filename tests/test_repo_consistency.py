@@ -82,7 +82,7 @@ class TestReadme:
 
     def test_readme_docs_exist(self):
         for name in ("docs/architecture.md", "docs/cost-model.md",
-                     "docs/mini-regent.md"):
+                     "docs/mini-regent.md", "docs/observability.md"):
             assert os.path.exists(os.path.join(ROOT, name)), name
 
     def test_quickstart_snippet_runs(self):
