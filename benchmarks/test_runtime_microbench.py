@@ -158,6 +158,107 @@ def test_bench_iterated_noidx(benchmark):
     benchmark(one_iteration)
 
 
+# --------------------------------------------------------------------------
+# Shard-parallel execution: wall-clock of the worker-pool backend vs serial.
+# Task bodies are latency-bound (they sleep, standing in for I/O- or
+# kernel-bound work) so the speedup measures *overlap* across workers and is
+# meaningful even on a single-core CI runner.
+
+BODY_SLEEP_S = 4e-3
+PAR_PIECES = 8
+PAR_NODES = 4
+
+
+@task(privileges=["reads writes"])
+def slow_bump(ctx, r):
+    time.sleep(BODY_SLEEP_S)
+    r.write("x", r.read("x") + 1.0)
+
+
+@task(privileges=["reads", "reduces +"])
+def slow_accumulate(ctx, r, acc):
+    time.sleep(BODY_SLEEP_S)
+    acc.reduce("s", [float(r.read("x").sum())])
+
+
+def _parallel_program(workers):
+    rt = Runtime(
+        RuntimeConfig(n_nodes=PAR_NODES, dcr=True, tracing=True,
+                      workers=workers)
+    )
+    region = rt.create_region("pb", PAR_PIECES * 4, {"x": "f8"})
+    region.storage("x")[:] = np.arange(float(PAR_PIECES * 4))
+    acc = rt.create_region("pa", PAR_PIECES, {"s": "f8"})
+    part = equal_partition(f"pb{region.uid}", region, PAR_PIECES)
+    pacc = equal_partition(f"pa{acc.uid}", acc, PAR_PIECES)
+
+    def one_iteration():
+        rt.begin_trace(2)
+        rt.index_launch(slow_bump, PAR_PIECES, part)       # circuit-like RW
+        rt.index_launch(slow_accumulate, PAR_PIECES, part, pacc)
+        rt.end_trace(2)
+
+    return rt, region, acc, one_iteration
+
+
+def _time_parallel(workers, warm=2, timed=5):
+    rt, region, acc, one_iteration = _parallel_program(workers)
+    for _ in range(warm):
+        one_iteration()
+    start = time.perf_counter()
+    for _ in range(timed):
+        one_iteration()
+    elapsed = time.perf_counter() - start
+    digest = region.storage("x").tobytes() + acc.storage("s").tobytes()
+    return elapsed, digest, rt
+
+
+def test_bench_parallel_backend_speedup():
+    """Serial vs 2- and 4-worker wall clock -> BENCH_parallel.json.
+
+    Asserts the issue's floor — >= 2x at 4 workers on latency-bound task
+    bodies — and that every worker count produces byte-identical regions.
+    """
+    from repro.exec.pool import shutdown_pools
+
+    try:
+        results = {}
+        digests = {}
+        for workers in (1, 2, 4):
+            elapsed, digest, rt = _time_parallel(workers)
+            results[workers] = elapsed
+            digests[workers] = digest
+            if workers > 1:
+                assert rt.backend.stats.parallel_launches > 0
+                assert rt.backend.stats.fallbacks == 0
+    finally:
+        shutdown_pools()
+
+    assert digests[2] == digests[1]
+    assert digests[4] == digests[1]
+
+    speedup_2 = results[1] / results[2]
+    speedup_4 = results[1] / results[4]
+    snapshot = {
+        "n_tasks_per_launch": PAR_PIECES,
+        "n_launches_per_iter": 2,
+        "n_nodes": PAR_NODES,
+        "body_sleep_s": BODY_SLEEP_S,
+        "timed_iterations": 5,
+        "cpu_count": os.cpu_count(),
+        "serial_s": round(results[1], 4),
+        "workers_2_s": round(results[2], 4),
+        "workers_4_s": round(results[4], 4),
+        "speedup_2": round(speedup_2, 2),
+        "speedup_4": round(speedup_4, 2),
+    }
+    with open(os.path.join(results_dir(), "BENCH_parallel.json"), "w") as fh:
+        json.dump(snapshot, fh, indent=2)
+        fh.write("\n")
+    print(f"\nBENCH_parallel: {json.dumps(snapshot)}")
+    assert speedup_4 >= 2.0, snapshot
+
+
 def _min_time_us(fn, repeats):
     best = float("inf")
     for _ in range(repeats):

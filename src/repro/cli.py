@@ -74,10 +74,13 @@ def _cmd_validate(args) -> int:
     )
     from repro.runtime import Runtime, RuntimeConfig
 
+    if args.workers is not None and args.workers < 1:
+        raise CLIError("--workers must be >= 1")
     failures = 0
     configs = [
         RuntimeConfig(n_nodes=2, dcr=dcr, index_launches=idx,
-                      shuffle_intra_launch=True, seed=3)
+                      shuffle_intra_launch=True, seed=3,
+                      workers=args.workers)
         for dcr in (True, False)
         for idx in (True, False)
     ]
@@ -217,12 +220,15 @@ def _cmd_profile(args) -> int:
         raise CLIError("--nodes must be >= 1")
     if args.steps < 1:
         raise CLIError("--steps must be >= 1")
+    if args.workers is not None and args.workers < 1:
+        raise CLIError("--workers must be >= 1")
     cost = CostModel()
     prof = Profiler(costmodel=cost)
     cfg = RuntimeConfig(
         n_nodes=args.nodes,
         dcr=not args.no_dcr,
         index_launches=not args.no_idx,
+        workers=args.workers,
         profiler=prof,
     )
     rt = Runtime(cfg)
@@ -306,6 +312,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     p_val = sub.add_parser("validate",
                            help="check all apps against serial references")
+    p_val.add_argument("--workers", type=int, default=None,
+                       help="pipeline worker processes per run (default: "
+                            "env REPRO_WORKERS, else 1 = serial)")
     p_val.set_defaults(fn=_cmd_validate)
 
     p_pat = sub.add_parser(
@@ -340,6 +349,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="print the text summary even when exporting")
     p_prof.add_argument("--nodes", type=int, default=4,
                         help="simulated node count (default 4)")
+    p_prof.add_argument("--workers", type=int, default=None,
+                        help="pipeline worker processes per run (default: "
+                             "env REPRO_WORKERS, else 1 = serial)")
     p_prof.add_argument("--steps", type=int, default=5,
                         help="application time steps (default 5)")
     p_prof.add_argument("--no-dcr", action="store_true",
@@ -358,6 +370,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         # Unwritable --out, unreadable input, etc.: one line, no traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        # Whatever happened above — success, CLIError, bad config — no
+        # worker process may outlive the command.
+        from repro.exec.pool import shutdown_pools
+
+        shutdown_pools()
 
 
 if __name__ == "__main__":

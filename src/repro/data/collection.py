@@ -28,10 +28,20 @@ from repro.data.privileges import ReductionOp
 __all__ = ["Region", "Subregion", "IndexSubset", "RectSubset", "SparseSubset"]
 
 _next_region_id = itertools.count()
+_next_subset_id = itertools.count()
 
 
 class IndexSubset:
-    """Abstract subset of a region's index space."""
+    """Abstract subset of a region's index space.
+
+    Every subset carries a monotonically increasing ``uid`` assigned at
+    construction.  Unlike ``id()``, a uid is never reused after garbage
+    collection and survives pickling, so it is safe to use as an identity
+    token in footprint keys and cross-process shard plans.
+    """
+
+    def __init__(self):
+        self.uid = next(_next_subset_id)
 
     def volume(self) -> int:
         raise NotImplementedError
@@ -69,6 +79,7 @@ class RectSubset(IndexSubset):
     __slots__ = ("rect",)
 
     def __init__(self, rect: Rect):
+        super().__init__()
         self.rect = rect
 
     def volume(self) -> int:
@@ -105,6 +116,7 @@ class SparseSubset(IndexSubset):
     __slots__ = ("indices",)
 
     def __init__(self, linear: np.ndarray):
+        super().__init__()
         arr = np.unique(np.asarray(linear, dtype=np.int64))
         self.indices = arr
 

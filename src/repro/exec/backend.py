@@ -1,0 +1,200 @@
+"""Pluggable execution backends for the pipeline tail of an index launch.
+
+``Runtime._issue_index_launch`` handles the launch-level stages — issuance,
+safety, logical analysis, distribution — and then hands the per-node tail
+(expansion, physical analysis, task-body execution) to its backend:
+
+* :class:`SerialBackend` — the original in-process behavior, verbatim.
+* :class:`~repro.exec.parallel.ParallelBackend` — fans shards out across a
+  persistent process pool and merges results deterministically; selected
+  with ``RuntimeConfig.workers > 1`` (or env ``REPRO_WORKERS``).
+
+The backend boundary is *after* distribution on purpose: everything up to
+the assignment is O(launch) work the paper's control replicas replicate
+anyway, while everything below it is the O(|D|_local) per-node work that
+Section 5 distributes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.runtime.futures import FutureMap
+from repro.runtime.physical import make_template
+from repro.runtime.pipeline import Stage
+from repro.runtime.replay import ExpansionTemplate, PointPlan
+from repro.runtime.task import PhysicalRegion
+
+__all__ = ["ExecutionBackend", "SerialBackend", "resolve_backend"]
+
+
+class ExecutionBackend:
+    """Interface: finish one distributed index launch."""
+
+    name = "abstract"
+
+    def __init__(self, rt):
+        self.rt = rt
+
+    def finish_launch(
+        self,
+        launch,
+        sig: tuple,
+        op_id: int,
+        assignment: Dict[int, list],
+        replay: bool,
+        safe_order_free: bool,
+        cache,
+    ) -> FutureMap:
+        """Expansion -> physical analysis -> execution for ``assignment``."""
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Release backend resources (worker processes)."""
+
+
+class SerialBackend(ExecutionBackend):
+    """The in-process pipeline tail — reference semantics for every backend."""
+
+    name = "serial"
+
+    def finish_launch(
+        self, launch, sig, op_id, assignment, replay, safe_order_free, cache
+    ) -> FutureMap:
+        rt = self.rt
+        cfg = rt.config
+        prof = rt.profiler
+        cost = prof.costmodel if prof.enabled else None
+
+        # --- expansion, post-distribution: materialize per-point plans, or
+        # reuse the memoized template (requirement footprints, analyzer
+        # access triples, PhysicalRegion views) built on the first issue.
+        t_expand = prof.mark()
+        expansion = cache.get_expansion(sig) if cache is not None else None
+        expansion_cached = expansion is not None
+        plan_list: List[Tuple[int, PointPlan]] = []
+        if expansion is not None:
+            rt.stats.analysis_cache_hits += 1
+            for node in sorted(assignment):
+                for point in assignment[node]:
+                    plan_list.append((node, expansion.point_plan(launch, point)))
+        else:
+            expansion = ExpansionTemplate(
+                base_args=launch.args,
+                had_point_args=launch.point_args is not None,
+            )
+            for node in sorted(assignment):
+                for point in assignment[node]:
+                    point_task = launch.point_task(point)
+                    triples = [
+                        (req.subregion, req.privilege, req.resolved_fields())
+                        for req in point_task.requirements
+                    ]
+                    plan = PointPlan(
+                        task_launch=point_task,
+                        requirements=list(point_task.requirements),
+                        accesses=triples,
+                        regions=[PhysicalRegion(*t) for t in triples],
+                    )
+                    expansion.plans[tuple(point)] = plan
+                    plan_list.append((node, plan))
+            if cache is not None:
+                cache.put_expansion(sig, expansion)
+        if prof.enabled:
+            prof.phase("expansion", "expansion", t_expand,
+                       launch=launch.name, cached=expansion_cached,
+                       points=len(plan_list))
+            if expansion_cached:
+                prof.instant("cache.expansion_hit", "expansion",
+                             launch=launch.name)
+
+        # --- physical analysis.  On a trace-validated replay, re-stamp the
+        # recorded dependence template with fresh task ids; otherwise run
+        # the live analyzer (capturing a template when this is the first
+        # validated replay, so the next one can skip it).
+        t_phys = prof.mark()
+        template_replayed = False
+        task_ids = [next(rt._task_counter) for _ in plan_list]
+        tdeps_lists = None
+        if replay and cache is not None:
+            ptemplate = cache.get_physical(sig)
+            if ptemplate is not None:
+                tdeps_lists = rt.physical.replay_tasks(task_ids, ptemplate)
+                if tdeps_lists is None:
+                    # Validation failed (foreign state change): drop the
+                    # template and fall back to live analysis below.
+                    cache.drop_physical_for(sig)
+                    rt.stats.analysis_cache_invalidations += 1
+                    if prof.enabled:
+                        prof.instant("cache.physical_bail", Stage.PHYSICAL,
+                                     launch=launch.name)
+                else:
+                    rt.stats.analysis_cache_hits += 1
+                    template_replayed = True
+                    if prof.enabled:
+                        prof.instant("cache.physical_replay", Stage.PHYSICAL,
+                                     launch=launch.name)
+        if tdeps_lists is None:
+            capture = entry_keys = None
+            if replay and cache is not None:
+                region_uids = {req.region.uid for req in launch.requirements}
+                entry_keys = rt.physical.snapshot_keys(region_uids)
+                capture = []
+            tdeps_lists = [
+                rt.physical.record_task(tid, plan.accesses, _capture=capture)
+                for tid, (_, plan) in zip(task_ids, plan_list)
+            ]
+            if capture is not None:
+                ptemplate = make_template(capture, entry_keys)
+                if ptemplate is not None:
+                    cache.put_physical(sig, ptemplate)
+
+        fmap = FutureMap()
+        executed: List[Tuple[PointPlan, int]] = []
+        for tid, (node, plan), tdeps in zip(task_ids, plan_list, tdeps_lists):
+            rt.stats.physical_dependences += len(tdeps)
+            rt.stats.add_representation(Stage.PHYSICAL, node, 1)
+            if rt.graph_recorder is not None:
+                rt.graph_recorder.record_task(
+                    tid, plan.task_launch.name, op_id, node
+                )
+                rt.graph_recorder.record_physical_edges(tdeps)
+            executed.append((plan, node))
+        rt.stats.overlap_queries = rt.physical.overlap_queries
+        if prof.enabled:
+            per_node: Dict[int, int] = {}
+            for node, _ in plan_list:
+                per_node[node] = per_node.get(node, 0) + 1
+            for node in sorted(per_node):
+                local = per_node[node]
+                attrs = dict(op=op_id, launch=launch.name, tasks=local,
+                             replayed=template_replayed)
+                if cost is not None:
+                    attrs["sim_cost_s"] = (
+                        cost.t_replay_cache_hit
+                        + cost.t_trace_replay_task * local
+                        if template_replayed
+                        else cost.physical_task_time(launch.domain.volume)
+                        * local
+                    )
+                prof.phase("physical", Stage.PHYSICAL, t_phys,
+                           node=node, **attrs)
+
+        # --- execution (functionally; order free for verified launches).
+        if cfg.shuffle_intra_launch and safe_order_free:
+            rt._rng.shuffle(executed)
+        for plan, node in executed:
+            fmap.set(
+                plan.task_launch.point,
+                rt._run_task(plan.task_launch, node, regions=plan.regions),
+            )
+        return fmap
+
+
+def resolve_backend(rt, workers: int) -> ExecutionBackend:
+    """The backend for ``workers`` (1 = serial; >1 = process pool)."""
+    if workers <= 1:
+        return SerialBackend(rt)
+    from repro.exec.parallel import ParallelBackend
+
+    return ParallelBackend(rt, workers)

@@ -1,0 +1,759 @@
+"""The shard-parallel execution backend.
+
+Fans the pipeline tail of a verified index launch out across the worker
+pool — one shard per node of the distribution assignment, worker affinity
+``shard % workers`` — and merges the results so that every observable is
+byte-identical to :class:`~repro.exec.backend.SerialBackend`: region
+contents, future values, dependence edges, ``PipelineStats``, analyzer
+state, RNG consumption, and Chrome-trace schema.
+
+The determinism contract rests on three rules:
+
+1. **Commit after collect.**  Nothing in the parent mutates — no stats, no
+   counters, no task ids, no analyzer state, no region bytes, no RNG —
+   until every shard has answered.  Any failure before that point (worker
+   exception, pickling error, broken pool) abandons the dispatch and
+   re-runs the launch through the owned serial backend, which reproduces
+   serial behavior exactly, including exceptions and their partial effects.
+2. **Merge in serial order.**  Shard results are committed in sorted node
+   order (the serial plan order): worker analyzer ops replay against the
+   parent's analyzer task by task, write-backs scatter and recorded
+   reductions re-apply in the serial (then optionally shuffled) execution
+   order, and futures fill the FutureMap in that same order.
+3. **Only verified launches.**  Eligibility requires a launch the safety
+   analysis verified (static or hybrid): point tasks are pairwise
+   non-interfering, so no dependence edge, retirement, or footprint can
+   cross shards — which is precisely what makes the merge exact.  Anything
+   else — unverified, trusted-without-validation, single-shard, or a
+   launch whose REDUCE requirement shares fields of a region with another
+   requirement (its bodies would observe half-applied reductions) — runs
+   on the serial backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.domain import Point
+from repro.data.privileges import REDUCTION_OPS, Privilege
+from repro.exec.backend import ExecutionBackend, SerialBackend
+from repro.exec.plan import (
+    PartitionEntry,
+    ReqTemplate,
+    ShardPlan,
+    UserRef,
+    dumps,
+    loads,
+    priv_token,
+    region_spec,
+    subset_ref,
+)
+from repro.exec.pool import get_pool
+from repro.runtime.futures import FutureMap
+from repro.runtime.physical import (
+    AccessOp,
+    TaskDependence,
+    _footprint_key,
+    _same_subset,
+    _User,
+    make_template,
+)
+from repro.runtime.pipeline import Stage
+from repro.runtime.replay import ExpansionTemplate, PointPlan
+from repro.runtime.task import PhysicalRegion
+
+__all__ = ["ParallelBackend", "ParallelExecStats"]
+
+
+class _ParallelBail(Exception):
+    """Abandon a dispatch and fall back to the serial backend."""
+
+    def __init__(self, reason: str, poison: bool = False):
+        super().__init__(reason)
+        self.reason = reason
+        self.poison = poison
+
+
+@dataclass
+class ParallelExecStats:
+    """Backend-local accounting.
+
+    Deliberately *not* part of :class:`PipelineStats`: the pipeline tables
+    must stay byte-identical between backends, so everything specific to
+    the worker pool lives here.
+    """
+
+    parallel_launches: int = 0      # launches committed from shard results
+    serial_launches: int = 0        # ineligible launches run serially
+    fallbacks: int = 0              # dispatches abandoned mid-flight
+    merge_fallbacks: int = 0        # merges replaced by live analysis
+    shards_dispatched: int = 0
+    tasks_shipped: int = 0
+
+
+@dataclass
+class _Dispatch:
+    """Everything collected from a successful round of shard results."""
+
+    nodes: List[int]
+    points: List[Tuple[int, Point]]          # (node, point) in serial order
+    tasks: List[Any]                          # TaskResult per global ordinal
+    values: List[Any]                         # decoded future values
+    task_worker: List[Tuple[int, float]]      # (worker index, span offset)
+    analyzed: bool
+    shipments: List[Tuple[Any, dict]] = field(default_factory=list)
+
+
+class ParallelBackend(ExecutionBackend):
+    """Multi-process pipeline tail with deterministic merge."""
+
+    name = "parallel"
+
+    def __init__(self, rt, workers: int):
+        super().__init__(rt)
+        self.workers = workers
+        self.serial = SerialBackend(rt)
+        self.stats = ParallelExecStats()
+        self._pool = None
+        self._task_blobs: Dict[int, bytes] = {}
+        self._poisoned_tasks: set = set()
+
+    # ------------------------------------------------------------ plumbing
+    def pool(self):
+        if self._pool is None or self._pool.closed:
+            self._pool = get_pool(self.workers)
+        return self._pool
+
+    def batch_evaluator(self, functor, points: np.ndarray) -> np.ndarray:
+        """Chunked functor evaluation for large dynamic checks."""
+        return self.pool().apply_batch_chunked(functor, points)
+
+    # ---------------------------------------------------------- eligibility
+    def _eligible(self, launch, assignment, safe_order_free: bool) -> bool:
+        cfg = self.rt.config
+        if not (cfg.validate_safety and safe_order_free):
+            # Only launches the analysis actually *verified* are known to
+            # be pairwise non-interfering; trusted launches may interfere
+            # and their in-launch dependence edges only the serial path
+            # reproduces.
+            return False
+        if len(assignment) < 2 or self.workers < 2:
+            return False
+        if launch.task.uid in self._poisoned_tasks:
+            return False
+        reqs = launch.requirements
+        if any(req.partition is None for req in reqs):
+            # Subregion-only requirements have no projection to shard.
+            return False
+        for i, a in enumerate(reqs):
+            if a.privilege.privilege is not Privilege.REDUCE:
+                continue
+            fa = set(a.resolved_fields())
+            for j, b in enumerate(reqs):
+                if j == i or b.privilege.privilege is Privilege.REDUCE:
+                    continue
+                if b.region.uid == a.region.uid and fa & set(
+                    b.resolved_fields()
+                ):
+                    # The body would read (or write around) a region it is
+                    # also reducing into; recorded-reduction replay cannot
+                    # interleave with that exactly.
+                    return False
+        return True
+
+    # -------------------------------------------------------- entry point
+    def finish_launch(
+        self, launch, sig, op_id, assignment, replay, safe_order_free, cache
+    ) -> FutureMap:
+        prof = self.rt.profiler
+        if not self._eligible(launch, assignment, safe_order_free):
+            self.stats.serial_launches += 1
+            return self.serial.finish_launch(
+                launch, sig, op_id, assignment, replay, safe_order_free, cache
+            )
+        t_par = prof.mark()
+        try:
+            dispatch = self._dispatch(launch, sig, assignment, replay, cache)
+        except _ParallelBail as bail:
+            self.stats.fallbacks += 1
+            if bail.poison:
+                self._poisoned_tasks.add(launch.task.uid)
+            if prof.enabled:
+                prof.instant(
+                    "parallel.fallback",
+                    Stage.EXECUTION,
+                    launch=launch.name,
+                    reason=bail.reason,
+                )
+            return self.serial.finish_launch(
+                launch, sig, op_id, assignment, replay, safe_order_free, cache
+            )
+        self.stats.parallel_launches += 1
+        self.stats.shards_dispatched += len(dispatch.nodes)
+        self.stats.tasks_shipped += len(dispatch.tasks)
+        for caches, staged in dispatch.shipments:
+            caches.tasks |= staged["tasks"]
+            caches.regions |= staged["regions"]
+            caches.partition_colors |= staged["partition_colors"]
+            caches.subsets |= staged["subsets"]
+        if prof.enabled:
+            cost = prof.costmodel
+            attrs = dict(
+                launch=launch.name,
+                workers=self.workers,
+                shards=len(dispatch.nodes),
+                points=len(dispatch.tasks),
+            )
+            if cost is not None:
+                # Wall-clock bookkeeping only: the pool is an artifact of
+                # this implementation, not of the modeled machine, so its
+                # overhead is never charged to simulated time.
+                attrs["pool_overhead_s"] = (
+                    cost.t_worker_dispatch + cost.t_worker_result
+                ) * len(dispatch.nodes)
+            prof.phase("parallel.shards", Stage.EXECUTION, t_par, **attrs)
+            prof.count("parallel.dispatches", 1.0)
+        return self._commit(
+            launch, sig, op_id, replay, safe_order_free, cache, dispatch
+        )
+
+    # ------------------------------------------------------------ dispatch
+    def _dispatch(self, launch, sig, assignment, replay, cache) -> _Dispatch:
+        rt = self.rt
+        cfg = rt.config
+        prof = rt.profiler
+        pool = self.pool()
+
+        # Predict (without touching counters) whether a physical template
+        # will replay at commit; workers skip analysis in that case.
+        ptemplate = (
+            cache._physical.get(sig) if (replay and cache is not None) else None
+        )
+        analyzed = ptemplate is None
+
+        nodes = sorted(assignment)
+        flat_points: List[Tuple[int, Point]] = []
+        for node in nodes:
+            for point in assignment[node]:
+                flat_points.append((node, point))
+
+        # Per-point projections (pure: functor.apply + partition lookup).
+        projections: List[List[Any]] = [
+            [req.project(point) for req in launch.requirements]
+            for _, point in flat_points
+        ]
+        region_by_uid = {req.region.uid: req.region for req in launch.requirements}
+
+        # Snapshot of the analyzer state the workers must analyze against.
+        snapshot_users = (
+            {
+                uid: rt.physical._users.get(uid, [])
+                for uid in region_by_uid
+            }
+            if analyzed
+            else {}
+        )
+
+        try:
+            task_blob = self._task_blobs.get(launch.task.uid)
+            if task_blob is None:
+                task_blob = dumps(launch.task)
+                self._task_blobs[launch.task.uid] = task_blob
+        except Exception as exc:
+            raise _ParallelBail(f"task not picklable: {exc}", poison=True)
+
+        shipments: List[Tuple[Any, dict]] = []
+        futures = []
+        ordinal = 0
+        for shard_index, node in enumerate(nodes):
+            k = shard_index % self.workers
+            caches = pool.caches[k]
+            staged = {
+                "tasks": set(),
+                "regions": set(),
+                "partition_colors": set(),
+                "subsets": set(),
+            }
+            shipments.append((caches, staged))
+            known_subsets = caches.subsets | staged["subsets"]
+
+            local = assignment[node]
+            ordinals = list(range(ordinal, ordinal + len(local)))
+            local_projs = projections[ordinal : ordinal + len(local)]
+            ordinal += len(local)
+
+            # Region skeletons new to this worker.
+            regions = []
+            for uid, region in region_by_uid.items():
+                if uid not in caches.regions and uid not in staged["regions"]:
+                    regions.append(region_spec(region))
+                    staged["regions"].add(uid)
+
+            # Requirement templates plus the partition colors they project.
+            reqs = []
+            part_entries: Dict[int, PartitionEntry] = {}
+            for ri, req in enumerate(launch.requirements):
+                reqs.append(
+                    ReqTemplate(
+                        priv=priv_token(req.privilege),
+                        fields=req.fields,
+                        resolved_fields=tuple(req.resolved_fields()),
+                        partition_uid=req.partition.uid,
+                        region_uid=req.region.uid,
+                        functor=req.functor,
+                    )
+                )
+                for subs in local_projs:
+                    sub = subs[ri]
+                    color_key = (req.partition.uid, tuple(sub.color))
+                    if (
+                        color_key in caches.partition_colors
+                        or color_key in staged["partition_colors"]
+                    ):
+                        continue
+                    staged["partition_colors"].add(color_key)
+                    entry = part_entries.get(req.partition.uid)
+                    if entry is None:
+                        entry = PartitionEntry(
+                            uid=req.partition.uid,
+                            region_uid=req.region.uid,
+                            colors=[],
+                        )
+                        part_entries[req.partition.uid] = entry
+                    entry.colors.append(
+                        (tuple(sub.color), subset_ref(sub.subset, known_subsets))
+                    )
+            staged["subsets"] = known_subsets - caches.subsets
+
+            # Analyzer snapshot (only when the workers must analyze).
+            snapshot: Dict[int, List[UserRef]] = {}
+            if analyzed:
+                for uid, users in snapshot_users.items():
+                    refs = []
+                    for user in users:
+                        sub = user.subregion
+                        refs.append(
+                            UserRef(
+                                key=user.footprint_key(),
+                                task_ids=list(user.task_ids),
+                                region_uid=uid,
+                                partition_uid=(
+                                    sub.partition.uid
+                                    if sub.partition is not None
+                                    else None
+                                ),
+                                color=(
+                                    tuple(sub.color)
+                                    if sub.color is not None
+                                    else None
+                                ),
+                                subset=subset_ref(sub.subset, known_subsets),
+                                priv=priv_token(user.privilege),
+                                fields=user.fields,
+                            )
+                        )
+                    snapshot[uid] = refs
+                staged["subsets"] = known_subsets - caches.subsets
+
+            # Footprint data: everything the shard reads, plus current
+            # write-footprint bytes so partial writes gather back intact.
+            read_data = []
+            shipped: Dict[Tuple[int, str], List[np.ndarray]] = {}
+            for ri, req in enumerate(launch.requirements):
+                if req.privilege.privilege is Privilege.REDUCE:
+                    continue
+                for subs in local_projs:
+                    sub = subs[ri]
+                    for fname in req.resolved_fields():
+                        shipped.setdefault(
+                            (req.region.uid, fname), []
+                        ).append(sub._indices())
+            for (uid, fname), idx_parts in shipped.items():
+                idx = np.unique(np.concatenate(idx_parts))
+                read_data.append(
+                    (uid, fname, idx, region_by_uid[uid].storage(fname)[idx])
+                )
+
+            extra = None
+            if launch.point_args is not None:
+                extra = [launch.point_args.get(p) for p in local]
+
+            plan = ShardPlan(
+                node=node,
+                points=[tuple(p) for p in local],
+                ordinals=ordinals,
+                task_uid=launch.task.uid,
+                task_blob=(
+                    None
+                    if launch.task.uid in caches.tasks
+                    else task_blob
+                ),
+                args=launch.args,
+                point_extra_args=extra,
+                reqs=reqs,
+                regions=regions,
+                partitions=list(part_entries.values()),
+                snapshot=snapshot,
+                analyze=analyzed,
+                read_data=read_data,
+                profile=prof.enabled,
+            )
+            staged["tasks"].add(launch.task.uid)
+            try:
+                blob = dumps(plan)
+            except Exception as exc:
+                raise _ParallelBail(f"plan not picklable: {exc}", poison=True)
+            mark = prof.now() if prof.enabled else 0.0
+            try:
+                futures.append((k, mark, pool.submit_shard(k, blob)))
+            except Exception as exc:
+                raise _ParallelBail(f"submit failed: {exc}")
+
+        # Collect in shard order; validate everything before committing.
+        total = len(flat_points)
+        tasks: List[Optional[Any]] = [None] * total
+        task_worker: List[Tuple[int, float]] = [(0, 0.0)] * total
+        for k, mark, future in futures:
+            try:
+                payload = loads(future.result())
+            except Exception as exc:
+                for j in range(pool.n):
+                    pool.reset_worker(j)
+                raise _ParallelBail(f"worker died: {exc}")
+            if payload[0] == "error":
+                raise _ParallelBail(
+                    f"worker error: {payload[1]}", poison=True
+                )
+            result = payload[1]
+            offset = mark - result.t0
+            for trec in result.tasks:
+                if not 0 <= trec.ordinal < total or tasks[trec.ordinal] is not None:
+                    raise _ParallelBail("shard result ordinals inconsistent")
+                if analyzed and trec.ops is None:
+                    raise _ParallelBail("missing analyzer ops in shard result")
+                tasks[trec.ordinal] = trec
+                task_worker[trec.ordinal] = (k, offset)
+        if any(t is None for t in tasks):
+            raise _ParallelBail("missing tasks in shard results")
+        try:
+            values = [loads(t.value_blob) for t in tasks]
+        except Exception as exc:
+            raise _ParallelBail(f"future value not unpicklable: {exc}",
+                                poison=True)
+        return _Dispatch(
+            nodes=nodes,
+            points=flat_points,
+            tasks=tasks,
+            values=values,
+            task_worker=task_worker,
+            analyzed=analyzed,
+            shipments=shipments,
+        )
+
+    # -------------------------------------------------------------- commit
+    def _commit(
+        self, launch, sig, op_id, replay, safe_order_free, cache, dispatch
+    ) -> FutureMap:
+        rt = self.rt
+        cfg = rt.config
+        prof = rt.profiler
+        cost = prof.costmodel if prof.enabled else None
+        total = len(dispatch.points)
+
+        # --- expansion: identical counter discipline to the serial tail;
+        # plan materialization is deferred because a successful template
+        # replay never touches the per-point plans.
+        t_expand = prof.mark()
+        expansion = cache.get_expansion(sig) if cache is not None else None
+        expansion_cached = expansion is not None
+        if expansion_cached:
+            rt.stats.analysis_cache_hits += 1
+        plan_holder: List[Optional[List[Tuple[int, PointPlan]]]] = [None]
+
+        def plan_list() -> List[Tuple[int, PointPlan]]:
+            if plan_holder[0] is not None:
+                return plan_holder[0]
+            template = expansion
+            plans: List[Tuple[int, PointPlan]] = []
+            if template is not None:
+                for node, point in dispatch.points:
+                    plans.append((node, template.point_plan(launch, point)))
+            else:
+                template = ExpansionTemplate(
+                    base_args=launch.args,
+                    had_point_args=launch.point_args is not None,
+                )
+                for node, point in dispatch.points:
+                    point_task = launch.point_task(point)
+                    triples = [
+                        (req.subregion, req.privilege, req.resolved_fields())
+                        for req in point_task.requirements
+                    ]
+                    plan = PointPlan(
+                        task_launch=point_task,
+                        requirements=list(point_task.requirements),
+                        accesses=triples,
+                        regions=[PhysicalRegion(*t) for t in triples],
+                    )
+                    template.plans[tuple(point)] = plan
+                    plans.append((node, plan))
+                if cache is not None:
+                    cache.put_expansion(sig, template)
+            plan_holder[0] = plans
+            return plans
+
+        if not expansion_cached:
+            plan_list()  # first issue: build and store, like the serial path
+        if prof.enabled:
+            prof.phase("expansion", "expansion", t_expand,
+                       launch=launch.name, cached=expansion_cached,
+                       points=total)
+            if expansion_cached:
+                prof.instant("cache.expansion_hit", "expansion",
+                             launch=launch.name)
+
+        # --- physical analysis: template replay, worker-op merge, or live.
+        t_phys = prof.mark()
+        template_replayed = False
+        task_ids = [next(rt._task_counter) for _ in range(total)]
+        tdeps_lists = None
+        if replay and cache is not None:
+            ptemplate = cache.get_physical(sig)
+            if ptemplate is not None:
+                tdeps_lists = rt.physical.replay_tasks(task_ids, ptemplate)
+                if tdeps_lists is None:
+                    cache.drop_physical_for(sig)
+                    rt.stats.analysis_cache_invalidations += 1
+                    if prof.enabled:
+                        prof.instant("cache.physical_bail", Stage.PHYSICAL,
+                                     launch=launch.name)
+                else:
+                    rt.stats.analysis_cache_hits += 1
+                    template_replayed = True
+                    if prof.enabled:
+                        prof.instant("cache.physical_replay", Stage.PHYSICAL,
+                                     launch=launch.name)
+        if tdeps_lists is None:
+            capture = entry_keys = None
+            if replay and cache is not None:
+                region_uids = {req.region.uid for req in launch.requirements}
+                entry_keys = rt.physical.snapshot_keys(region_uids)
+                capture = []
+            if dispatch.analyzed:
+                tdeps_lists = self._merge_analysis(
+                    launch, dispatch, task_ids, plan_list(), capture
+                )
+            if tdeps_lists is None:
+                # No worker ops (a predicted template bailed at commit) or
+                # the merge hit an ambiguity: run the live analyzer — the
+                # serial reference path — against the untouched state.
+                if dispatch.analyzed:
+                    self.stats.merge_fallbacks += 1
+                if capture is not None:
+                    capture = []
+                tdeps_lists = [
+                    rt.physical.record_task(tid, plan.accesses,
+                                            _capture=capture)
+                    for tid, (_, plan) in zip(task_ids, plan_list())
+                ]
+            if capture is not None:
+                ptemplate = make_template(capture, entry_keys)
+                if ptemplate is not None:
+                    cache.put_physical(sig, ptemplate)
+
+        fmap = FutureMap()
+        for tid, ((node, point), tdeps) in zip(
+            task_ids, zip(dispatch.points, tdeps_lists)
+        ):
+            rt.stats.physical_dependences += len(tdeps)
+            rt.stats.add_representation(Stage.PHYSICAL, node, 1)
+            if rt.graph_recorder is not None:
+                name = f"{launch.task.name}{tuple(point)}"
+                rt.graph_recorder.record_task(tid, name, op_id, node)
+                rt.graph_recorder.record_physical_edges(tdeps)
+        rt.stats.overlap_queries = rt.physical.overlap_queries
+        if prof.enabled:
+            per_node: Dict[int, int] = {}
+            for node, _ in dispatch.points:
+                per_node[node] = per_node.get(node, 0) + 1
+            for node in sorted(per_node):
+                local = per_node[node]
+                attrs = dict(op=op_id, launch=launch.name, tasks=local,
+                             replayed=template_replayed)
+                if cost is not None:
+                    attrs["sim_cost_s"] = (
+                        cost.t_replay_cache_hit
+                        + cost.t_trace_replay_task * local
+                        if template_replayed
+                        else cost.physical_task_time(launch.domain.volume)
+                        * local
+                    )
+                prof.phase("physical", Stage.PHYSICAL, t_phys,
+                           node=node, **attrs)
+
+        # --- execution commit: apply effects in serial (or shuffled) order.
+        order = list(range(total))
+        if cfg.shuffle_intra_launch and safe_order_free:
+            rt._rng.shuffle(order)
+        region_by_uid = {
+            req.region.uid: req.region for req in launch.requirements
+        }
+        for g in order:
+            trec = dispatch.tasks[g]
+            node, _point = dispatch.points[g]
+            for uid, fname, idx, vals in trec.writes:
+                region_by_uid[uid].storage(fname)[idx] = vals
+            for uid, fname, idx, vals, opname in trec.reduces:
+                self._apply_reduce(
+                    region_by_uid[uid], fname, idx, vals, opname
+                )
+            fmap.set(Point(*trec.point), dispatch.values[g])
+            rt.stats.tasks_executed += 1
+            rt.stats.add_representation(Stage.EXECUTION, node, 1)
+            if prof.enabled and trec.span is not None:
+                k, offset = dispatch.task_worker[g]
+                start, end = trec.span
+                prof.ingest_span(
+                    f"execute:{launch.task.name}",
+                    Stage.EXECUTION,
+                    node,
+                    start + offset,
+                    end + offset,
+                    task=f"{launch.task.name}{tuple(trec.point)}",
+                    point=str(tuple(trec.point)),
+                    worker=k,
+                )
+        return fmap
+
+    @staticmethod
+    def _apply_reduce(region, fname, idx, values, opname) -> None:
+        """Replay one recorded reduce call — exact mirror of
+        ``Subregion.reduce`` so duplicate-index accumulation order (and
+        therefore floating point) matches the serial backend bit for bit."""
+        store = region.storage(fname)
+        values = np.asarray(values).ravel()
+        if opname == "+":
+            np.add.at(store, idx, values)
+        elif opname == "*":
+            np.multiply.at(store, idx, values)
+        elif opname == "min":
+            np.minimum.at(store, idx, values)
+        elif opname == "max":
+            np.maximum.at(store, idx, values)
+        else:  # pragma: no cover - custom operators never reach workers
+            store[idx] = REDUCTION_OPS[opname].apply(store[idx], values)
+
+    # --------------------------------------------------------------- merge
+    def _merge_analysis(
+        self, launch, dispatch, task_ids, plans, capture
+    ) -> Optional[List[List[TaskDependence]]]:
+        """Replay worker analyzer ops onto the parent state, transactionally.
+
+        Works on cloned buckets and installs them only when every op
+        resolves unambiguously; any mismatch returns None with the real
+        analyzer untouched, and the caller re-runs the live path.
+        """
+        rt = self.rt
+        phys = rt.physical
+        clones: Dict[int, List[_User]] = {}
+
+        def bucket_for(uid: int) -> List[_User]:
+            bucket = clones.get(uid)
+            if bucket is None:
+                bucket = [
+                    _User(list(u.task_ids), u.subregion, u.privilege, u.fields)
+                    for u in phys._users.get(uid, [])
+                ]
+                clones[uid] = bucket
+            return bucket
+
+        added_queries = 0
+        tdeps_lists: List[List[TaskDependence]] = []
+        synthesized: List[List[AccessOp]] = []
+        for g, trec in enumerate(dispatch.tasks):
+            tid = task_ids[g]
+            deps = []
+            for earlier, region_uid in trec.deps:
+                if earlier < 0:
+                    return None  # placeholder leaked: intra-launch edge
+                deps.append(TaskDependence(earlier, tid, region_uid))
+            ops_out: List[AccessOp] = []
+            accesses = plans[g][1].accesses
+            if len(trec.ops) != len(accesses):
+                return None
+            for ai, record in enumerate(trec.ops):
+                dep_keys, retire_keys, coalesce_key, created_key, region_uid = (
+                    record
+                )
+                bucket = bucket_for(region_uid)
+                added_queries += len(bucket)
+                keys = [u.footprint_key() for u in bucket]
+                op = AccessOp(
+                    region_uid=region_uid,
+                    n_scanned=len(bucket),
+                    dep_keys=list(dep_keys),
+                    retire_keys=list(retire_keys),
+                    coalesce_key=coalesce_key,
+                    ambiguous=len(set(keys)) != len(keys),
+                )
+                for key in retire_keys:
+                    matches = [i for i, k in enumerate(keys) if k == key]
+                    if len(matches) != 1:
+                        return None
+                    del bucket[matches[0]]
+                    del keys[matches[0]]
+                if coalesce_key is not None:
+                    matches = [
+                        i for i, k in enumerate(keys) if k == coalesce_key
+                    ]
+                    if len(matches) != 1:
+                        return None
+                    bucket[matches[0]].task_ids.append(tid)
+                if created_key is not None:
+                    sub, priv, fields = accesses[ai]
+                    fieldset = frozenset(fields)
+                    if _footprint_key(sub, priv, fieldset) != created_key:
+                        return None  # cross-process key drift: do not trust
+                    # The serial scan may coalesce this access into a user
+                    # another shard created (the worker could not see it);
+                    # find the first user serial would have matched.  A
+                    # field-disjoint user is skipped before the coalesce
+                    # test there, so an empty field set never coalesces.
+                    target = None
+                    if fieldset:
+                        for user in bucket:
+                            if (
+                                user.privilege.compatible_with(priv)
+                                and user.fields == fieldset
+                                and _same_subset(
+                                    user.subregion.subset, sub.subset
+                                )
+                            ):
+                                target = user
+                                break
+                    if target is None:
+                        bucket.append(_User([tid], sub, priv, fieldset))
+                        keys.append(created_key)
+                        op.create = (sub, priv, fieldset)
+                    elif target.footprint_key() == created_key:
+                        target.task_ids.append(tid)
+                        op.coalesce_key = created_key
+                    else:
+                        # Serial would coalesce across distinct keys (an
+                        # aliased-partition footprint); only the live path
+                        # reproduces that exactly.
+                        return None
+                ops_out.append(op)
+            tdeps_lists.append(deps)
+            synthesized.append(ops_out)
+
+        # Commit: install the merged buckets and the query accounting.
+        for uid, bucket in clones.items():
+            phys._users[uid] = bucket
+        phys.overlap_queries += added_queries
+        if capture is not None:
+            capture.extend(synthesized)
+        return tdeps_lists

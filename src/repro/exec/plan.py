@@ -1,0 +1,214 @@
+"""Picklable shard plans and results for the parallel execution backend.
+
+A :class:`ShardPlan` is the self-contained description of one node's share
+of an index launch — the moral equivalent of the per-node launch descriptor
+that DCR ships to each control replica (Section 5 of the paper): the task,
+the local domain slice, requirement templates, and just enough region /
+partition / analyzer metadata to run expansion, physical analysis, and the
+task bodies in another process.
+
+Everything here is built from plain values (tuples, ints, strings, numpy
+arrays) plus a handful of repro objects that pickle by value (functors,
+``Point``/``Rect``).  Task functions are serialized with ``cloudpickle``
+when available (decorated module attributes are :class:`Task` objects, so
+stdlib reference pickling cannot find them); plans and results travel as
+opaque byte blobs so the worker pool never depends on the parent's pickling
+defaults.
+
+Identity discipline: regions, partitions, and sparse subsets are addressed
+by their construction ``uid`` on both sides of the process boundary.  The
+worker reconstructs skeleton objects and *overwrites* their locally
+assigned uids with the shipped ones, so footprint keys computed in a worker
+are byte-equal to the parent's (see ``_footprint_key`` in
+:mod:`repro.runtime.physical`).
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+try:  # pragma: no cover - exercised indirectly by the parallel backend
+    import cloudpickle as _by_value_pickler
+except ImportError:  # pragma: no cover - the container bakes cloudpickle in
+    _by_value_pickler = pickle
+
+__all__ = [
+    "dumps",
+    "loads",
+    "subset_ref",
+    "region_spec",
+    "priv_token",
+    "priv_from_token",
+    "ReqTemplate",
+    "PartitionEntry",
+    "UserRef",
+    "ShardPlan",
+    "TaskResult",
+    "ShardResult",
+]
+
+
+def dumps(obj: Any) -> bytes:
+    """Serialize by value (closures and Task objects included)."""
+    return _by_value_pickler.dumps(obj)
+
+
+def loads(blob: bytes) -> Any:
+    """Cloudpickle output is plain pickle data; stdlib loads it."""
+    return pickle.loads(blob)
+
+
+# --------------------------------------------------------------- references
+def subset_ref(subset, shipped_uids: Optional[set] = None) -> tuple:
+    """A portable reference to an :class:`IndexSubset`.
+
+    Rect subsets ship by bounds value (cheap, and footprint keys address
+    them by rectangle anyway).  Sparse subsets ship their index array once
+    per worker: when ``shipped_uids`` already contains the uid, only the
+    uid travels and the worker resolves it from its cache.
+    """
+    from repro.data.collection import RectSubset
+
+    if isinstance(subset, RectSubset):
+        return ("rect", tuple(subset.rect.lo), tuple(subset.rect.hi), subset.uid)
+    if shipped_uids is not None and subset.uid in shipped_uids:
+        return ("sparse_ref", subset.uid)
+    if shipped_uids is not None:
+        shipped_uids.add(subset.uid)
+    return ("sparse", subset.uid, subset.indices)
+
+
+def region_spec(region) -> tuple:
+    """Skeleton of a region: uid, name, bounds, and field dtypes.
+
+    Storage is *not* shipped — the plan carries only the footprint data the
+    shard actually reads or writes.
+    """
+    return (
+        region.uid,
+        region.name,
+        tuple(region.bounds.lo),
+        tuple(region.bounds.hi),
+        tuple((fname, np.dtype(dt).str) for fname, dt in region.fields.items()),
+    )
+
+
+def priv_token(privilege) -> tuple:
+    """Portable privilege encoding; see ``_priv_token`` in physical.py."""
+    redop = privilege.redop.name if privilege.redop is not None else None
+    return (privilege.privilege.value, redop)
+
+
+def priv_from_token(token: tuple):
+    """Rebuild a :class:`PrivilegeSpec` sharing the parent's operator table."""
+    from repro.data.privileges import (
+        REDUCTION_OPS,
+        Privilege,
+        PrivilegeSpec,
+    )
+
+    value, redop = token
+    if redop is not None:
+        return PrivilegeSpec(Privilege(value), REDUCTION_OPS[redop])
+    return PrivilegeSpec(Privilege(value))
+
+
+@dataclass
+class ReqTemplate:
+    """One region requirement of the launch, in shippable form."""
+
+    priv: tuple                     # priv_token
+    fields: Tuple[str, ...]         # declared fields ('' means region default)
+    resolved_fields: Tuple[str, ...]
+    partition_uid: int
+    region_uid: int
+    functor: Any                    # ProjectionFunctor; pickles by value
+
+
+@dataclass
+class PartitionEntry:
+    """The colors of one partition a shard actually projects onto."""
+
+    uid: int
+    region_uid: int
+    colors: List[Tuple[tuple, tuple]]  # (color tuple, subset_ref)
+
+
+@dataclass
+class UserRef:
+    """One active footprint of the pre-launch analyzer snapshot."""
+
+    key: tuple                      # _footprint_key value (already portable)
+    task_ids: List[int]
+    region_uid: int
+    partition_uid: Optional[int]
+    color: Optional[tuple]
+    subset: tuple                   # subset_ref
+    priv: tuple                     # priv_token
+    fields: frozenset
+
+
+@dataclass
+class ShardPlan:
+    """Everything one worker needs to run its shard of a launch."""
+
+    node: int
+    points: List[tuple]             # local domain slice, in serial order
+    ordinals: List[int]             # global plan-list positions of the points
+    task_uid: int
+    task_blob: Optional[bytes]      # cloudpickled Task; None when cached
+    args: tuple
+    point_extra_args: Optional[List[tuple]]  # per-point ArgumentMap values
+    reqs: List[ReqTemplate]
+    regions: List[tuple]            # region_spec for regions new to the worker
+    partitions: List[PartitionEntry]
+    snapshot: Dict[int, List[UserRef]]  # region uid -> pre-launch users
+    analyze: bool                   # run physical analysis (no template replay)
+    read_data: List[tuple]          # (region_uid, field, idx array, values)
+    profile: bool
+
+
+@dataclass
+class TaskResult:
+    """What one point task produced, addressed by placeholder ids.
+
+    Workers never see the parent's task-id counter; in-shard task ids are
+    ``-(ordinal + 1)`` and the parent re-stamps them at commit, so a bailed
+    dispatch consumes no ids.
+    """
+
+    ordinal: int
+    point: tuple
+    value_blob: bytes               # future value (pickled separately)
+    deps: List[Tuple[int, int]]     # (earlier real task id, region uid)
+    ops: Optional[List[tuple]]      # per-access op records when analyze
+    writes: List[tuple]             # (region_uid, field, idx, final values)
+    reduces: List[tuple]            # (region_uid, field, idx, values, op name)
+    span: Optional[tuple]           # (start, end) on the worker clock
+
+
+@dataclass
+class ShardResult:
+    """One worker's answer for one shard."""
+
+    node: int
+    t0: float                       # worker perf_counter at shard start
+    tasks: List[TaskResult] = field(default_factory=list)
+
+
+# Per-access op record layout inside TaskResult.ops:
+#   (dep_keys tuple, retire_keys tuple, coalesce_key | None,
+#    created_key | None, region_uid)
+# Keys are _footprint_key values — portable by construction.
+def op_record(access_op, created_key: Optional[tuple]) -> tuple:
+    return (
+        tuple(access_op.dep_keys),
+        tuple(access_op.retire_keys),
+        access_op.coalesce_key,
+        created_key,
+        access_op.region_uid,
+    )

@@ -1,0 +1,201 @@
+"""Persistent process pools for the parallel execution backend.
+
+A :class:`WorkerPool` owns ``n`` *single-process* executors rather than one
+``ProcessPoolExecutor(max_workers=n)``: shard ``i`` of every launch is
+always submitted to executor ``i % n``, which makes worker-side caches
+(task functions, partition colors, sparse subsets, region skeletons)
+deterministic — the parent knows exactly what each worker already holds and
+ships only deltas, mirroring how DCR's control replicas keep persistent
+per-node state across launches.
+
+Pools are cached per worker count in a module-level registry so iterated
+benchmarks and long CLI runs reuse warm workers; :func:`shutdown_pools`
+(also registered via ``atexit``) tears everything down, and the CLI calls
+it on every exit path so error paths cannot leak worker processes.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.exec.plan import dumps, loads
+
+__all__ = [
+    "WorkerPool",
+    "get_pool",
+    "shutdown_pools",
+    "active_pool_count",
+    "resolve_workers",
+    "CHECK_CHUNK_MIN",
+]
+
+#: Below this many domain points a dynamic check is evaluated inline —
+#: chunking overhead would dominate the numpy sweep it parallelizes.
+CHECK_CHUNK_MIN = 4096
+
+
+def resolve_workers(configured: Optional[int]) -> int:
+    """Effective worker count: explicit config wins, else ``REPRO_WORKERS``.
+
+    Returns at least 1; 1 means the serial backend.
+    """
+    if configured is not None:
+        value = int(configured)
+    else:
+        raw = os.environ.get("REPRO_WORKERS", "").strip()
+        try:
+            value = int(raw) if raw else 1
+        except ValueError:
+            raise ValueError(
+                f"REPRO_WORKERS must be an integer, got {raw!r}"
+            ) from None
+    if value < 1:
+        raise ValueError(f"workers must be >= 1, got {value}")
+    return value
+
+
+def _mp_context():
+    """Fork keeps warm numpy/module state and makes spin-up cheap; fall
+    back to the platform default where fork is unavailable."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+class _WorkerCaches:
+    """What the parent believes one worker process already holds."""
+
+    __slots__ = ("tasks", "regions", "partition_colors", "subsets")
+
+    def __init__(self):
+        self.tasks: set = set()              # task uids
+        self.regions: set = set()            # region uids
+        self.partition_colors: set = set()   # (partition uid, color tuple)
+        self.subsets: set = set()            # sparse subset uids
+
+    def clear(self):
+        self.tasks.clear()
+        self.regions.clear()
+        self.partition_colors.clear()
+        self.subsets.clear()
+
+
+class WorkerPool:
+    """``n`` persistent single-process executors with deterministic affinity."""
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError("WorkerPool needs at least one worker")
+        self.n = n
+        self._executors: List[Optional[ProcessPoolExecutor]] = [None] * n
+        self.caches: List[_WorkerCaches] = [_WorkerCaches() for _ in range(n)]
+        self._closed = False
+
+    # ----------------------------------------------------------- lifecycle
+    def executor(self, k: int) -> ProcessPoolExecutor:
+        """Lazily start worker ``k``'s process."""
+        if self._closed:
+            raise RuntimeError("worker pool is shut down")
+        if self._executors[k] is None:
+            self._executors[k] = ProcessPoolExecutor(
+                max_workers=1, mp_context=_mp_context()
+            )
+        return self._executors[k]
+
+    def reset_worker(self, k: int) -> None:
+        """Discard a broken worker process and everything it cached."""
+        executor = self._executors[k]
+        self._executors[k] = None
+        self.caches[k].clear()
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def shutdown(self) -> None:
+        self._closed = True
+        for k in range(self.n):
+            executor = self._executors[k]
+            self._executors[k] = None
+            self.caches[k].clear()
+            if executor is not None:
+                executor.shutdown(wait=False, cancel_futures=True)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------- dispatch
+    def submit_shard(self, k: int, plan_blob: bytes):
+        """Submit one shard blob to worker ``k``; returns the future."""
+        from repro.exec.worker import run_shard_bytes
+
+        return self.executor(k).submit(run_shard_bytes, plan_blob)
+
+    # ------------------------------------------------- chunked batch evals
+    def apply_batch_chunked(self, functor, points: np.ndarray) -> np.ndarray:
+        """Evaluate ``functor.apply_batch`` across workers in |D|/n chunks.
+
+        Exact-preserving: chunks are contiguous domain slices concatenated
+        in order, so the result is byte-identical to one inline call.  Any
+        worker/pickling failure falls back to inline evaluation.
+        """
+        n_points = len(points)
+        if n_points < CHECK_CHUNK_MIN or self.n < 2 or self._closed:
+            return functor.apply_batch(points)
+        chunks = np.array_split(points, self.n)
+        try:
+            from repro.exec.worker import apply_batch_bytes
+
+            blob = dumps(functor)
+            futures = [
+                (self.executor(k).submit(apply_batch_bytes, blob, chunk))
+                for k, chunk in enumerate(chunks)
+                if len(chunk)
+            ]
+            parts = [loads(f.result()) for f in futures]
+        except BrokenProcessPool:
+            for k in range(self.n):
+                self.reset_worker(k)
+            return functor.apply_batch(points)
+        except Exception:
+            return functor.apply_batch(points)
+        return np.concatenate(parts, axis=0)
+
+
+# ------------------------------------------------------------ pool registry
+_POOLS: Dict[int, WorkerPool] = {}
+
+
+def get_pool(n: int) -> WorkerPool:
+    """The shared pool for ``n`` workers, creating it on first use."""
+    pool = _POOLS.get(n)
+    if pool is None or pool.closed:
+        pool = WorkerPool(n)
+        _POOLS[n] = pool
+    return pool
+
+
+def shutdown_pools() -> int:
+    """Tear down every registered pool; returns how many were active."""
+    n = 0
+    for pool in list(_POOLS.values()):
+        if not pool.closed:
+            n += 1
+        pool.shutdown()
+    _POOLS.clear()
+    return n
+
+
+def active_pool_count() -> int:
+    """How many live pools the registry holds (test/teardown hook)."""
+    return sum(1 for pool in _POOLS.values() if not pool.closed)
+
+
+atexit.register(shutdown_pools)

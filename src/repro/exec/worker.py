@@ -1,0 +1,315 @@
+"""Worker-process entry points for the parallel execution backend.
+
+One worker owns a persistent reconstruction of the slice of the parent's
+world it has been shipped: region skeletons (storage allocated, zeroed —
+only footprint data travels, per launch), partition stubs holding exactly
+the colors its shards project onto, sparse subsets by uid, and unpickled
+task functions.  Per shard it then mirrors the serial pipeline tail —
+expansion (projection), physical analysis against a snapshot of the
+parent's analyzer state, and task-body execution — and ships back portable
+deltas: dependence edges, symbolic analyzer ops, write-back footprints,
+recorded reductions, future values, and execution spans.
+
+Determinism notes:
+
+* Task ids are placeholders ``-(ordinal + 1)``; the parent re-stamps them.
+* Reductions are *recorded, not applied*: ``np.add.at`` with duplicate
+  indices is order-sensitive, so the parent replays the recorded calls in
+  serial task order for bit-identical floating point results.
+* Write-backs return final values *with* their indices, so the parent can
+  scatter without re-deriving footprints.
+* Workers never see ``ctx.runtime`` (it is None): a task attempting a
+  nested launch fails here, and the parent falls back to the serial
+  backend, which reproduces the serial behavior exactly.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.domain import Point, Rect
+from repro.core.launch import RegionRequirement
+from repro.data.collection import Region, SparseSubset, Subregion
+from repro.data.privileges import Privilege
+from repro.exec.plan import (
+    ShardPlan,
+    ShardResult,
+    TaskResult,
+    dumps,
+    loads,
+    op_record,
+    priv_from_token,
+)
+from repro.runtime.physical import PhysicalAnalyzer, _footprint_key, _User
+from repro.runtime.task import PhysicalRegion, TaskContext
+
+__all__ = ["run_shard_bytes", "apply_batch_bytes"]
+
+
+# ------------------------------------------------- persistent worker state
+_REGIONS: Dict[int, Region] = {}
+_SUBSETS: Dict[int, Any] = {}
+_PARTITIONS: Dict[int, "_PartitionStub"] = {}
+_TASKS: Dict[int, Any] = {}
+
+
+class _PartitionStub:
+    """Just enough of a Partition to serve ``RegionRequirement.project``."""
+
+    __slots__ = ("uid", "region", "_subregions")
+
+    def __init__(self, uid: int, region: Region):
+        self.uid = uid
+        self.region = region
+        self._subregions: Dict[tuple, Subregion] = {}
+
+    def add_color(self, color: tuple, subset) -> None:
+        if color not in self._subregions:
+            self._subregions[color] = Subregion(
+                self.region, subset, Point(*color), self
+            )
+
+    def __getitem__(self, color) -> Subregion:
+        return self._subregions[tuple(color)]
+
+
+class _RecordingRegion(PhysicalRegion):
+    """A REDUCE accessor that logs contributions instead of applying them."""
+
+    __slots__ = ("_log",)
+
+    def __init__(self, subregion, privilege, fields, log):
+        super().__init__(subregion, privilege, fields)
+        self._log = log
+
+    def reduce(self, fname: str, values) -> None:
+        self._check_field(fname)
+        # Same privilege gate as PhysicalRegion.reduce, same error text.
+        from repro.runtime.task import PrivilegeError
+
+        if self.privilege.privilege is not Privilege.REDUCE:
+            raise PrivilegeError(
+                f"task holds {self.privilege!r} on {self.subregion!r}; "
+                f"reduce denied"
+            )
+        self._log.append(
+            (
+                self.subregion.region.uid,
+                fname,
+                self.subregion._indices(),
+                np.array(values, copy=True),
+                self.privilege.redop.name,
+            )
+        )
+
+
+# ---------------------------------------------------------- reconstruction
+def _resolve_subset(ref: tuple):
+    kind = ref[0]
+    if kind == "rect":
+        from repro.data.collection import RectSubset
+
+        subset = RectSubset(Rect(ref[1], ref[2]))
+        subset.uid = ref[3]
+        return subset
+    if kind == "sparse":
+        subset = SparseSubset(ref[2])
+        subset.uid = ref[1]
+        _SUBSETS[ref[1]] = subset
+        return subset
+    if kind == "sparse_ref":
+        return _SUBSETS[ref[1]]
+    raise ValueError(f"unknown subset ref {ref[0]!r}")
+
+
+def _install_plan_state(plan: ShardPlan) -> None:
+    for uid, name, lo, hi, fields in plan.regions:
+        # Never replace an installed region: partition stubs hold references
+        # to it, and a bailed dispatch can make the parent re-ship skeletons
+        # this worker already has.  Same uid means same immutable shape.
+        if uid in _REGIONS:
+            continue
+        region = Region(name, Rect(lo, hi), {fname: dt for fname, dt in fields})
+        region.uid = uid
+        _REGIONS[uid] = region
+    for entry in plan.partitions:
+        stub = _PARTITIONS.get(entry.uid)
+        if stub is None:
+            stub = _PartitionStub(entry.uid, _REGIONS[entry.region_uid])
+            _PARTITIONS[entry.uid] = stub
+        for color, ref in entry.colors:
+            stub.add_color(color, _resolve_subset(ref))
+    if plan.task_blob is not None:
+        _TASKS[plan.task_uid] = loads(plan.task_blob)
+    for region_uid, fname, idx, values in plan.read_data:
+        _REGIONS[region_uid].storage(fname)[idx] = values
+
+
+def _snapshot_analyzer(plan: ShardPlan) -> PhysicalAnalyzer:
+    """A fresh analyzer seeded with the parent's pre-launch user state."""
+    analyzer = PhysicalAnalyzer()
+    for region_uid, refs in plan.snapshot.items():
+        region = _REGIONS[region_uid]
+        users = []
+        for ref in refs:
+            partition = None
+            if ref.partition_uid is not None:
+                partition = _PARTITIONS.get(ref.partition_uid)
+                if partition is None:
+                    partition = _PartitionStub(ref.partition_uid, region)
+                    _PARTITIONS[ref.partition_uid] = partition
+            subregion = Subregion(
+                region,
+                _resolve_subset(ref.subset),
+                Point(*ref.color) if ref.color is not None else None,
+                partition,
+            )
+            user = _User(
+                list(ref.task_ids),
+                subregion,
+                priv_from_token(ref.priv),
+                ref.fields,
+            )
+            if user.footprint_key() != ref.key:
+                raise RuntimeError(
+                    f"snapshot key mismatch for region {region_uid}: "
+                    f"{user.footprint_key()} != {ref.key}"
+                )
+            users.append(user)
+        analyzer._users[region_uid] = users
+    return analyzer
+
+
+# -------------------------------------------------------------- shard body
+def _run_shard(plan: ShardPlan) -> ShardResult:
+    t0 = time.perf_counter()
+    _install_plan_state(plan)
+    task = _TASKS[plan.task_uid]
+    result = ShardResult(node=plan.node, t0=t0)
+
+    # Expansion: project every requirement at every local point.
+    reqs = [
+        RegionRequirement(
+            privilege=priv_from_token(r.priv),
+            fields=r.fields,
+            partition=_PARTITIONS[r.partition_uid],
+            functor=r.functor,
+        )
+        for r in plan.reqs
+    ]
+    resolved_fields = [r.resolved_fields for r in plan.reqs]
+    point_tasks = []
+    for i, pt in enumerate(plan.points):
+        point = Point(*pt)
+        subregions = [req.project(point) for req in reqs]
+        extra = (
+            plan.point_extra_args[i]
+            if plan.point_extra_args is not None
+            else ()
+        )
+        point_tasks.append((i, point, subregions, plan.args + extra))
+
+    # Physical analysis on the snapshot, capturing symbolic ops so the
+    # parent can replay the state transition onto its own analyzer.
+    ops_per_task: List[Optional[List[tuple]]] = [None] * len(point_tasks)
+    deps_per_task: List[List[tuple]] = [[] for _ in point_tasks]
+    if plan.analyze:
+        analyzer = _snapshot_analyzer(plan)
+        for i, point, subregions, _args in point_tasks:
+            placeholder = -(plan.ordinals[i] + 1)
+            capture: List[List] = []
+            accesses = [
+                (sub, req.privilege, rf)
+                for sub, req, rf in zip(subregions, reqs, resolved_fields)
+            ]
+            deps = analyzer.record_task(
+                placeholder, accesses, _capture=capture
+            )
+            for dep in deps:
+                if dep.earlier_task < 0:
+                    # An in-shard dependence would mean the launch
+                    # interferes — ineligible by construction; bail hard.
+                    raise RuntimeError(
+                        "unexpected intra-launch dependence in worker"
+                    )
+                deps_per_task[i].append((dep.earlier_task, dep.region_uid))
+            records = []
+            for access_op in capture[0]:
+                created_key = None
+                if access_op.create is not None:
+                    created_key = _footprint_key(*access_op.create)
+                records.append(op_record(access_op, created_key))
+            ops_per_task[i] = records
+
+    # Execution: run bodies against worker storage, recording reductions
+    # instead of applying them and gathering write-back footprints.
+    for i, point, subregions, args in point_tasks:
+        reduce_log: List[tuple] = []
+        regions = []
+        for sub, req, rf in zip(subregions, reqs, resolved_fields):
+            if req.privilege.privilege is Privilege.REDUCE:
+                regions.append(
+                    _RecordingRegion(sub, req.privilege, rf, reduce_log)
+                )
+            else:
+                regions.append(PhysicalRegion(sub, req.privilege, rf))
+        ctx = TaskContext(point=point, node=plan.node, runtime=None)
+        start = time.perf_counter() if plan.profile else 0.0
+        value = task(ctx, *regions, *args)
+        end = time.perf_counter() if plan.profile else 0.0
+
+        writes: List[tuple] = []
+        for sub, req, rf in zip(subregions, reqs, resolved_fields):
+            if req.privilege.privilege not in (
+                Privilege.WRITE,
+                Privilege.READ_WRITE,
+            ):
+                continue
+            idx = sub._indices()
+            for fname in rf:
+                writes.append(
+                    (
+                        sub.region.uid,
+                        fname,
+                        idx,
+                        sub.region.storage(fname)[idx].copy(),
+                    )
+                )
+        result.tasks.append(
+            TaskResult(
+                ordinal=plan.ordinals[i],
+                point=tuple(point),
+                value_blob=dumps(value),
+                deps=deps_per_task[i],
+                ops=ops_per_task[i],
+                writes=writes,
+                reduces=reduce_log,
+                span=(start, end) if plan.profile else None,
+            )
+        )
+    return result
+
+
+def run_shard_bytes(blob: bytes) -> bytes:
+    """Executor entry point: blob in, ("ok", result) | ("error", ...) out."""
+    try:
+        plan = loads(blob)
+        result = _run_shard(plan)
+        return dumps(("ok", result))
+    except BaseException as exc:  # noqa: BLE001 - ships diagnosis to parent
+        try:
+            return dumps(
+                ("error", f"{type(exc).__name__}: {exc}", traceback.format_exc())
+            )
+        except Exception:  # pragma: no cover - unpicklable exception repr
+            return dumps(("error", type(exc).__name__, ""))
+
+
+def apply_batch_bytes(functor_blob: bytes, points: np.ndarray) -> bytes:
+    """Executor entry point for chunked dynamic-check evaluation."""
+    functor = loads(functor_blob)
+    return dumps(functor.apply_batch(points))

@@ -56,6 +56,15 @@ class CostModel:
     t_check_per_point: float = 2.5e-9  # per (domain point x argument) bitmask op
     t_check_bitmask_init: float = 0.4e-9  # per partition color (bitmask init)
 
+    # --- host worker pool (wall-clock only; see repro.exec) -----------------
+    # Overheads of the shard-parallel execution backend's process pool.
+    # These describe the *host* running the reproduction, not the modeled
+    # machine: they annotate profiler spans for dispatch accounting but are
+    # NEVER charged to simulated time (never passed to ``add_simulated``) —
+    # backends must not perturb the paper's timing model.
+    t_worker_dispatch: float = 120e-6  # pickle + submit one shard plan
+    t_worker_result: float = 90e-6     # receive + unpickle one shard result
+
     # --- network (Aries-like) ----------------------------------------------
     net_latency: float = 1.8e-6     # per message
     net_bandwidth: float = 9.0e9    # bytes/s

@@ -135,6 +135,27 @@ class Profiler:
             self.metrics.inc("spans", 1.0, stage=stage, name=name)
             self.metrics.observe("span_seconds", end - start, stage=stage, name=name)
 
+    def ingest_span(
+        self,
+        name: str,
+        stage: str,
+        node: int,
+        start: float,
+        end: float,
+        **args: Any,
+    ) -> None:
+        """Record a span measured on *another* clock (a worker process).
+
+        The caller rebases ``start``/``end`` onto this profiler's timeline
+        (worker stamp + submit-mark offset); metrics are bumped exactly as
+        :meth:`phase` would, so span accounting is backend-independent.
+        """
+        if not self.enabled:
+            return
+        self.spans.append(Span(name, stage, int(node), start, end, args=dict(args)))
+        self.metrics.inc("spans", 1.0, stage=stage, name=name)
+        self.metrics.observe("span_seconds", end - start, stage=stage, name=name)
+
     def instant(self, name: str, stage: str, node: int = 0, **args: Any) -> None:
         """Record a point annotation and bump its counter."""
         if not self.enabled:

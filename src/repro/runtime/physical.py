@@ -18,9 +18,10 @@ capture a :class:`DependenceTemplate` describing each access symbolically
 (which footprints it depended on, retired, coalesced into, or created), and
 :meth:`PhysicalAnalyzer.replay_tasks` re-stamps that template with fresh
 task ids without re-running overlap queries.  Footprints are addressed by a
-*key* — (partition uid, color, subset identity-or-rect, fields, privilege)
+*key* — (partition uid, color, subset uid-or-rect, fields, privilege token)
 — rather than by object reference, so a template survives the record/retire
-churn of iterative write-read patterns.  Replay is validated (ordered
+churn of iterative write-read patterns; every key component is a plain
+value, portable across process boundaries for the parallel backend.  Replay is validated (ordered
 per-region key snapshots must match, every referenced key must resolve
 uniquely) and bails to the live path on any mismatch.
 """
@@ -56,12 +57,12 @@ def _conflicts(a: PrivilegeSpec, b: PrivilegeSpec) -> bool:
 
 
 def _same_subset(a, b) -> bool:
-    """Cheap identical-footprint test: object identity (partition
-    subregions reuse one subset object) or equal rectangles (fresh root
-    subregions)."""
+    """Cheap identical-footprint test: construction identity (partition
+    subregions reuse one subset object; a worker-side reconstruction keeps
+    the shipped uid) or equal rectangles (fresh root subregions)."""
     from repro.data.collection import RectSubset
 
-    if a is b:
+    if a is b or a.uid == b.uid:
         return True
     return (
         isinstance(a, RectSubset)
@@ -70,24 +71,38 @@ def _same_subset(a, b) -> bool:
     )
 
 
+def _priv_token(privilege: PrivilegeSpec) -> tuple:
+    """Process-portable encoding of a privilege.
+
+    ``PrivilegeSpec`` compares by its ``redop`` callable, and the built-in
+    reduction lambdas do not survive pickling with identity intact — a
+    worker's unpickled copy would compare unequal.  Keys therefore encode
+    the privilege as value strings."""
+    redop = privilege.redop.name if privilege.redop is not None else None
+    return (privilege.privilege.value, redop)
+
+
 def _footprint_key(
     subregion: Subregion, privilege: PrivilegeSpec, fields: frozenset
 ):
-    """Identity-free address of a user footprint within one region bucket.
+    """Identity-free, process-portable address of a user footprint.
 
-    Partition subregions reuse a single subset object, so its ``id`` is a
-    stable token across iterations; fresh root subregions are RectSubsets
-    addressed by rectangle value instead.
+    Sparse subsets are addressed by their construction ``uid`` — never by
+    ``id()``, which can alias once the collector reuses an address across
+    iterations and means nothing in another process.  Root subregions wrap
+    a *fresh* RectSubset per call, so rectangles are addressed by bounds
+    value instead of uid.
     """
     from repro.data.collection import RectSubset
 
     part = subregion.partition.uid if subregion.partition is not None else None
     subset = subregion.subset
     if isinstance(subset, RectSubset):
-        ident = ("rect", subset.rect)
+        ident = ("rect", tuple(subset.rect.lo), tuple(subset.rect.hi))
     else:
-        ident = ("id", id(subset))
-    return (part, subregion.color, ident, fields, privilege)
+        ident = ("uid", subset.uid)
+    color = tuple(subregion.color) if subregion.color is not None else None
+    return (part, color, ident, fields, _priv_token(privilege))
 
 
 @dataclass

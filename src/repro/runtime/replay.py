@@ -60,6 +60,10 @@ class DynamicCheckMemo:
         self._cache: Dict[tuple, CheckResult] = {}
         self.hits = 0
         self.misses = 0
+        #: optional (functor, points) -> values evaluator replacing
+        #: ``functor.apply_batch`` — exact-preserving by contract (the
+        #: parallel backend installs its chunked worker-pool sweep here).
+        self.batch_evaluator = None
 
     def clear(self) -> int:
         n = len(self._cache)
@@ -80,7 +84,10 @@ class DynamicCheckMemo:
             self.hits += 1
             return found
         self.misses += 1
-        result = dynamic_cross_check(domain, args, bounds, use_numpy=use_numpy)
+        result = dynamic_cross_check(
+            domain, args, bounds, use_numpy=use_numpy,
+            apply_batch=self.batch_evaluator,
+        )
         self._cache[key] = result
         return result
 

@@ -32,9 +32,11 @@ from repro.runtime.distribution import SlicingCache, build_slices, shard_points
 from repro.runtime.futures import Future, FutureMap
 from repro.runtime.logical import LogicalAnalyzer
 from repro.runtime.mapper import DefaultMapper, Mapper, ShardingCache
-from repro.runtime.physical import PhysicalAnalyzer, make_template
+from repro.exec.backend import resolve_backend
+from repro.exec.pool import resolve_workers
+from repro.runtime.physical import PhysicalAnalyzer
 from repro.runtime.pipeline import PipelineStats, Stage
-from repro.runtime.replay import ExpansionTemplate, LaunchReplayCache, PointPlan
+from repro.runtime.replay import LaunchReplayCache
 from repro.runtime.task import PhysicalRegion, Task, TaskContext
 from repro.runtime.tracing import TraceRecorder
 
@@ -80,6 +82,11 @@ class RuntimeConfig:
             in random order — a testing feature that empirically exercises
             the non-interference guarantee.
         seed: RNG seed for the shuffle.
+        workers: per-node pipeline worker processes.  ``None`` (default)
+            reads env ``REPRO_WORKERS``; 1 selects the serial backend;
+            >= 2 fans the per-node tail of verified index launches across
+            a persistent process pool (see :mod:`repro.exec`), with every
+            observable byte-identical to serial.
         profiler: optional :class:`~repro.obs.profiler.Profiler`.  When
             set (and enabled), every pipeline phase of every operation
             emits structured spans and metrics (see
@@ -99,6 +106,7 @@ class RuntimeConfig:
     validate_safety: bool = True
     shuffle_intra_launch: bool = False
     seed: int = 0
+    workers: Optional[int] = None
     profiler: Optional[Any] = None
 
     def __post_init__(self):
@@ -143,6 +151,14 @@ class Runtime:
         self.safety_log: List[SafetyVerdict] = []
         #: optional repro.tools.graph.GraphRecorder capturing the task graph
         self.graph_recorder = None
+        self.workers = resolve_workers(self.config.workers)
+        self.backend = resolve_backend(self, self.workers)
+        if self.workers > 1:
+            # Large dynamic checks evaluate their functor sweeps on the
+            # worker pool in contiguous chunks (exact-preserving).
+            self.replay_cache.check_memo.batch_evaluator = (
+                self.backend.batch_evaluator
+            )
 
     # --------------------------------------------------------------- mapper
     @property
@@ -582,129 +598,18 @@ class Runtime:
                 prof.phase("distribution", Stage.DISTRIBUTION, t_dist,
                            node=node, **attrs)
 
-        # --- expansion, post-distribution: materialize per-point plans, or
-        # reuse the memoized template (requirement footprints, analyzer
-        # access triples, PhysicalRegion views) built on the first issue.
-        t_expand = prof.mark()
-        expansion = cache.get_expansion(sig) if cache is not None else None
-        expansion_cached = expansion is not None
-        plan_list: List[Tuple[int, PointPlan]] = []
-        if expansion is not None:
-            self.stats.analysis_cache_hits += 1
-            for node in sorted(assignment):
-                for point in assignment[node]:
-                    plan_list.append((node, expansion.point_plan(launch, point)))
-        else:
-            expansion = ExpansionTemplate(
-                base_args=launch.args,
-                had_point_args=launch.point_args is not None,
-            )
-            for node in sorted(assignment):
-                for point in assignment[node]:
-                    point_task = launch.point_task(point)
-                    triples = [
-                        (req.subregion, req.privilege, req.resolved_fields())
-                        for req in point_task.requirements
-                    ]
-                    plan = PointPlan(
-                        task_launch=point_task,
-                        requirements=list(point_task.requirements),
-                        accesses=triples,
-                        regions=[PhysicalRegion(*t) for t in triples],
-                    )
-                    expansion.plans[tuple(point)] = plan
-                    plan_list.append((node, plan))
-            if cache is not None:
-                cache.put_expansion(sig, expansion)
-        if prof.enabled:
-            prof.phase("expansion", "expansion", t_expand,
-                       launch=launch.name, cached=expansion_cached,
-                       points=len(plan_list))
-            if expansion_cached:
-                prof.instant("cache.expansion_hit", "expansion",
-                             launch=launch.name)
-
-        # --- physical analysis.  On a trace-validated replay, re-stamp the
-        # recorded dependence template with fresh task ids; otherwise run
-        # the live analyzer (capturing a template when this is the first
-        # validated replay, so the next one can skip it).
-        t_phys = prof.mark()
-        template_replayed = False
-        task_ids = [next(self._task_counter) for _ in plan_list]
-        tdeps_lists = None
-        if replay and cache is not None:
-            ptemplate = cache.get_physical(sig)
-            if ptemplate is not None:
-                tdeps_lists = self.physical.replay_tasks(task_ids, ptemplate)
-                if tdeps_lists is None:
-                    # Validation failed (foreign state change): drop the
-                    # template and fall back to live analysis below.
-                    cache.drop_physical_for(sig)
-                    self.stats.analysis_cache_invalidations += 1
-                    if prof.enabled:
-                        prof.instant("cache.physical_bail", Stage.PHYSICAL,
-                                     launch=launch.name)
-                else:
-                    self.stats.analysis_cache_hits += 1
-                    template_replayed = True
-                    if prof.enabled:
-                        prof.instant("cache.physical_replay", Stage.PHYSICAL,
-                                     launch=launch.name)
-        if tdeps_lists is None:
-            capture = entry_keys = None
-            if replay and cache is not None:
-                region_uids = {req.region.uid for req in launch.requirements}
-                entry_keys = self.physical.snapshot_keys(region_uids)
-                capture = []
-            tdeps_lists = [
-                self.physical.record_task(tid, plan.accesses, _capture=capture)
-                for tid, (_, plan) in zip(task_ids, plan_list)
-            ]
-            if capture is not None:
-                ptemplate = make_template(capture, entry_keys)
-                if ptemplate is not None:
-                    cache.put_physical(sig, ptemplate)
-
-        fmap = FutureMap()
-        executed: List[Tuple[PointPlan, int]] = []
-        for tid, (node, plan), tdeps in zip(task_ids, plan_list, tdeps_lists):
-            self.stats.physical_dependences += len(tdeps)
-            self.stats.add_representation(Stage.PHYSICAL, node, 1)
-            if self.graph_recorder is not None:
-                self.graph_recorder.record_task(
-                    tid, plan.task_launch.name, op_id, node
-                )
-                self.graph_recorder.record_physical_edges(tdeps)
-            executed.append((plan, node))
-        self.stats.overlap_queries = self.physical.overlap_queries
-        if prof.enabled:
-            per_node: Dict[int, int] = {}
-            for node, _ in plan_list:
-                per_node[node] = per_node.get(node, 0) + 1
-            for node in sorted(per_node):
-                local = per_node[node]
-                attrs = dict(op=op_id, launch=launch.name, tasks=local,
-                             replayed=template_replayed)
-                if cost is not None:
-                    attrs["sim_cost_s"] = (
-                        cost.t_replay_cache_hit
-                        + cost.t_trace_replay_task * local
-                        if template_replayed
-                        else cost.physical_task_time(launch.domain.volume)
-                        * local
-                    )
-                prof.phase("physical", Stage.PHYSICAL, t_phys,
-                           node=node, **attrs)
-
-        # --- execution (functionally; order free for verified launches).
-        if cfg.shuffle_intra_launch and safe_order_free:
-            self._rng.shuffle(executed)
-        for plan, node in executed:
-            fmap.set(
-                plan.task_launch.point,
-                self._run_task(plan.task_launch, node, regions=plan.regions),
-            )
-        return fmap
+        # --- expansion, physical analysis, and execution are per-node work:
+        # the execution backend owns them (serially in-process by default;
+        # fanned out across the worker pool when ``workers > 1``).
+        return self.backend.finish_launch(
+            launch,
+            sig,
+            op_id,
+            assignment,
+            replay,
+            safe_order_free,
+            cache,
+        )
 
     def _issue_expanded(self, launch: IndexLaunch) -> FutureMap:
         """No-IDX path: the forall is a loop of individual task launches."""

@@ -1,0 +1,53 @@
+"""Worker-pool teardown on CLI error paths (and success paths).
+
+Whatever happens inside a command — bad flags, unwritable output, clean
+exit — ``repro`` must leave zero live worker pools behind, exit 2 on
+errors with a one-line message, and never print a traceback.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.exec.pool import active_pool_count, shutdown_pools
+
+
+@pytest.fixture(autouse=True)
+def clean_pools():
+    shutdown_pools()
+    yield
+    shutdown_pools()
+
+
+class TestCLITeardown:
+    def test_unwritable_out_exits_2_no_leak(self, tmp_path, capsys):
+        bad = str(tmp_path / "no" / "such" / "dir" / "trace.json")
+        code = main(["profile", "circuit", "--workers", "2",
+                     "--steps", "2", "--out", bad])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error: cannot write")
+        assert len(captured.err.strip().splitlines()) == 1
+        assert "Traceback" not in captured.err
+        assert active_pool_count() == 0
+
+    def test_bad_worker_count_exits_2(self, capsys):
+        code = main(["profile", "circuit", "--workers", "0", "--steps", "2"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.strip() == "error: --workers must be >= 1"
+        assert active_pool_count() == 0
+
+    def test_validate_bad_worker_count_exits_2(self, capsys):
+        code = main(["validate", "--workers", "-3"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error:")
+        assert active_pool_count() == 0
+
+    def test_successful_profile_run_shuts_pools_down(self, tmp_path, capsys):
+        out = str(tmp_path / "trace.json")
+        code = main(["profile", "circuit", "--workers", "2",
+                     "--steps", "2", "--out", out])
+        capsys.readouterr()
+        assert code == 0
+        assert active_pool_count() == 0

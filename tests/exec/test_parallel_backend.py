@@ -1,0 +1,245 @@
+"""Unit tests for the parallel execution backend's machinery.
+
+The equivalence property test (``test_parallel_equivalence.py``) covers
+end-to-end byte-identity; this file pins the individual mechanisms: worker
+count resolution, eligibility gating, fallback/poisoning on worker
+failure, pool lifecycle, and chunked dynamic-check evaluation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.projection import ModularFunctor, QuadraticFunctor
+from repro.data.partition import equal_partition
+from repro.exec import ParallelBackend, SerialBackend
+from repro.exec.pool import (
+    WorkerPool,
+    active_pool_count,
+    get_pool,
+    resolve_workers,
+    shutdown_pools,
+)
+from repro.runtime import Runtime, RuntimeConfig, task
+
+
+@task(privileges=["reads writes"])
+def bump(ctx, r):
+    r.write("x", r.read("x") + 1.0)
+
+
+@task(privileges=["reads", "reduces +"])
+def read_and_reduce_same(ctx, r, acc):
+    acc.reduce("x", [float(r.read("x").sum())])
+
+
+@task(privileges=["reads writes"])
+def explode_on_two(ctx, r):
+    if int(ctx.point[0]) == 2:
+        raise RuntimeError("boom at point 2")
+    r.write("x", r.read("x") + 1.0)
+
+
+def make_rt(**cfg):
+    cfg.setdefault("n_nodes", 4)
+    cfg.setdefault("workers", 2)
+    return Runtime(RuntimeConfig(**cfg))
+
+
+def setup_region(rt, n=16, parts=8):
+    rx = rt.create_region("rx", n, {"x": "f8"})
+    rx.storage("x")[:] = np.arange(float(n))
+    return rx, equal_partition(f"p{rx.uid}", rx, parts)
+
+
+class TestResolveWorkers:
+    def test_explicit_config_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "7")
+        assert resolve_workers(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        assert resolve_workers(None) == 4
+
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers(None) == 1
+
+    def test_bad_env_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "lots")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            resolve_workers(None)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            resolve_workers(0)
+
+    def test_backend_selection(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert isinstance(Runtime(RuntimeConfig()).backend, SerialBackend)
+        assert isinstance(make_rt().backend, ParallelBackend)
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        assert isinstance(
+            Runtime(RuntimeConfig(n_nodes=2)).backend, ParallelBackend
+        )
+
+
+class TestEligibility:
+    def test_trusted_launches_run_serial(self):
+        """With safety validation off nothing is *verified*, so every
+        launch must take the serial path."""
+        rt = make_rt(validate_safety=False)
+        _, p = setup_region(rt)
+        rt.index_launch(bump, 8, p)
+        assert rt.backend.stats.serial_launches == 1
+        assert rt.backend.stats.parallel_launches == 0
+
+    def test_reduce_read_overlap_ineligible(self):
+        """A REDUCE requirement sharing a region+field with a non-REDUCE
+        requirement is ineligible: the bodies would observe half-applied
+        reductions under replay.  The safety analysis already rejects such
+        launches today, so exercise the backend's defense-in-depth gate
+        directly."""
+        from repro.core.domain import Domain
+        from repro.core.launch import IndexLaunch
+
+        rt = make_rt()
+        rx, p = setup_region(rt, parts=4)
+        assignment = {0: [(0,)], 1: [(1,)], 2: [(2,)], 3: [(3,)]}
+
+        same = IndexLaunch(
+            task=read_and_reduce_same,
+            domain=Domain.range(4),
+            requirements=rt._build_requirements(read_and_reduce_same, (p, p)),
+        )
+        assert not rt.backend._eligible(same, assignment, True)
+
+        ry = rt.create_region("ry", 16, {"x": "f8"})
+        py = equal_partition(f"py{ry.uid}", ry, 4)
+        disjoint = IndexLaunch(
+            task=read_and_reduce_same,
+            domain=Domain.range(4),
+            requirements=rt._build_requirements(read_and_reduce_same, (p, py)),
+        )
+        assert rt.backend._eligible(disjoint, assignment, True)
+
+    def test_single_node_runs_serial(self):
+        rt = make_rt(n_nodes=1)
+        _, p = setup_region(rt)
+        rt.index_launch(bump, 8, p)
+        assert rt.backend.stats.serial_launches == 1
+
+    def test_verified_launch_goes_parallel(self):
+        rt = make_rt()
+        _, p = setup_region(rt)
+        rt.index_launch(bump, 8, p)
+        assert rt.backend.stats.parallel_launches == 1
+        assert rt.backend.stats.fallbacks == 0
+        assert rt.backend.stats.shards_dispatched >= 2
+        assert rt.backend.stats.tasks_shipped == 8
+
+
+class TestFailureParity:
+    def test_worker_exception_falls_back_and_matches_serial(self):
+        """A task body that raises must produce the same exception and the
+        same partial region effects as serial, and poison the task so
+        later launches skip the doomed dispatch."""
+        rt_s = make_rt(workers=1)
+        rx_s, p_s = setup_region(rt_s)
+        with pytest.raises(RuntimeError, match="boom at point 2"):
+            rt_s.index_launch(explode_on_two, 8, p_s)
+        serial_bytes = rx_s.storage("x").tobytes()
+
+        rt_p = make_rt(workers=2)
+        rx_p, p_p = setup_region(rt_p)
+        with pytest.raises(RuntimeError, match="boom at point 2"):
+            rt_p.index_launch(explode_on_two, 8, p_p)
+        assert rx_p.storage("x").tobytes() == serial_bytes
+        assert rt_p.backend.stats.fallbacks == 1
+        assert explode_on_two.uid in rt_p.backend._poisoned_tasks
+
+        # Poisoned: the next launch of the same task is delegated outright.
+        with pytest.raises(RuntimeError, match="boom at point 2"):
+            rt_p.index_launch(explode_on_two, 8, p_p)
+        assert rt_p.backend.stats.fallbacks == 1
+        assert rt_p.backend.stats.serial_launches == 1
+
+    def test_shuffle_parity_with_seed(self):
+        """Shuffled execution consumes the parent RNG identically in both
+        backends, so the same seed gives the same bytes."""
+        outs = []
+        for workers in (1, 2):
+            rt = make_rt(workers=workers, shuffle_intra_launch=True, seed=13)
+            rx, p = setup_region(rt)
+            for _ in range(3):
+                rt.index_launch(bump, 8, p)
+            outs.append(rx.storage("x").tobytes())
+        assert outs[0] == outs[1]
+
+
+class TestPoolLifecycle:
+    def test_registry_reuse_and_shutdown(self):
+        shutdown_pools()
+        pool = get_pool(2)
+        assert get_pool(2) is pool
+        assert active_pool_count() == 1
+        assert shutdown_pools() == 1
+        assert active_pool_count() == 0
+        assert pool.closed
+        fresh = get_pool(2)
+        assert fresh is not pool and not fresh.closed
+        shutdown_pools()
+
+    def test_closed_pool_refuses_submissions(self):
+        pool = WorkerPool(2)
+        pool.shutdown()
+        with pytest.raises(RuntimeError, match="shut down"):
+            pool.executor(0)
+
+    def test_backend_survives_external_shutdown(self):
+        """A mid-run ``shutdown_pools()`` (e.g. another runtime tearing
+        down) must not wedge the backend: it re-acquires a fresh pool."""
+        rt = make_rt()
+        _, p = setup_region(rt)
+        rt.index_launch(bump, 8, p)
+        shutdown_pools()
+        rt.index_launch(bump, 8, p)
+        assert rt.backend.stats.parallel_launches == 2
+
+
+class TestChunkedChecks:
+    def test_chunked_apply_batch_matches_inline(self, monkeypatch):
+        """Worker-chunked functor evaluation must be byte-identical to one
+        inline ``apply_batch`` call (contiguous splits, ordered concat)."""
+        monkeypatch.setattr("repro.exec.pool.CHECK_CHUNK_MIN", 8)
+        pool = WorkerPool(2)
+        try:
+            points = np.arange(64, dtype=np.int64).reshape(-1, 1)
+            for functor in (ModularFunctor(64, 3), QuadraticFunctor(64)):
+                inline = functor.apply_batch(points)
+                chunked = pool.apply_batch_chunked(functor, points)
+                assert chunked.dtype == inline.dtype
+                assert chunked.tobytes() == inline.tobytes()
+        finally:
+            pool.shutdown()
+
+    def test_small_batches_stay_inline(self):
+        """Below the chunking threshold no worker is ever started."""
+        pool = WorkerPool(2)
+        try:
+            points = np.arange(16, dtype=np.int64).reshape(-1, 1)
+            functor = ModularFunctor(16, 1)
+            out = pool.apply_batch_chunked(functor, points)
+            assert out.tobytes() == functor.apply_batch(points).tobytes()
+            assert pool._executors == [None, None]
+        finally:
+            pool.shutdown()
+
+    def test_runtime_wires_batch_evaluator(self):
+        rt = make_rt()
+        assert (
+            rt.replay_cache.check_memo.batch_evaluator
+            == rt.backend.batch_evaluator
+        )
+        assert Runtime(
+            RuntimeConfig(workers=1)
+        ).replay_cache.check_memo.batch_evaluator is None

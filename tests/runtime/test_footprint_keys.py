@@ -1,0 +1,153 @@
+"""Regression tests for process-portable footprint keys.
+
+``_footprint_key`` used to address sparse subsets by ``id(subset)``.  CPython
+recycles addresses as soon as the collector frees an object, so a program
+that churns subregions (create, analyze, drop, repeat) could mint a *new*
+subset at the address of a dead one and silently coalesce two unrelated
+footprints — and an ``id()`` means nothing in a worker process.  Subsets now
+carry a monotonically increasing construction ``uid`` that is never reused
+and survives pickling.
+"""
+
+import gc
+import pickle
+
+import numpy as np
+
+from repro.core.domain import Domain, Point, Rect
+from repro.data.collection import (
+    Region,
+    RectSubset,
+    SparseSubset,
+    Subregion,
+)
+from repro.data.partition import Partition, equal_partition
+from repro.data.privileges import PrivilegeSpec
+from repro.runtime.physical import (
+    PhysicalAnalyzer,
+    _footprint_key,
+    _same_subset,
+)
+
+READ = PrivilegeSpec.parse("reads")
+RW = PrivilegeSpec.parse("reads writes")
+
+
+def make_region(n=16):
+    return Region("r", Rect((0,), (n - 1,)), {"x": "f8"})
+
+
+class TestSubsetUids:
+    def test_uids_monotone_and_unique(self):
+        subsets = [SparseSubset([i]) for i in range(64)]
+        uids = [s.uid for s in subsets]
+        assert len(set(uids)) == len(uids)
+        assert uids == sorted(uids)
+        # Rect subsets draw from the same counter.
+        r = RectSubset(Rect((0,), (3,)))
+        assert r.uid > uids[-1]
+
+    def test_uid_survives_collection_churn(self):
+        """A freshly-minted subset must never inherit a dead subset's uid
+        (the way it could inherit its ``id()``)."""
+        seen = set()
+        for _ in range(200):
+            s = SparseSubset([1, 2, 3])
+            assert s.uid not in seen
+            seen.add(s.uid)
+            del s
+            gc.collect()
+
+    def test_uid_survives_pickling(self):
+        s = SparseSubset([3, 1, 4])
+        clone = pickle.loads(pickle.dumps(s))
+        assert clone.uid == s.uid
+        assert np.array_equal(clone.indices, s.indices)
+
+    def test_same_subset_by_uid_across_processes_shape(self):
+        """A pickled copy is _same_subset as the original: uid equality
+        stands in for object identity across the process boundary."""
+        s = SparseSubset([5, 6])
+        clone = pickle.loads(pickle.dumps(s))
+        assert clone is not s
+        assert _same_subset(s, clone)
+        assert not _same_subset(s, SparseSubset([5, 6]))  # distinct minting
+
+
+class TestFootprintKeys:
+    def test_churned_subsets_get_distinct_keys(self):
+        """Keys of dead subsets never alias keys of later ones, no matter
+        how aggressively the allocator recycles addresses."""
+        region = make_region()
+        keys = set()
+        ids_recycled = False
+        seen_ids = set()
+        for i in range(200):
+            subset = SparseSubset([i % 16])
+            sub = Subregion(region, subset, None, None)
+            key = _footprint_key(sub, READ, frozenset({"x"}))
+            assert key not in keys
+            keys.add(key)
+            if id(subset) in seen_ids:
+                ids_recycled = True  # the failure mode uid protects against
+            seen_ids.add(id(subset))
+            del sub, subset
+            gc.collect()
+        # Not asserted (allocator-dependent), but on CPython this is the
+        # common case — document that the test would have caught it:
+        assert ids_recycled or True
+
+    def test_rect_subsets_keyed_by_bounds(self):
+        """Root subregions wrap a fresh RectSubset per call; value equality
+        keeps repeated root accesses coalescible."""
+        region = make_region()
+        k1 = _footprint_key(region.root_subregion(), READ, frozenset({"x"}))
+        k2 = _footprint_key(region.root_subregion(), READ, frozenset({"x"}))
+        assert k1 == k2
+
+    def test_key_is_plain_data(self):
+        """Keys must pickle round-trip unchanged (shipped in shard plans)."""
+        region = make_region()
+        part = equal_partition("p", region, 4)
+        sub = part[Point(1)]
+        key = _footprint_key(sub, RW, frozenset({"x"}))
+        assert pickle.loads(pickle.dumps(key)) == key
+
+
+class TestAnalyzerChurn:
+    def test_no_spurious_coalescing_across_churned_subregions(self):
+        """Churning sparse subregions through the analyzer must create one
+        user per distinct subset — never coalesce a new footprint into a
+        dead one's user because the allocator reused an address."""
+        region = make_region()
+        analyzer = PhysicalAnalyzer()
+        task_id = 0
+        for round_ in range(50):
+            subset = SparseSubset([round_ % 4])
+            part = Partition(
+                f"p{round_}", region, Domain.range(1),
+                {Point(0): subset},
+            )
+            sub = part[(0,)]
+            analyzer.record_task(task_id, [(sub, READ, ("x",))])
+            task_id += 1
+            del part, sub, subset
+            gc.collect()
+        users = analyzer._users[region.uid]
+        # All 50 reads are compatible, but each distinct subset (by uid)
+        # must keep its own user: no cross-minting coalescing at all.
+        assert len(users) == 50
+        assert len({u.footprint_key() for u in users}) == 50
+
+    def test_repeated_same_subset_still_coalesces(self):
+        """The fix must not break legitimate coalescing: re-reading the
+        *same* subregion object across tasks stays one user."""
+        region = make_region()
+        part = equal_partition("p", region, 4)
+        analyzer = PhysicalAnalyzer()
+        sub = part[Point(2)]
+        for task_id in range(10):
+            analyzer.record_task(task_id, [(sub, READ, ("x",))])
+        users = analyzer._users[region.uid]
+        assert len(users) == 1
+        assert users[0].task_ids == list(range(10))
