@@ -16,6 +16,12 @@ Commands:
 * ``profile <app> [--out trace.json]`` — run one application with the
   pipeline profiler attached and export a Chrome-trace/Perfetto JSON (or
   JSONL / text summary).  See ``docs/observability.md``.
+* ``faultsim <app> [--fault SPEC ...]`` — run an application twice, once
+  fault-free and once under a deterministic fault plan, and compare every
+  byte.  Exits 0 when all faults were recovered and the runs are
+  identical, 1 on a mismatch (or a plan that never fired), 2 when the
+  plan was unrecoverable (poisoned launches, reported as one line).  See
+  ``docs/fault-tolerance.md``.
 
 Operational errors (bad arguments, unwritable output paths) exit with
 status 2 and a one-line message — never a traceback.
@@ -294,6 +300,40 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_faultsim(args) -> int:
+    from repro.fault import FaultPlan, RetryPolicy, parse_fault
+    from repro.fault.sim import run_faultsim
+
+    if args.workers < 2:
+        raise CLIError("--workers must be >= 2 (faults target the worker "
+                       "pool; the serial path has no workers to lose)")
+    if args.steps is not None and args.steps < 1:
+        raise CLIError("--steps must be >= 1")
+    if args.fault:
+        try:
+            specs = tuple(parse_fault(text) for text in args.fault)
+        except ValueError as exc:
+            raise CLIError(str(exc))
+        plan = FaultPlan(specs=specs, seed=args.seed)
+    else:
+        plan = FaultPlan.random(args.seed, n_faults=1, workers=args.workers,
+                                shards=2)
+    retry = None
+    if args.timeout is not None:
+        if args.timeout <= 0:
+            raise CLIError("--timeout must be > 0 seconds")
+        retry = RetryPolicy(shard_timeout_s=args.timeout)
+    report = run_faultsim(
+        args.app, plan, workers=args.workers, steps=args.steps,
+        retry=retry,
+    )
+    if report.exit_code == 2:
+        print(report.summary_line())
+    else:
+        print(report.render())
+    return report.exit_code
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -359,6 +399,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_prof.add_argument("--no-idx", action="store_true",
                         help="disable index launches")
     p_prof.set_defaults(fn=_cmd_profile)
+
+    p_fault = sub.add_parser(
+        "faultsim",
+        help="inject deterministic faults, recover, compare bytes",
+    )
+    p_fault.add_argument("app", choices=("circuit", "stencil"),
+                         help="application to run under fault injection")
+    p_fault.add_argument("--fault", action="append", default=[],
+                         metavar="KIND:SCOPE:TARGET[:PHASE[:TIMES]]",
+                         help="fault spec, repeatable (e.g. kill:worker:0, "
+                              "hang:shard:1:execution, "
+                              "kill:point:0:execution:-1); default: one "
+                              "random fault from --seed")
+    p_fault.add_argument("--workers", type=int, default=2,
+                         help="worker pool size (default 2)")
+    p_fault.add_argument("--steps", type=int, default=None,
+                         help="application time steps (default: app's)")
+    p_fault.add_argument("--seed", type=int, default=0,
+                         help="seed for randomly generated plans (default 0)")
+    p_fault.add_argument("--timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-shard result timeout (hang detector)")
+    p_fault.set_defaults(fn=_cmd_faultsim)
 
     args = parser.parse_args(argv)
     try:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.fault.plan import InjectedFaultError
 from repro.runtime.futures import FutureMap
 from repro.runtime.physical import make_template
 from repro.runtime.pipeline import Stage
@@ -149,8 +150,8 @@ class SerialBackend(ExecutionBackend):
                 if ptemplate is not None:
                     cache.put_physical(sig, ptemplate)
 
-        fmap = FutureMap()
-        executed: List[Tuple[PointPlan, int]] = []
+        fmap = FutureMap(label=launch.name)
+        executed: List[Tuple[PointPlan, int, int]] = []
         for tid, (node, plan), tdeps in zip(task_ids, plan_list, tdeps_lists):
             rt.stats.physical_dependences += len(tdeps)
             rt.stats.add_representation(Stage.PHYSICAL, node, 1)
@@ -159,7 +160,7 @@ class SerialBackend(ExecutionBackend):
                     tid, plan.task_launch.name, op_id, node
                 )
                 rt.graph_recorder.record_physical_edges(tdeps)
-            executed.append((plan, node))
+            executed.append((plan, node, tid))
         rt.stats.overlap_queries = rt.physical.overlap_queries
         if prof.enabled:
             per_node: Dict[int, int] = {}
@@ -183,11 +184,21 @@ class SerialBackend(ExecutionBackend):
         # --- execution (functionally; order free for verified launches).
         if cfg.shuffle_intra_launch and safe_order_free:
             rt._rng.shuffle(executed)
-        for plan, node in executed:
-            fmap.set(
-                plan.task_launch.point,
-                rt._run_task(plan.task_launch, node, regions=plan.regions),
-            )
+        for plan, node, tid in executed:
+            try:
+                fmap.set(
+                    plan.task_launch.point,
+                    rt._run_task(plan.task_launch, node, regions=plan.regions),
+                )
+            except InjectedFaultError as exc:
+                # Stamp the originating task so the poisoned diagnostics
+                # name the real culprit, then let the runtime convert the
+                # whole launch to a poisoned FutureMap.
+                if exc.task_id is None:
+                    exc.task_id = tid
+                if exc.point is None and plan.task_launch.point is not None:
+                    exc.point = tuple(plan.task_launch.point)
+                raise
         return fmap
 
 

@@ -32,6 +32,10 @@ The determinism contract rests on three rules:
 
 from __future__ import annotations
 
+import time
+from concurrent.futures import CancelledError
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -40,6 +44,7 @@ import numpy as np
 from repro.core.domain import Point
 from repro.data.privileges import REDUCTION_OPS, Privilege
 from repro.exec.backend import ExecutionBackend, SerialBackend
+from repro.fault.plan import RetryPolicy
 from repro.exec.plan import (
     PartitionEntry,
     ReqTemplate,
@@ -77,6 +82,38 @@ class _ParallelBail(Exception):
         self.poison = poison
 
 
+class _InfraFailure(Exception):
+    """A shard attempt lost to infrastructure, not to application code.
+
+    ``kind`` drives the recovery ladder: ``broken``/``timeout`` mean the
+    worker process itself is gone or wedged (tier 2: respawn), while
+    ``corrupt``/``cancelled`` mean the process may be fine and a plain
+    resubmission can succeed (tier 1: same-worker retry).
+    """
+
+    def __init__(self, kind: str, detail: str):
+        super().__init__(f"{kind}: {detail}")
+        self.kind = kind
+        self.detail = detail
+
+
+@dataclass
+class _ShardJob:
+    """One shard's dispatch state across retry attempts."""
+
+    shard_index: int
+    node: int
+    k: int                                   # worker affinity
+    local: list                              # the node's domain points
+    ordinals: List[int]
+    local_projs: List[List[Any]]
+    gen: int = -1                            # worker generation at submit
+    mark: float = 0.0                        # profiler mark at submit
+    future: Any = None
+    staged: Optional[dict] = None            # cache delta of this attempt
+    payload: Any = None
+
+
 @dataclass
 class ParallelExecStats:
     """Backend-local accounting.
@@ -92,6 +129,11 @@ class ParallelExecStats:
     merge_fallbacks: int = 0        # merges replaced by live analysis
     shards_dispatched: int = 0
     tasks_shipped: int = 0
+    # --- recovery ladder (see docs/fault-tolerance.md)
+    shard_retries: int = 0          # tier 1: resubmissions, same worker
+    worker_respawns: int = 0        # tier 2: worker process replacements
+    shard_timeouts: int = 0         # hangs converted into respawns
+    backoff_total_s: float = 0.0    # wall-clock slept between attempts
 
 
 @dataclass
@@ -104,7 +146,10 @@ class _Dispatch:
     values: List[Any]                         # decoded future values
     task_worker: List[Tuple[int, float]]      # (worker index, span offset)
     analyzed: bool
-    shipments: List[Tuple[Any, dict]] = field(default_factory=list)
+    # (worker index, worker generation at success, staged cache delta):
+    # committed only while the generation still holds — a respawn wipes the
+    # worker state a stale shipment would otherwise claim it has.
+    shipments: List[Tuple[int, int, dict]] = field(default_factory=list)
 
 
 class ParallelBackend(ExecutionBackend):
@@ -125,6 +170,9 @@ class ParallelBackend(ExecutionBackend):
     def pool(self):
         if self._pool is None or self._pool.closed:
             self._pool = get_pool(self.workers)
+        # Re-point every fetch: pools are shared across runtimes, and pool
+        # failures should land in *this* runtime's metrics/trace.
+        self._pool.profiler = self.rt.profiler
         return self._pool
 
     def batch_evaluator(self, functor, points: np.ndarray) -> np.ndarray:
@@ -194,7 +242,11 @@ class ParallelBackend(ExecutionBackend):
         self.stats.parallel_launches += 1
         self.stats.shards_dispatched += len(dispatch.nodes)
         self.stats.tasks_shipped += len(dispatch.tasks)
-        for caches, staged in dispatch.shipments:
+        pool = self.pool()
+        for k, gen, staged in dispatch.shipments:
+            if pool.generation(k) != gen:
+                continue  # respawned since this shard ran; state is gone
+            caches = pool.caches[k]
             caches.tasks |= staged["tasks"]
             caches.regions |= staged["regions"]
             caches.partition_colors |= staged["partition_colors"]
@@ -265,11 +317,31 @@ class ParallelBackend(ExecutionBackend):
         except Exception as exc:
             raise _ParallelBail(f"task not picklable: {exc}", poison=True)
 
-        shipments: List[Tuple[Any, dict]] = []
-        futures = []
+        injector = getattr(rt, "fault_injector", None)
+
+        jobs: List[_ShardJob] = []
         ordinal = 0
         for shard_index, node in enumerate(nodes):
-            k = shard_index % self.workers
+            local = assignment[node]
+            jobs.append(
+                _ShardJob(
+                    shard_index=shard_index,
+                    node=node,
+                    k=shard_index % self.workers,
+                    local=local,
+                    ordinals=list(range(ordinal, ordinal + len(local))),
+                    local_projs=projections[ordinal : ordinal + len(local)],
+                )
+            )
+            ordinal += len(local)
+
+        def build_and_submit(job: _ShardJob, depth: int = 0) -> None:
+            """(Re)build one shard plan against the worker's *current*
+            committed cache view and submit it.  Retries rebuild from
+            scratch: a respawned worker's caches are empty, so the fresh
+            plan ships everything it needs; a surviving worker's install is
+            idempotent, so re-shipped state is harmless."""
+            k, node = job.k, job.node
             caches = pool.caches[k]
             staged = {
                 "tasks": set(),
@@ -277,13 +349,10 @@ class ParallelBackend(ExecutionBackend):
                 "partition_colors": set(),
                 "subsets": set(),
             }
-            shipments.append((caches, staged))
             known_subsets = caches.subsets | staged["subsets"]
-
-            local = assignment[node]
-            ordinals = list(range(ordinal, ordinal + len(local)))
-            local_projs = projections[ordinal : ordinal + len(local)]
-            ordinal += len(local)
+            local = job.local
+            ordinals = job.ordinals
+            local_projs = job.local_projs
 
             # Region skeletons new to this worker.
             regions = []
@@ -402,40 +471,64 @@ class ParallelBackend(ExecutionBackend):
                 profile=prof.enabled,
             )
             staged["tasks"].add(launch.task.uid)
+            if injector is not None:
+                plan.faults = injector.arm_shard(k, node, local)
             try:
                 blob = dumps(plan)
             except Exception as exc:
                 raise _ParallelBail(f"plan not picklable: {exc}", poison=True)
-            mark = prof.now() if prof.enabled else 0.0
+            job.staged = staged
+            job.gen = pool.generation(k)
+            job.mark = prof.now() if prof.enabled else 0.0
             try:
-                futures.append((k, mark, pool.submit_shard(k, blob)))
+                job.future = pool.submit_shard(k, blob)
+            except BrokenProcessPool:
+                # An earlier shard's death surfaced at *submit* time (the
+                # executor noticed its child was gone before we handed it
+                # this plan).  Respawn and rebuild against the emptied
+                # caches; deaths that surface at result time go through
+                # the capped ladder in _collect_shard instead.
+                if depth >= 3:
+                    raise _ParallelBail(
+                        f"worker {k} broken at submit {depth} times"
+                    )
+                pool.reset_worker(k)
+                self.stats.worker_respawns += 1
+                self._note_recovery(
+                    "respawn", launch, job,
+                    _InfraFailure("broken", "pool broken at submit"),
+                )
+                build_and_submit(job, depth + 1)
             except Exception as exc:
                 raise _ParallelBail(f"submit failed: {exc}")
 
-        # Collect in shard order; validate everything before committing.
+        for job in jobs:
+            build_and_submit(job)
+
+        # Collect in shard order, recovering per shard (retry -> respawn),
+        # bailing to serial only when a shard exhausts its retry policy.
+        policy = getattr(rt, "retry_policy", None) or RetryPolicy()
+        shipments: List[Tuple[int, int, dict]] = []
+        for job in jobs:
+            job.payload = self._collect_shard(
+                launch, pool, policy, job, build_and_submit
+            )
+            shipments.append((job.k, pool.generation(job.k), job.staged))
+
+        # Validate everything before committing.
         total = len(flat_points)
         tasks: List[Optional[Any]] = [None] * total
         task_worker: List[Tuple[int, float]] = [(0, 0.0)] * total
-        for k, mark, future in futures:
-            try:
-                payload = loads(future.result())
-            except Exception as exc:
-                for j in range(pool.n):
-                    pool.reset_worker(j)
-                raise _ParallelBail(f"worker died: {exc}")
-            if payload[0] == "error":
-                raise _ParallelBail(
-                    f"worker error: {payload[1]}", poison=True
-                )
-            result = payload[1]
-            offset = mark - result.t0
+        for job in jobs:
+            result = job.payload
+            offset = job.mark - result.t0
             for trec in result.tasks:
                 if not 0 <= trec.ordinal < total or tasks[trec.ordinal] is not None:
                     raise _ParallelBail("shard result ordinals inconsistent")
                 if analyzed and trec.ops is None:
                     raise _ParallelBail("missing analyzer ops in shard result")
                 tasks[trec.ordinal] = trec
-                task_worker[trec.ordinal] = (k, offset)
+                task_worker[trec.ordinal] = (job.k, offset)
         if any(t is None for t in tasks):
             raise _ParallelBail("missing tasks in shard results")
         try:
@@ -452,6 +545,126 @@ class ParallelBackend(ExecutionBackend):
             analyzed=analyzed,
             shipments=shipments,
         )
+
+    # ----------------------------------------------------- shard collection
+    def _collect_shard(self, launch, pool, policy, job, resubmit):
+        """Await one shard's result, climbing the recovery ladder on
+        infrastructure failures.
+
+        Tier 1 (same-worker retry) handles failures that leave the process
+        usable: a corrupt result blob, a future cancelled because another
+        shard's recovery reset this worker.  Tier 2 (respawn) handles a
+        dead or wedged process.  Exhausting both raises ``_ParallelBail``
+        (tier 3, serial fallback); a worker-side *application* error skips
+        the ladder entirely — it is deterministic, so the serial re-run
+        reproduces it exactly.
+        """
+        retries = respawns = 0
+        while True:
+            failure: Optional[_InfraFailure] = None
+            payload = None
+            try:
+                raw = job.future.result(timeout=policy.shard_timeout_s)
+            except BrokenProcessPool as exc:
+                failure = _InfraFailure("broken", str(exc) or "worker died")
+            except FuturesTimeout:
+                failure = _InfraFailure(
+                    "timeout",
+                    f"no result within {policy.shard_timeout_s}s",
+                )
+            except CancelledError:
+                failure = _InfraFailure(
+                    "cancelled", "future cancelled by a worker reset"
+                )
+            except Exception as exc:
+                failure = _InfraFailure("transport", str(exc))
+            if failure is None:
+                try:
+                    payload = loads(raw)
+                except Exception as exc:
+                    failure = _InfraFailure("corrupt", str(exc))
+            if failure is None:
+                if payload[0] == "error":
+                    raise _ParallelBail(
+                        f"worker error: {payload[1]}", poison=True
+                    )
+                return payload[1]
+
+            # Worker process gone/wedged (and not already replaced by an
+            # earlier shard's recovery) -> the attempt needs a respawn.
+            worker_stale = pool.generation(job.k) != job.gen
+            need_respawn = (
+                failure.kind in ("broken", "timeout") and not worker_stale
+            )
+            if need_respawn:
+                if respawns >= policy.respawns:
+                    self._bail_unrecoverable(pool, job, failure,
+                                             retries, respawns)
+                respawns += 1
+                if failure.kind == "timeout":
+                    self.stats.shard_timeouts += 1
+                self.stats.worker_respawns += 1
+                pool.reset_worker(job.k)
+                self._note_recovery("respawn", launch, job, failure)
+            elif retries < policy.same_worker_retries or worker_stale:
+                # A stale-generation failure is not the worker's fault; the
+                # resubmission goes to the already-fresh process.
+                retries += 1
+                self.stats.shard_retries += 1
+                self._note_recovery("retry", launch, job, failure)
+            elif respawns < policy.respawns:
+                # Same-worker retries exhausted: escalate, the process may
+                # be corrupted in a way that does not kill it.
+                respawns += 1
+                self.stats.worker_respawns += 1
+                pool.reset_worker(job.k)
+                self._note_recovery("respawn", launch, job, failure)
+            else:
+                self._bail_unrecoverable(pool, job, failure, retries, respawns)
+            self._backoff(retries + respawns)
+            resubmit(job)
+
+    def _backoff(self, attempt: int) -> None:
+        """Capped exponential, wall-clock-only pause before a retry."""
+        policy = getattr(self.rt, "retry_policy", None) or RetryPolicy()
+        delay = policy.backoff_s(attempt)
+        if delay > 0:
+            time.sleep(delay)
+            self.stats.backoff_total_s += delay
+
+    def _bail_unrecoverable(self, pool, job, failure, retries, respawns):
+        """Tier 3: abandon the dispatch for the serial fallback.
+
+        Every worker is reset — in-flight futures of sibling shards die
+        with their executors, and nothing about any worker's state can be
+        trusted after a dispatch this broken."""
+        for j in range(pool.n):
+            pool.reset_worker(j)
+        raise _ParallelBail(
+            f"shard {job.node} unrecoverable after {retries} retries and "
+            f"{respawns} respawns: {failure}"
+        )
+
+    def _note_recovery(self, kind, launch, job, failure) -> None:
+        """One recovery-ladder transition: instant + counter, wall-clock
+        cost annotations only (never charged to simulated time)."""
+        prof = self.rt.profiler
+        if not prof.enabled:
+            return
+        cost = prof.costmodel
+        attrs = dict(
+            launch=launch.name,
+            shard=job.node,
+            worker=job.k,
+            failure=failure.kind,
+        )
+        if cost is not None:
+            attrs["wall_cost_s"] = (
+                cost.t_worker_respawn if kind == "respawn"
+                else cost.t_retry_backoff
+            )
+        prof.instant(f"recovery.{kind}", Stage.EXECUTION, **attrs)
+        prof.count("recovery.events", 1.0, kind=kind, failure=failure.kind)
 
     # -------------------------------------------------------------- commit
     def _commit(
@@ -564,7 +777,7 @@ class ParallelBackend(ExecutionBackend):
                 if ptemplate is not None:
                     cache.put_physical(sig, ptemplate)
 
-        fmap = FutureMap()
+        fmap = FutureMap(label=launch.name)
         for tid, ((node, point), tdeps) in zip(
             task_ids, zip(dispatch.points, tdeps_lists)
         ):

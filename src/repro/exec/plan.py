@@ -170,6 +170,9 @@ class ShardPlan:
     analyze: bool                   # run physical analysis (no template replay)
     read_data: List[tuple]          # (region_uid, field, idx array, values)
     profile: bool
+    #: armed fault directives (kind, phase, point|None, hang_s) — injected
+    #: failures the worker fires with real effects; see repro.fault.
+    faults: List[tuple] = field(default_factory=list)
 
 
 @dataclass

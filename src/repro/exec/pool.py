@@ -19,6 +19,7 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import os
+import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional
@@ -26,6 +27,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.exec.plan import dumps, loads
+from repro.obs.profiler import NULL_PROFILER
 
 __all__ = [
     "WorkerPool",
@@ -98,6 +100,20 @@ class WorkerPool:
         self._executors: List[Optional[ProcessPoolExecutor]] = [None] * n
         self.caches: List[_WorkerCaches] = [_WorkerCaches() for _ in range(n)]
         self._closed = False
+        #: bumped on every reset: lets callers tell "this worker died" from
+        #: "this worker was already respawned by an earlier failure", and
+        #: lets the backend discard cache shipments collected from a worker
+        #: generation that no longer exists.
+        self._generations: List[int] = [0] * n
+        #: executors abandoned by reset_worker, drained at shutdown so
+        #: their manager threads are joined before interpreter teardown
+        #: (CPython's process-pool atexit hook prints "Exception ignored"
+        #: noise when it pokes a broken, never-joined executor).
+        self._retired: List[ProcessPoolExecutor] = []
+        self.pool_failures = 0
+        #: observability hook; the parallel backend points this at the
+        #: runtime's profiler so pool failures surface in traces/metrics.
+        self.profiler = NULL_PROFILER
 
     # ----------------------------------------------------------- lifecycle
     def executor(self, k: int) -> ProcessPoolExecutor:
@@ -115,8 +131,14 @@ class WorkerPool:
         executor = self._executors[k]
         self._executors[k] = None
         self.caches[k].clear()
+        self._generations[k] += 1
         if executor is not None:
             executor.shutdown(wait=False, cancel_futures=True)
+            self._retired.append(executor)
+
+    def generation(self, k: int) -> int:
+        """The respawn generation of worker ``k`` (bumped on every reset)."""
+        return self._generations[k]
 
     def shutdown(self) -> None:
         self._closed = True
@@ -126,6 +148,12 @@ class WorkerPool:
             self.caches[k].clear()
             if executor is not None:
                 executor.shutdown(wait=False, cancel_futures=True)
+        for executor in self._retired:
+            try:
+                executor.shutdown(wait=True, cancel_futures=True)
+            except Exception:
+                pass
+        self._retired.clear()
 
     @property
     def closed(self) -> bool:
@@ -139,21 +167,46 @@ class WorkerPool:
         return self.executor(k).submit(run_shard_bytes, plan_blob)
 
     # ------------------------------------------------- chunked batch evals
+    def _note_failure(self, reason: str) -> None:
+        """Count one infrastructure failure (visible in metrics/traces)."""
+        self.pool_failures += 1
+        prof = self.profiler
+        if prof.enabled:
+            prof.count("pool.failures", 1.0, reason=reason)
+            prof.instant("pool.failure", "execution", reason=reason)
+
+    @staticmethod
+    def _cancel(futures) -> None:
+        """Cancel still-pending chunk futures so nothing leaks into a dead
+        (or abandoned) executor; finished futures ignore the cancel."""
+        for f in futures:
+            f.cancel()
+
     def apply_batch_chunked(self, functor, points: np.ndarray) -> np.ndarray:
         """Evaluate ``functor.apply_batch`` across workers in |D|/n chunks.
 
         Exact-preserving: chunks are contiguous domain slices concatenated
-        in order, so the result is byte-identical to one inline call.  Any
-        worker/pickling failure falls back to inline evaluation.
+        in order, so the result is byte-identical to one inline call.
+        *Infrastructure* failures — a dead worker process, a functor that
+        cannot be pickled, a corrupted result blob — fall back to inline
+        evaluation (which is exact) and are counted in ``pool_failures``.
+        A functor that *raises* is an application bug: the exception
+        propagates exactly as the inline call would have raised it.
         """
         n_points = len(points)
         if n_points < CHECK_CHUNK_MIN or self.n < 2 or self._closed:
             return functor.apply_batch(points)
         chunks = np.array_split(points, self.n)
-        try:
-            from repro.exec.worker import apply_batch_bytes
+        from repro.exec.worker import apply_batch_bytes
 
+        try:
             blob = dumps(functor)
+        except Exception:
+            # Unpicklable functor: transport-level, inline is exact.
+            self._note_failure("functor_unpicklable")
+            return functor.apply_batch(points)
+        futures: list = []
+        try:
             futures = [
                 (self.executor(k).submit(apply_batch_bytes, blob, chunk))
                 for k, chunk in enumerate(chunks)
@@ -161,11 +214,22 @@ class WorkerPool:
             ]
             parts = [loads(f.result()) for f in futures]
         except BrokenProcessPool:
+            self._cancel(futures)
+            self._note_failure("broken_pool")
             for k in range(self.n):
                 self.reset_worker(k)
             return functor.apply_batch(points)
-        except Exception:
+        except (pickle.UnpicklingError, EOFError, OSError):
+            # Result transport failed; the workers themselves are fine.
+            self._cancel(futures)
+            self._note_failure("transport")
             return functor.apply_batch(points)
+        except BaseException:
+            # The functor itself raised (the worker re-raises it through
+            # the future): surface it exactly as inline evaluation would,
+            # instead of "succeeding" inline only to raise again later.
+            self._cancel(futures)
+            raise
         return np.concatenate(parts, axis=0)
 
 

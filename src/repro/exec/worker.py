@@ -25,6 +25,7 @@ Determinism notes:
 
 from __future__ import annotations
 
+import os
 import time
 import traceback
 from typing import Any, Dict, List, Optional
@@ -184,14 +185,54 @@ def _snapshot_analyzer(plan: ShardPlan) -> PhysicalAnalyzer:
     return analyzer
 
 
+# ----------------------------------------------------------- fault firing
+class _CorruptResult(BaseException):
+    """Raised by a ``corrupt`` directive; run_shard_bytes garbles the blob.
+
+    Subclasses BaseException so no application-level except clause can
+    swallow it between the firing site and the entry point.
+    """
+
+
+def _fire_faults(
+    faults, phase: str, point: Optional[tuple] = None
+) -> None:
+    """Fire armed directives matching this phase (and point, if given).
+
+    Real effects only — this is the injected analogue of actual worker
+    failures: ``kill`` hard-exits the process (the parent observes a
+    ``BrokenProcessPool``), ``hang`` sleeps (the parent's shard timeout
+    converts a long enough sleep into a respawn), ``corrupt`` makes the
+    result blob unreadable (the parent retries the same worker).
+    """
+    for kind, ph, pt, hang_s in faults:
+        if ph != phase:
+            continue
+        # Exact anchor match: worker/shard directives (pt None) fire at the
+        # phase boundary; point directives fire only at their point.
+        if (pt is None) != (point is None):
+            continue
+        if pt is not None and tuple(point) != tuple(pt):
+            continue
+        if kind == "hang":
+            time.sleep(hang_s)
+        elif kind == "kill":
+            os._exit(13)
+        elif kind == "corrupt":
+            raise _CorruptResult()
+
+
 # -------------------------------------------------------------- shard body
 def _run_shard(plan: ShardPlan) -> ShardResult:
     t0 = time.perf_counter()
+    faults = plan.faults or []
+    _fire_faults(faults, "install")
     _install_plan_state(plan)
     task = _TASKS[plan.task_uid]
     result = ShardResult(node=plan.node, t0=t0)
 
     # Expansion: project every requirement at every local point.
+    _fire_faults(faults, "expansion")
     reqs = [
         RegionRequirement(
             privilege=priv_from_token(r.priv),
@@ -217,6 +258,7 @@ def _run_shard(plan: ShardPlan) -> ShardResult:
     # parent can replay the state transition onto its own analyzer.
     ops_per_task: List[Optional[List[tuple]]] = [None] * len(point_tasks)
     deps_per_task: List[List[tuple]] = [[] for _ in point_tasks]
+    _fire_faults(faults, "physical")
     if plan.analyze:
         analyzer = _snapshot_analyzer(plan)
         for i, point, subregions, _args in point_tasks:
@@ -247,7 +289,9 @@ def _run_shard(plan: ShardPlan) -> ShardResult:
 
     # Execution: run bodies against worker storage, recording reductions
     # instead of applying them and gathering write-back footprints.
+    _fire_faults(faults, "execution")
     for i, point, subregions, args in point_tasks:
+        _fire_faults(faults, "execution", point=tuple(point))
         reduce_log: List[tuple] = []
         regions = []
         for sub, req, rf in zip(subregions, reqs, resolved_fields):
@@ -300,6 +344,10 @@ def run_shard_bytes(blob: bytes) -> bytes:
         plan = loads(blob)
         result = _run_shard(plan)
         return dumps(("ok", result))
+    except _CorruptResult:
+        # Injected corruption: bytes that cannot unpickle, exactly what a
+        # truncated/garbled transport would hand the parent.
+        return b"\x80\x04repro-injected-corrupt-result"
     except BaseException as exc:  # noqa: BLE001 - ships diagnosis to parent
         try:
             return dumps(

@@ -64,6 +64,8 @@ class CostModel:
     # backends must not perturb the paper's timing model.
     t_worker_dispatch: float = 120e-6  # pickle + submit one shard plan
     t_worker_result: float = 90e-6     # receive + unpickle one shard result
+    t_worker_respawn: float = 8e-3     # replace one dead worker process
+    t_retry_backoff: float = 1e-3      # nominal pause before a resubmission
 
     # --- network (Aries-like) ----------------------------------------------
     net_latency: float = 1.8e-6     # per message

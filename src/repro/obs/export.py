@@ -224,7 +224,8 @@ def text_summary(profiler: Profiler, stats: Optional[Any] = None) -> str:
     annotations = [
         (name, dict(key), value)
         for name, key, value in reg.counters()
-        if name.startswith(("cache.", "trace.", "safety.", "physical."))
+        if name.startswith(("cache.", "trace.", "safety.", "physical.",
+                            "fault.", "recovery.", "pool."))
     ]
     if annotations:
         lines.append("")

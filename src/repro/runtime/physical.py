@@ -29,7 +29,7 @@ uniquely) and bails to the live path on any mismatch.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.data.collection import Subregion
 from repro.data.privileges import Privilege, PrivilegeSpec
@@ -197,6 +197,11 @@ class PhysicalAnalyzer:
         self._users: Dict[int, List[_User]] = {}
         self.overlap_queries = 0
         self._profiler = profiler
+        #: region uid -> the TaskPoisonedError that tainted it.  A poisoned
+        #: launch taints every region it could have written; any later
+        #: operation touching a tainted region is short-circuited to a
+        #: poisoned future *before* analysis (see Runtime._poison_launch).
+        self.poisoned: Dict[int, Any] = {}
 
     def record_task_access(
         self,
@@ -401,3 +406,42 @@ class PhysicalAnalyzer:
     def active_users(self, region_uid: int) -> int:
         """Number of live users tracked for a region (test hook)."""
         return len(self._users.get(region_uid, []))
+
+    # --------------------------------------------------- poison propagation
+    def poison_regions(self, region_uids: Iterable[int], error: Any) -> int:
+        """Taint regions with the error of an unrecovered launch.
+
+        First writer wins: a region already tainted keeps its original
+        error, so consumers always see the *root* cause.  Returns how many
+        regions were newly tainted.
+        """
+        fresh = 0
+        for uid in region_uids:
+            if uid not in self.poisoned:
+                self.poisoned[uid] = error
+                fresh += 1
+        return fresh
+
+    def poison_for(self, region_uids: Iterable[int]) -> Optional[Any]:
+        """The taint an operation over these regions would inherit, if any."""
+        if not self.poisoned:
+            return None
+        for uid in region_uids:
+            error = self.poisoned.get(uid)
+            if error is not None:
+                return error
+        return None
+
+    def clear_poison(self, region_uids: Optional[Iterable[int]] = None) -> int:
+        """Explicit recovery: clear taint for the given regions (all when
+        ``None``) after the application has re-initialized their contents.
+        Returns how many taints were cleared."""
+        if region_uids is None:
+            n = len(self.poisoned)
+            self.poisoned.clear()
+            return n
+        n = 0
+        for uid in region_uids:
+            if self.poisoned.pop(uid, None) is not None:
+                n += 1
+        return n

@@ -62,6 +62,8 @@ class PipelineStats:
     launch_replays: int = 0             # per-launch trace-prefix matches
     analysis_cache_hits: int = 0        # launch-replay cache layer hits
     analysis_cache_invalidations: int = 0  # cache flushes/template drops
+    launches_poisoned: int = 0          # ops lost to unrecovered faults
+    poison_propagations: int = 0        # ... of which via dependence edges
 
     def add_representation(self, stage: str, node: int, units: int) -> None:
         if stage not in Stage.ALL:

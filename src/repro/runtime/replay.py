@@ -202,6 +202,27 @@ class LaunchReplayCache:
         self._physical.clear()
         return n
 
+    # ---------------------------------------------------------------- poison
+    def poison_signature(self, sig: tuple) -> int:
+        """Drop every memoized layer for one signature (poisoned launch).
+
+        A launch that was abandoned mid-flight may have left partial
+        effects, so nothing recorded under its signature — verdicts,
+        expansion, dependence template — can be trusted for a reissue.
+        Returns how many entries were dropped.
+        """
+        n = 0
+        for run_dynamic in (True, False):
+            if self._verdicts.pop((sig, run_dynamic), None) is not None:
+                n += 1
+        if self._expansions.pop(sig, None) is not None:
+            n += 1
+        if self._physical.pop(sig, None) is not None:
+            n += 1
+        if n:
+            self._note("poison", "dropped")
+        return n
+
     # ----------------------------------------------------------- wholesale
     def clear(self) -> int:
         """Drop everything; returns how many entries were dropped."""

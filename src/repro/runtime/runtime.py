@@ -28,8 +28,11 @@ from repro.core.safety import SafetyMethod, SafetyVerdict, analyze_launch_safety
 from repro.data.collection import Region, Subregion
 from repro.data.fields import FieldSpace
 from repro.data.partition import Partition
+from repro.data.privileges import Privilege
+from repro.fault.inject import FaultInjector
+from repro.fault.plan import InjectedFaultError, RetryPolicy
 from repro.runtime.distribution import SlicingCache, build_slices, shard_points
-from repro.runtime.futures import Future, FutureMap
+from repro.runtime.futures import Future, FutureMap, TaskPoisonedError
 from repro.runtime.logical import LogicalAnalyzer
 from repro.runtime.mapper import DefaultMapper, Mapper, ShardingCache
 from repro.exec.backend import resolve_backend
@@ -94,6 +97,16 @@ class RuntimeConfig:
             uses the shared no-op profiler and pays nothing.  Purely
             observational: results and :class:`PipelineStats` are
             identical either way.
+        fault_plan: optional :class:`~repro.fault.FaultPlan` — seeded,
+            deterministic fault injection (kill/hang/corrupt a worker,
+            shard, or point task at a chosen phase).  Recovered faults are
+            byte-invisible; unrecovered ones poison the launch (see
+            :class:`~repro.runtime.futures.TaskPoisonedError` and
+            ``docs/fault-tolerance.md``).
+        retry: optional :class:`~repro.fault.RetryPolicy` capping the
+            parallel backend's recovery ladder (same-worker retries,
+            worker respawns, backoff, shard timeout); ``None`` uses the
+            defaults.
     """
 
     n_nodes: int = 1
@@ -108,6 +121,8 @@ class RuntimeConfig:
     seed: int = 0
     workers: Optional[int] = None
     profiler: Optional[Any] = None
+    fault_plan: Optional[Any] = None
+    retry: Optional[Any] = None
 
     def __post_init__(self):
         if self.n_nodes < 1:
@@ -151,6 +166,16 @@ class Runtime:
         self.safety_log: List[SafetyVerdict] = []
         #: optional repro.tools.graph.GraphRecorder capturing the task graph
         self.graph_recorder = None
+        #: fault injection (None = no plan): per-run firing state over the
+        #: config's immutable FaultPlan.
+        plan = self.config.fault_plan
+        self.fault_injector = (
+            FaultInjector(plan) if plan is not None and plan.specs else None
+        )
+        self._fault_ordinal = itertools.count()
+        self.retry_policy: RetryPolicy = self.config.retry or RetryPolicy()
+        #: every TaskPoisonedError this runtime minted, in order.
+        self.poison_log: List[TaskPoisonedError] = []
         self.workers = resolve_workers(self.config.workers)
         self.backend = resolve_backend(self, self.workers)
         if self.workers > 1:
@@ -290,6 +315,13 @@ class Runtime:
         launch = TaskLaunch(task=task, requirements=requirements, args=args)
         self.stats.ops_issued += 1
         self.stats.single_tasks += 1
+        poison = self.physical.poison_for(
+            [req.region.uid for req in requirements]
+        )
+        if poison is not None:
+            # A region this task touches was tainted by an unrecovered
+            # fault: the task never runs, its future carries the root cause.
+            return self._poison_single(launch, poison)
         if self.config.tracing:
             self.tracer.observe(("single", task.uid))
         target = node if node is not None else self.mapper.select_node(
@@ -379,14 +411,42 @@ class Runtime:
             args=args,
             point_args=point_args,
         )
-        fmap = (
-            self._issue_index_launch(launch)
-            if self.config.index_launches
-            else self._issue_expanded(launch)
+        poison = self.physical.poison_for(
+            [req.region.uid for req in requirements]
         )
+        if poison is not None:
+            # Dependence-edge propagation: a region this launch touches was
+            # tainted by an earlier unrecovered fault, so the launch is
+            # lost too — with the *originating* failure as its diagnosis.
+            fmap = self._poison_launch(launch, poison, propagated=True)
+        else:
+            inj = self.fault_injector
+            if inj is not None:
+                inj.begin_launch(next(self._fault_ordinal))
+            try:
+                fmap = (
+                    self._issue_index_launch(launch)
+                    if self.config.index_launches
+                    else self._issue_expanded(launch)
+                )
+            except InjectedFaultError as exc:
+                # Tier 4 of the recovery ladder: every cheaper tier failed
+                # (or never applied); convert the injected fault into a
+                # poisoned launch instead of a bare exception.  Genuine
+                # application errors never take this path.
+                fmap = self._poison_launch(launch, exc, propagated=False)
+            finally:
+                if inj is not None:
+                    inj.end_launch()
         if reduce is not None:
-            future = Future()
-            future.set(fmap.reduce(reduce))
+            future = Future(label=f"{launch.name}.reduce({reduce!r})")
+            if fmap.poisoned:
+                try:
+                    fmap.reduce(reduce)  # raises the enriched diagnostic
+                except TaskPoisonedError as exc:
+                    future.poison(exc)
+            else:
+                future.set(fmap.reduce(reduce))
             return future
         return fmap
 
@@ -628,9 +688,9 @@ class Runtime:
         cfg = self.config
         prof = self.profiler
         t0 = prof.mark()
-        fmap = FutureMap()
+        fmap = FutureMap(label=launch.name)
         issuers = range(cfg.n_nodes) if cfg.dcr else (0,)
-        executed: List[Tuple[TaskLaunch, int]] = []
+        executed: List[Tuple[TaskLaunch, int, int]] = []
         for point in launch.domain:
             point_task = launch.point_task(point)
             self.stats.single_tasks += 1
@@ -669,7 +729,7 @@ class Runtime:
                     task_id, point_task.name, op_id, node
                 )
                 self.graph_recorder.record_physical_edges(tdeps)
-            executed.append((point_task, node))
+            executed.append((point_task, node, task_id))
         self.stats.logical_users = self.logical.users_processed
         self.stats.overlap_queries = self.physical.overlap_queries
         if prof.enabled:
@@ -680,16 +740,119 @@ class Runtime:
                            nodes=tuple(issuers), **attrs)
             prof.phase("logical", Stage.LOGICAL, t0,
                        nodes=tuple(issuers), **attrs)
-            exec_nodes = tuple(sorted({node for _, node in executed}))
+            exec_nodes = tuple(sorted({node for _, node, _ in executed}))
             prof.phase("distribution", Stage.DISTRIBUTION, t0,
                        nodes=exec_nodes, **attrs)
             prof.phase("physical", Stage.PHYSICAL, t0,
                        nodes=exec_nodes, **attrs)
         if cfg.shuffle_intra_launch and order_free:
             self._rng.shuffle(executed)
-        for point_task, node in executed:
-            fmap.set(point_task.point, self._run_task(point_task, node))
+        for point_task, node, tid in executed:
+            try:
+                fmap.set(point_task.point, self._run_task(point_task, node))
+            except InjectedFaultError as exc:
+                if exc.task_id is None:
+                    exc.task_id = tid
+                if exc.point is None and point_task.point is not None:
+                    exc.point = tuple(point_task.point)
+                raise
         return fmap
+
+    # ------------------------------------------------------- fault poisoning
+    def _mint_poison(self, launch_name: str, cause) -> TaskPoisonedError:
+        """Build (and log) the TaskPoisonedError for one lost operation."""
+        if isinstance(cause, TaskPoisonedError):
+            # Propagation: keep the root task/launch/point attribution.
+            err = TaskPoisonedError(
+                f"launch {launch_name!r} poisoned by dependence on "
+                f"poisoned state (origin: {cause})",
+                task_id=cause.task_id,
+                launch=cause.launch,
+                point=cause.point,
+                origin=cause,
+            )
+        else:
+            err = TaskPoisonedError(
+                f"launch {launch_name!r} poisoned: {cause}",
+                task_id=getattr(cause, "task_id", None),
+                launch=launch_name,
+                point=getattr(cause, "point", None),
+                origin=cause,
+            )
+        self.poison_log.append(err)
+        return err
+
+    def _taint_written(self, launch, err: TaskPoisonedError) -> None:
+        """Taint every region the lost operation could have written, so
+        later operations observe the poison instead of silently-stale
+        bytes.  First writer wins: re-poisoning keeps the root cause."""
+        written = [
+            req.region.uid
+            for req in launch.requirements
+            if req.privilege.privilege in (
+                Privilege.WRITE, Privilege.READ_WRITE, Privilege.REDUCE
+            )
+        ]
+        self.physical.poison_regions(written, err)
+
+    def _poison_launch(
+        self, launch: IndexLaunch, cause, propagated: bool
+    ) -> FutureMap:
+        """Tier 4: the launch is lost.  Poison its FutureMap, taint its
+        write footprint, and flush cached analysis for its signature (a
+        half-executed launch invalidates what was memoized against it)."""
+        cfg = self.config
+        prof = self.profiler
+        if propagated:
+            # The launch never reached issuance; account for it so the
+            # op tables still show the program's shape.
+            self.stats.ops_issued += 1
+            if cfg.index_launches:
+                self.stats.index_launches += 1
+            self.stats.poison_propagations += 1
+        self.stats.launches_poisoned += 1
+        err = self._mint_poison(launch.name, cause)
+        if err.launch is None:
+            err.launch = launch.name
+        self._taint_written(launch, err)
+        if cfg.analysis_cache:
+            dropped = self.replay_cache.poison_signature(
+                self._launch_signature(launch)
+            )
+            # Physical templates of *other* launches were recorded against
+            # analyzer state this launch has now perturbed mid-flight.
+            dropped += self.replay_cache.drop_physical()
+            if dropped:
+                self.stats.analysis_cache_invalidations += dropped
+        if prof.enabled:
+            prof.instant(
+                "fault.poison_propagated" if propagated else "fault.poisoned",
+                Stage.EXECUTION,
+                launch=launch.name,
+                cause=str(cause),
+            )
+            prof.count("fault.poisoned_launches", 1.0, propagated=propagated)
+        fmap = FutureMap(label=launch.name)
+        fmap.poison(err)
+        return fmap
+
+    def _poison_single(self, launch: TaskLaunch, cause) -> Future:
+        """Propagated poison for a single-task launch (fill/copy included)."""
+        self.stats.launches_poisoned += 1
+        self.stats.poison_propagations += 1
+        err = self._mint_poison(launch.name, cause)
+        self._taint_written(launch, err)
+        if self.profiler.enabled:
+            self.profiler.instant(
+                "fault.poison_propagated", Stage.EXECUTION,
+                launch=launch.name, cause=str(cause),
+            )
+            self.profiler.count(
+                "fault.poisoned_launches", 1.0, propagated=True
+            )
+        future = Future(label=launch.name)
+        future.poison(err)
+        return future
 
     # ------------------------------------------------------------ execution
     def _run_task(
@@ -698,6 +861,14 @@ class Runtime:
         node: int,
         regions: Optional[List[PhysicalRegion]] = None,
     ) -> Any:
+        inj = self.fault_injector
+        if inj is not None:
+            inj.fire_inline(
+                tuple(point_task.point)
+                if point_task.point is not None
+                else None,
+                node,
+            )
         ctx = TaskContext(point=point_task.point, node=node, runtime=self)
         physical_regions = regions if regions is not None else [
             PhysicalRegion(

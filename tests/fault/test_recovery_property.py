@@ -1,0 +1,171 @@
+"""Recovery determinism: a faulted-but-recovered run is byte-identical.
+
+The property at the heart of the fault-tolerance layer: for any program
+and any *recoverable* fault plan (finite firings on worker/shard scope),
+the shard-parallel backend's retry/respawn ladder must reproduce the
+fault-free run exactly — region bytes, future values, dependence edges,
+and every PipelineStats counter.  Recovery bookkeeping lives only in
+backend-local stats and the profiler, and retries are never charged to
+simulated time.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fault import FaultPlan, FaultSpec, RetryPolicy
+from repro.machine.costmodel import CostModel
+from repro.obs import Profiler
+
+from tests.exec.test_parallel_equivalence import (
+    OPS,
+    full_stats,
+    program_strategy,
+    run_program,
+)
+
+#: Fast-turnaround policy so respawn-path examples don't sleep for real.
+FAST_RETRY = RetryPolicy(
+    same_worker_retries=1,
+    respawns=2,
+    backoff_base_s=1e-4,
+    backoff_cap_s=1e-3,
+    shard_timeout_s=30.0,
+)
+
+#: Recoverable faults: finite firings, worker/shard scope.  Targets are
+#: worker 0 / shard 0, which exist for every launch in every program the
+#: strategy generates, so the plan always fires at least once.
+recoverable_fault = st.sampled_from([
+    FaultSpec(kind="kill", scope="worker", target=(0,), phase="execution"),
+    FaultSpec(kind="kill", scope="worker", target=(0,), phase="physical"),
+    FaultSpec(kind="kill", scope="shard", target=(0,), phase="expansion"),
+    FaultSpec(kind="kill", scope="shard", target=(0,), phase="install"),
+    FaultSpec(kind="corrupt", scope="worker", target=(0,), phase="execution"),
+    FaultSpec(kind="corrupt", scope="shard", target=(0,), phase="physical"),
+    FaultSpec(kind="kill", scope="worker", target=(0,), times=2),
+])
+
+
+def _run(ops, iters, trunc_at, cfg, workers, **extra):
+    profiler = Profiler(costmodel=CostModel())
+    merged = dict(cfg)
+    merged.update(extra)
+    rt, x, y, futures, edges = run_program(
+        ops, iters, trunc_at, merged, workers=workers, profiler=profiler
+    )
+    return rt, profiler, (x.tobytes(), y.tobytes(), futures, edges)
+
+
+class TestRecoveryProperty:
+    @settings(max_examples=10, deadline=None)
+    @given(program=program_strategy, spec=recoverable_fault)
+    def test_recovered_run_is_byte_identical(self, program, spec):
+        ops, iters, trunc_at, cfg = program
+        if trunc_at is not None and trunc_at >= iters:
+            trunc_at = iters - 1
+        plan = FaultPlan(specs=(spec,))
+
+        ref_rt, ref_prof, ref_out = _run(ops, iters, trunc_at, cfg, 2)
+        rt, prof, out = _run(
+            ops, iters, trunc_at, cfg, 2, fault_plan=plan, retry=FAST_RETRY
+        )
+
+        # The plan actually fired, and recovery succeeded without poison.
+        assert rt.fault_injector is not None
+        assert rt.fault_injector.fired_count >= 1
+        assert rt.stats.launches_poisoned == 0
+        assert rt.poison_log == []
+
+        # Byte-identity: regions, futures, dependence edges.
+        assert out == ref_out
+        # Every pipeline counter matches — recovery is invisible to the
+        # deterministic contract (bookkeeping is backend-local only).
+        assert full_stats(rt) == full_stats(ref_rt)
+
+        # The ladder did real work and recorded it.
+        bstats = rt.backend.stats
+        recoveries = bstats.shard_retries + bstats.worker_respawns
+        assert recoveries >= 1
+        recovery_instants = [
+            i for i in prof.instants if i.name.startswith("recovery.")
+        ]
+        assert recovery_instants
+
+        # Retries/backoff are wall-clock only: the simulated-time record is
+        # identical to the fault-free run's (same spans, same durations).
+        faulted_sim = [
+            (s.name, s.node, s.start, s.duration) for s in prof.sim_spans()
+        ]
+        ref_sim = [
+            (s.name, s.node, s.start, s.duration)
+            for s in ref_prof.sim_spans()
+        ]
+        assert faulted_sim == ref_sim
+
+
+class TestDeterministicScenarios:
+    def _roundtrip(self, plan, retry=FAST_RETRY):
+        ops = ("bump8", "copy", "total", "reduce")
+        cfg = dict(n_nodes=4)
+        ref_rt, _, ref_out = _run(ops, 2, None, cfg, 2)
+        rt, prof, out = _run(ops, 2, None, cfg, 2, fault_plan=plan,
+                             retry=retry)
+        assert out == ref_out
+        assert full_stats(rt) == full_stats(ref_rt)
+        assert rt.stats.launches_poisoned == 0
+        return rt, prof
+
+    def test_hang_is_bounded_by_shard_timeout(self):
+        """A hung worker trips the parent-side timeout, is respawned, and
+        the resubmission (fault consumed at arm time) completes clean."""
+        plan = FaultPlan(specs=(
+            FaultSpec(kind="hang", scope="worker", target=(0,),
+                      phase="execution", hang_s=0.6),
+        ))
+        retry = RetryPolicy(backoff_base_s=1e-4, backoff_cap_s=1e-3,
+                            shard_timeout_s=0.1)
+        rt, prof = self._roundtrip(plan, retry)
+        bstats = rt.backend.stats
+        assert bstats.shard_timeouts >= 1
+        assert bstats.worker_respawns >= 1
+        assert "recovery.respawn" in {i.name for i in prof.instants}
+
+    def test_corrupt_result_is_retried_same_worker(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(kind="corrupt", scope="shard", target=(1,)),
+        ))
+        rt, prof = self._roundtrip(plan)
+        bstats = rt.backend.stats
+        assert bstats.shard_retries >= 1
+        assert bstats.worker_respawns == 0
+
+    def test_kill_is_respawned_with_backoff(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(kind="kill", scope="worker", target=(1,)),
+        ))
+        rt, prof = self._roundtrip(plan)
+        bstats = rt.backend.stats
+        assert bstats.worker_respawns >= 1
+        assert bstats.backoff_total_s > 0.0
+        names = {i.name for i in prof.instants}
+        assert "recovery.respawn" in names
+
+    def test_exhausted_retries_fall_back_to_serial(self):
+        """An unlimited worker-killer defeats every respawn, but worker-
+        scope faults never fire inline: the serial fallback completes the
+        launch and the run still matches the reference byte-for-byte."""
+        plan = FaultPlan(specs=(
+            FaultSpec(kind="kill", scope="worker", target=(0,), times=-1),
+        ))
+        rt, prof = self._roundtrip(plan)
+        bstats = rt.backend.stats
+        assert bstats.fallbacks >= 1
+
+    def test_random_plans_recover(self):
+        for seed in range(3):
+            plan = FaultPlan.random(seed, n_faults=2, workers=2, shards=2)
+            rt, _ = self._roundtrip(plan)
+            assert rt.fault_injector.fired_count >= 1

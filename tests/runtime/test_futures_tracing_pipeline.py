@@ -62,8 +62,15 @@ class TestFutureMap:
         with pytest.raises(ValueError):
             FutureMap().reduce("xor")
 
-    def test_reduce_empty_is_none(self):
-        assert FutureMap().reduce("+") is None
+    def test_reduce_empty_is_diagnosed(self):
+        # An empty map has nothing to fold; a silent None would masquerade
+        # as a real reduction value downstream.
+        with pytest.raises(ValueError, match="no.*point values"):
+            FutureMap().reduce("+")
+
+    def test_reduce_unknown_op_checked_before_emptiness(self):
+        with pytest.raises(ValueError, match="unknown reduction"):
+            FutureMap().reduce("xor")
 
 
 class TestTraceRecorder:

@@ -1,0 +1,245 @@
+"""Poisoned futures: first-class failure state with root-cause diagnostics.
+
+An unrecovered injected fault poisons its launch's FutureMap instead of
+raising a bare exception; the poison carries the originating task id,
+launch, and point, and propagates through dependence edges (region taint)
+so downstream consumers fail with the root cause.  Genuine application
+errors keep their existing semantics — only ``InjectedFaultError`` is ever
+converted.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.domain import Point
+from repro.data.partition import equal_partition
+from repro.fault import FaultPlan, FaultSpec
+from repro.machine.costmodel import CostModel
+from repro.obs import Profiler, chrome_trace, validate_chrome_trace
+from repro.runtime import Runtime, RuntimeConfig, task
+from repro.runtime.futures import (
+    Future,
+    FutureMap,
+    FuturePendingError,
+    TaskPoisonedError,
+)
+
+
+@task(privileges=["reads writes"])
+def bump(ctx, r):
+    r.write("x", r.read("x") + 1.0)
+
+
+@task(privileges=["reads"])
+def total(ctx, r):
+    return float(r.read("x").sum())
+
+
+@task(privileges=["reads writes"])
+def crash_on_point_two(ctx, r):
+    if ctx.point is not None and ctx.point[0] == 2:
+        raise RuntimeError("genuine application bug")
+    r.write("x", r.read("x") + 1.0)
+
+
+def _poison_plan(point=(1,), times=1):
+    return FaultPlan(specs=(
+        FaultSpec(kind="kill", scope="point", target=point, times=times),
+    ))
+
+
+@pytest.fixture
+def setup():
+    def build(**cfg_kwargs):
+        # workers=1 pins the serial path: point faults fire *inline* there
+        # (the parallel backend would arm them onto a shard, kill the
+        # worker, and recover — poisoning is the serial-path outcome).
+        rt = Runtime(RuntimeConfig(n_nodes=2, workers=1, **cfg_kwargs))
+        r = rt.create_region("r", 8, {"x": "f8"})
+        r.storage("x")[:] = np.arange(8.0)
+        p = equal_partition(f"p{r.uid}", r, 4)
+        return rt, r, p
+    return build
+
+
+class TestFutureStates:
+    def test_pending_get_is_labeled(self):
+        with pytest.raises(FuturePendingError, match="'norm'"):
+            Future(label="norm").get()
+
+    def test_pending_get_without_label(self):
+        with pytest.raises(FuturePendingError, match="pending"):
+            Future().get()
+
+    def test_poisoned_get_raises_the_poison(self):
+        f = Future()
+        err = TaskPoisonedError("lost", task_id=7, launch="L", point=(1,))
+        f.poison(err)
+        assert f.poisoned and not f.done
+        with pytest.raises(TaskPoisonedError) as excinfo:
+            f.get()
+        assert excinfo.value is err
+        assert "poisoned" in repr(f)
+
+    def test_poison_and_fill_are_exclusive(self):
+        f = Future()
+        f.set(1)
+        with pytest.raises(RuntimeError):
+            f.poison(TaskPoisonedError("late"))
+        g = Future()
+        g.poison(TaskPoisonedError("early"))
+        with pytest.raises(RuntimeError):
+            g.set(1)
+
+
+class TestFutureMapPoison:
+    def test_point_poison_is_partial(self):
+        fm = FutureMap(label="bump[3]")
+        fm.set(Point(0), 1.0)
+        fm.poison(TaskPoisonedError("lost", task_id=5), point=Point(1))
+        fm.set(Point(2), 3.0)
+        assert fm.get((0,)) == 1.0
+        with pytest.raises(TaskPoisonedError):
+            fm.get((1,))
+        assert fm.poisoned
+        assert "1 poisoned" in repr(fm)
+
+    def test_reduce_over_partially_poisoned_map_diagnoses(self):
+        fm = FutureMap(label="bump[3]")
+        fm.set(Point(0), 1.0)
+        fm.set(Point(2), 3.0)
+        fm.poison(TaskPoisonedError("lost", task_id=5), point=Point(1))
+        with pytest.raises(TaskPoisonedError, match=r"1 of 3 point futures"):
+            fm.reduce("+")
+
+    def test_reduce_over_map_poisoned_wholesale(self):
+        fm = FutureMap(label="bump[4]")
+        fm.poison(TaskPoisonedError("launch lost", launch="bump[4]"))
+        with pytest.raises(TaskPoisonedError, match="launch poisoned"):
+            fm.reduce("+")
+
+    def test_unknown_op_diagnosed_before_poison_or_emptiness(self):
+        fm = FutureMap()
+        fm.poison(TaskPoisonedError("lost"))
+        with pytest.raises(ValueError, match="unknown reduction"):
+            fm.reduce("xor")
+
+
+class TestRuntimePoisoning:
+    def test_unrecovered_fault_poisons_the_launch(self, setup):
+        rt, r, p = setup(fault_plan=_poison_plan())
+        fmap = rt.index_launch(bump, 4, p)
+        assert fmap.poisoned
+        with pytest.raises(TaskPoisonedError) as excinfo:
+            fmap.get((0,))
+        err = excinfo.value
+        assert err.task_id is not None
+        assert err.point == (1,)
+        assert "bump" in err.launch
+        assert rt.stats.launches_poisoned == 1
+        assert rt.poison_log and rt.poison_log[0] is err
+
+    def test_poison_propagates_with_root_cause(self, setup):
+        rt, r, p = setup(fault_plan=_poison_plan())
+        first = rt.index_launch(bump, 4, p)
+        second = rt.index_launch(bump, 4, p)  # reads/writes tainted region
+        assert second.poisoned
+        root = first.poison_error
+        derived = second.poison_error
+        assert derived.origin is root
+        assert derived.task_id == root.task_id  # attribution survives
+        assert rt.stats.launches_poisoned == 2
+        assert rt.stats.poison_propagations == 1
+
+    def test_single_tasks_and_fills_inherit_poison(self, setup):
+        rt, r, p = setup(fault_plan=_poison_plan())
+        rt.index_launch(bump, 4, p)
+        future = rt.fill(r, "x", 0.0)
+        assert future.poisoned
+        with pytest.raises(TaskPoisonedError):
+            future.get()
+
+    def test_reduce_future_is_poisoned_not_raised(self, setup):
+        rt, r, p = setup(fault_plan=_poison_plan())
+        rt.index_launch(bump, 4, p)
+        future = rt.index_launch(total, 4, p, reduce="+")
+        assert future.poisoned  # issue itself does not raise
+        with pytest.raises(TaskPoisonedError, match="cannot reduce"):
+            future.get()
+
+    def test_recovered_fault_poisons_nothing(self, setup):
+        """times=1 consumed by the retry: by-the-book recovery, no poison."""
+        rt, r, p = setup()
+        fmap = rt.index_launch(bump, 4, p)
+        assert not fmap.poisoned
+        assert rt.stats.launches_poisoned == 0
+        assert rt.poison_log == []
+
+    def test_application_errors_are_not_poison(self, setup):
+        rt, r, p = setup()
+        with pytest.raises(RuntimeError, match="genuine application bug"):
+            rt.index_launch(crash_on_point_two, 4, p)
+        assert rt.stats.launches_poisoned == 0
+        assert not rt.physical.poisoned
+
+    def test_poison_taints_only_written_regions(self, setup):
+        rt, r, p = setup(fault_plan=_poison_plan())
+        clean = rt.create_region("clean", 8, {"x": "f8"})
+        pc = equal_partition(f"pc{clean.uid}", clean, 4)
+        rt.index_launch(bump, 4, p)
+        assert not rt.index_launch(bump, 4, pc).poisoned
+        assert rt.index_launch(total, 4, p, reduce="+").poisoned
+
+    def test_poisoned_signature_dropped_from_replay_cache(self, setup):
+        rt, r, p = setup(fault_plan=_poison_plan())
+        rt.index_launch(bump, 4, p)  # verdict cached, then poisoned
+        before = rt.stats.analysis_cache_invalidations
+        assert before > 0  # the poisoned signature was flushed
+
+    def test_poison_instants_and_counters_emitted(self, setup):
+        prof = Profiler(costmodel=CostModel())
+        rt, r, p = setup(fault_plan=_poison_plan(), profiler=prof)
+        rt.index_launch(bump, 4, p)
+        rt.index_launch(bump, 4, p)
+        names = {i.name for i in prof.instants}
+        assert "fault.poisoned" in names
+        assert "fault.poison_propagated" in names
+        counters = {
+            name: value for name, key, value in prof.metrics.counters()
+            if name == "fault.poisoned_launches"
+        }
+        assert counters
+
+
+class TestTraceAfterMidPhaseFailure:
+    def _check_trace(self, prof, stats):
+        trace = chrome_trace(prof, stats=stats)
+        assert validate_chrome_trace(json.loads(json.dumps(trace))) == []
+        last = {}
+        for ev in trace["traceEvents"]:
+            if ev["ph"] == "M":
+                continue
+            track = (ev["pid"], ev["tid"])
+            assert ev["ts"] >= last.get(track, float("-inf"))
+            last[track] = ev["ts"]
+
+    def test_raising_task_yields_valid_monotone_trace(self, setup):
+        """A task body raising mid-execution-phase must not corrupt the
+        trace: spans stay balanced and per-track timestamps monotone."""
+        prof = Profiler(costmodel=CostModel())
+        rt, r, p = setup(profiler=prof)
+        rt.index_launch(bump, 4, p)
+        with pytest.raises(RuntimeError):
+            rt.index_launch(crash_on_point_two, 4, p)
+        rt.index_launch(bump, 4, p)
+        assert len(prof.wall_spans()) > 0
+        self._check_trace(prof, rt.stats)
+
+    def test_poisoned_run_yields_valid_monotone_trace(self, setup):
+        prof = Profiler(costmodel=CostModel())
+        rt, r, p = setup(fault_plan=_poison_plan(), profiler=prof)
+        rt.index_launch(bump, 4, p)
+        rt.index_launch(bump, 4, p)
+        self._check_trace(prof, rt.stats)
