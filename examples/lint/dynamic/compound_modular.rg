@@ -1,0 +1,27 @@
+-- Index expressions that leave the symbolic engine's affine-modular
+-- normal form without any host call: each one is NEEDS_DYNAMIC even
+-- though every name is the loop variable.
+
+task tick(c) reads(c) writes(c) do
+  c.v = c.v + 1
+end
+
+-- sum of two modular forms: the residues interact
+for i = 0, 12 do
+  tick(p[i % 2 + i % 3])
+end
+
+-- compound modulus with non-dividing periods
+for i = 0, 12 do
+  tick(p[i % 5 % 3])
+end
+
+-- quadratic in the loop variable
+for i = 0, 6 do
+  tick(p[i * i])
+end
+
+-- inexact division
+for i = 0, 9 do
+  tick(p[i / 2])
+end

@@ -1,0 +1,23 @@
+-- Data-dependent projection functors: the target block index is read
+-- from another region at runtime, so injectivity is statically
+-- undecidable and every launch gets the Listing-3 dynamic check.
+
+task step(c) reads(c) writes(c) do
+  c.v = c.v + 1
+end
+
+-- gather through a permutation region: injective iff perm is, which
+-- only the runtime can know
+for i = 0, 8 do
+  step(p[perm[i]])
+end
+
+-- indirection composed with an affine offset: still opaque
+for i = 0, 8 do
+  step(p[owner[i] + 1])
+end
+
+-- two-level indirection (routing table over a hop table)
+for i = 0, 4 do
+  step(p[route[hop[i]]])
+end

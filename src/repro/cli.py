@@ -22,6 +22,12 @@ Commands:
   identical, 1 on a mismatch (or a plan that never fired), 2 when the
   plan was unrecoverable (poisoned launches, reported as one line).  See
   ``docs/fault-tolerance.md``.
+* ``check [--config WxSxF] [--mutate NAME] [--trace OUT.json]
+  [--conform]`` — explicit-state model checking of the worker-generation
+  commit protocol and the poison-propagation protocol.  Exits 0 when every
+  invariant holds on every reachable state, 1 when a counterexample is
+  found (``--mutate`` runs seeded-broken variants that *must* fail).  See
+  ``docs/formal-verification.md``.
 
 Operational errors (bad arguments, unwritable output paths) exit with
 status 2 and a one-line message — never a traceback.
@@ -40,6 +46,22 @@ __all__ = ["main"]
 
 class CLIError(Exception):
     """A user-facing operational error: printed as one line, exit code 2."""
+
+
+def _require_min(value, minimum: int, flag: str) -> None:
+    """Shared numeric-option guard: ``None`` is fine (defaulted), anything
+    below ``minimum`` is an operational error (exit 2, one line)."""
+    if value is not None and value < minimum:
+        raise CLIError(f"{flag} must be >= {minimum}")
+
+
+def _write_file(path: str, writer) -> None:
+    """Run ``writer(path)``, converting output-side OSErrors into the
+    one-line exit-2 contract every subcommand shares."""
+    try:
+        writer(path)
+    except OSError as exc:
+        raise CLIError(f"cannot write {path}: {exc.strerror or exc}")
 
 
 def _cmd_figures(args) -> int:
@@ -80,8 +102,7 @@ def _cmd_validate(args) -> int:
     )
     from repro.runtime import Runtime, RuntimeConfig
 
-    if args.workers is not None and args.workers < 1:
-        raise CLIError("--workers must be >= 1")
+    _require_min(args.workers, 1, "--workers")
     failures = 0
     configs = [
         RuntimeConfig(n_nodes=2, dcr=dcr, index_launches=idx,
@@ -222,12 +243,9 @@ def _cmd_profile(args) -> int:
     )
     from repro.runtime import Runtime, RuntimeConfig
 
-    if args.nodes < 1:
-        raise CLIError("--nodes must be >= 1")
-    if args.steps < 1:
-        raise CLIError("--steps must be >= 1")
-    if args.workers is not None and args.workers < 1:
-        raise CLIError("--workers must be >= 1")
+    _require_min(args.nodes, 1, "--nodes")
+    _require_min(args.steps, 1, "--steps")
+    _require_min(args.workers, 1, "--workers")
     cost = CostModel()
     prof = Profiler(costmodel=cost)
     cfg = RuntimeConfig(
@@ -275,10 +293,8 @@ def _cmd_profile(args) -> int:
 
     wrote = False
     if args.out:
-        try:
-            write_chrome_trace(args.out, prof, stats=rt.stats)
-        except OSError as exc:
-            raise CLIError(f"cannot write {args.out}: {exc.strerror or exc}")
+        _write_file(args.out,
+                    lambda p: write_chrome_trace(p, prof, stats=rt.stats))
         problems = validate_chrome_trace_file(args.out)
         if problems:
             raise CLIError(f"{args.out}: emitted trace failed validation: "
@@ -289,10 +305,7 @@ def _cmd_profile(args) -> int:
               f"open in https://ui.perfetto.dev")
         wrote = True
     if args.jsonl:
-        try:
-            write_jsonl(args.jsonl, prof)
-        except OSError as exc:
-            raise CLIError(f"cannot write {args.jsonl}: {exc.strerror or exc}")
+        _write_file(args.jsonl, lambda p: write_jsonl(p, prof))
         print(f"wrote {args.jsonl}")
         wrote = True
     if args.summary or not wrote:
@@ -307,8 +320,7 @@ def _cmd_faultsim(args) -> int:
     if args.workers < 2:
         raise CLIError("--workers must be >= 2 (faults target the worker "
                        "pool; the serial path has no workers to lose)")
-    if args.steps is not None and args.steps < 1:
-        raise CLIError("--steps must be >= 1")
+    _require_min(args.steps, 1, "--steps")
     if args.fault:
         try:
             specs = tuple(parse_fault(text) for text in args.fault)
@@ -332,6 +344,88 @@ def _cmd_faultsim(args) -> int:
     else:
         print(report.render())
     return report.exit_code
+
+
+def _cmd_check(args) -> int:
+    import json
+
+    from repro.formal import (
+        MUTATIONS, CommitConfig, CommitModel, PoisonConfig, PoisonModel,
+        build_mutant, check_payload, explore,
+    )
+    from repro.obs.metrics import MetricsRegistry
+
+    if args.list_mutations:
+        width = max(len(name) for name in MUTATIONS)
+        for name in sorted(MUTATIONS):
+            kind, desc = MUTATIONS[name]
+            print(f"{name:<{width}}  [{kind}]  {desc}")
+        return 0
+
+    try:
+        commit_cfg = (CommitConfig.parse(args.config)
+                      if args.config else CommitConfig())
+    except ValueError as exc:
+        raise CLIError(str(exc))
+    poison_cfg = PoisonConfig()
+    _require_min(args.max_states, 1, "--max-states")
+
+    if args.mutate:
+        if args.mutate not in MUTATIONS:
+            raise CLIError(f"unknown mutation {args.mutate!r}; see "
+                           f"'repro check --list-mutations'")
+        kind, desc = MUTATIONS[args.mutate]
+        models = [build_mutant(args.mutate, commit_config=commit_cfg,
+                               poison_config=poison_cfg)]
+        print(f"mutation {args.mutate} [{kind}]: {desc}")
+    else:
+        models = []
+        if args.model in ("commit", "all"):
+            models.append(CommitModel(commit_cfg))
+        if args.model in ("poison", "all"):
+            models.append(PoisonModel(poison_cfg))
+
+    metrics = MetricsRegistry()
+    payloads = []
+    bad = 0
+    for model in models:
+        label = (model.cfg.describe()
+                 if hasattr(model.cfg, "describe") else "")
+        result = explore(model, max_states=args.max_states, metrics=metrics)
+        name = type(model).__name__
+        print(f"{name}{f' ({label})' if label else ''}: {result.summary()}")
+        for violation in result.violations:
+            print(f"  {violation.headline()}")
+        payloads.append(check_payload(model, result))
+        bad += not result.ok
+
+    print(f"checked {int(metrics.total('check.states'))} states, "
+          f"{int(metrics.total('check.transitions'))} transitions, "
+          f"{int(metrics.total('check.violations'))} violation(s) total")
+
+    if args.trace:
+        payload = payloads[0] if len(payloads) == 1 else {"models": payloads}
+
+        def _dump(path):
+            with open(path, "w") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+
+        _write_file(args.trace, _dump)
+        print(f"wrote {args.trace}")
+
+    if args.conform:
+        from repro.formal.conform import run_conformance
+
+        print()
+        print("conformance: replaying checker traces through the real "
+              "parallel backend")
+        results = run_conformance()
+        for res in results:
+            print(f"  {res.summary()}")
+        bad += sum(not res.ok for res in results)
+
+    return 1 if bad else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -422,6 +516,32 @@ def main(argv: Optional[List[str]] = None) -> int:
                          metavar="SECONDS",
                          help="per-shard result timeout (hang detector)")
     p_fault.set_defaults(fn=_cmd_faultsim)
+
+    p_check = sub.add_parser(
+        "check",
+        help="model-check the commit and poison protocols",
+    )
+    p_check.add_argument("--model", choices=("commit", "poison", "all"),
+                         default="all",
+                         help="which protocol model(s) to check (default all)")
+    p_check.add_argument("--config", default=None, metavar="WxSxF",
+                         help="commit-model bound: workers x shards x fault "
+                              "budget (default 2x3x4)")
+    p_check.add_argument("--max-states", type=int, default=2_000_000,
+                         help="visited-set cap; exploration marked truncated "
+                              "beyond it")
+    p_check.add_argument("--mutate", default=None, metavar="NAME",
+                         help="check a seeded-broken protocol variant "
+                              "instead (must find a counterexample)")
+    p_check.add_argument("--list-mutations", action="store_true",
+                         help="list the available mutations and exit")
+    p_check.add_argument("--trace", default=None, metavar="OUT.JSON",
+                         help="write the check report (counterexample traces "
+                              "included) as JSON")
+    p_check.add_argument("--conform", action="store_true",
+                         help="also replay checker traces through the real "
+                              "parallel backend")
+    p_check.set_defaults(fn=_cmd_check)
 
     args = parser.parse_args(argv)
     try:

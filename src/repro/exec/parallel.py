@@ -134,6 +134,7 @@ class ParallelExecStats:
     worker_respawns: int = 0        # tier 2: worker process replacements
     shard_timeouts: int = 0         # hangs converted into respawns
     backoff_total_s: float = 0.0    # wall-clock slept between attempts
+    stale_shipments_dropped: int = 0  # cache deltas from respawned gens
 
 
 @dataclass
@@ -165,6 +166,17 @@ class ParallelBackend(ExecutionBackend):
         self._pool = None
         self._task_blobs: Dict[int, bytes] = {}
         self._poisoned_tasks: set = set()
+        #: Optional action-ordering observer: ``observer(event, info)`` is
+        #: called synchronously at every protocol transition (submit,
+        #: collect, retry, respawn, fallback, commit shipment handling).
+        #: Used by the formal conformance harness (src/repro/formal/) to
+        #: compare the real execution order against model-checker traces;
+        #: None (the default) costs nothing.
+        self.observer = None
+
+    def _observe(self, event: str, **info) -> None:
+        if self.observer is not None:
+            self.observer(event, info)
 
     # ------------------------------------------------------------ plumbing
     def pool(self):
@@ -173,6 +185,7 @@ class ParallelBackend(ExecutionBackend):
         # Re-point every fetch: pools are shared across runtimes, and pool
         # failures should land in *this* runtime's metrics/trace.
         self._pool.profiler = self.rt.profiler
+        self._pool.observer = self.observer
         return self._pool
 
     def batch_evaluator(self, functor, points: np.ndarray) -> np.ndarray:
@@ -227,6 +240,8 @@ class ParallelBackend(ExecutionBackend):
             dispatch = self._dispatch(launch, sig, assignment, replay, cache)
         except _ParallelBail as bail:
             self.stats.fallbacks += 1
+            self._observe("fallback", launch=launch.name, reason=bail.reason,
+                          poison=bail.poison)
             if bail.poison:
                 self._poisoned_tasks.add(launch.task.uid)
             if prof.enabled:
@@ -245,7 +260,13 @@ class ParallelBackend(ExecutionBackend):
         pool = self.pool()
         for k, gen, staged in dispatch.shipments:
             if pool.generation(k) != gen:
-                continue  # respawned since this shard ran; state is gone
+                # Respawned since this shard's attempt was submitted: the
+                # worker state this shipment claims no longer exists.
+                self.stats.stale_shipments_dropped += 1
+                self._observe("commit.drop_stale", worker=k, shipment_gen=gen,
+                              worker_gen=pool.generation(k))
+                continue
+            self._observe("commit.ship", worker=k, gen=gen)
             caches = pool.caches[k]
             caches.tasks |= staged["tasks"]
             caches.regions |= staged["regions"]
@@ -480,6 +501,7 @@ class ParallelBackend(ExecutionBackend):
             job.staged = staged
             job.gen = pool.generation(k)
             job.mark = prof.now() if prof.enabled else 0.0
+            self._observe("submit", shard=node, worker=k, gen=job.gen)
             try:
                 job.future = pool.submit_shard(k, blob)
             except BrokenProcessPool:
@@ -513,7 +535,14 @@ class ParallelBackend(ExecutionBackend):
             job.payload = self._collect_shard(
                 launch, pool, policy, job, build_and_submit
             )
-            shipments.append((job.k, pool.generation(job.k), job.staged))
+            # Stamp the shipment with the generation that *produced* it
+            # (job.gen, set at submit), never the generation at collect
+            # time: a sibling shard's recovery may reset this worker after
+            # the result was banked but before it was collected, and a
+            # collect-time stamp would launder that stale state past the
+            # commit-side generation check.  (Found by the commit-protocol
+            # model checker; see docs/formal-verification.md.)
+            shipments.append((job.k, job.gen, job.staged))
 
         # Validate everything before committing.
         total = len(flat_points)
@@ -588,6 +617,8 @@ class ParallelBackend(ExecutionBackend):
                     raise _ParallelBail(
                         f"worker error: {payload[1]}", poison=True
                     )
+                self._observe("collect.ok", shard=job.node, worker=job.k,
+                              gen=job.gen)
                 return payload[1]
 
             # Worker process gone/wedged (and not already replaced by an
@@ -638,6 +669,9 @@ class ParallelBackend(ExecutionBackend):
         Every worker is reset — in-flight futures of sibling shards die
         with their executors, and nothing about any worker's state can be
         trusted after a dispatch this broken."""
+        self._observe("ladder.bail", shard=job.node, worker=job.k,
+                      failure=failure.kind, retries=retries,
+                      respawns=respawns)
         for j in range(pool.n):
             pool.reset_worker(j)
         raise _ParallelBail(
@@ -648,6 +682,8 @@ class ParallelBackend(ExecutionBackend):
     def _note_recovery(self, kind, launch, job, failure) -> None:
         """One recovery-ladder transition: instant + counter, wall-clock
         cost annotations only (never charged to simulated time)."""
+        self._observe(f"recovery.{kind}", shard=job.node, worker=job.k,
+                      failure=failure.kind, stamped_gen=job.gen)
         prof = self.rt.profiler
         if not prof.enabled:
             return

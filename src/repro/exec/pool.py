@@ -114,6 +114,10 @@ class WorkerPool:
         #: observability hook; the parallel backend points this at the
         #: runtime's profiler so pool failures surface in traces/metrics.
         self.profiler = NULL_PROFILER
+        #: optional ``callback(event: str, info: dict)`` fired on worker
+        #: resets; the formal conformance harness uses it to observe the
+        #: real action ordering.  ``None`` costs nothing.
+        self.observer = None
 
     # ----------------------------------------------------------- lifecycle
     def executor(self, k: int) -> ProcessPoolExecutor:
@@ -132,6 +136,10 @@ class WorkerPool:
         self._executors[k] = None
         self.caches[k].clear()
         self._generations[k] += 1
+        if self.observer is not None:
+            self.observer(
+                "pool.reset", {"worker": k, "generation": self._generations[k]}
+            )
         if executor is not None:
             executor.shutdown(wait=False, cancel_futures=True)
             self._retired.append(executor)

@@ -15,7 +15,7 @@ Public surface:
   reference run vs a faulted run, compared byte for byte.
 """
 
-from repro.fault.inject import FaultInjector
+from repro.fault.inject import FaultInjector, FaultSchedule, ScheduledFault
 from repro.fault.plan import (
     FAULT_KINDS,
     FAULT_PHASES,
@@ -35,6 +35,8 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "FaultInjector",
+    "FaultSchedule",
+    "ScheduledFault",
     "InjectedFaultError",
     "RetryPolicy",
     "FaultSimReport",

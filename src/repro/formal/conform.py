@@ -1,0 +1,384 @@
+"""Trace-to-runtime conformance: replay checker traces on the real backend.
+
+The model checker proves properties of an *abstraction*; this module
+closes the loop by replaying checker traces against the real executor and
+asserting both reach the same terminal classification.  A witness trace
+from :class:`~repro.formal.commit_model.CommitModel` (or
+:class:`~repro.formal.poison_model.PoisonModel`) is compiled into a
+:class:`~repro.fault.FaultSchedule` — every ``fault.*`` action becomes a
+:class:`~repro.fault.ScheduledFault` pinned to the same shard and attempt
+ordinal the model faulted — and run through a real ``Runtime`` with the
+matching worker count, shard count, and retry caps.  The real run must
+then land in the model-predicted terminal class:
+
+* ``committed`` — no fallbacks, no poison, byte-identical to fault-free;
+* ``serial-fallback`` — fallbacks, no poison, still byte-identical;
+* ``poisoned`` — at least one poisoned launch, origins matching.
+
+``run_conformance()`` executes the four stock scenarios (one per terminal
+class plus a poison-propagation chain) and is what ``repro check
+--conform`` and ``tests/formal/test_conformance.py`` drive.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.data.partition import equal_partition
+from repro.fault import FaultSchedule, RetryPolicy, ScheduledFault
+from repro.formal.commit_model import CommitConfig, CommitModel
+from repro.formal.kernel import find_trace
+from repro.formal.poison_model import PoisonConfig, PoisonModel, _Launch
+from repro.runtime import Runtime, RuntimeConfig, task
+from repro.runtime.futures import TaskPoisonedError
+
+__all__ = [
+    "ConformResult",
+    "run_conformance",
+    "schedule_from_trace",
+    "SCENARIOS",
+]
+
+#: Hang faults must outlive the parent-side timeout that the model assumes
+#: converts them into respawns.
+_HANG_S = 1.2
+_HANG_TIMEOUT_S = 0.3
+
+_FAULT_RE = re.compile(
+    r"fault\.(?P<kind>kill|corrupt|hang) w(?P<worker>\d+) "
+    r"shard(?P<shard>\d+) attempt(?P<attempt>\d+)(?: phase=(?P<phase>\w+))?"
+)
+
+
+# ----------------------------------------------------------- real programs
+@task(privileges=["reads writes"])
+def _bump(ctx, r):
+    r.write("x", r.read("x") + 1.0)
+
+
+@task(privileges=["reads", "writes"])
+def _derive(ctx, src, dst):
+    dst.write("x", src.read("x") * 2.0 + 1.0)
+
+
+def schedule_from_trace(trace, launch: int = 0) -> FaultSchedule:
+    """Compile a commit-model trace's fault actions into a schedule.
+
+    Worker-side actions map directly: the model faults shard ``s`` on its
+    ``a``-th submission, the schedule arms the same fault on arm ordinal
+    ``a`` of node ``s``.  A ``serial.fault`` action becomes an inline
+    entry that fires on the serial fallback path.
+    """
+    entries: List[ScheduledFault] = []
+    for action, _state in trace:
+        m = _FAULT_RE.match(action)
+        if m:
+            entries.append(ScheduledFault(
+                node=int(m.group("shard")),
+                attempt=int(m.group("attempt")),
+                kind=m.group("kind"),
+                phase=m.group("phase") or "execution",
+                hang_s=_HANG_S,
+                via="worker",
+                launch=launch,
+            ))
+        elif action == "serial.fault":
+            entries.append(ScheduledFault(
+                node=-1,
+                attempt=0,
+                kind="kill",
+                via="inline",
+                launch=launch,
+            ))
+    return FaultSchedule(tuple(entries))
+
+
+def _policy_for(cfg: CommitConfig, schedule: FaultSchedule) -> RetryPolicy:
+    has_hang = any(e.kind == "hang" for e in schedule.entries)
+    return RetryPolicy(
+        same_worker_retries=cfg.same_worker_retries,
+        respawns=cfg.respawns,
+        backoff_base_s=1e-4,
+        backoff_cap_s=1e-3,
+        shard_timeout_s=_HANG_TIMEOUT_S if has_hang else 30.0,
+    )
+
+
+def _stats_dict(rt) -> dict:
+    out = {}
+    for f in dataclasses.fields(rt.stats):
+        value = getattr(rt.stats, f.name)
+        out[f.name] = dict(value) if isinstance(value, dict) else value
+    return out
+
+
+def _run_commit_program(shards: int, workers: int,
+                        schedule: Optional[FaultSchedule] = None,
+                        policy: Optional[RetryPolicy] = None):
+    """Two ``_bump`` launches over ``shards`` single-point shards.
+
+    The second launch is the commit-correctness probe: if launch 0 merged
+    a stale cache shipment, launch 1 ships a wrong delta and bails."""
+    rt = Runtime(RuntimeConfig(
+        workers=workers, n_nodes=shards,
+        fault_schedule=schedule, retry=policy,
+    ))
+    r = rt.create_region("cr", 4 * shards, {"x": "f8"})
+    r.storage("x")[:] = np.arange(4.0 * shards)
+    p = equal_partition(f"cp{r.uid}", r, shards)
+    for _ in range(2):
+        rt.index_launch(_bump, shards, p)
+    return rt, r.storage("x").tobytes()
+
+
+def _classify_run(rt) -> str:
+    if rt.stats.launches_poisoned > 0:
+        return "poisoned"
+    if rt.backend.stats.fallbacks > 0:
+        return "serial-fallback"
+    return "committed"
+
+
+@dataclass
+class ConformResult:
+    scenario: str
+    predicted: str                    # model terminal classification
+    actual: str                       # real-run classification
+    ok: bool
+    byte_identical: Optional[bool] = None   # None where not applicable
+    detail: str = ""
+    trace_actions: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        status = "PASS" if self.ok else "FAIL"
+        byte = (
+            "" if self.byte_identical is None
+            else f", byte-identical={self.byte_identical}"
+        )
+        return (
+            f"{status} {self.scenario}: model={self.predicted} "
+            f"real={self.actual}{byte} ({self.detail})"
+        )
+
+
+class _CorruptOnly:
+    """Witness-search wrapper that drops kill/hang fault actions.
+
+    A kill's death can surface either at the victim shard's collect or at
+    a sibling's submit, and the two real interleavings climb different
+    ladder rungs — the model (which only models collect-time discovery)
+    cannot pin the terminal class of a kill-heavy schedule.  Corrupt
+    faults damage exactly one result blob and nothing else, so schedules
+    compiled from corrupt-only traces are interleaving-robust and safe to
+    assert a terminal class on.
+    """
+
+    def __init__(self, model):
+        self.model = model
+        self.TERMINALS = model.TERMINALS
+
+    def initial_state(self):
+        return self.model.initial_state()
+
+    def actions(self, s):
+        return [
+            (a, t) for a, t in self.model.actions(s)
+            if not a.startswith(("fault.kill", "fault.hang"))
+        ]
+
+    def classify(self, s):
+        return self.model.classify(s)
+
+    def invariants(self):
+        return self.model.invariants()
+
+
+# ------------------------------------------------------ commit-model cases
+def _commit_scenario(name: str, cfg: CommitConfig, predicate,
+                     predicted: str, corrupt_only: bool = False
+                     ) -> ConformResult:
+    model = CommitModel(cfg)
+    trace = find_trace(_CorruptOnly(model) if corrupt_only else model,
+                       predicate)
+    if trace is None:
+        return ConformResult(name, predicted, "no-witness", ok=False,
+                             detail="model produced no witness trace")
+    schedule = schedule_from_trace(trace)
+    policy = _policy_for(cfg, schedule)
+
+    ref_rt, ref_bytes = _run_commit_program(cfg.shards, cfg.workers)
+    rt, out_bytes = _run_commit_program(cfg.shards, cfg.workers,
+                                        schedule, policy)
+    actual = _classify_run(rt)
+    identical = None
+    detail = (
+        f"{len(schedule.entries)} scheduled fault(s), "
+        f"retries={rt.backend.stats.shard_retries}, "
+        f"respawns={rt.backend.stats.worker_respawns}, "
+        f"fallbacks={rt.backend.stats.fallbacks}, "
+        f"poisoned={rt.stats.launches_poisoned}"
+    )
+    ok = actual == predicted
+    if predicted in ("committed", "serial-fallback"):
+        # Recovered and fallback runs promise byte-identity to fault-free.
+        identical = (
+            out_bytes == ref_bytes
+            and _stats_dict(rt) == _stats_dict(ref_rt)
+        )
+        ok = ok and identical
+        if rt.fault_injector is not None:
+            ok = ok and rt.fault_injector.fired_count >= len(
+                schedule.entries
+            )
+    return ConformResult(name, predicted, actual, ok=ok,
+                         byte_identical=identical, detail=detail,
+                         trace_actions=[a for a, _ in trace])
+
+
+def _scenario_committed_with_recovery() -> ConformResult:
+    cfg = CommitConfig(workers=2, shards=3, faults=1,
+                       same_worker_retries=1, respawns=2)
+    return _commit_scenario(
+        "committed-with-recovery", cfg,
+        lambda s: s.outcome == "committed" and any(g > 0 for g in s.gens),
+        "committed",
+    )
+
+
+def _scenario_serial_fallback() -> ConformResult:
+    cfg = CommitConfig(workers=2, shards=3, faults=3,
+                       same_worker_retries=1, respawns=1)
+    return _commit_scenario(
+        "serial-fallback", cfg,
+        lambda s: s.outcome == "serial",
+        "serial-fallback",
+        corrupt_only=True,
+    )
+
+
+def _scenario_poisoned() -> ConformResult:
+    cfg = CommitConfig(workers=2, shards=3, faults=4,
+                       same_worker_retries=1, respawns=1)
+    return _commit_scenario(
+        "poisoned", cfg,
+        lambda s: s.outcome == "poisoned",
+        "poisoned",
+        corrupt_only=True,
+    )
+
+
+# ------------------------------------------------------ poison-model case
+#: Mirror of the real program below: regions A..E are 0..4.
+_CONFORM_PROGRAM = (
+    _Launch("L0", (0,), (0,)),     # bump A
+    _Launch("L1", (1,), (1,)),     # bump B
+    _Launch("L2", (0,), (1,)),     # derive A -> B
+    _Launch("L3", (1,), (2,)),     # derive B -> C
+    _Launch("L4", (2,), (3,)),     # derive C -> D
+    _Launch("L5", (4,), (4,)),     # bump E (independent)
+)
+
+
+def _run_poison_program(schedule: Optional[FaultSchedule] = None):
+    """The real twin of ``_CONFORM_PROGRAM``, on the serial backend where
+    scheduled inline faults fire directly."""
+    rt = Runtime(RuntimeConfig(workers=1, n_nodes=2,
+                               fault_schedule=schedule))
+    regions = []
+    parts = []
+    for name in "abcde":
+        r = rt.create_region(f"pz_{name}", 8, {"x": "f8"})
+        r.storage("x")[:] = np.arange(8.0)
+        regions.append(r)
+        parts.append(equal_partition(f"pzp{r.uid}", r, 4))
+    a, b, c, d, e = parts
+    fmaps = [
+        rt.index_launch(_bump, 4, a),
+        rt.index_launch(_bump, 4, b),
+        rt.index_launch(_derive, 4, a, b),
+        rt.index_launch(_derive, 4, b, c),
+        rt.index_launch(_derive, 4, c, d),
+        rt.index_launch(_bump, 4, e),
+    ]
+    statuses = []
+    for fm in fmaps:
+        try:
+            fm.get((0,))
+            statuses.append(("committed", None))
+        except TaskPoisonedError as err:
+            statuses.append(("poisoned", err))
+    return rt, regions, statuses
+
+
+def _scenario_poison_propagation() -> ConformResult:
+    name = "poison-propagation"
+    model = PoisonModel(PoisonConfig(program=_CONFORM_PROGRAM, faults=1))
+    trace = find_trace(
+        model,
+        lambda s: (
+            model.classify(s) == "poisoned"
+            and isinstance(s.statuses[0], tuple)
+            and sum(1 for st in s.statuses if st == "committed") >= 2
+        ),
+    )
+    if trace is None:
+        return ConformResult(name, "poisoned", "no-witness", ok=False,
+                             detail="model produced no witness trace")
+    final = trace[-1][1]
+    predicted_poisoned = [
+        i for i, st in enumerate(final.statuses) if isinstance(st, tuple)
+    ]
+    # The model faulted launch 0 directly; replay that inline.
+    schedule = FaultSchedule((
+        ScheduledFault(node=-1, attempt=0, kind="kill", via="inline",
+                       launch=0),
+    ))
+    ref_rt, ref_regions, _ = _run_poison_program()
+    rt, regions, statuses = _run_poison_program(schedule)
+
+    actual_poisoned = [
+        i for i, (st, _) in enumerate(statuses) if st == "poisoned"
+    ]
+    actual = "poisoned" if actual_poisoned else "clean"
+    ok = actual == "poisoned" and actual_poisoned == predicted_poisoned
+    # Origin chaining: every poison names the directly-faulted launch.
+    root_err = statuses[0][1]
+    if ok:
+        for i in actual_poisoned:
+            err = statuses[i][1]
+            if err.launch != root_err.launch:
+                ok = False
+        # The independent launch must be untouched, byte for byte.
+        last = len(statuses) - 1
+        if statuses[last][0] != "committed" or (
+            regions[4].storage("x").tobytes()
+            != ref_regions[4].storage("x").tobytes()
+        ):
+            ok = False
+    return ConformResult(
+        name, "poisoned", actual, ok=ok,
+        detail=(
+            f"model poisons {predicted_poisoned}, "
+            f"real poisons {actual_poisoned}, "
+            f"origin={getattr(root_err, 'launch', None)!r}"
+        ),
+        trace_actions=[a for a, _ in trace],
+    )
+
+
+SCENARIOS = (
+    _scenario_committed_with_recovery,
+    _scenario_serial_fallback,
+    _scenario_poisoned,
+    _scenario_poison_propagation,
+)
+
+
+def run_conformance() -> List[ConformResult]:
+    """Run every stock scenario; callers check ``all(r.ok for r in ...)``."""
+    return [build() for build in SCENARIOS]

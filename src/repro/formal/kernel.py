@@ -1,0 +1,303 @@
+"""A small explicit-state model checker: BFS over hashable states.
+
+The kernel knows nothing about workers or poison — it explores any *model*
+that duck-types four methods:
+
+* ``initial_state() -> state`` — any hashable value.
+* ``actions(state) -> [(label, successor), ...]`` — every enabled
+  nondeterministic transition; an empty list marks a terminal state.
+* ``invariants() -> [(name, predicate), ...]`` — safety properties checked
+  on every reachable state.
+* ``classify(state) -> Optional[str]`` — the terminal classification of a
+  state (``None`` for non-terminal states); terminals must classify as one
+  of the model's ``TERMINALS``.
+
+Optionally ``state_json(state) -> dict`` renders a state for trace export.
+
+:func:`explore` runs breadth-first search with a visited set, evaluating
+every invariant on every state it dequeues.  Violations are reported with
+a **counterexample trace**: the action-labeled path from the initial state,
+reconstructed through parent pointers (BFS guarantees it is a shortest
+path).  Four violation kinds:
+
+* ``invariant`` — a reachable state falsifies a safety predicate.
+* ``deadlock`` — a state with no enabled actions that ``classify`` does
+  not recognize as terminal.
+* ``classification`` — a terminal state whose classification is not one of
+  the model's declared ``TERMINALS``.
+* ``nontermination`` — a reachable state from which **no** terminal state
+  is reachable (a livelock cycle); detected by reverse reachability from
+  the terminal set over the recorded predecessor relation, so it is exact
+  on the explored (bounded) graph.
+
+Bounded-termination ("every reachable state reaches exactly one of the
+terminal outcomes") is the conjunction of no-deadlock, classification
+totality, and no-nontermination — all three are checked by default.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "CheckResult",
+    "Violation",
+    "explore",
+    "find_trace",
+    "trace_json",
+    "check_payload",
+    "dump_violations",
+]
+
+#: One step of a counterexample/witness trace: (action label, state).
+TraceStep = Tuple[str, Any]
+
+
+@dataclass
+class Violation:
+    """One property failure with its shortest counterexample trace."""
+
+    kind: str                   # invariant | deadlock | classification |
+    #                           # nontermination
+    name: str                   # which invariant (or the terminal label)
+    trace: List[TraceStep]      # [(action, state), ...]; action of step 0
+    #                           # is "<init>"
+
+    def headline(self) -> str:
+        return (
+            f"{self.kind} violation [{self.name}]: "
+            f"{len(self.trace) - 1} step(s) from initial state"
+        )
+
+
+@dataclass
+class CheckResult:
+    """Everything :func:`explore` learned about one model."""
+
+    ok: bool
+    states: int                 # distinct states visited
+    transitions: int            # edges traversed
+    max_depth: int              # longest shortest-path from the initial state
+    terminals: Dict[str, int]   # classification -> count
+    violations: List[Violation] = field(default_factory=list)
+    truncated: bool = False     # hit max_states before the frontier drained
+    elapsed_s: float = 0.0
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else "FAIL"
+        if self.truncated:
+            status += " (truncated)"
+        terms = ", ".join(
+            f"{k}={v}" for k, v in sorted(self.terminals.items())
+        ) or "none"
+        return (
+            f"{status}: {self.states} states, {self.transitions} "
+            f"transitions, depth {self.max_depth}, terminals [{terms}], "
+            f"{len(self.violations)} violation(s) in {self.elapsed_s:.2f}s"
+        )
+
+
+def _rebuild_trace(state, parents) -> List[TraceStep]:
+    """Walk parent pointers back to the initial state."""
+    steps: List[TraceStep] = []
+    cursor = state
+    while cursor is not None:
+        parent, action = parents[cursor]
+        steps.append((action, cursor))
+        cursor = parent
+    steps.reverse()
+    return steps
+
+
+def explore(
+    model,
+    max_states: int = 2_000_000,
+    metrics=None,
+    check_termination: bool = True,
+    stop_at_first: bool = False,
+) -> CheckResult:
+    """Exhaustively explore ``model`` breadth-first, checking invariants.
+
+    ``max_states`` bounds the visited set (the result is marked
+    ``truncated`` if hit — invariants were still checked on everything
+    visited, but absence of violations is then not a proof).  ``metrics``
+    is an optional :class:`~repro.obs.metrics.MetricsRegistry`; the checker
+    counts ``check.states`` / ``check.transitions`` / ``check.violations``
+    labeled by model name.  ``stop_at_first`` returns after the first
+    violation instead of collecting all of them.
+    """
+    start = time.perf_counter()
+    model_name = type(model).__name__
+    invariants = list(model.invariants())
+    terminals_declared = set(getattr(model, "TERMINALS", ()))
+
+    init = model.initial_state()
+    #: state -> (parent state | None, action label)
+    parents: Dict[Any, Tuple[Any, str]] = {init: (None, "<init>")}
+    #: state -> depth (doubles as the visited set beyond ``parents``)
+    depth: Dict[Any, int] = {init: 0}
+    #: predecessor multimap for the reverse-reachability livelock check.
+    preds: Dict[Any, List[Any]] = {}
+    terminal_states: List[Any] = []
+    terminals: Dict[str, int] = {}
+    violations: List[Violation] = []
+    transitions = 0
+    max_depth = 0
+    truncated = False
+
+    def record(kind: str, name: str, state) -> None:
+        violations.append(Violation(kind, name, _rebuild_trace(state, parents)))
+        if metrics is not None:
+            metrics.inc("check.violations", 1.0, model=model_name, kind=kind)
+
+    stop = False
+    frontier: List[Any] = [init]
+    while frontier and not stop:
+        next_frontier: List[Any] = []
+        for state in frontier:
+            max_depth = max(max_depth, depth[state])
+            for name, predicate in invariants:
+                if not predicate(state):
+                    record("invariant", name, state)
+                    stop = stop or stop_at_first
+            if stop:
+                break
+            successors = model.actions(state)
+            transitions += len(successors)
+            if not successors:
+                label = model.classify(state)
+                if label is None:
+                    record("deadlock", "no-enabled-action", state)
+                    stop = stop or stop_at_first
+                elif label not in terminals_declared:
+                    record("classification", label, state)
+                    stop = stop or stop_at_first
+                else:
+                    terminals[label] = terminals.get(label, 0) + 1
+                    terminal_states.append(state)
+                if stop:
+                    break
+                continue
+            for action, succ in successors:
+                preds.setdefault(succ, []).append(state)
+                if succ in depth:
+                    continue
+                if len(depth) >= max_states:
+                    truncated = True
+                    continue
+                depth[succ] = depth[state] + 1
+                parents[succ] = (state, action)
+                next_frontier.append(succ)
+        frontier = next_frontier
+
+    # Livelock detection: every visited state must reach *some* terminal.
+    # Reverse BFS from the terminal set over the predecessor relation; any
+    # visited state left unmarked can loop forever without terminating.
+    # Only exact on a complete exploration, so skip when truncated.
+    if check_termination and not truncated and not (
+        stop_at_first and violations
+    ):
+        reaches: set = set(terminal_states)
+        stack = list(terminal_states)
+        while stack:
+            state = stack.pop()
+            for pred in preds.get(state, ()):
+                if pred not in reaches:
+                    reaches.add(pred)
+                    stack.append(pred)
+        for state in depth:
+            if state not in reaches:
+                record("nontermination", "cannot-reach-terminal", state)
+                if stop_at_first:
+                    break
+
+    if metrics is not None:
+        metrics.inc("check.states", float(len(depth)), model=model_name)
+        metrics.inc("check.transitions", float(transitions), model=model_name)
+
+    return CheckResult(
+        ok=not violations,
+        states=len(depth),
+        transitions=transitions,
+        max_depth=max_depth,
+        terminals=terminals,
+        violations=violations,
+        truncated=truncated,
+        elapsed_s=time.perf_counter() - start,
+    )
+
+
+def find_trace(
+    model,
+    predicate: Callable[[Any], bool],
+    max_states: int = 2_000_000,
+) -> Optional[List[TraceStep]]:
+    """Shortest action path to a state satisfying ``predicate``.
+
+    Used to extract *witness* traces (e.g. "a run that commits after a
+    respawn") for the conformance harness; returns ``None`` if no
+    reachable state matches within the bound.
+    """
+    init = model.initial_state()
+    parents: Dict[Any, Tuple[Any, str]] = {init: (None, "<init>")}
+    frontier = [init]
+    if predicate(init):
+        return _rebuild_trace(init, parents)
+    while frontier:
+        next_frontier: List[Any] = []
+        for state in frontier:
+            for action, succ in model.actions(state):
+                if succ in parents:
+                    continue
+                parents[succ] = (state, action)
+                if predicate(succ):
+                    return _rebuild_trace(succ, parents)
+                if len(parents) < max_states:
+                    next_frontier.append(succ)
+        frontier = next_frontier
+    return None
+
+
+def trace_json(model, trace: List[TraceStep]) -> List[dict]:
+    """Render a trace for export, via the model's ``state_json`` if any."""
+    render = getattr(model, "state_json", None)
+    out = []
+    for i, (action, state) in enumerate(trace):
+        entry = {"step": i, "action": action}
+        if render is not None:
+            entry["state"] = render(state)
+        else:
+            entry["state"] = repr(state)
+        out.append(entry)
+    return out
+
+
+def check_payload(model, result: CheckResult) -> dict:
+    """JSON-serializable report of one model's check, traces included."""
+    return {
+        "model": type(model).__name__,
+        "summary": result.summary(),
+        "ok": result.ok,
+        "states": result.states,
+        "transitions": result.transitions,
+        "terminals": result.terminals,
+        "violations": [
+            {
+                "kind": v.kind,
+                "name": v.name,
+                "headline": v.headline(),
+                "trace": trace_json(model, v.trace),
+            }
+            for v in result.violations
+        ],
+    }
+
+
+def dump_violations(model, result: CheckResult, path: str) -> None:
+    """Write every violation (or the summary if none) as JSON to ``path``."""
+    with open(path, "w") as fh:
+        json.dump(check_payload(model, result), fh, indent=2, sort_keys=True)
+        fh.write("\n")

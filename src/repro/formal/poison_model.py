@@ -1,0 +1,258 @@
+"""Model of poisoned-future propagation through region taint.
+
+Abstraction of the runtime's poison protocol (``src/repro/runtime/
+runtime.py`` + ``futures.py`` + ``physical.py``): a fixed program of index
+launches, each reading and writing a set of regions, runs in issue order.
+A bounded fault budget lets any launch fail *directly* (an injected fault
+survives the whole recovery ladder); a directly-poisoned launch taints the
+regions it writes.  Every later launch that touches a tainted region must
+be poisoned by *propagation* — before it runs (``poison_for`` at issue
+time) — carrying the **origin**: the launch whose direct fault started the
+chain, however many hops away.  Taint is first-writer-wins: once a region
+carries an origin, later poisoned writers must not overwrite it, or the
+diagnosis a user reads from a ``TaskPoisonedError`` would drift away from
+the root cause.
+
+Invariants:
+
+* **poison-completeness** — a committed launch touched no region that was
+  tainted before it ran (nothing escapes the taint).
+* **origin-chaining** — every poisoned launch's origin is a launch that
+  was *directly* poisoned (the chain bottoms out at a real fault).
+* **no-overtaint** — a propagated poison can point back to some tainted
+  region the launch actually touched (nothing is poisoned spuriously).
+* **first-writer-wins** — taint origins are never overwritten.
+
+Mutations seed real bug patterns: ``skip-read-taint`` checks only write
+sets at issue time (a launch *reading* poisoned data commits), and
+``taint-overwrite`` lets later writers replace a region's origin.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional, Tuple
+
+__all__ = ["PoisonConfig", "PoisonModel", "PoisonState", "MUTATIONS"]
+
+MUTATIONS = {
+    "skip-read-taint": (
+        "issue-time poison check consults only write sets, so a launch "
+        "reading a tainted region commits on poisoned data"
+    ),
+    "taint-overwrite": (
+        "a poisoned writer overwrites an existing region taint, losing "
+        "the original fault origin"
+    ),
+}
+
+
+class _Launch(NamedTuple):
+    name: str
+    reads: Tuple[int, ...]
+    writes: Tuple[int, ...]
+
+
+#: The default program: a diamond of dependences over regions A..E
+#: (0..4).  L5 is independent of every taintable region, so every faulty
+#: schedule must still commit it — propagation may not over-approximate.
+DEFAULT_PROGRAM = (
+    _Launch("L0", (), (0,)),        # writes A
+    _Launch("L1", (), (1,)),        # writes B
+    _Launch("L2", (0,), (1,)),      # reads A, writes B
+    _Launch("L3", (1,), (2,)),      # reads B, writes C
+    _Launch("L4", (0, 2), (3,)),    # reads A and C, writes D
+    _Launch("L5", (), (4,)),        # independent: writes E
+)
+
+
+class PoisonConfig(NamedTuple):
+    program: Tuple[_Launch, ...] = DEFAULT_PROGRAM
+    faults: int = 2
+
+    def describe(self) -> str:
+        regions = {
+            r for l in self.program for r in l.reads + l.writes
+        }
+        return (
+            f"{len(self.program)} launch(es) over {len(regions)} "
+            f"region(s), {self.faults} fault(s)"
+        )
+
+
+class PoisonState(NamedTuple):
+    idx: int                       # next launch to issue
+    #: per launch: 'pending' | 'committed' | ('poisoned', origin,
+    #: propagated)
+    statuses: tuple
+    #: per region: None | (origin launch index, tainter launch index)
+    taints: tuple
+    budget: int
+    flags: frozenset
+
+
+class PoisonModel:
+    """Poison propagation as a checkable transition system."""
+
+    TERMINALS = ("clean", "poisoned")
+
+    def __init__(self, config: PoisonConfig = PoisonConfig(),
+                 mutation: Optional[str] = None):
+        if mutation is not None and mutation not in MUTATIONS:
+            raise ValueError(f"unknown mutation {mutation!r}")
+        self.cfg = config
+        self.mutation = mutation
+        self.n_regions = 1 + max(
+            (r for l in config.program for r in l.reads + l.writes),
+            default=-1,
+        )
+
+    def initial_state(self) -> PoisonState:
+        return PoisonState(
+            idx=0,
+            statuses=("pending",) * len(self.cfg.program),
+            taints=(None,) * self.n_regions,
+            budget=self.cfg.faults,
+            flags=frozenset(),
+        )
+
+    # ------------------------------------------------------------ invariants
+    def _touched(self, i: int) -> Tuple[int, ...]:
+        launch = self.cfg.program[i]
+        return tuple(launch.reads) + tuple(launch.writes)
+
+    def invariants(self):
+        def poison_completeness(s: PoisonState) -> bool:
+            for i, status in enumerate(s.statuses):
+                if status != "committed":
+                    continue
+                for r in self._touched(i):
+                    taint = s.taints[r]
+                    if taint is not None and taint[1] < i:
+                        return False  # ran over pre-existing taint
+            return True
+
+        def origin_chaining(s: PoisonState) -> bool:
+            for status in s.statuses:
+                if isinstance(status, tuple):
+                    _, origin, _ = status
+                    root = s.statuses[origin]
+                    if not (isinstance(root, tuple) and not root[2]):
+                        return False  # origin is not directly poisoned
+            return True
+
+        def no_overtaint(s: PoisonState) -> bool:
+            for i, status in enumerate(s.statuses):
+                if isinstance(status, tuple) and status[2]:
+                    if not any(
+                        s.taints[r] is not None and s.taints[r][1] < i
+                        for r in self._touched(i)
+                    ):
+                        return False  # propagated from nowhere
+            return True
+
+        def first_writer_wins(s: PoisonState) -> bool:
+            return "taint_overwritten" not in s.flags
+
+        return [
+            ("poison-completeness", poison_completeness),
+            ("origin-chaining", origin_chaining),
+            ("no-overtaint", no_overtaint),
+            ("first-writer-wins", first_writer_wins),
+        ]
+
+    def classify(self, s: PoisonState) -> Optional[str]:
+        if s.idx < len(self.cfg.program):
+            return None
+        if any(isinstance(st, tuple) for st in s.statuses):
+            return "poisoned"
+        return "clean"
+
+    # --------------------------------------------------------------- actions
+    def _taint_writes(self, taints: tuple, i: int, origin: int,
+                      flags: frozenset) -> Tuple[tuple, frozenset]:
+        out = list(taints)
+        for r in self.cfg.program[i].writes:
+            if out[r] is None:
+                out[r] = (origin, i)
+            elif self.mutation == "taint-overwrite":
+                if out[r][0] != origin:
+                    flags = flags | {"taint_overwritten"}
+                out[r] = (origin, i)
+            # else: first writer wins, taint kept
+        return tuple(out), flags
+
+    def actions(self, s: PoisonState) -> List[Tuple[str, PoisonState]]:
+        if s.idx >= len(self.cfg.program):
+            return []
+        i = s.idx
+        launch = self.cfg.program[i]
+        checked = (
+            launch.writes if self.mutation == "skip-read-taint"
+            else self._touched(i)
+        )
+        tainted = [r for r in checked if s.taints[r] is not None]
+        if tainted:
+            # Issue-time poison_for pre-check: the launch is poisoned by
+            # propagation before it runs, carrying the first-found origin.
+            origin = s.taints[min(tainted)][0]
+            taints, flags = self._taint_writes(
+                s.taints, i, origin, s.flags
+            )
+            return [(
+                f"issue.propagate {launch.name} origin=L{origin}",
+                s._replace(
+                    idx=i + 1,
+                    statuses=s.statuses[:i]
+                    + (("poisoned", origin, True),)
+                    + s.statuses[i + 1:],
+                    taints=taints,
+                    flags=flags,
+                ),
+            )]
+        acts = [(
+            f"issue.commit {launch.name}",
+            s._replace(
+                idx=i + 1,
+                statuses=s.statuses[:i] + ("committed",)
+                + s.statuses[i + 1:],
+            ),
+        )]
+        if s.budget > 0:
+            taints, flags = self._taint_writes(s.taints, i, i, s.flags)
+            acts.append((
+                f"issue.fault {launch.name}",
+                s._replace(
+                    idx=i + 1,
+                    statuses=s.statuses[:i]
+                    + (("poisoned", i, False),)
+                    + s.statuses[i + 1:],
+                    taints=taints,
+                    budget=s.budget - 1,
+                    flags=flags,
+                ),
+            ))
+        return acts
+
+    # ------------------------------------------------------------ rendering
+    def state_json(self, s: PoisonState) -> dict:
+        def fmt(status):
+            if isinstance(status, tuple):
+                _, origin, propagated = status
+                how = "propagated" if propagated else "direct"
+                return f"poisoned(origin=L{origin}, {how})"
+            return status
+
+        return {
+            "next_launch": s.idx,
+            "budget": s.budget,
+            "launches": [
+                {"name": self.cfg.program[i].name, "status": fmt(st)}
+                for i, st in enumerate(s.statuses)
+            ],
+            "taints": [
+                {"region": r, "origin": f"L{t[0]}", "tainter": f"L{t[1]}"}
+                for r, t in enumerate(s.taints)
+                if t is not None
+            ],
+            "flags": sorted(s.flags),
+        }

@@ -107,6 +107,10 @@ class RuntimeConfig:
             parallel backend's recovery ladder (same-worker retries,
             worker respawns, backoff, shard timeout); ``None`` uses the
             defaults.
+        fault_schedule: optional :class:`~repro.fault.FaultSchedule` —
+            attempt-ordinal-keyed deterministic fault placement, used by
+            the formal conformance harness to replay model-checker traces
+            against the real executor.  Composes with ``fault_plan``.
     """
 
     n_nodes: int = 1
@@ -123,6 +127,7 @@ class RuntimeConfig:
     profiler: Optional[Any] = None
     fault_plan: Optional[Any] = None
     retry: Optional[Any] = None
+    fault_schedule: Optional[Any] = None
 
     def __post_init__(self):
         if self.n_nodes < 1:
@@ -169,9 +174,17 @@ class Runtime:
         #: fault injection (None = no plan): per-run firing state over the
         #: config's immutable FaultPlan.
         plan = self.config.fault_plan
-        self.fault_injector = (
-            FaultInjector(plan) if plan is not None and plan.specs else None
-        )
+        schedule = self.config.fault_schedule
+        if (plan is not None and plan.specs) or (
+            schedule is not None and schedule.entries
+        ):
+            from repro.fault.plan import FaultPlan
+
+            self.fault_injector = FaultInjector(
+                plan if plan is not None else FaultPlan(), schedule
+            )
+        else:
+            self.fault_injector = None
         self._fault_ordinal = itertools.count()
         self.retry_policy: RetryPolicy = self.config.retry or RetryPolicy()
         #: every TaskPoisonedError this runtime minted, in order.

@@ -237,6 +237,49 @@ class TestCli:
         assert "error[IL-S02]" in out
 
 
+class TestDynamicCorpusGolden:
+    """The NEEDS_DYNAMIC corpus under ``examples/lint/dynamic/``: every
+    loop defers to the Listing-3 dynamic check, and the checked-in
+    ``repro lint --json`` goldens stay in sync with the linter."""
+
+    FIXTURES = ("data_dependent", "compound_modular")
+
+    def _fixture(self, stem):
+        return os.path.join(ROOT, "examples", "lint", "dynamic", stem)
+
+    @pytest.mark.parametrize("stem", FIXTURES)
+    def test_json_matches_golden(self, stem, capsys):
+        assert cli.main(["lint", "--json", self._fixture(stem + ".rg")]) == 0
+        actual = json.loads(capsys.readouterr().out)
+        with open(self._fixture(stem + ".json")) as fh:
+            golden = json.load(fh)
+        # The path field tracks how the linter was invoked; everything
+        # else must match the checked-in golden byte for byte.
+        assert actual.pop("path").endswith(golden.pop("path"))
+        assert actual == golden
+
+    @pytest.mark.parametrize("stem", FIXTURES)
+    def test_every_loop_needs_dynamic(self, stem):
+        with open(self._fixture(stem + ".rg")) as fh:
+            report = lint_source(fh.read(), stem + ".rg")
+        assert len(report.loops) >= 3
+        for lr in report.loops:
+            assert lr.verdict == "NEEDS_DYNAMIC", lr.headline
+        # Undecided launches still launch: the dynamic check gates them
+        # at runtime, so the corpus exits clean.
+        assert report.exit_code == 0
+
+    def test_data_dependent_functors_are_opaque_to_the_seed_too(self):
+        # The corpus must not accidentally become decidable: the seed
+        # classifier defers every one of these loops as well, keeping
+        # the strictly-fewer-NEEDS_DYNAMIC acceptance meaningful.
+        for stem in self.FIXTURES:
+            with open(self._fixture(stem + ".rg")) as fh:
+                report = lint_source(fh.read())
+            for lr in report.loops:
+                assert seed_classifier_action(lr.analysis) == "dynamic-check"
+
+
 class TestSeedComparison:
     """Acceptance: the engine strictly reduces NEEDS_DYNAMIC verdicts."""
 
@@ -253,6 +296,8 @@ class TestSeedComparison:
             "examples/lint/races/constant_write.rg",
             "examples/lint/races/modular_wrap.rg",
             "examples/lint/races/overlapping_pair.rg",
+            "examples/lint/dynamic/data_dependent.rg",
+            "examples/lint/dynamic/compound_modular.rg",
         ):
             with open(os.path.join(ROOT, rel)) as fh:
                 sources.append(fh.read())

@@ -1,0 +1,101 @@
+"""Deterministic regressions for suspicious recovery-ladder interleavings.
+
+These are the orderings the commit-protocol model flags as the dangerous
+ones (see ``src/repro/formal/commit_model.py``): a shard *succeeding* on a
+generation that a sibling's respawn then retires, and a hang landing in
+the middle of a tier-1 same-worker retry.  Schedule-driven injection
+(:class:`~repro.fault.FaultSchedule`) pins the fault to an exact shard
+submission ordinal, so each interleaving reproduces run after run instead
+of depending on pool timing.
+"""
+
+from repro.fault import FaultSchedule, RetryPolicy, ScheduledFault
+
+from tests.exec.test_parallel_equivalence import full_stats, run_program
+
+#: Short timeout + long hang: the parent-side hang detector always wins.
+_HANG_S = 1.2
+_TIMEOUT_RETRY = RetryPolicy(
+    same_worker_retries=1,
+    respawns=2,
+    backoff_base_s=1e-4,
+    backoff_cap_s=1e-3,
+    shard_timeout_s=0.3,
+)
+
+_OPS = ("bump8", "copy", "total", "reduce")
+
+
+def _run(schedule=None, retry=None):
+    cfg = dict(n_nodes=4)
+    if schedule is not None:
+        cfg.update(fault_schedule=schedule, retry=retry or _TIMEOUT_RETRY)
+    rt, x, y, futures, edges = run_program(_OPS, 2, None, cfg, workers=2)
+    return rt, (x.tobytes(), y.tobytes(), futures, edges)
+
+
+class TestStaleSuccessRacingRespawn:
+    """A shard commits on generation g; a sibling on the same worker then
+    forces a respawn to g+1 before the dispatch commits.  The committed
+    shard's cache shipment is now stamped with a retired generation and
+    must be dropped — merging it is exactly the ``collect-time-gen-stamp``
+    coherence bug the model checker catches."""
+
+    # Nodes 0 and 2 share worker 0 (affinity i % 2).  Node 0 completes
+    # clean; node 2's first attempt hangs, trips the timeout, and the
+    # respawn retires the generation node 0's shipment was stamped with.
+    SCHEDULE = FaultSchedule((
+        ScheduledFault(node=2, attempt=0, kind="hang", hang_s=_HANG_S,
+                       launch=0),
+    ))
+
+    def test_stale_shipment_dropped_and_run_identical(self):
+        ref_rt, ref_out = _run()
+        rt, out = _run(self.SCHEDULE)
+
+        assert rt.fault_injector.fired_count >= 1
+        bstats = rt.backend.stats
+        # The respawn path ran: hang -> timeout -> worker replacement,
+        # with no tier-1 retry (a timeout goes straight to tier 2).
+        assert bstats.shard_timeouts >= 1
+        assert bstats.worker_respawns >= 1
+        assert bstats.fallbacks == 0
+        # The already-collected sibling's shipment was recognized as
+        # stale and dropped rather than merged.
+        assert bstats.stale_shipments_dropped >= 1
+        # Dropping it is invisible to the deterministic contract.
+        assert rt.stats.launches_poisoned == 0
+        assert out == ref_out
+        assert full_stats(rt) == full_stats(ref_rt)
+
+
+class TestHangDuringTier1Retry:
+    """A corrupt result sends a shard down tier 1 (same-worker retry) and
+    the *retry* hangs: the timeout must climb to tier 2 and respawn, not
+    re-enter tier 1 or wedge the collect loop."""
+
+    SCHEDULE = FaultSchedule((
+        ScheduledFault(node=0, attempt=0, kind="corrupt", launch=0),
+        ScheduledFault(node=0, attempt=1, kind="hang", hang_s=_HANG_S,
+                       launch=0),
+    ))
+
+    def test_timeout_escalates_the_retry_to_respawn(self):
+        ref_rt, ref_out = _run()
+        rt, out = _run(self.SCHEDULE)
+
+        # Both scheduled entries fired: the corrupt on attempt 0, the
+        # hang on the tier-1 resubmission.
+        assert rt.fault_injector.fired_count >= 2
+        attempts = [e.get("attempt") for e in rt.fault_injector.events
+                    if e["scope"] == "schedule"]
+        assert 0 in attempts and 1 in attempts
+
+        bstats = rt.backend.stats
+        assert bstats.shard_retries >= 1      # tier 1 engaged
+        assert bstats.shard_timeouts >= 1     # the retry's hang detected
+        assert bstats.worker_respawns >= 1    # escalated to tier 2
+        assert bstats.fallbacks == 0
+        assert rt.stats.launches_poisoned == 0
+        assert out == ref_out
+        assert full_stats(rt) == full_stats(ref_rt)

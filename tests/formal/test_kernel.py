@@ -1,0 +1,170 @@
+"""The model-checker kernel on small hand-built transition systems.
+
+Each toy model targets exactly one violation kind, so a kernel regression
+shows up as the wrong *kind* — not just a flipped ``ok`` bit.
+"""
+
+from repro.formal.kernel import (
+    check_payload, explore, find_trace, trace_json,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+class Counter:
+    """Count 0..limit; terminal 'done' at the limit.  Fully correct."""
+
+    TERMINALS = ("done",)
+
+    def __init__(self, limit=5):
+        self.limit = limit
+
+    def initial_state(self):
+        return 0
+
+    def actions(self, s):
+        return [("inc", s + 1)] if s < self.limit else []
+
+    def invariants(self):
+        return [("bounded", lambda s: s <= self.limit)]
+
+    def classify(self, s):
+        return "done" if s == self.limit else None
+
+
+class Forked(Counter):
+    """Two paths to the limit; one trips the invariant earlier."""
+
+    def actions(self, s):
+        if s >= self.limit:
+            return []
+        acts = [("inc", s + 1)]
+        if s == 0:
+            acts.append(("leap", self.limit + 1))
+        return acts
+
+    def classify(self, s):
+        return "done" if s >= self.limit else None
+
+
+class Deadlocked(Counter):
+    """Stops one short of the limit: terminal without classification."""
+
+    def actions(self, s):
+        return [("inc", s + 1)] if s < self.limit - 1 else []
+
+
+class Mislabeled(Counter):
+    """Classifies its terminal as something not in TERMINALS."""
+
+    def classify(self, s):
+        return "finished" if s == self.limit else None
+
+
+class Livelocked(Counter):
+    """A branch enters a 2-cycle that never reaches the terminal."""
+
+    def actions(self, s):
+        if s == self.limit:
+            return []
+        if s == -1:
+            return [("spin", -2)]
+        if s == -2:
+            return [("spin", -1)]
+        acts = [("inc", s + 1)]
+        if s == 0:
+            acts.append(("stray", -1))
+        return acts
+
+
+class TestExplore:
+    def test_clean_model(self):
+        result = explore(Counter())
+        assert result.ok
+        assert result.states == 6
+        assert result.transitions == 5
+        assert result.max_depth == 5
+        assert result.terminals == {"done": 1}
+        assert not result.truncated
+        assert "OK" in result.summary()
+
+    def test_invariant_violation_with_shortest_trace(self):
+        result = explore(Forked())
+        assert not result.ok
+        [v] = result.violations
+        assert v.kind == "invariant" and v.name == "bounded"
+        # BFS: the 1-step leap is found, not the 5-step inc path.
+        assert [a for a, _ in v.trace] == ["<init>", "leap"]
+        assert "invariant violation [bounded]" in v.headline()
+
+    def test_deadlock_detected(self):
+        result = explore(Deadlocked())
+        assert not result.ok
+        assert any(v.kind == "deadlock" for v in result.violations)
+
+    def test_classification_totality(self):
+        result = explore(Mislabeled())
+        assert not result.ok
+        assert any(
+            v.kind == "classification" and v.name == "finished"
+            for v in result.violations
+        )
+
+    def test_livelock_detected(self):
+        result = explore(Livelocked())
+        assert not result.ok
+        kinds = {v.kind for v in result.violations}
+        assert kinds == {"nontermination"}
+        # Both cycle states plus nothing else: the main path terminates.
+        assert sum(v.kind == "nontermination"
+                   for v in result.violations) == 2
+
+    def test_stop_at_first(self):
+        result = explore(Forked(), stop_at_first=True)
+        assert len(result.violations) == 1
+
+    def test_truncation_flag_and_no_false_livelock(self):
+        result = explore(Counter(limit=50), max_states=10)
+        assert result.truncated
+        # Truncated exploration must not misreport unreached terminals
+        # as livelock.
+        assert result.ok
+
+    def test_metrics_counters(self):
+        metrics = MetricsRegistry()
+        explore(Counter(), metrics=metrics)
+        explore(Forked(), metrics=metrics)
+        assert metrics.value("check.states", model="Counter") == 6
+        assert metrics.value("check.transitions", model="Counter") == 5
+        assert metrics.total("check.violations") == 1
+        assert metrics.value(
+            "check.violations", model="Forked", kind="invariant"
+        ) == 1
+
+
+class TestTraces:
+    def test_find_trace_shortest_witness(self):
+        trace = find_trace(Counter(), lambda s: s == 3)
+        assert [a for a, _ in trace] == ["<init>", "inc", "inc", "inc"]
+        assert trace[-1][1] == 3
+
+    def test_find_trace_initial_state_match(self):
+        trace = find_trace(Counter(), lambda s: s == 0)
+        assert [a for a, _ in trace] == ["<init>"]
+
+    def test_find_trace_no_witness(self):
+        assert find_trace(Counter(), lambda s: s == 99) is None
+
+    def test_trace_json_fallback_repr(self):
+        trace = find_trace(Counter(), lambda s: s == 2)
+        rows = trace_json(Counter(), trace)
+        assert rows[0] == {"step": 0, "action": "<init>", "state": "0"}
+        assert rows[2]["state"] == "2"
+
+    def test_check_payload_shape(self):
+        model = Forked()
+        payload = check_payload(model, explore(model))
+        assert payload["model"] == "Forked"
+        assert payload["ok"] is False
+        [v] = payload["violations"]
+        assert v["kind"] == "invariant"
+        assert v["trace"][0]["action"] == "<init>"

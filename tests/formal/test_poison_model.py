@@ -1,0 +1,125 @@
+"""The poison-propagation model: taint flows along the dependence
+diamond, origins chain to real faults, and both seeded mutations are
+caught."""
+
+import pytest
+
+from repro.formal.kernel import explore, find_trace
+from repro.formal.poison_model import (
+    MUTATIONS, PoisonConfig, PoisonModel, _Launch,
+)
+
+
+class TestCorrectProtocol:
+    def test_default_program_holds_all_invariants(self):
+        result = explore(PoisonModel())
+        assert result.ok, result.summary()
+        assert set(result.terminals) == {"clean", "poisoned"}
+
+    def test_fault_free_program_is_clean(self):
+        result = explore(PoisonModel(PoisonConfig(faults=0)))
+        assert result.ok
+        assert result.terminals == {"clean": 1}
+
+    def test_propagation_chains_to_origin(self):
+        # Fault L0 only: L2 (reads A), L3 (reads B via L2's write), and
+        # L4 must all carry origin L0; L1 and L5 commit.
+        model = PoisonModel(PoisonConfig(faults=1))
+        trace = find_trace(
+            model,
+            lambda s: (
+                model.classify(s) == "poisoned"
+                and isinstance(s.statuses[0], tuple)
+            ),
+        )
+        final = trace[-1][1]
+        poisoned = {
+            i for i, st in enumerate(final.statuses)
+            if isinstance(st, tuple)
+        }
+        assert poisoned == {0, 2, 3, 4}
+        assert all(final.statuses[i][1] == 0 for i in poisoned)
+        assert final.statuses[1] == "committed"
+        assert final.statuses[5] == "committed"
+
+    def test_independent_launch_never_poisoned_by_propagation(self):
+        # L5 shares no region with the diamond: it can still be faulted
+        # directly, but over-eager propagation reaching it would be a bug
+        # visible somewhere in the state space.
+        model = PoisonModel()
+        assert find_trace(
+            model,
+            lambda s: isinstance(s.statuses[5], tuple)
+            and s.statuses[5][2],
+        ) is None
+
+    def test_first_writer_wins_keeps_earliest_origin(self):
+        # Two independent faults both writing region 1: L1 taints it
+        # first, a directly-faulted L2 must not replace the origin.
+        model = PoisonModel(PoisonConfig(faults=2))
+        trace = find_trace(
+            model,
+            lambda s: (
+                s.idx >= 3
+                and isinstance(s.statuses[1], tuple)
+                and not s.statuses[1][2]          # L1 directly faulted
+                and isinstance(s.statuses[2], tuple)
+            ),
+        )
+        final = trace[-1][1]
+        assert final.taints[1] == (1, 1)
+
+
+class TestMutations:
+    def _violated(self, name):
+        result = explore(PoisonModel(mutation=name))
+        assert not result.ok, f"mutation {name} was not caught"
+        return {(v.kind, v.name) for v in result.violations}
+
+    def test_skip_read_taint_breaks_completeness(self):
+        assert ("invariant", "poison-completeness") in self._violated(
+            "skip-read-taint"
+        )
+
+    def test_taint_overwrite_breaks_first_writer_wins(self):
+        violated = self._violated("taint-overwrite")
+        assert ("invariant", "first-writer-wins") in violated
+
+    def test_every_poison_mutation_has_counterexample(self):
+        for name in MUTATIONS:
+            result = explore(PoisonModel(mutation=name))
+            assert not result.ok, f"mutation {name} was not caught"
+
+    def test_unknown_mutation_rejected(self):
+        with pytest.raises(ValueError):
+            PoisonModel(mutation="nope")
+
+
+class TestCustomPrograms:
+    def test_linear_chain_taints_everything_downstream(self):
+        chain = tuple(
+            _Launch(f"C{i}", (i - 1,) if i else (), (i,))
+            for i in range(4)
+        )
+        model = PoisonModel(PoisonConfig(program=chain, faults=1))
+        result = explore(model)
+        assert result.ok
+        trace = find_trace(
+            model,
+            lambda s: model.classify(s) == "poisoned"
+            and isinstance(s.statuses[0], tuple),
+        )
+        final = trace[-1][1]
+        assert all(isinstance(st, tuple) for st in final.statuses)
+
+    def test_state_json_is_serializable(self):
+        import json
+
+        model = PoisonModel()
+        trace = find_trace(
+            model, lambda s: any(isinstance(st, tuple)
+                                 for st in s.statuses)
+        )
+        payload = model.state_json(trace[-1][1])
+        text = json.dumps(payload)
+        assert "poisoned(origin=L" in text
