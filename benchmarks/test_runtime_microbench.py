@@ -201,16 +201,26 @@ def _parallel_program(workers):
     return rt, region, acc, one_iteration
 
 
+def _cpu_count():
+    """CPUs actually usable by this process (cgroup/affinity honest),
+    not the machine-wide count ``os.cpu_count`` reports."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count()
+
+
 def _time_parallel(workers, warm=2, timed=5):
     rt, region, acc, one_iteration = _parallel_program(workers)
     for _ in range(warm):
         one_iteration()
-    start = time.perf_counter()
+    samples = []
     for _ in range(timed):
+        start = time.perf_counter()
         one_iteration()
-    elapsed = time.perf_counter() - start
+        samples.append(time.perf_counter() - start)
     digest = region.storage("x").tobytes() + acc.storage("s").tobytes()
-    return elapsed, digest, rt
+    return sum(samples), samples, digest, rt
 
 
 def test_bench_parallel_backend_speedup():
@@ -223,14 +233,31 @@ def test_bench_parallel_backend_speedup():
 
     try:
         results = {}
+        latencies = {}
         digests = {}
+        counters = {}
         for workers in (1, 2, 4):
-            elapsed, digest, rt = _time_parallel(workers)
+            elapsed, samples, digest, rt = _time_parallel(workers)
             results[workers] = elapsed
+            arr = np.asarray(samples) * 1e3
+            latencies[workers] = {
+                "iter_p50_ms": round(float(np.percentile(arr, 50)), 3),
+                "iter_p99_ms": round(float(np.percentile(arr, 99)), 3),
+            }
             digests[workers] = digest
             if workers > 1:
-                assert rt.backend.stats.parallel_launches > 0
-                assert rt.backend.stats.fallbacks == 0
+                bstats = rt.backend.stats
+                assert bstats.parallel_launches > 0
+                assert bstats.fallbacks == 0
+                pool = getattr(rt.backend, "_pool", None)
+                counters[f"workers_{workers}"] = {
+                    "batched_commit_ops": bstats.batched_commit_ops,
+                    "batched_commit_tasks": bstats.batched_commit_tasks,
+                    "shm": (
+                        pool.arena.stats.as_dict() if pool is not None
+                        else None
+                    ),
+                }
     finally:
         shutdown_pools()
 
@@ -245,12 +272,14 @@ def test_bench_parallel_backend_speedup():
         "n_nodes": PAR_NODES,
         "body_sleep_s": BODY_SLEEP_S,
         "timed_iterations": 5,
-        "cpu_count": os.cpu_count(),
+        "cpu_count": _cpu_count(),
         "serial_s": round(results[1], 4),
         "workers_2_s": round(results[2], 4),
         "workers_4_s": round(results[4], 4),
         "speedup_2": round(speedup_2, 2),
         "speedup_4": round(speedup_4, 2),
+        "latency": {str(w): latencies[w] for w in sorted(latencies)},
+        "counters": counters,
     }
     with open(os.path.join(results_dir(), "BENCH_parallel.json"), "w") as fh:
         json.dump(snapshot, fh, indent=2)
@@ -259,13 +288,20 @@ def test_bench_parallel_backend_speedup():
     assert speedup_4 >= 2.0, snapshot
 
 
-def _min_time_us(fn, repeats):
-    best = float("inf")
-    for _ in range(repeats):
+def _sample_us(fn, repeats):
+    """Per-iteration latencies in microseconds: min, mean, p50, p99."""
+    samples = np.empty(repeats)
+    for i in range(repeats):
         start = time.perf_counter()
         fn()
-        best = min(best, time.perf_counter() - start)
-    return best * 1e6
+        samples[i] = time.perf_counter() - start
+    samples *= 1e6
+    return {
+        "min": float(samples.min()),
+        "mean": float(samples.mean()),
+        "p50": float(np.percentile(samples, 50)),
+        "p99": float(np.percentile(samples, 99)),
+    }
 
 
 def test_bench_replay_snapshot():
@@ -285,18 +321,20 @@ def test_bench_replay_snapshot():
         firsts.append(time.perf_counter() - start)
     first_us = min(firsts) * 1e6
 
-    # Steady state: warm three iterations, then min-of-30 replays.
+    # Steady state: warm three iterations, then 100 timed replays so the
+    # tail (p99) is meaningful, not just the best case.
     rt, one_iteration = iterated()
     for _ in range(3):
         one_iteration()
-    replay_us = _min_time_us(one_iteration, 30)
+    replay = _sample_us(one_iteration, 100)
+    replay_us = replay["min"]
     assert rt.stats.analysis_cache_hits > 0
 
     # Cache-off steady state and the No-IDX path, for contrast.
     rt_off, iter_off = iterated(cache=False)
     for _ in range(3):
         iter_off()
-    cache_off_us = _min_time_us(iter_off, 10)
+    cache_off_us = _sample_us(iter_off, 10)["min"]
 
     noidx_firsts = []
     for _ in range(3):
@@ -308,21 +346,35 @@ def test_bench_replay_snapshot():
     rt_n, iter_noidx = iterated(idx=False)
     for _ in range(3):
         iter_noidx()
-    noidx_steady_us = _min_time_us(iter_noidx, 10)
+    noidx_steady_us = _sample_us(iter_noidx, 10)["min"]
+
+    from repro.runtime.kernels import GLOBAL_CHECK_KERNELS
 
     speedup = first_us / replay_us
     snapshot = {
         "n_tasks": PIECES,
         "n_nodes": 4,
+        "cpu_count": _cpu_count(),
         "idx": {
             "first_issue_us": round(first_us, 1),
             "steady_replay_us": round(replay_us, 1),
+            "steady_replay_mean_us": round(replay["mean"], 1),
+            "steady_replay_p50_us": round(replay["p50"], 1),
+            "steady_replay_p99_us": round(replay["p99"], 1),
             "steady_cache_off_us": round(cache_off_us, 1),
             "replay_speedup": round(speedup, 2),
         },
         "noidx": {
             "first_issue_us": round(noidx_first_us, 1),
             "steady_us": round(noidx_steady_us, 1),
+        },
+        "counters": {
+            "dependence_kernel_replays": rt.physical.kernel_replays,
+            "check_kernel_hits": GLOBAL_CHECK_KERNELS.hits,
+            "check_kernel_misses": GLOBAL_CHECK_KERNELS.misses,
+            "check_kernel_affine_constants": (
+                GLOBAL_CHECK_KERNELS.affine_constants
+            ),
         },
     }
     with open(os.path.join(results_dir(), "BENCH_runtime.json"), "w") as fh:

@@ -310,7 +310,40 @@ def _cmd_profile(args) -> int:
         wrote = True
     if args.summary or not wrote:
         print(text_summary(prof, stats=rt.stats))
+    if args.bench_summary:
+        print(_bench_summary_table(rt))
     return 0
+
+
+def _bench_summary_table(rt) -> str:
+    """The hot-path engine's counter table (see docs/hot-path.md).
+
+    Collects the three layers' counters — shared-memory transport, batched
+    physical commit, precompiled check/dependence kernels — from wherever
+    they live (runtime, backend, pool arena) into one aligned block.
+    """
+    from repro.runtime.kernels import GLOBAL_CHECK_KERNELS
+
+    rows = [
+        ("dependence kernel replays", rt.physical.kernel_replays),
+        ("check kernel hits", GLOBAL_CHECK_KERNELS.hits),
+        ("check kernel misses", GLOBAL_CHECK_KERNELS.misses),
+        ("check kernel affine constants", GLOBAL_CHECK_KERNELS.affine_constants),
+    ]
+    bstats = getattr(rt.backend, "stats", None)
+    if bstats is not None and hasattr(bstats, "batched_commit_ops"):
+        rows += [
+            ("batched commit ops", bstats.batched_commit_ops),
+            ("batched commit tasks", bstats.batched_commit_tasks),
+        ]
+    pool = getattr(rt.backend, "_pool", None)
+    if pool is not None:
+        for name, value in pool.arena.stats.as_dict().items():
+            rows.append((f"shm {name.replace('_', ' ')}", value))
+    width = max(len(label) for label, _ in rows)
+    lines = ["hot-path engine counters"]
+    lines += [f"  {label.ljust(width)}  {value}" for label, value in rows]
+    return "\n".join(lines)
 
 
 def _cmd_faultsim(args) -> int:
@@ -492,6 +525,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="disable dynamic control replication")
     p_prof.add_argument("--no-idx", action="store_true",
                         help="disable index launches")
+    p_prof.add_argument("--bench-summary", action="store_true",
+                        help="print the hot-path engine counter table "
+                             "(shm transport, batched commit, kernels)")
     p_prof.set_defaults(fn=_cmd_profile)
 
     p_fault = sub.add_parser(

@@ -194,6 +194,7 @@ def dynamic_self_check(
     color_bounds: Rect,
     use_numpy: bool = True,
     apply_batch=None,
+    points: Optional[np.ndarray] = None,
 ) -> CheckResult:
     """Vectorized injectivity check for one functor over the launch domain.
 
@@ -201,11 +202,14 @@ def dynamic_self_check(
     functor over the whole domain at once and detects duplicates with a sort.
     Set ``use_numpy=False`` to run the reference path (early-exit loop).
     ``apply_batch`` optionally replaces ``functor.apply_batch`` with an
-    exact-preserving evaluator (e.g. chunked across worker processes).
+    exact-preserving evaluator (e.g. chunked across worker processes);
+    ``points`` optionally supplies a pre-materialized ``domain.point_array()``
+    so repeated checks over one domain share a single array.
     """
     if not use_numpy:
         return self_check_reference(domain, functor, color_bounds)
-    points = domain.point_array()
+    if points is None:
+        points = domain.point_array()
     values = (
         apply_batch(functor, points)
         if apply_batch is not None
@@ -239,6 +243,7 @@ def dynamic_cross_check(
     color_bounds: Rect,
     use_numpy: bool = True,
     apply_batch=None,
+    points: Optional[np.ndarray] = None,
 ) -> CheckResult:
     """Vectorized linear-time cross-check for arguments sharing one partition.
 
@@ -247,14 +252,16 @@ def dynamic_cross_check(
     are validated against the union of write images.  Reads may freely
     overlap other reads.  ``apply_batch`` optionally replaces
     ``functor.apply_batch`` with an exact-preserving evaluator (e.g.
-    chunked across worker processes for large domains).
+    chunked across worker processes for large domains); ``points``
+    optionally supplies a pre-materialized ``domain.point_array()``.
     """
     if not use_numpy:
         return cross_check_reference(domain, args, color_bounds)
     for _, mode in args:
         if mode not in ("read", "write"):
             raise ValueError(f"mode must be 'read' or 'write', got {mode!r}")
-    points = domain.point_array()
+    if points is None:
+        points = domain.point_array()
     n = len(points)
     oob_total = 0
     write_order: List[Tuple[int, np.ndarray]] = []

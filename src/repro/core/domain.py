@@ -230,9 +230,11 @@ class Domain:
     Section 3 of the paper (``P = |D|``).
     """
 
-    __slots__ = ("_rect", "_points", "_dim")
+    __slots__ = ("_rect", "_points", "_dim", "_hash", "_fset")
 
     def __init__(self, rect: Rect = None, points: Sequence[Point] = None):
+        self._hash = None
+        self._fset = None
         if (rect is None) == (points is None):
             raise ValueError("Domain takes exactly one of rect= or points=")
         if rect is not None:
@@ -330,17 +332,53 @@ class Domain:
             return np.stack([g.ravel() for g in grids], axis=1)
         return np.asarray(self._points, dtype=np.int64).reshape(self.volume, self._dim)
 
+    def _point_set(self) -> frozenset:
+        if self._fset is None:
+            self._fset = frozenset(iter(self))
+        return self._fset
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Domain):
             return NotImplemented
         if self._dim != other._dim:
             return False
-        return frozenset(iter(self)) == frozenset(iter(other))
+        # Fast paths: dense rects compare by bounds, sparse point tuples by
+        # cached frozensets.  Only the mixed dense/sparse case still needs a
+        # point-set comparison, and the dense side never materializes: equal
+        # volume plus full containment of the (deduplicated) sparse points is
+        # equivalent to set equality.
+        if self._rect is not None and other._rect is not None:
+            return self._rect == other._rect
+        if self._rect is None and other._rect is None:
+            if self._points == other._points:
+                return True
+            return self._point_set() == other._point_set()
+        dense, sparse = (self, other) if self._rect is not None else (other, self)
+        if dense.volume != len(sparse._points):
+            return False
+        rect = dense._rect
+        return all(rect.contains(p) for p in sparse._points)
 
     def __hash__(self) -> int:
-        if self._rect is not None:
-            return hash(("Domain", self._rect))
-        return hash(("Domain", frozenset(self._points)))
+        # Equal domains must hash equal even across the dense/sparse divide
+        # (Domain.range(4) == Domain.points([0, 1, 2, 3])), so hash only
+        # invariants shared by equal point sets: volume and tight bounds.
+        # Sparse domains with equal bounds collide and fall back to __eq__.
+        h = self._hash
+        if h is None:
+            h = hash(("Domain", self.volume, self.bounds))
+            self._hash = h
+        return h
+
+    def __getstate__(self):
+        # Keep pickled blobs independent of lazily-populated hash/point-set
+        # caches so delta-shipped state stays deterministic.
+        return (self._rect, self._points, self._dim)
+
+    def __setstate__(self, state):
+        self._rect, self._points, self._dim = state
+        self._hash = None
+        self._fset = None
 
     def __repr__(self) -> str:
         if self._rect is not None:

@@ -76,16 +76,25 @@ class IndexSubset:
 class RectSubset(IndexSubset):
     """A dense rectangular subset."""
 
-    __slots__ = ("rect",)
+    __slots__ = ("rect", "_linear_cache")
 
     def __init__(self, rect: Rect):
         super().__init__()
         self.rect = rect
+        self._linear_cache = None
 
     def volume(self) -> int:
         return self.rect.volume
 
     def linear_indices(self, bounds: Rect) -> np.ndarray:
+        # Pure in (rect, bounds) and recomputed on every replay's footprint
+        # build, so memoize per instance (subregion objects are stable
+        # across reissues).  The cached array is frozen: every consumer
+        # only indexes with it, and freezing turns an accidental in-place
+        # mutation into an error instead of silent cache corruption.
+        cached = self._linear_cache
+        if cached is not None and (cached[0] is bounds or cached[0] == bounds):
+            return cached[1]
         if self.rect.empty:
             return np.empty(0, dtype=np.int64)
         if not bounds.contains_rect(self.rect):
@@ -99,8 +108,24 @@ class RectSubset(IndexSubset):
         for d in range(len(extents) - 2, -1, -1):
             strides[d] = strides[d + 1] * extents[d + 1]
         grids = np.meshgrid(*axes, indexing="ij")
-        linear = sum(g.ravel() * s for g, s in zip(grids, strides))
-        return np.asarray(linear, dtype=np.int64)
+        linear = np.asarray(
+            sum(g.ravel() * s for g, s in zip(grids, strides)), dtype=np.int64
+        )
+        linear.flags.writeable = False
+        self._linear_cache = (bounds, linear)
+        return linear
+
+    def __getstate__(self):
+        # The memoized index array must not ride along in pickled shard
+        # plans (it can dwarf the descriptor-sized plan the shm transport
+        # works to keep small); workers rebuild it on demand.
+        return (dict(self.__dict__), {"rect": self.rect})
+
+    def __setstate__(self, state):
+        d, slots = state
+        self.__dict__.update(d)
+        self.rect = slots["rect"]
+        self._linear_cache = None
 
     def __repr__(self) -> str:
         return f"RectSubset({self.rect!r})"

@@ -73,17 +73,24 @@ class SerialBackend(ExecutionBackend):
         t_expand = prof.mark()
         expansion = cache.get_expansion(sig) if cache is not None else None
         expansion_cached = expansion is not None
-        plan_list: List[Tuple[int, PointPlan]] = []
+        plan_list: Optional[List[Tuple[int, PointPlan]]] = None
         if expansion is not None:
             rt.stats.analysis_cache_hits += 1
-            for node in sorted(assignment):
-                for point in assignment[node]:
-                    plan_list.append((node, expansion.point_plan(launch, point)))
+            plan_list = expansion.ordered_plans(launch, assignment)
+            if plan_list is None:
+                plan_list = []
+                for node in sorted(assignment):
+                    for point in assignment[node]:
+                        plan_list.append(
+                            (node, expansion.point_plan(launch, point))
+                        )
+                expansion.store_plans(launch, assignment, plan_list)
         else:
             expansion = ExpansionTemplate(
                 base_args=launch.args,
                 had_point_args=launch.point_args is not None,
             )
+            plan_list = []
             for node in sorted(assignment):
                 for point in assignment[node]:
                     point_task = launch.point_task(point)
@@ -99,6 +106,7 @@ class SerialBackend(ExecutionBackend):
                     )
                     expansion.plans[tuple(point)] = plan
                     plan_list.append((node, plan))
+            expansion.store_plans(launch, assignment, plan_list)
             if cache is not None:
                 cache.put_expansion(sig, expansion)
         if prof.enabled:
@@ -151,21 +159,25 @@ class SerialBackend(ExecutionBackend):
                     cache.put_physical(sig, ptemplate)
 
         fmap = FutureMap(label=launch.name)
-        executed: List[Tuple[PointPlan, int, int]] = []
-        for tid, (node, plan), tdeps in zip(task_ids, plan_list, tdeps_lists):
-            rt.stats.physical_dependences += len(tdeps)
-            rt.stats.add_representation(Stage.PHYSICAL, node, 1)
-            if rt.graph_recorder is not None:
+        # Per-node batched accounting: the representation table is a pure
+        # additive counter, so one call per node lands the same totals as
+        # one call per task.
+        per_node: Dict[int, int] = {}
+        for node, _ in plan_list:
+            per_node[node] = per_node.get(node, 0) + 1
+        rt.stats.physical_dependences += sum(len(t) for t in tdeps_lists)
+        for node in sorted(per_node):
+            rt.stats.add_representation(Stage.PHYSICAL, node, per_node[node])
+        if rt.graph_recorder is not None:
+            for tid, (node, plan), tdeps in zip(
+                task_ids, plan_list, tdeps_lists
+            ):
                 rt.graph_recorder.record_task(
                     tid, plan.task_launch.name, op_id, node
                 )
                 rt.graph_recorder.record_physical_edges(tdeps)
-            executed.append((plan, node, tid))
         rt.stats.overlap_queries = rt.physical.overlap_queries
         if prof.enabled:
-            per_node: Dict[int, int] = {}
-            for node, _ in plan_list:
-                per_node[node] = per_node.get(node, 0) + 1
             for node in sorted(per_node):
                 local = per_node[node]
                 attrs = dict(op=op_id, launch=launch.name, tasks=local,
@@ -183,8 +195,11 @@ class SerialBackend(ExecutionBackend):
 
         # --- execution (functionally; order free for verified launches).
         if cfg.shuffle_intra_launch and safe_order_free:
+            executed = list(zip(task_ids, plan_list))
             rt._rng.shuffle(executed)
-        for plan, node, tid in executed:
+        else:
+            executed = zip(task_ids, plan_list)
+        for tid, (node, plan) in executed:
             try:
                 fmap.set(
                     plan.task_launch.point,

@@ -57,6 +57,7 @@ from repro.exec.plan import (
     subset_ref,
 )
 from repro.exec.pool import get_pool
+from repro.exec.shm import shm_env_enabled
 from repro.runtime.futures import FutureMap
 from repro.runtime.physical import (
     AccessOp,
@@ -112,6 +113,10 @@ class _ShardJob:
     future: Any = None
     staged: Optional[dict] = None            # cache delta of this attempt
     payload: Any = None
+    #: parent-side shm gather-back map of the *current* attempt:
+    #: global ordinal -> [(region uid, field, idx, shm view)], rebuilt on
+    #: every (re)submission so commit always reads the attempt it awaited.
+    shm_writes: Optional[Dict[int, list]] = None
 
 
 @dataclass
@@ -135,6 +140,9 @@ class ParallelExecStats:
     shard_timeouts: int = 0         # hangs converted into respawns
     backoff_total_s: float = 0.0    # wall-clock slept between attempts
     stale_shipments_dropped: int = 0  # cache deltas from respawned gens
+    # --- hot-path engine (see docs/hot-path.md)
+    batched_commit_ops: int = 0     # vectorized scatter/reduce applications
+    batched_commit_tasks: int = 0   # tasks whose effects committed batched
 
 
 @dataclass
@@ -151,6 +159,9 @@ class _Dispatch:
     # committed only while the generation still holds — a respawn wipes the
     # worker state a stale shipment would otherwise claim it has.
     shipments: List[Tuple[int, int, dict]] = field(default_factory=list)
+    #: global ordinal -> [(uid, field, idx, shm view)] write-backs that
+    #: traveled through shared memory instead of the result blob.
+    shm_writes: Optional[Dict[int, list]] = None
 
 
 class ParallelBackend(ExecutionBackend):
@@ -240,6 +251,11 @@ class ParallelBackend(ExecutionBackend):
             dispatch = self._dispatch(launch, sig, assignment, replay, cache)
         except _ParallelBail as bail:
             self.stats.fallbacks += 1
+            if self._pool is not None and not self._pool.closed:
+                # Sibling futures may still be in flight; their workers
+                # could write into shm slots at any time, so the current
+                # segments (and their offsets) are forfeit.
+                self._pool.arena.abandon_all()
             self._observe("fallback", launch=launch.name, reason=bail.reason,
                           poison=bail.poison)
             if bail.poison:
@@ -289,9 +305,14 @@ class ParallelBackend(ExecutionBackend):
                 ) * len(dispatch.nodes)
             prof.phase("parallel.shards", Stage.EXECUTION, t_par, **attrs)
             prof.count("parallel.dispatches", 1.0)
-        return self._commit(
-            launch, sig, op_id, replay, safe_order_free, cache, dispatch
+        fmap = self._commit(
+            launch, sig, op_id, replay, safe_order_free, cache, dispatch,
+            assignment,
         )
+        # Every future was collected and every shm view consumed: reclaim
+        # the arena offsets for the next dispatch.
+        pool.arena.rewind_all()
+        return fmap
 
     # ------------------------------------------------------------ dispatch
     def _dispatch(self, launch, sig, assignment, replay, cache) -> _Dispatch:
@@ -339,6 +360,10 @@ class ParallelBackend(ExecutionBackend):
             raise _ParallelBail(f"task not picklable: {exc}", poison=True)
 
         injector = getattr(rt, "fault_injector", None)
+        arena = pool.arena
+        shm_on = arena.available and (
+            cfg.shm if cfg.shm is not None else shm_env_enabled()
+        )
 
         jobs: List[_ShardJob] = []
         ordinal = 0
@@ -450,6 +475,10 @@ class ParallelBackend(ExecutionBackend):
 
             # Footprint data: everything the shard reads, plus current
             # write-footprint bytes so partial writes gather back intact.
+            # With shm on, each entry travels through the worker's arena
+            # segment as a descriptor; any entry the arena declines (odd
+            # dtype, allocation failure) stays a pickled tuple.
+            gen = pool.generation(k)
             read_data = []
             shipped: Dict[Tuple[int, str], List[np.ndarray]] = {}
             for ri, req in enumerate(launch.requirements):
@@ -463,9 +492,52 @@ class ParallelBackend(ExecutionBackend):
                         ).append(sub._indices())
             for (uid, fname), idx_parts in shipped.items():
                 idx = np.unique(np.concatenate(idx_parts))
-                read_data.append(
-                    (uid, fname, idx, region_by_uid[uid].storage(fname)[idx])
+                vals = region_by_uid[uid].storage(fname)[idx]
+                entry = (
+                    arena.stage_read(k, gen, uid, fname, idx, vals)
+                    if shm_on
+                    else None
                 )
+                read_data.append(entry or (uid, fname, idx, vals))
+
+            # Gather-back slots: projection is pure, so the parent derives
+            # the same write indices the worker will, pre-allocates one shm
+            # slot per (point, requirement, field) in the worker's gather
+            # order, and keeps (uid, field, idx, view) for commit.
+            write_slots = None
+            job.shm_writes = None
+            if shm_on:
+                write_slots = []
+                shm_writes: Dict[int, list] = {}
+                for li, subs in enumerate(local_projs):
+                    slots: List[Optional[tuple]] = []
+                    parent_slots = []
+                    for ri, req in enumerate(launch.requirements):
+                        if req.privilege.privilege not in (
+                            Privilege.WRITE,
+                            Privilege.READ_WRITE,
+                        ):
+                            continue
+                        sub = subs[ri]
+                        idx = sub._indices()
+                        store_of = req.region.storage
+                        for fname in req.resolved_fields():
+                            slot = arena.alloc_write_slot(
+                                k, gen, len(idx), store_of(fname).dtype
+                            )
+                            if slot is None:
+                                slots.append(None)
+                            else:
+                                desc, view = slot
+                                slots.append(desc)
+                                parent_slots.append(
+                                    (req.region.uid, fname, idx, view)
+                                )
+                    write_slots.append(slots)
+                    if parent_slots:
+                        shm_writes[ordinals[li]] = parent_slots
+                if shm_writes:
+                    job.shm_writes = shm_writes
 
             extra = None
             if launch.point_args is not None:
@@ -490,6 +562,7 @@ class ParallelBackend(ExecutionBackend):
                 analyze=analyzed,
                 read_data=read_data,
                 profile=prof.enabled,
+                write_slots=write_slots,
             )
             staged["tasks"].add(launch.task.uid)
             if injector is not None:
@@ -499,7 +572,7 @@ class ParallelBackend(ExecutionBackend):
             except Exception as exc:
                 raise _ParallelBail(f"plan not picklable: {exc}", poison=True)
             job.staged = staged
-            job.gen = pool.generation(k)
+            job.gen = gen
             job.mark = prof.now() if prof.enabled else 0.0
             self._observe("submit", shard=node, worker=k, gen=job.gen)
             try:
@@ -565,6 +638,12 @@ class ParallelBackend(ExecutionBackend):
         except Exception as exc:
             raise _ParallelBail(f"future value not unpicklable: {exc}",
                                 poison=True)
+        shm_writes: Optional[Dict[int, list]] = None
+        for job in jobs:
+            if job.shm_writes:
+                if shm_writes is None:
+                    shm_writes = {}
+                shm_writes.update(job.shm_writes)
         return _Dispatch(
             nodes=nodes,
             points=flat_points,
@@ -573,6 +652,7 @@ class ParallelBackend(ExecutionBackend):
             task_worker=task_worker,
             analyzed=analyzed,
             shipments=shipments,
+            shm_writes=shm_writes,
         )
 
     # ----------------------------------------------------- shard collection
@@ -704,7 +784,8 @@ class ParallelBackend(ExecutionBackend):
 
     # -------------------------------------------------------------- commit
     def _commit(
-        self, launch, sig, op_id, replay, safe_order_free, cache, dispatch
+        self, launch, sig, op_id, replay, safe_order_free, cache, dispatch,
+        assignment,
     ) -> FutureMap:
         rt = self.rt
         cfg = rt.config
@@ -728,8 +809,15 @@ class ParallelBackend(ExecutionBackend):
             template = expansion
             plans: List[Tuple[int, PointPlan]] = []
             if template is not None:
-                for node, point in dispatch.points:
-                    plans.append((node, template.point_plan(launch, point)))
+                cached_plans = template.ordered_plans(launch, assignment)
+                if cached_plans is not None:
+                    plans = cached_plans
+                else:
+                    for node, point in dispatch.points:
+                        plans.append(
+                            (node, template.point_plan(launch, point))
+                        )
+                    template.store_plans(launch, assignment, plans)
             else:
                 template = ExpansionTemplate(
                     base_args=launch.args,
@@ -749,6 +837,7 @@ class ParallelBackend(ExecutionBackend):
                     )
                     template.plans[tuple(point)] = plan
                     plans.append((node, plan))
+                template.store_plans(launch, assignment, plans)
                 if cache is not None:
                     cache.put_expansion(sig, template)
             plan_holder[0] = plans
@@ -814,20 +903,21 @@ class ParallelBackend(ExecutionBackend):
                     cache.put_physical(sig, ptemplate)
 
         fmap = FutureMap(label=launch.name)
-        for tid, ((node, point), tdeps) in zip(
-            task_ids, zip(dispatch.points, tdeps_lists)
-        ):
-            rt.stats.physical_dependences += len(tdeps)
-            rt.stats.add_representation(Stage.PHYSICAL, node, 1)
-            if rt.graph_recorder is not None:
+        per_node: Dict[int, int] = {}
+        for node, _ in dispatch.points:
+            per_node[node] = per_node.get(node, 0) + 1
+        rt.stats.physical_dependences += sum(len(t) for t in tdeps_lists)
+        for node in sorted(per_node):
+            rt.stats.add_representation(Stage.PHYSICAL, node, per_node[node])
+        if rt.graph_recorder is not None:
+            for tid, ((node, point), tdeps) in zip(
+                task_ids, zip(dispatch.points, tdeps_lists)
+            ):
                 name = f"{launch.task.name}{tuple(point)}"
                 rt.graph_recorder.record_task(tid, name, op_id, node)
                 rt.graph_recorder.record_physical_edges(tdeps)
         rt.stats.overlap_queries = rt.physical.overlap_queries
         if prof.enabled:
-            per_node: Dict[int, int] = {}
-            for node, _ in dispatch.points:
-                per_node[node] = per_node.get(node, 0) + 1
             for node in sorted(per_node):
                 local = per_node[node]
                 attrs = dict(op=op_id, launch=launch.name, tasks=local,
@@ -850,23 +940,34 @@ class ParallelBackend(ExecutionBackend):
         region_by_uid = {
             req.region.uid: req.region for req in launch.requirements
         }
+        if cfg.batched_commit:
+            self._commit_effects_batched(dispatch, order, region_by_uid)
+        else:
+            for g in order:
+                trec = dispatch.tasks[g]
+                for uid, fname, idx, vals in self._task_writes(dispatch, g):
+                    region_by_uid[uid].storage(fname)[idx] = vals
+                for uid, fname, idx, vals, opname in trec.reduces:
+                    self._apply_reduce(
+                        region_by_uid[uid], fname, idx, vals, opname
+                    )
         for g in order:
             trec = dispatch.tasks[g]
-            node, _point = dispatch.points[g]
-            for uid, fname, idx, vals in trec.writes:
-                region_by_uid[uid].storage(fname)[idx] = vals
-            for uid, fname, idx, vals, opname in trec.reduces:
-                self._apply_reduce(
-                    region_by_uid[uid], fname, idx, vals, opname
-                )
             fmap.set(Point(*trec.point), dispatch.values[g])
-            rt.stats.tasks_executed += 1
-            rt.stats.add_representation(Stage.EXECUTION, node, 1)
-            if prof.enabled and trec.span is not None:
+        rt.stats.tasks_executed += total
+        for node in sorted(per_node):
+            rt.stats.add_representation(Stage.EXECUTION, node, per_node[node])
+        if prof.enabled:
+            span_name = f"execute:{launch.task.name}"
+            for g in order:
+                trec = dispatch.tasks[g]
+                if trec.span is None:
+                    continue
+                node, _point = dispatch.points[g]
                 k, offset = dispatch.task_worker[g]
                 start, end = trec.span
                 prof.ingest_span(
-                    f"execute:{launch.task.name}",
+                    span_name,
                     Stage.EXECUTION,
                     node,
                     start + offset,
@@ -895,6 +996,75 @@ class ParallelBackend(ExecutionBackend):
         else:  # pragma: no cover - custom operators never reach workers
             store[idx] = REDUCTION_OPS[opname].apply(store[idx], values)
 
+    def _commit_effects_batched(self, dispatch, order, region_by_uid) -> None:
+        """Launch-granularity application of shard write-backs and reduces.
+
+        Byte-identity with the per-task loop rests on two facts.  Writes:
+        only verified launches are dispatched, and the cross-check proves
+        all write footprints of a launch pairwise disjoint, so scattering
+        one concatenated (idx, values) pair per (region, field) is
+        order-free and lands the same bytes.  Reduces: ``np.ufunc.at``
+        applies duplicate indices sequentially in index-array order, so
+        concatenating recorded calls per (region, field, operator) in
+        commit order accumulates bit-identically; a group is flushed early
+        whenever the *operator* on its (region, field) changes, preserving
+        the interleaving the per-task loop would produce.  Eligibility
+        already guarantees writes and reduces never share a (region,
+        field), so the two phases commute.
+        """
+        writes: Dict[Tuple[int, str], List[tuple]] = {}
+        reduces: Dict[Tuple[int, str], Tuple[str, list, list]] = {}
+        stats = self.stats
+        for g in order:
+            trec = dispatch.tasks[g]
+            for uid, fname, idx, vals in self._task_writes(dispatch, g):
+                writes.setdefault((uid, fname), []).append((idx, vals))
+            for uid, fname, idx, vals, opname in trec.reduces:
+                key = (uid, fname)
+                pending = reduces.get(key)
+                if pending is not None and pending[0] != opname:
+                    self._flush_reduce_group(region_by_uid, key, pending)
+                    stats.batched_commit_ops += 1
+                    pending = None
+                if pending is None:
+                    reduces[key] = (opname, [idx], [np.asarray(vals).ravel()])
+                else:
+                    pending[1].append(idx)
+                    pending[2].append(np.asarray(vals).ravel())
+        for (uid, fname), parts in writes.items():
+            store = region_by_uid[uid].storage(fname)
+            if len(parts) == 1:
+                idx, vals = parts[0]
+                store[idx] = vals
+            else:
+                store[np.concatenate([p[0] for p in parts])] = np.concatenate(
+                    [np.asarray(p[1]) for p in parts]
+                )
+            stats.batched_commit_ops += 1
+        for key, pending in reduces.items():
+            self._flush_reduce_group(region_by_uid, key, pending)
+            stats.batched_commit_ops += 1
+        stats.batched_commit_tasks += len(order)
+
+    @staticmethod
+    def _task_writes(dispatch, g) -> list:
+        """One task's write-back footprints, whichever transport each used."""
+        trec = dispatch.tasks[g]
+        shm = dispatch.shm_writes
+        if shm is None:
+            return trec.writes
+        extra = shm.get(g)
+        if extra is None:
+            return trec.writes
+        return extra + trec.writes if trec.writes else extra
+
+    def _flush_reduce_group(self, region_by_uid, key, pending) -> None:
+        opname, idx_parts, val_parts = pending
+        uid, fname = key
+        idx = idx_parts[0] if len(idx_parts) == 1 else np.concatenate(idx_parts)
+        vals = val_parts[0] if len(val_parts) == 1 else np.concatenate(val_parts)
+        self._apply_reduce(region_by_uid[uid], fname, idx, vals, opname)
+
     # --------------------------------------------------------------- merge
     def _merge_analysis(
         self, launch, dispatch, task_ids, plans, capture
@@ -907,17 +1077,22 @@ class ParallelBackend(ExecutionBackend):
         """
         rt = self.rt
         phys = rt.physical
-        clones: Dict[int, List[_User]] = {}
+        # Clones carry their footprint keys alongside, maintained
+        # incrementally across ops: footprint keys are pure in the user's
+        # (subregion, privilege, fields), none of which the merge mutates,
+        # so one computation per user replaces one per (op, user) pair.
+        clones: Dict[int, Tuple[List[_User], List[tuple]]] = {}
 
-        def bucket_for(uid: int) -> List[_User]:
-            bucket = clones.get(uid)
-            if bucket is None:
+        def bucket_for(uid: int) -> Tuple[List[_User], List[tuple]]:
+            entry = clones.get(uid)
+            if entry is None:
                 bucket = [
                     _User(list(u.task_ids), u.subregion, u.privilege, u.fields)
                     for u in phys._users.get(uid, [])
                 ]
-                clones[uid] = bucket
-            return bucket
+                entry = (bucket, [u.footprint_key() for u in bucket])
+                clones[uid] = entry
+            return entry
 
         added_queries = 0
         tdeps_lists: List[List[TaskDependence]] = []
@@ -937,9 +1112,8 @@ class ParallelBackend(ExecutionBackend):
                 dep_keys, retire_keys, coalesce_key, created_key, region_uid = (
                     record
                 )
-                bucket = bucket_for(region_uid)
+                bucket, keys = bucket_for(region_uid)
                 added_queries += len(bucket)
-                keys = [u.footprint_key() for u in bucket]
                 op = AccessOp(
                     region_uid=region_uid,
                     n_scanned=len(bucket),
@@ -1000,8 +1174,8 @@ class ParallelBackend(ExecutionBackend):
             synthesized.append(ops_out)
 
         # Commit: install the merged buckets and the query accounting.
-        for uid, bucket in clones.items():
-            phys._users[uid] = bucket
+        for uid, (bucket, _keys) in clones.items():
+            phys.install_bucket(uid, bucket)
         phys.overlap_queries += added_queries
         if capture is not None:
             capture.extend(synthesized)

@@ -168,11 +168,19 @@ class ShardPlan:
     partitions: List[PartitionEntry]
     snapshot: Dict[int, List[UserRef]]  # region uid -> pre-launch users
     analyze: bool                   # run physical analysis (no template replay)
-    read_data: List[tuple]          # (region_uid, field, idx array, values)
+    #: read footprints: legacy pickle tuples (region_uid, field, idx array,
+    #: values) or shm descriptors ("shm", uid, field, segment, idx_off,
+    #: count, idx_dtype, val_off, val_dtype) — see repro.exec.shm.
+    read_data: List[tuple]
     profile: bool
     #: armed fault directives (kind, phase, point|None, hang_s) — injected
     #: failures the worker fires with real effects; see repro.fault.
     faults: List[tuple] = field(default_factory=list)
+    #: shm gather-back slots, parallel to ``points``: per point, one
+    #: (segment, val_off, count, val_dtype) | None per (WRITE/READ_WRITE
+    #: requirement, field) in gather order.  None (or a None slot) means
+    #: the worker pickles that footprint into ``TaskResult.writes``.
+    write_slots: Optional[List[List[Optional[tuple]]]] = None
 
 
 @dataclass

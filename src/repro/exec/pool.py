@@ -27,6 +27,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.exec.plan import dumps, loads
+from repro.exec.shm import ShmArena
 from repro.obs.profiler import NULL_PROFILER
 
 __all__ = [
@@ -110,6 +111,11 @@ class WorkerPool:
         #: (CPython's process-pool atexit hook prints "Exception ignored"
         #: noise when it pokes a broken, never-joined executor).
         self._retired: List[ProcessPoolExecutor] = []
+        #: parent-owned shared-memory transport (hot-path engine layer 1).
+        #: The backend decides per dispatch whether to use it; the arena's
+        #: lifecycle is tied to the pool's: generation bumps orphan a
+        #: worker's segments, shutdown unlinks everything.
+        self.arena = ShmArena(n)
         self.pool_failures = 0
         #: observability hook; the parallel backend points this at the
         #: runtime's profiler so pool failures surface in traces/metrics.
@@ -136,6 +142,7 @@ class WorkerPool:
         self._executors[k] = None
         self.caches[k].clear()
         self._generations[k] += 1
+        self.arena.on_reset(k, self._generations[k])
         if self.observer is not None:
             self.observer(
                 "pool.reset", {"worker": k, "generation": self._generations[k]}
@@ -150,6 +157,7 @@ class WorkerPool:
 
     def shutdown(self) -> None:
         self._closed = True
+        self.arena.close()
         for k in range(self.n):
             executor = self._executors[k]
             self._executors[k] = None

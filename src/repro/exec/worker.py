@@ -56,6 +56,34 @@ _REGIONS: Dict[int, Region] = {}
 _SUBSETS: Dict[int, Any] = {}
 _PARTITIONS: Dict[int, "_PartitionStub"] = {}
 _TASKS: Dict[int, Any] = {}
+_SHM: Dict[str, Any] = {}  # attached parent-owned segments, by name
+
+
+def _attach_shm(name: str):
+    """Attach (and cache) one parent-owned shared-memory segment.
+
+    The attachment is immediately unregistered from this process's resource
+    tracker: segments are parent-owned, and a worker death must never let a
+    tracker cleanup unlink memory the parent still uses.
+    """
+    shm = _SHM.get(name)
+    if shm is None:
+        from multiprocessing import resource_tracker, shared_memory
+
+        shm = shared_memory.SharedMemory(name=name)
+        try:
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker impl details vary
+            pass
+        _SHM[name] = shm
+    return shm
+
+
+def _shm_view(name: str, offset: int, count: int, dtype: str) -> np.ndarray:
+    return np.ndarray(
+        count, dtype=np.dtype(dtype), buffer=_attach_shm(name).buf,
+        offset=offset,
+    )
 
 
 class _PartitionStub:
@@ -146,7 +174,14 @@ def _install_plan_state(plan: ShardPlan) -> None:
             stub.add_color(color, _resolve_subset(ref))
     if plan.task_blob is not None:
         _TASKS[plan.task_uid] = loads(plan.task_blob)
-    for region_uid, fname, idx, values in plan.read_data:
+    for entry in plan.read_data:
+        if entry[0] == "shm":
+            (_, region_uid, fname, seg, idx_off, count,
+             idx_dtype, val_off, val_dtype) = entry
+            idx = _shm_view(seg, idx_off, count, idx_dtype)
+            values = _shm_view(seg, val_off, count, val_dtype)
+        else:
+            region_uid, fname, idx, values = entry
         _REGIONS[region_uid].storage(fname)[idx] = values
 
 
@@ -307,6 +342,10 @@ def _run_shard(plan: ShardPlan) -> ShardResult:
         end = time.perf_counter() if plan.profile else 0.0
 
         writes: List[tuple] = []
+        slots = (
+            plan.write_slots[i] if plan.write_slots is not None else None
+        )
+        slot_i = 0
         for sub, req, rf in zip(subregions, reqs, resolved_fields):
             if req.privilege.privilege not in (
                 Privilege.WRITE,
@@ -315,14 +354,19 @@ def _run_shard(plan: ShardPlan) -> ShardResult:
                 continue
             idx = sub._indices()
             for fname in rf:
-                writes.append(
-                    (
-                        sub.region.uid,
-                        fname,
-                        idx,
-                        sub.region.storage(fname)[idx].copy(),
-                    )
-                )
+                slot = None
+                if slots is not None and slot_i < len(slots):
+                    slot = slots[slot_i]
+                slot_i += 1
+                # Fancy indexing materializes a fresh copy either way.
+                data = sub.region.storage(fname)[idx]
+                if slot is not None and slot[2] == len(idx):
+                    # Parent pre-allocated a gather-back slot (same idx by
+                    # pure projection); fill it and ship nothing.
+                    seg, val_off, count, val_dtype = slot
+                    _shm_view(seg, val_off, count, val_dtype)[:] = data
+                    continue
+                writes.append((sub.region.uid, fname, idx, data))
         result.tasks.append(
             TaskResult(
                 ordinal=plan.ordinals[i],

@@ -146,11 +146,22 @@ class DependenceTemplate:
     ``entry_keys`` is the ordered footprint-key snapshot of every touched
     region at the moment recording started — replay requires an exact match
     so that foreign mutations of the region state force a live re-analysis.
+    ``kernel`` caches the compiled slot program of the last successful
+    validated replay (see :mod:`repro.runtime.kernels`); it is advisory
+    state and never shipped across processes.
     """
 
     task_ops: List[List[AccessOp]]
     entry_keys: Dict[int, Tuple[tuple, ...]]
     n_queries: int
+    kernel: Optional[object] = None
+
+    def __getstate__(self):
+        return (self.task_ops, self.entry_keys, self.n_queries)
+
+    def __setstate__(self, state):
+        self.task_ops, self.entry_keys, self.n_queries = state
+        self.kernel = None
 
 
 def make_template(
@@ -169,15 +180,21 @@ def make_template(
 
 
 class _OverlayEntry:
-    """One user slot during a replay dry-run: a live user or a pending one."""
+    """One user slot during a replay dry-run: a live user or a pending one.
 
-    __slots__ = ("key", "user", "pending", "spec")
+    ``src`` is the kernel-compilation tag: the entry's index in the initial
+    bucket for live users, ``-1 - j`` for the j-th entry created during the
+    replay (see :class:`~repro.runtime.kernels.DependenceKernel`).
+    """
 
-    def __init__(self, key, user=None, spec=None):
+    __slots__ = ("key", "user", "pending", "spec", "src")
+
+    def __init__(self, key, user=None, spec=None, src=0):
         self.key = key
         self.user = user  # live _User for pre-existing entries
         self.pending: List[int] = []  # fresh task ids appended this replay
         self.spec = spec  # (subregion, privilege, fields) for created entries
+        self.src = src
 
     def all_ids(self) -> List[int]:
         base = self.user.task_ids if self.user is not None else []
@@ -193,9 +210,14 @@ class PhysicalAnalyzer:
     the users its footprint covers.
     """
 
-    def __init__(self, profiler=None):
+    def __init__(self, profiler=None, kernels: bool = True):
         self._users: Dict[int, List[_User]] = {}
+        #: per-region bucket version, bumped on every mutation; dependence
+        #: kernels compare versions instead of re-snapshotting keys.
+        self._versions: Dict[int, int] = {}
         self.overlap_queries = 0
+        self.kernels_enabled = kernels
+        self.kernel_replays = 0
         self._profiler = profiler
         #: region uid -> the TaskPoisonedError that tainted it.  A poisoned
         #: launch taints every region it could have written; any later
@@ -278,6 +300,7 @@ class PhysicalAnalyzer:
             if op is not None:
                 op.create = (subregion, privilege, fieldset)
         self._users[region_uid] = survivors
+        self._versions[region_uid] = self._versions.get(region_uid, 0) + 1
         return deps
 
     def record_task(
@@ -326,6 +349,19 @@ class PhysicalAnalyzer:
         """
         if len(task_ids) != len(template.task_ops):
             return None
+        kernel = template.kernel if self.kernels_enabled else None
+        if kernel is not None:
+            results = kernel.apply(self, task_ids)
+            if results is not None:
+                prof = self._profiler
+                if prof is not None and prof.enabled:
+                    prof.count("physical.template_replays", 1.0)
+                    prof.count("physical.template_tasks", float(len(task_ids)))
+                    prof.count("kernels.dependence_hits", 1.0)
+                return results
+            # Stale (a foreign bucket mutation): fall through to the
+            # validating overlay path, which recompiles on success.
+            template.kernel = None
         overlays: Dict[int, List[_OverlayEntry]] = {}
         for uid, recorded_keys in template.entry_keys.items():
             users = self._users.get(uid, [])
@@ -333,7 +369,8 @@ class PhysicalAnalyzer:
             if current_keys != recorded_keys:
                 return None
             overlays[uid] = [
-                _OverlayEntry(key, user=u) for key, u in zip(current_keys, users)
+                _OverlayEntry(key, user=u, src=i)
+                for i, (key, u) in enumerate(zip(current_keys, users))
             ]
 
         def find(entries: List[_OverlayEntry], key) -> Optional[_OverlayEntry]:
@@ -342,18 +379,23 @@ class PhysicalAnalyzer:
                     return entry
             return None
 
+        compile_steps: Optional[list] = [] if self.kernels_enabled else None
+        creations: List[tuple] = []
         results: List[List[TaskDependence]] = []
         for tid, ops in zip(task_ids, template.task_ops):
             seen = set()
             out: List[TaskDependence] = []
+            step: list = []
             for op in ops:
                 entries = overlays.get(op.region_uid)
                 if entries is None or len(entries) != op.n_scanned:
                     return None
+                dep_srcs: List[int] = []
                 for key in op.dep_keys:
                     entry = find(entries, key)
                     if entry is None:
                         return None
+                    dep_srcs.append(entry.src)
                     for earlier in entry.all_ids():
                         if earlier != tid:
                             pair = (earlier, tid)
@@ -367,23 +409,38 @@ class PhysicalAnalyzer:
                     if entry is None:
                         return None
                     entries.remove(entry)
+                coalesce_src = None
                 if op.coalesce_key is not None:
                     entry = find(entries, op.coalesce_key)
                     if entry is None:
                         return None
                     entry.pending.append(tid)
+                    coalesce_src = entry.src
+                create_ord = None
                 if op.create is not None:
                     subregion, privilege, fieldset = op.create
                     key = _footprint_key(subregion, privilege, fieldset)
                     if find(entries, key) is not None:
                         return None
-                    entry = _OverlayEntry(key, spec=op.create)
+                    create_ord = len(creations)
+                    entry = _OverlayEntry(
+                        key, spec=op.create, src=-1 - create_ord
+                    )
+                    creations.append(op.create)
                     entry.pending.append(tid)
                     entries.append(entry)
+                if compile_steps is not None:
+                    step.append(
+                        (op.region_uid, tuple(dep_srcs), coalesce_src, create_ord)
+                    )
+            if compile_steps is not None:
+                compile_steps.append(step)
             results.append(out)
 
         # Commit: the overlay entry order reproduces the survivor order the
         # live path would have built.
+        steady = compile_steps is not None
+        final_order: Dict[int, List[int]] = {}
         for uid, entries in overlays.items():
             new_users: List[_User] = []
             for entry in entries:
@@ -396,12 +453,42 @@ class PhysicalAnalyzer:
                         _User(list(entry.pending), subregion, privilege, fieldset)
                     )
             self._users[uid] = new_users
+            self._versions[uid] = self._versions.get(uid, 0) + 1
+            if steady:
+                final_order[uid] = [e.src for e in entries]
+                # Compile only at the steady-state fixed point: the committed
+                # key order must equal the template's entry snapshot, or the
+                # next replay would fail snapshot validation anyway.
+                if tuple(e.key for e in entries) != template.entry_keys[uid]:
+                    steady = False
+        if steady:
+            from repro.runtime.kernels import DependenceKernel
+
+            template.kernel = DependenceKernel(
+                expected={
+                    uid: self._versions.get(uid, 0) for uid in overlays
+                },
+                steps=compile_steps,
+                creations=creations,
+                final_order=final_order,
+                n_queries=template.n_queries,
+                dep_cls=TaskDependence,
+                user_cls=_User,
+            )
         self.overlap_queries += template.n_queries
         prof = self._profiler
         if prof is not None and prof.enabled:
             prof.count("physical.template_replays", 1.0)
             prof.count("physical.template_tasks", float(len(task_ids)))
         return results
+
+    def install_bucket(self, region_uid: int, users: List[_User]) -> None:
+        """Replace a region's user bucket wholesale (parallel-merge commit).
+
+        Every external mutation must go through here so the bucket version
+        advances and stale dependence kernels notice."""
+        self._users[region_uid] = users
+        self._versions[region_uid] = self._versions.get(region_uid, 0) + 1
 
     def active_users(self, region_uid: int) -> int:
         """Number of live users tracked for a region (test hook)."""

@@ -34,7 +34,7 @@ The sharding/slicing memos live with their subsystems
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.checks import CheckResult, dynamic_cross_check
@@ -64,6 +64,12 @@ class DynamicCheckMemo:
         #: ``functor.apply_batch`` — exact-preserving by contract (the
         #: parallel backend installs its chunked worker-pool sweep here).
         self.batch_evaluator = None
+        #: optional :class:`~repro.runtime.kernels.CheckKernelCache`
+        #: delegated to on memo misses (``RuntimeConfig.kernels``): a
+        #: process-wide store of compiled check verdicts that outlives this
+        #: memo's clears and serves affine constant verdicts without a
+        #: sweep.  None runs the plain vectorized check.
+        self.kernels = None
 
     def clear(self) -> int:
         n = len(self._cache)
@@ -84,10 +90,16 @@ class DynamicCheckMemo:
             self.hits += 1
             return found
         self.misses += 1
-        result = dynamic_cross_check(
-            domain, args, bounds, use_numpy=use_numpy,
-            apply_batch=self.batch_evaluator,
-        )
+        if self.kernels is not None:
+            result = self.kernels.run(
+                domain, args, bounds, use_numpy=use_numpy,
+                apply_batch=self.batch_evaluator,
+            )
+        else:
+            result = dynamic_cross_check(
+                domain, args, bounds, use_numpy=use_numpy,
+                apply_batch=self.batch_evaluator,
+            )
         self._cache[key] = result
         return result
 
@@ -117,6 +129,13 @@ class ExpansionTemplate:
     plans: Dict[tuple, PointPlan] = field(default_factory=dict)
     base_args: tuple = ()
     had_point_args: bool = False
+    #: one-slot ordered plan-list arena (hot-path engine, layer 3): the
+    #: (node, plan) list for one distribution assignment, reusable across
+    #: replays while the template itself is reusable and the assignment
+    #: object is the same (the sharding cache returns a stable dict per
+    #: (mapper, domain, nodes), so identity is the validity token).
+    plan_list_key: Optional[object] = field(default=None, repr=False)
+    plan_list: Optional[list] = field(default=None, repr=False)
 
     def reusable_for(self, launch: IndexLaunch) -> bool:
         return (
@@ -124,6 +143,21 @@ class ExpansionTemplate:
             and launch.point_args is None
             and launch.args == self.base_args
         )
+
+    def ordered_plans(self, launch: IndexLaunch, assignment) -> Optional[list]:
+        """The cached [(node, PointPlan)] list for ``assignment``, or None.
+
+        Only valid when the baked-in TaskLaunch objects are reusable as-is;
+        callers build (and may :meth:`store_plans`) otherwise.
+        """
+        if self.plan_list_key is assignment and self.reusable_for(launch):
+            return self.plan_list
+        return None
+
+    def store_plans(self, launch: IndexLaunch, assignment, plans: list) -> None:
+        if self.reusable_for(launch):
+            self.plan_list_key = assignment
+            self.plan_list = plans
 
     def point_plan(self, launch: IndexLaunch, point) -> PointPlan:
         """The plan for ``point``, rebuilding the TaskLaunch if args moved."""
@@ -150,6 +184,7 @@ class LaunchReplayCache:
 
     def __init__(self, profiler=None):
         self._verdicts: Dict[tuple, SafetyVerdict] = {}
+        self._replayed: Dict[tuple, SafetyVerdict] = {}
         self._expansions: Dict[tuple, ExpansionTemplate] = {}
         self._physical: Dict[tuple, DependenceTemplate] = {}
         self.check_memo = DynamicCheckMemo()
@@ -164,6 +199,29 @@ class LaunchReplayCache:
     def get_verdict(self, sig: tuple, run_dynamic: bool) -> Optional[SafetyVerdict]:
         found = self._verdicts.get((sig, run_dynamic))
         self._note("verdict", "hit" if found is not None else "miss")
+        return found
+
+    def replayed_verdict(
+        self, sig: tuple, run_dynamic: bool
+    ) -> Optional[SafetyVerdict]:
+        """The memoized ``cached=True`` variant of a stored verdict.
+
+        Steady-state replays append one verdict per launch to the safety
+        log; building the flagged copy once (instead of a fresh
+        ``dataclasses.replace`` per replay) keeps the log's growth to one
+        shared pointer per launch.
+        """
+        key = (sig, run_dynamic)
+        found = self._replayed.get(key)
+        if found is None:
+            base = self._verdicts.get(key)
+            self._note("verdict", "hit" if base is not None else "miss")
+            if base is None:
+                return None
+            found = replace(base, cached=True)
+            self._replayed[key] = found
+        else:
+            self._note("verdict", "hit")
         return found
 
     def put_verdict(self, sig: tuple, run_dynamic: bool, verdict: SafetyVerdict):
@@ -215,6 +273,7 @@ class LaunchReplayCache:
         for run_dynamic in (True, False):
             if self._verdicts.pop((sig, run_dynamic), None) is not None:
                 n += 1
+            self._replayed.pop((sig, run_dynamic), None)
         if self._expansions.pop(sig, None) is not None:
             n += 1
         if self._physical.pop(sig, None) is not None:
@@ -233,6 +292,7 @@ class LaunchReplayCache:
             + self.check_memo.clear()
         )
         self._verdicts.clear()
+        self._replayed.clear()
         self._expansions.clear()
         self._physical.clear()
         return n

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import itertools
 import random
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.domain import Domain, Point, Rect, coerce_point
@@ -111,6 +111,22 @@ class RuntimeConfig:
             attempt-ordinal-keyed deterministic fault placement, used by
             the formal conformance harness to replay model-checker traces
             against the real executor.  Composes with ``fault_plan``.
+        kernels: hot-path engine layer 3 (see ``docs/hot-path.md``) —
+            compile steady-state dependence replays into slot programs and
+            dynamic checks into constant-verdict kernels.  Purely an
+            execution strategy: results, stats, and traces are
+            byte-identical either way.
+        batched_commit: hot-path engine layer 2 — apply shard write-backs
+            and recorded reductions at launch granularity (one vectorized
+            scatter per (region, field)) instead of per task at parallel
+            commit.  Byte-identical by the verified-launch disjointness
+            argument (see ``docs/hot-path.md``).
+        shm: hot-path engine layer 1 — ship region footprint bytes to
+            workers through per-pool ``multiprocessing.shared_memory``
+            arenas instead of pickled arrays.  ``None`` (default) reads
+            env ``REPRO_SHM`` (unset/1 = on, 0 = off); pickle transport
+            remains the automatic fallback whenever a buffer or platform
+            cannot use shm.
     """
 
     n_nodes: int = 1
@@ -128,6 +144,9 @@ class RuntimeConfig:
     fault_plan: Optional[Any] = None
     retry: Optional[Any] = None
     fault_schedule: Optional[Any] = None
+    kernels: bool = True
+    batched_commit: bool = True
+    shm: Optional[bool] = None
 
     def __post_init__(self):
         if self.n_nodes < 1:
@@ -159,7 +178,9 @@ class Runtime:
         )
         self.stats = PipelineStats()
         self.logical = LogicalAnalyzer(profiler=self.profiler)
-        self.physical = PhysicalAnalyzer(profiler=self.profiler)
+        self.physical = PhysicalAnalyzer(
+            profiler=self.profiler, kernels=self.config.kernels
+        )
         self.tracer = TraceRecorder(profiler=self.profiler)
         self.sharding_cache = ShardingCache()
         self.slicing_cache = SlicingCache(profiler=self.profiler)
@@ -189,6 +210,10 @@ class Runtime:
         self.retry_policy: RetryPolicy = self.config.retry or RetryPolicy()
         #: every TaskPoisonedError this runtime minted, in order.
         self.poison_log: List[TaskPoisonedError] = []
+        if self.config.kernels:
+            from repro.runtime.kernels import GLOBAL_CHECK_KERNELS
+
+            self.replay_cache.check_memo.kernels = GLOBAL_CHECK_KERNELS
         self.workers = resolve_workers(self.config.workers)
         self.backend = resolve_backend(self, self.workers)
         if self.workers > 1:
@@ -526,12 +551,11 @@ class Runtime:
         t_safety = prof.mark()
         if cfg.validate_safety:
             verdict = (
-                cache.get_verdict(sig, cfg.dynamic_checks)
+                cache.replayed_verdict(sig, cfg.dynamic_checks)
                 if cache is not None
                 else None
             )
             if verdict is not None:
-                verdict = replace(verdict, cached=True)
                 self.stats.analysis_cache_hits += 1
             else:
                 memo = cache.check_memo if cache is not None else None

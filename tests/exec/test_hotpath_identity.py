@@ -1,0 +1,165 @@
+"""Hot-path engine knobs are pure performance levers (docs/hot-path.md).
+
+The three layers — zero-copy shm transport, batched physical commit,
+precompiled check/dependence kernels — each have a ``RuntimeConfig`` kill
+switch.  Toggling any one of them off must leave every functional
+observable byte-identical: region contents, future values, dependence
+edges, and every ``PipelineStats`` counter (the engine charges its savings
+virtually).  The shm transport must additionally unlink every segment it
+creates on every exit path: steady-state commit, fault recovery, the
+tier-3 serial fallback, and pool teardown.
+"""
+
+import glob
+import os
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exec.pool import shutdown_pools
+from repro.fault import FaultPlan, FaultSpec, RetryPolicy
+
+from tests.exec.test_parallel_equivalence import (
+    full_stats,
+    program_strategy,
+    run_program,
+)
+
+#: The hot-path engine's kill switches, each toggled off individually.
+KNOBS = ("shm", "kernels", "batched_commit")
+
+FAST_RETRY = RetryPolicy(
+    same_worker_retries=1,
+    respawns=2,
+    backoff_base_s=1e-4,
+    backoff_cap_s=1e-3,
+    shard_timeout_s=30.0,
+)
+
+#: Worker-killing and result-corrupting plans: the knobs must stay
+#: invisible even while the recovery ladder is climbing.
+FAULTS = [
+    FaultSpec(kind="kill", scope="worker", target=(0,), phase="execution"),
+    FaultSpec(kind="corrupt", scope="worker", target=(0,), phase="execution"),
+]
+
+
+def _observables(ops, iters, cfg, workers, **extra):
+    merged = dict(cfg)
+    merged.update(extra)
+    rt, x, y, futures, edges = run_program(
+        ops, iters, None, merged, workers=workers
+    )
+    return rt, (x.tobytes(), y.tobytes(), futures, edges)
+
+
+def _shm_files() -> list:
+    """This process's shared-memory segments still linked in /dev/shm."""
+    return glob.glob(f"/dev/shm/reproshm-{os.getpid()}p*")
+
+
+class TestKnobIdentity:
+    @settings(max_examples=6, deadline=None)
+    @given(program=program_strategy, knob=st.sampled_from(KNOBS))
+    def test_each_knob_off_is_byte_identical(self, program, knob):
+        ops, iters, _, cfg = program
+        ref_rt, ref_out = _observables(ops, iters, cfg, 2)
+        rt, out = _observables(ops, iters, cfg, 2, **{knob: False})
+        assert out == ref_out
+        assert full_stats(rt) == full_stats(ref_rt)
+
+    @settings(max_examples=4, deadline=None)
+    @given(
+        program=program_strategy,
+        knob=st.sampled_from(KNOBS),
+        spec=st.sampled_from(FAULTS),
+    )
+    def test_knob_off_identical_under_faults(self, program, knob, spec):
+        ops, iters, _, cfg = program
+        plan = FaultPlan(specs=(spec,))
+        ref_rt, ref_out = _observables(ops, iters, cfg, 2)
+        rt, out = _observables(
+            ops, iters, cfg, 2,
+            fault_plan=plan, retry=FAST_RETRY, **{knob: False},
+        )
+        assert rt.fault_injector.fired_count >= 1
+        assert rt.stats.launches_poisoned == 0
+        assert out == ref_out
+        assert full_stats(rt) == full_stats(ref_rt)
+
+    def test_kernels_off_serial_is_byte_identical(self):
+        """The kernel layer also serves the serial replay path.
+
+        A single repeated launch per trace iteration: interleaving other
+        launches mutates the region's user buckets between replays, which
+        (correctly) keeps the dependence kernel from ever validating.
+        """
+        ops = ("bump8",)
+        cfg = dict(n_nodes=4, dcr=True, tracing=True)
+        ref_rt, ref_out = _observables(ops, 4, cfg, 1)
+        rt, out = _observables(ops, 4, cfg, 1, kernels=False)
+        assert rt.physical.kernel_replays == 0
+        assert ref_rt.physical.kernel_replays > 0
+        assert out == ref_out
+        assert full_stats(rt) == full_stats(ref_rt)
+
+
+class TestShmLeaks:
+    def test_teardown_unlinks_all_segments(self):
+        shutdown_pools()
+        rt, _ = _observables(
+            ("bump8", "copy", "reduce"), 2, dict(n_nodes=4), 2
+        )
+        pool = rt.backend._pool
+        assert pool is not None
+        # Steady state holds exactly the warm segments, nothing retired.
+        live = pool.arena.live_segments()
+        assert sorted(f"/dev/shm/{n}" for n in live) == sorted(_shm_files())
+        shutdown_pools()
+        assert pool.arena.live_segments() == []
+        assert _shm_files() == []
+
+    def test_recovery_ladder_leaves_no_segments(self):
+        shutdown_pools()
+        plan = FaultPlan(specs=(
+            FaultSpec(kind="kill", scope="worker", target=(0,),
+                      phase="execution", times=2),
+        ))
+        rt, _ = _observables(
+            ("bump8", "copy"), 2, dict(n_nodes=4), 2,
+            fault_plan=plan, retry=FAST_RETRY,
+        )
+        assert rt.backend.stats.worker_respawns >= 1
+        # Respawned generations' segments were retired (unlinked) at reset.
+        live = set(rt.backend._pool.arena.live_segments())
+        assert {os.path.basename(p) for p in _shm_files()} == live
+        shutdown_pools()
+        assert _shm_files() == []
+
+    def test_serial_fallback_abandons_and_unlinks(self):
+        shutdown_pools()
+        # Every attempt dies and the ladder is capped at zero: the
+        # dispatch bails to the tier-3 serial fallback immediately.
+        plan = FaultPlan(specs=(
+            FaultSpec(kind="kill", scope="worker", target=(0,),
+                      phase="execution", times=100),
+        ))
+        no_ladder = RetryPolicy(
+            same_worker_retries=0, respawns=0,
+            backoff_base_s=1e-4, backoff_cap_s=1e-3,
+            shard_timeout_s=30.0,
+        )
+        ref_rt, ref_out = _observables(("bump8", "copy"), 2,
+                                       dict(n_nodes=4), 1)
+        rt, out = _observables(
+            ("bump8", "copy"), 2, dict(n_nodes=4), 2,
+            fault_plan=plan, retry=no_ladder,
+        )
+        assert rt.backend.stats.fallbacks >= 1
+        assert out == ref_out
+        # The abandoned dispatch's segments are already unlinked; only
+        # currently-live arena segments (if any) remain in /dev/shm.
+        live = set(rt.backend._pool.arena.live_segments())
+        assert {os.path.basename(p) for p in _shm_files()} == live
+        shutdown_pools()
+        assert _shm_files() == []
