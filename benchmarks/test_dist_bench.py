@@ -1,0 +1,158 @@
+"""Socket-transport benchmark: launch round-trip latency and speedup.
+
+Mirrors ``test_bench_parallel_backend_speedup`` (latency-bound task
+bodies so the speedup measures overlap, not CPU) but runs the shards over
+the socket transport — standalone worker processes on framed loopback
+sockets, no shm, all caches delta-shipped as wire messages.  Emits
+``results/BENCH_dist.json`` and asserts the issue's floor: >= 2x at 4
+socket workers, byte-identical to serial at every worker count.
+
+The round-trip section times one steady-state traced iteration (replay
+templates warm, no cache deltas left to ship) — the per-launch cost of
+the wire protocol itself.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.bench.reporting import results_dir
+from repro.data.partition import equal_partition
+from repro.runtime import Runtime, RuntimeConfig, task
+
+BODY_SLEEP_S = 4e-3
+PIECES = 8
+NODES = 4
+
+
+@task(privileges=["reads writes"])
+def slow_bump(ctx, r):
+    time.sleep(BODY_SLEEP_S)
+    r.write("x", r.read("x") + 1.0)
+
+
+@task(privileges=["reads", "reduces +"])
+def slow_accumulate(ctx, r, acc):
+    time.sleep(BODY_SLEEP_S)
+    acc.reduce("s", [float(r.read("x").sum())])
+
+
+def _program(workers, transport):
+    rt = Runtime(RuntimeConfig(
+        n_nodes=NODES, dcr=True, tracing=True,
+        workers=workers, transport=transport,
+    ))
+    region = rt.create_region("db", PIECES * 4, {"x": "f8"})
+    region.storage("x")[:] = np.arange(float(PIECES * 4))
+    acc = rt.create_region("da", PIECES, {"s": "f8"})
+    part = equal_partition(f"db{region.uid}", region, PIECES)
+    pacc = equal_partition(f"da{acc.uid}", acc, PIECES)
+
+    def one_iteration():
+        rt.begin_trace(3)
+        rt.index_launch(slow_bump, PIECES, part)
+        rt.index_launch(slow_accumulate, PIECES, part, pacc)
+        rt.end_trace(3)
+
+    return rt, region, acc, one_iteration
+
+
+def _cpu_count():
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count()
+
+
+def _time(workers, transport, warm=2, timed=5):
+    rt, region, acc, one_iteration = _program(workers, transport)
+    for _ in range(warm):
+        one_iteration()
+    samples = []
+    for _ in range(timed):
+        start = time.perf_counter()
+        one_iteration()
+        samples.append(time.perf_counter() - start)
+    digest = region.storage("x").tobytes() + acc.storage("s").tobytes()
+    return sum(samples), samples, digest, rt
+
+
+def test_bench_socket_transport_speedup():
+    """Serial vs 2- and 4-worker socket wall clock -> BENCH_dist.json."""
+    from repro.exec.pool import shutdown_pools
+
+    try:
+        results = {}
+        latencies = {}
+        digests = {}
+        counters = {}
+        serial_elapsed, _, serial_digest, _ = _time(1, None)
+        results[1] = serial_elapsed
+        digests[1] = serial_digest
+        for workers in (2, 4):
+            elapsed, samples, digest, rt = _time(workers, "socket")
+            results[workers] = elapsed
+            arr = np.asarray(samples) * 1e3
+            latencies[workers] = {
+                "iter_p50_ms": round(float(np.percentile(arr, 50)), 3),
+                "iter_p99_ms": round(float(np.percentile(arr, 99)), 3),
+            }
+            digests[workers] = digest
+            bstats = rt.backend.stats
+            assert bstats.parallel_launches > 0
+            assert bstats.fallbacks == 0
+            pool = getattr(rt.backend, "_pool", None)
+            assert pool is not None and not pool.arena.available
+            counters[f"workers_{workers}"] = {
+                "batched_commit_ops": bstats.batched_commit_ops,
+                "batched_commit_tasks": bstats.batched_commit_tasks,
+            }
+
+        # Steady-state launch round-trip: replay templates warm, no cache
+        # deltas left — the wire protocol's per-iteration cost.
+        rt, region, acc, one_iteration = _program(2, "socket")
+        for _ in range(3):
+            one_iteration()
+        rtt = np.empty(20)
+        for i in range(20):
+            start = time.perf_counter()
+            one_iteration()
+            rtt[i] = time.perf_counter() - start
+        rtt_ms = rtt * 1e3
+    finally:
+        shutdown_pools()
+
+    assert digests[2] == digests[1]
+    assert digests[4] == digests[1]
+
+    speedup_2 = results[1] / results[2]
+    speedup_4 = results[1] / results[4]
+    snapshot = {
+        "transport": "socket",
+        "n_tasks_per_launch": PIECES,
+        "n_launches_per_iter": 2,
+        "n_nodes": NODES,
+        "body_sleep_s": BODY_SLEEP_S,
+        "timed_iterations": 5,
+        "cpu_count": _cpu_count(),
+        "serial_s": round(results[1], 4),
+        "workers_2_s": round(results[2], 4),
+        "workers_4_s": round(results[4], 4),
+        "speedup_2": round(speedup_2, 2),
+        "speedup_4": round(speedup_4, 2),
+        "latency": {str(w): latencies[w] for w in sorted(latencies)},
+        "launch_roundtrip": {
+            "workers": 2,
+            "iter_p50_ms": round(float(np.percentile(rtt_ms, 50)), 3),
+            "iter_p99_ms": round(float(np.percentile(rtt_ms, 99)), 3),
+            "iter_min_ms": round(float(rtt_ms.min()), 3),
+        },
+        "counters": counters,
+    }
+    with open(os.path.join(results_dir(), "BENCH_dist.json"), "w") as fh:
+        json.dump(snapshot, fh, indent=2)
+        fh.write("\n")
+    print(f"\nBENCH_dist: {json.dumps(snapshot)}")
+    assert speedup_4 >= 2.0, snapshot

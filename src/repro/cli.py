@@ -107,7 +107,7 @@ def _cmd_validate(args) -> int:
     configs = [
         RuntimeConfig(n_nodes=2, dcr=dcr, index_launches=idx,
                       shuffle_intra_launch=True, seed=3,
-                      workers=args.workers)
+                      workers=args.workers, transport=args.transport)
         for dcr in (True, False)
         for idx in (True, False)
     ]
@@ -253,6 +253,7 @@ def _cmd_profile(args) -> int:
         dcr=not args.no_dcr,
         index_launches=not args.no_idx,
         workers=args.workers,
+        transport=args.transport,
         profiler=prof,
     )
     rt = Runtime(cfg)
@@ -370,7 +371,7 @@ def _cmd_faultsim(args) -> int:
         retry = RetryPolicy(shard_timeout_s=args.timeout)
     report = run_faultsim(
         args.app, plan, workers=args.workers, steps=args.steps,
-        retry=retry,
+        retry=retry, transport=args.transport,
     )
     if report.exit_code == 2:
         print(report.summary_line())
@@ -482,6 +483,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_val.add_argument("--workers", type=int, default=None,
                        help="pipeline worker processes per run (default: "
                             "env REPRO_WORKERS, else 1 = serial)")
+    p_val.add_argument("--transport", choices=("local", "socket"),
+                       default=None,
+                       help="worker transport (default: env "
+                            "REPRO_TRANSPORT, else local)")
     p_val.set_defaults(fn=_cmd_validate)
 
     p_pat = sub.add_parser(
@@ -519,6 +524,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_prof.add_argument("--workers", type=int, default=None,
                         help="pipeline worker processes per run (default: "
                              "env REPRO_WORKERS, else 1 = serial)")
+    p_prof.add_argument("--transport", choices=("local", "socket"),
+                        default=None,
+                        help="worker transport (default: env "
+                             "REPRO_TRANSPORT, else local)")
     p_prof.add_argument("--steps", type=int, default=5,
                         help="application time steps (default 5)")
     p_prof.add_argument("--no-dcr", action="store_true",
@@ -544,6 +553,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                               "random fault from --seed")
     p_fault.add_argument("--workers", type=int, default=2,
                          help="worker pool size (default 2)")
+    p_fault.add_argument("--transport", choices=("local", "socket"),
+                         default=None,
+                         help="worker transport (default: env "
+                              "REPRO_TRANSPORT, else local)")
     p_fault.add_argument("--steps", type=int, default=None,
                          help="application time steps (default: app's)")
     p_fault.add_argument("--seed", type=int, default=0,

@@ -7,6 +7,12 @@ from repro.exec.pool import (
     resolve_workers,
     shutdown_pools,
 )
+from repro.exec.transport import (
+    LocalTransport,
+    SocketTransport,
+    Transport,
+    resolve_transport,
+)
 
 __all__ = [
     "ExecutionBackend",
@@ -17,6 +23,10 @@ __all__ = [
     "shutdown_pools",
     "active_pool_count",
     "resolve_workers",
+    "Transport",
+    "LocalTransport",
+    "SocketTransport",
+    "resolve_transport",
 ]
 
 

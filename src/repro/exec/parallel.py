@@ -172,6 +172,13 @@ class ParallelBackend(ExecutionBackend):
     def __init__(self, rt, workers: int):
         super().__init__(rt)
         self.workers = workers
+        # Resolved eagerly so a bad RuntimeConfig.transport/REPRO_TRANSPORT
+        # fails at Runtime construction, not mid-dispatch.
+        from repro.exec.transport import resolve_transport
+
+        self.transport = resolve_transport(
+            getattr(rt.config, "transport", None)
+        )
         self.serial = SerialBackend(rt)
         self.stats = ParallelExecStats()
         self._pool = None
@@ -192,7 +199,7 @@ class ParallelBackend(ExecutionBackend):
     # ------------------------------------------------------------ plumbing
     def pool(self):
         if self._pool is None or self._pool.closed:
-            self._pool = get_pool(self.workers)
+            self._pool = get_pool(self.workers, self.transport)
         # Re-point every fetch: pools are shared across runtimes, and pool
         # failures should land in *this* runtime's metrics/trace.
         self._pool.profiler = self.rt.profiler
@@ -576,7 +583,7 @@ class ParallelBackend(ExecutionBackend):
             job.mark = prof.now() if prof.enabled else 0.0
             self._observe("submit", shard=node, worker=k, gen=job.gen)
             try:
-                job.future = pool.submit_shard(k, blob)
+                job.future = pool.submit_shard(k, blob, plan=plan)
             except BrokenProcessPool:
                 # An earlier shard's death surfaced at *submit* time (the
                 # executor noticed its child was gone before we handed it

@@ -1,33 +1,41 @@
-"""Persistent process pools for the parallel execution backend.
+"""Persistent worker pools for the parallel execution backend.
 
-A :class:`WorkerPool` owns ``n`` *single-process* executors rather than one
+A :class:`WorkerPool` owns ``n`` worker slots rather than one
 ``ProcessPoolExecutor(max_workers=n)``: shard ``i`` of every launch is
-always submitted to executor ``i % n``, which makes worker-side caches
+always submitted to slot ``i % n``, which makes worker-side caches
 (task functions, partition colors, sparse subsets, region skeletons)
 deterministic — the parent knows exactly what each worker already holds and
 ships only deltas, mirroring how DCR's control replicas keep persistent
 per-node state across launches.
 
-Pools are cached per worker count in a module-level registry so iterated
-benchmarks and long CLI runs reuse warm workers; :func:`shutdown_pools`
-(also registered via ``atexit``) tears everything down, and the CLI calls
-it on every exit path so error paths cannot leak worker processes.
+*How* a slot is reached is the transport's business
+(:mod:`repro.exec.transport`): ``local`` is the original fork
+``ProcessPoolExecutor`` path, ``socket`` runs standalone worker processes
+over framed loopback sockets (see ``docs/distributed-transport.md``).
+The pool keeps everything transport-independent: cache bookkeeping,
+respawn generations, the shm arena, and failure metrics.
+
+Pools are cached per ``(worker count, transport)`` in a module-level
+registry so iterated benchmarks and long CLI runs reuse warm workers;
+:func:`shutdown_pools` (also registered via ``atexit``) tears everything
+down, and the CLI calls it on every exit path so error paths cannot leak
+worker processes.
 """
 
 from __future__ import annotations
 
 import atexit
-import multiprocessing
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.exec.plan import dumps, loads
 from repro.exec.shm import ShmArena
+from repro.exec.transport import make_transport, resolve_transport
 from repro.obs.profiler import NULL_PROFILER
 
 __all__ = [
@@ -64,15 +72,6 @@ def resolve_workers(configured: Optional[int]) -> int:
     return value
 
 
-def _mp_context():
-    """Fork keeps warm numpy/module state and makes spin-up cheap; fall
-    back to the platform default where fork is unavailable."""
-    try:
-        return multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        return multiprocessing.get_context()
-
-
 class _WorkerCaches:
     """What the parent believes one worker process already holds."""
 
@@ -92,13 +91,18 @@ class _WorkerCaches:
 
 
 class WorkerPool:
-    """``n`` persistent single-process executors with deterministic affinity."""
+    """``n`` persistent worker slots with deterministic shard affinity."""
 
-    def __init__(self, n: int):
+    def __init__(self, n: int, transport: Optional[str] = None):
         if n < 1:
             raise ValueError("WorkerPool needs at least one worker")
         self.n = n
-        self._executors: List[Optional[ProcessPoolExecutor]] = [None] * n
+        #: ``None`` means local here (not the env default): directly
+        #: constructed pools — unit tests poking executor internals —
+        #: stay on the fork path regardless of ``REPRO_TRANSPORT``; the
+        #: registry resolves the env before constructing.
+        self.transport_name = transport or "local"
+        self._transport = make_transport(self.transport_name, n)
         self.caches: List[_WorkerCaches] = [_WorkerCaches() for _ in range(n)]
         self._closed = False
         #: bumped on every reset: lets callers tell "this worker died" from
@@ -106,40 +110,59 @@ class WorkerPool:
         #: lets the backend discard cache shipments collected from a worker
         #: generation that no longer exists.
         self._generations: List[int] = [0] * n
-        #: executors abandoned by reset_worker, drained at shutdown so
-        #: their manager threads are joined before interpreter teardown
-        #: (CPython's process-pool atexit hook prints "Exception ignored"
-        #: noise when it pokes a broken, never-joined executor).
-        self._retired: List[ProcessPoolExecutor] = []
         #: parent-owned shared-memory transport (hot-path engine layer 1).
         #: The backend decides per dispatch whether to use it; the arena's
         #: lifecycle is tied to the pool's: generation bumps orphan a
-        #: worker's segments, shutdown unlinks everything.
+        #: worker's segments, shutdown unlinks everything.  A transport
+        #: whose workers cannot map parent segments (socket workers stand
+        #: in for remote nodes) disables it outright and every footprint
+        #: degrades to the pickled wire payload.
         self.arena = ShmArena(n)
+        if not self._transport.local_shm:
+            self.arena.available = False
         self.pool_failures = 0
-        #: observability hook; the parallel backend points this at the
-        #: runtime's profiler so pool failures surface in traces/metrics.
-        self.profiler = NULL_PROFILER
+        #: teardown exceptions that used to vanish in bare excepts: counted
+        #: here and surfaced as obs instants (see shutdown()).
+        self.shutdown_errors = 0
+        self._profiler = NULL_PROFILER
         #: optional ``callback(event: str, info: dict)`` fired on worker
         #: resets; the formal conformance harness uses it to observe the
         #: real action ordering.  ``None`` costs nothing.
         self.observer = None
 
+    # --------------------------------------------------------------- wiring
+    @property
+    def profiler(self):
+        return self._profiler
+
+    @profiler.setter
+    def profiler(self, prof):
+        # The arena shares the pool's profiler so its teardown errors land
+        # in the same trace/metrics stream.
+        self._profiler = prof
+        self.arena.profiler = prof
+
+    @property
+    def transport(self):
+        return self._transport
+
+    @property
+    def _executors(self):
+        """The local transport's executor slots (unit-test hook; socket
+        pools expose their worker handles the same way)."""
+        return self._transport._slots if hasattr(
+            self._transport, "_slots"
+        ) else self._transport._handles
+
     # ----------------------------------------------------------- lifecycle
     def executor(self, k: int) -> ProcessPoolExecutor:
-        """Lazily start worker ``k``'s process."""
+        """Lazily start worker ``k``'s process (local transport only)."""
         if self._closed:
             raise RuntimeError("worker pool is shut down")
-        if self._executors[k] is None:
-            self._executors[k] = ProcessPoolExecutor(
-                max_workers=1, mp_context=_mp_context()
-            )
-        return self._executors[k]
+        return self._transport.executor(k)
 
     def reset_worker(self, k: int) -> None:
         """Discard a broken worker process and everything it cached."""
-        executor = self._executors[k]
-        self._executors[k] = None
         self.caches[k].clear()
         self._generations[k] += 1
         self.arena.on_reset(k, self._generations[k])
@@ -147,9 +170,7 @@ class WorkerPool:
             self.observer(
                 "pool.reset", {"worker": k, "generation": self._generations[k]}
             )
-        if executor is not None:
-            executor.shutdown(wait=False, cancel_futures=True)
-            self._retired.append(executor)
+        self._transport.discard_worker(k)
 
     def generation(self, k: int) -> int:
         """The respawn generation of worker ``k`` (bumped on every reset)."""
@@ -159,34 +180,43 @@ class WorkerPool:
         self._closed = True
         self.arena.close()
         for k in range(self.n):
-            executor = self._executors[k]
-            self._executors[k] = None
             self.caches[k].clear()
-            if executor is not None:
-                executor.shutdown(wait=False, cancel_futures=True)
-        for executor in self._retired:
-            try:
-                executor.shutdown(wait=True, cancel_futures=True)
-            except Exception:
-                pass
-        self._retired.clear()
+        for exc in self._transport.shutdown():
+            self._note_shutdown_error(exc)
+
+    def _note_shutdown_error(self, exc: BaseException) -> None:
+        """A teardown step failed.  Historically swallowed with a bare
+        ``except: pass``; now every one is counted and emitted as an obs
+        instant so leaked executors/processes are diagnosable."""
+        self.shutdown_errors += 1
+        prof = self._profiler
+        if prof.enabled:
+            prof.count("pool.shutdown_errors", 1.0,
+                       kind=type(exc).__name__)
+            prof.instant("pool.shutdown_error", "execution",
+                         kind=type(exc).__name__, detail=str(exc))
 
     @property
     def closed(self) -> bool:
         return self._closed
 
     # ------------------------------------------------------------- dispatch
-    def submit_shard(self, k: int, plan_blob: bytes):
-        """Submit one shard blob to worker ``k``; returns the future."""
-        from repro.exec.worker import run_shard_bytes
+    def submit_shard(self, k: int, plan_blob: bytes, plan=None):
+        """Submit one shard blob to worker ``k``; returns the future.
 
-        return self.executor(k).submit(run_shard_bytes, plan_blob)
+        ``plan`` (when given) lets the transport peel cache deltas into
+        explicit wire messages instead of re-shipping them inside the
+        blob; the local transport ignores it.
+        """
+        if self._closed:
+            raise RuntimeError("worker pool is shut down")
+        return self._transport.submit_shard(k, plan_blob, plan)
 
     # ------------------------------------------------- chunked batch evals
     def _note_failure(self, reason: str) -> None:
         """Count one infrastructure failure (visible in metrics/traces)."""
         self.pool_failures += 1
-        prof = self.profiler
+        prof = self._profiler
         if prof.enabled:
             prof.count("pool.failures", 1.0, reason=reason)
             prof.instant("pool.failure", "execution", reason=reason)
@@ -194,7 +224,7 @@ class WorkerPool:
     @staticmethod
     def _cancel(futures) -> None:
         """Cancel still-pending chunk futures so nothing leaks into a dead
-        (or abandoned) executor; finished futures ignore the cancel."""
+        (or abandoned) worker; finished futures ignore the cancel."""
         for f in futures:
             f.cancel()
 
@@ -213,7 +243,6 @@ class WorkerPool:
         if n_points < CHECK_CHUNK_MIN or self.n < 2 or self._closed:
             return functor.apply_batch(points)
         chunks = np.array_split(points, self.n)
-        from repro.exec.worker import apply_batch_bytes
 
         try:
             blob = dumps(functor)
@@ -224,7 +253,7 @@ class WorkerPool:
         futures: list = []
         try:
             futures = [
-                (self.executor(k).submit(apply_batch_bytes, blob, chunk))
+                self._transport.submit_batch(k, blob, chunk)
                 for k, chunk in enumerate(chunks)
                 if len(chunk)
             ]
@@ -250,15 +279,20 @@ class WorkerPool:
 
 
 # ------------------------------------------------------------ pool registry
-_POOLS: Dict[int, WorkerPool] = {}
+_POOLS: Dict[Tuple[int, str], WorkerPool] = {}
 
 
-def get_pool(n: int) -> WorkerPool:
-    """The shared pool for ``n`` workers, creating it on first use."""
-    pool = _POOLS.get(n)
+def get_pool(n: int, transport: Optional[str] = None) -> WorkerPool:
+    """The shared pool for ``(n, transport)``, creating it on first use.
+
+    ``transport=None`` resolves ``REPRO_TRANSPORT`` (default ``local``).
+    """
+    name = resolve_transport(transport)
+    key = (n, name)
+    pool = _POOLS.get(key)
     if pool is None or pool.closed:
-        pool = WorkerPool(n)
-        _POOLS[n] = pool
+        pool = WorkerPool(n, transport=name)
+        _POOLS[key] = pool
     return pool
 
 

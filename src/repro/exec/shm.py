@@ -61,6 +61,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.profiler import NULL_PROFILER
+
 try:  # pragma: no cover - exercised on every POSIX CI leg
     from multiprocessing import shared_memory as _shared_memory
 except ImportError:  # pragma: no cover - exotic platforms only
@@ -88,6 +90,7 @@ class ShmStats:
         "segments_unlinked",
         "rewinds",
         "abandons",
+        "teardown_errors",
     )
 
     def __init__(self):
@@ -142,6 +145,9 @@ class ShmArena:
         self._seq = [0] * n
         _ARENA_COUNTER[0] += 1
         self._tag = f"{os.getpid()}p{_ARENA_COUNTER[0]}"
+        #: re-pointed by the owning pool so teardown errors land in the
+        #: runtime's trace/metrics stream.
+        self.profiler = NULL_PROFILER
 
     # ------------------------------------------------------------ allocation
     def _alloc(self, k: int, gen: int, nbytes: int):
@@ -252,9 +258,20 @@ class ShmArena:
         try:
             seg.shm.unlink()
             self.stats.segments_unlinked += 1
-        except Exception:  # pragma: no cover - already gone
-            pass
+        except Exception as exc:  # pragma: no cover - already gone
+            self._note_teardown_error(exc)
         self._retired.append(seg)
+
+    def _note_teardown_error(self, exc: BaseException) -> None:
+        """A segment unlink/close failed.  Historically swallowed with a
+        bare ``except: pass``; now counted (``stats.teardown_errors``) and
+        emitted as an obs instant so shm leaks are diagnosable."""
+        self.stats.teardown_errors += 1
+        prof = self.profiler
+        if prof.enabled:
+            prof.count("shm.teardown_errors", 1.0, kind=type(exc).__name__)
+            prof.instant("shm.teardown_error", "execution",
+                         kind=type(exc).__name__, detail=str(exc))
 
     def _drop_worker(self, k: int) -> None:
         for seg in self._segments[k]:
@@ -293,8 +310,8 @@ class ShmArena:
         for seg in self._retired:
             try:
                 seg.shm.close()
-            except Exception:  # pragma: no cover
-                pass
+            except Exception as exc:  # pragma: no cover
+                self._note_teardown_error(exc)
         self._retired.clear()
 
     def live_segments(self) -> List[str]:

@@ -1,0 +1,136 @@
+"""Standalone socket-connected worker: ``python -m repro.exec.socket_worker``.
+
+The socket analogue of the fork worker: one process per pool slot,
+connected back to the parent over a loopback TCP stream (standing in for
+a cluster interconnect), speaking the framed protocol in
+:mod:`repro.exec.wire`.  Unlike a fork worker it inherits *nothing* — the
+parent ships its ``sys.path`` via ``PYTHONPATH`` so by-reference pickles
+(task functions defined in importable modules) resolve, and every piece
+of cached state arrives as an explicit REGIONS / PARTITIONS / TASK delta
+frame installed into the same persistent module caches the fork path
+uses.
+
+Exit codes: 0 on SHUTDOWN or clean EOF, 3 on a failed handshake, 4 on a
+malformed invocation.  Injected ``kill`` faults still hard-exit with 13
+inside :func:`repro.exec.worker.run_shard_bytes`, exactly like the fork
+path — the parent observes the dropped connection as a ``broken`` worker.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import sys
+from typing import Optional
+
+from repro.exec import wire
+
+__all__ = ["main", "serve"]
+
+
+def _handshake(sock: socket.socket, worker: int, token: str) -> bool:
+    wire.send_frame(
+        sock,
+        wire.HELLO,
+        0,
+        wire.json_payload(
+            worker=worker,
+            token=token,
+            pid=os.getpid(),
+            version=wire.PROTOCOL_VERSION,
+        ),
+    )
+    try:
+        frame = wire.recv_frame(sock, check_version=False)
+    except (wire.WireError, ConnectionError):
+        return False
+    if frame.version != wire.PROTOCOL_VERSION or frame.msg != wire.WELCOME:
+        # REJECT (token/version mismatch) or an alien peer: report why on
+        # stderr — the parent may already have hung up — and bail.
+        reason = ""
+        if frame.msg == wire.REJECT:
+            try:
+                reason = wire.parse_json(frame.payload).get("reason", "")
+            except wire.WireError:
+                pass
+        print(
+            f"repro socket worker {worker}: handshake refused"
+            f"{': ' + reason if reason else ''}",
+            file=sys.stderr,
+        )
+        return False
+    return True
+
+
+def serve(sock: socket.socket) -> None:
+    """Frame loop: install deltas, run shards, answer with RESULT frames."""
+    # Imported here, after the handshake, so a refused worker never pays
+    # for numpy; the import also primes everything a shard will touch.
+    from repro.exec import worker as w
+    from repro.exec.plan import loads
+
+    while True:
+        try:
+            frame = wire.recv_frame(sock)
+        except (wire.WireError, ConnectionError, OSError):
+            return  # parent went away; nothing left to serve
+        if frame.msg == wire.SHUTDOWN:
+            return
+        if frame.msg == wire.REGIONS:
+            w.install_regions(loads(frame.payload))
+        elif frame.msg == wire.PARTITIONS:
+            w.install_partitions(loads(frame.payload))
+        elif frame.msg == wire.TASK:
+            uid, blob = loads(frame.payload)
+            w.install_task(uid, blob)
+        elif frame.msg == wire.SHARD:
+            wire.send_frame(
+                sock, wire.RESULT, frame.seq, w.run_shard_bytes(frame.payload)
+            )
+        elif frame.msg == wire.BATCH:
+            functor_blob, points = loads(frame.payload)
+            wire.send_frame(
+                sock,
+                wire.RESULT,
+                frame.seq,
+                w.apply_batch_bytes(functor_blob, points),
+            )
+        # Anything else (HELLO/WELCOME/... out of band) is a protocol bug;
+        # ignoring it beats dying with pending shards on other frames.
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.exec.socket_worker")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--worker", type=int, required=True)
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit:
+        return 4
+    token = os.environ.get("REPRO_SOCKET_TOKEN", "")
+    try:
+        sock = socket.create_connection((args.host, args.port), timeout=30)
+    except OSError as exc:
+        print(
+            f"repro socket worker {args.worker}: cannot reach parent: {exc}",
+            file=sys.stderr,
+        )
+        return 3
+    try:
+        sock.settimeout(None)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        if not _handshake(sock, args.worker, token):
+            return 3
+        serve(sock)
+        return 0
+    finally:
+        try:
+            sock.close()
+        except OSError:  # pragma: no cover - close on a dead socket
+            pass
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

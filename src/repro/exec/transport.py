@@ -1,0 +1,472 @@
+"""Pluggable worker transports beneath :class:`~repro.exec.pool.WorkerPool`.
+
+A transport owns how worker processes are started, how shard plans and
+cache deltas reach them, and how result bytes come back.  The pool keeps
+everything else — affinity, cache bookkeeping, generations, the shm
+arena, failure metrics — so the PR 5 recovery ladder in
+``parallel._collect_shard`` works unchanged on any transport.  The
+contract that makes that possible is the *exception mapping*: every
+transport surfaces infrastructure failures through the same classes the
+fork path produces —
+
+* a dead worker (or lost connection) raises ``BrokenProcessPool``, at
+  submit time or from a collected future;
+* a worker discarded mid-flight cancels its pending futures
+  (``CancelledError`` at collect — the free same-worker retry);
+* a slow result is the caller's ``future.result(timeout)`` raising
+  ``concurrent.futures.TimeoutError``.
+
+Two implementations:
+
+* :class:`LocalTransport` — the original fork/``ProcessPoolExecutor``
+  path, one single-process executor per slot (``local_shm=True``: parent
+  and workers share the machine-local shm segment namespace).
+* :class:`SocketTransport` — standalone ``python -m
+  repro.exec.socket_worker`` processes connected over length-prefixed
+  framed loopback sockets (:mod:`repro.exec.wire`), standing in for
+  cluster nodes.  ``local_shm=False``: shm descriptors degrade to wire
+  payloads because a remote node cannot map the parent's segments.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import socket
+import subprocess
+import sys
+import threading
+from abc import ABC, abstractmethod
+from concurrent.futures import Future, InvalidStateError, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import replace
+from typing import Dict, List, Optional
+
+from repro.exec import wire
+from repro.exec.plan import dumps
+
+__all__ = [
+    "Transport",
+    "LocalTransport",
+    "SocketTransport",
+    "TRANSPORTS",
+    "make_transport",
+    "resolve_transport",
+]
+
+#: Seconds a freshly spawned socket worker gets to connect and say HELLO
+#: (a cold python -m import of numpy + repro dominates this).
+SPAWN_TIMEOUT_S = 60.0
+
+
+def resolve_transport(configured: Optional[str]) -> str:
+    """Effective transport name: explicit config wins, else
+    ``REPRO_TRANSPORT``, else ``local``."""
+    name = configured
+    if name is None:
+        name = os.environ.get("REPRO_TRANSPORT", "").strip() or "local"
+    name = str(name).lower()
+    if name not in TRANSPORTS:
+        raise ValueError(
+            f"unknown transport {name!r}; choose from {sorted(TRANSPORTS)}"
+        )
+    return name
+
+
+def make_transport(name: str, n: int) -> "Transport":
+    return TRANSPORTS[name](n)
+
+
+class Transport(ABC):
+    """How ``n`` worker slots are reached; see the module docstring for
+    the exception-mapping contract every implementation must keep."""
+
+    #: Whether workers share the parent's shared-memory segment namespace.
+    #: False degrades every shm descriptor to a pickled wire payload.
+    local_shm = True
+    name = "abstract"
+
+    def __init__(self, n: int):
+        self.n = n
+
+    def executor(self, k: int) -> ProcessPoolExecutor:
+        raise RuntimeError(
+            f"{type(self).__name__} has no in-process executor"
+        )
+
+    @abstractmethod
+    def submit_shard(self, k: int, plan_blob: bytes, plan=None) -> Future:
+        """Ship one shard to worker ``k``; future resolves to result bytes."""
+
+    @abstractmethod
+    def submit_batch(self, k: int, functor_blob: bytes, points) -> Future:
+        """Chunked dynamic-check evaluation; future resolves to result bytes."""
+
+    @abstractmethod
+    def discard_worker(self, k: int) -> None:
+        """Abandon worker ``k``: cancel its pending futures, drop the
+        process.  The pool has already cleared caches and bumped the
+        generation; a later submit spawns a fresh worker."""
+
+    @abstractmethod
+    def shutdown(self) -> List[BaseException]:
+        """Tear everything down; returns the exceptions swallowed doing it
+        (counted by the pool as ``shutdown_errors`` — never silent)."""
+
+
+# --------------------------------------------------------------------- local
+def _mp_context():
+    """Fork keeps warm numpy/module state and makes spin-up cheap; fall
+    back to the platform default where fork is unavailable."""
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+class LocalTransport(Transport):
+    """One persistent single-process fork executor per slot."""
+
+    local_shm = True
+    name = "local"
+
+    def __init__(self, n: int):
+        super().__init__(n)
+        self._slots: List[Optional[ProcessPoolExecutor]] = [None] * n
+        #: executors abandoned by discard_worker, drained at shutdown so
+        #: their manager threads are joined before interpreter teardown
+        #: (CPython's process-pool atexit hook prints "Exception ignored"
+        #: noise when it pokes a broken, never-joined executor).
+        self._retired: List[ProcessPoolExecutor] = []
+
+    def executor(self, k: int) -> ProcessPoolExecutor:
+        if self._slots[k] is None:
+            self._slots[k] = ProcessPoolExecutor(
+                max_workers=1, mp_context=_mp_context()
+            )
+        return self._slots[k]
+
+    def submit_shard(self, k: int, plan_blob: bytes, plan=None) -> Future:
+        from repro.exec.worker import run_shard_bytes
+
+        return self.executor(k).submit(run_shard_bytes, plan_blob)
+
+    def submit_batch(self, k: int, functor_blob: bytes, points) -> Future:
+        from repro.exec.worker import apply_batch_bytes
+
+        return self.executor(k).submit(apply_batch_bytes, functor_blob, points)
+
+    def discard_worker(self, k: int) -> None:
+        executor = self._slots[k]
+        self._slots[k] = None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+            self._retired.append(executor)
+
+    def shutdown(self) -> List[BaseException]:
+        errors: List[BaseException] = []
+        for k in range(self.n):
+            executor = self._slots[k]
+            self._slots[k] = None
+            if executor is not None:
+                try:
+                    executor.shutdown(wait=False, cancel_futures=True)
+                except Exception as exc:
+                    errors.append(exc)
+        for executor in self._retired:
+            try:
+                executor.shutdown(wait=True, cancel_futures=True)
+            except Exception as exc:
+                errors.append(exc)
+        self._retired.clear()
+        return errors
+
+
+# -------------------------------------------------------------------- socket
+class _SocketWorker:
+    """Parent-side handle for one connected socket worker process."""
+
+    def __init__(self, k: int, proc: subprocess.Popen, conn: socket.socket):
+        self.k = k
+        self.proc = proc
+        self.conn = conn
+        self.pending: Dict[int, Future] = {}
+        self.lock = threading.Lock()       # guards pending + seq + sends
+        self.seq = 0
+        self.broken = False                # connection lost unexpectedly
+        self.closing = False               # deliberate discard/shutdown
+        self.reader = threading.Thread(
+            target=self._read_loop, name=f"repro-sock-w{k}", daemon=True
+        )
+        self.reader.start()
+
+    # The reader thread is the only receiver; it completes futures by seq.
+    def _read_loop(self) -> None:
+        while True:
+            try:
+                frame = wire.recv_frame(self.conn)
+            except (wire.WireError, ConnectionError, OSError):
+                self._fail_pending()
+                return
+            if frame.msg != wire.RESULT:
+                continue  # stray frame; only RESULT flows worker -> parent
+            with self.lock:
+                future = self.pending.pop(frame.seq, None)
+            if future is not None:
+                try:
+                    future.set_result(frame.payload)
+                except InvalidStateError:
+                    pass  # cancelled by apply_batch_chunked's unwind
+
+    def _fail_pending(self) -> None:
+        with self.lock:
+            if self.closing:
+                return  # discard/shutdown already settled the futures
+            self.broken = True
+            pending, self.pending = self.pending, {}
+        for future in pending.values():
+            try:
+                future.set_exception(
+                    BrokenProcessPool(
+                        f"socket worker {self.k} connection lost"
+                    )
+                )
+            except InvalidStateError:
+                pass  # lost the race with a cancel; either way it's dead
+
+    def submit(self, frames_payloads) -> Future:
+        """Send ``[(msg, payload), ...]``; the last one carries the reply
+        seq.  Raises ``BrokenProcessPool`` if the worker is gone."""
+        future: Future = Future()
+        with self.lock:
+            if self.broken or self.closing:
+                raise BrokenProcessPool(
+                    f"socket worker {self.k} is not connected"
+                )
+            self.seq += 1
+            seq = self.seq
+            self.pending[seq] = future
+            try:
+                for msg, payload in frames_payloads[:-1]:
+                    wire.send_frame(self.conn, msg, 0, payload)
+                msg, payload = frames_payloads[-1]
+                wire.send_frame(self.conn, msg, seq, payload)
+            except OSError:
+                self.broken = True
+                self.pending.pop(seq, None)
+                raise BrokenProcessPool(
+                    f"socket worker {self.k} send failed"
+                ) from None
+        return future
+
+    def discard(self, graceful: bool = False) -> List[BaseException]:
+        """Stop the worker.  Pending futures are *cancelled* (the collect
+        path's free same-worker retry), mirroring the local transport's
+        ``shutdown(cancel_futures=True)``.  Returns swallowed errors."""
+        errors: List[BaseException] = []
+        with self.lock:
+            self.closing = True
+            pending, self.pending = self.pending, {}
+            if graceful and not self.broken:
+                try:
+                    wire.send_frame(self.conn, wire.SHUTDOWN, 0)
+                except OSError as exc:
+                    errors.append(exc)
+        for future in pending.values():
+            future.cancel()
+        try:
+            self.conn.close()
+        except OSError as exc:  # pragma: no cover - close on dead socket
+            errors.append(exc)
+        try:
+            if graceful:
+                self.proc.wait(timeout=5)
+            else:
+                self.proc.kill()
+                self.proc.wait(timeout=5)
+        except Exception as exc:
+            errors.append(exc)
+            try:
+                self.proc.kill()
+            except Exception:  # pragma: no cover - already gone
+                pass
+        return errors
+
+
+class SocketTransport(Transport):
+    """Standalone worker processes over framed loopback sockets.
+
+    Loopback TCP stands in for a cluster interconnect: workers inherit no
+    parent state, all caches travel as explicit delta frames, and shm is
+    off (``local_shm=False``) because a remote node could not map the
+    parent's segments — every footprint degrades to a wire payload.
+    """
+
+    local_shm = False
+    name = "socket"
+
+    def __init__(self, n: int):
+        super().__init__(n)
+        self._handles: List[Optional[_SocketWorker]] = [None] * n
+        self._token = secrets.token_hex(16)
+
+    # ----------------------------------------------------------- spawning
+    def _spawn(self, k: int) -> _SocketWorker:
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        proc = None
+        try:
+            listener.bind(("127.0.0.1", 0))
+            listener.listen(1)
+            port = listener.getsockname()[1]
+            env = dict(os.environ)
+            # Ship the parent's import universe: by-reference pickles
+            # (tasks defined in importable modules, e.g. under pytest)
+            # must resolve in a process that inherited nothing.
+            env["PYTHONPATH"] = os.pathsep.join(
+                p if p else os.getcwd() for p in sys.path
+            )
+            env["REPRO_SOCKET_TOKEN"] = self._token
+            proc = subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.exec.socket_worker",
+                    "--port",
+                    str(port),
+                    "--worker",
+                    str(k),
+                ],
+                env=env,
+                stdout=subprocess.DEVNULL,
+            )
+            listener.settimeout(SPAWN_TIMEOUT_S)
+            try:
+                conn, _ = listener.accept()
+            except socket.timeout:
+                raise BrokenProcessPool(
+                    f"socket worker {k} never connected"
+                ) from None
+        except Exception:
+            if proc is not None:
+                proc.kill()
+            raise
+        finally:
+            listener.close()
+        try:
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            conn.settimeout(SPAWN_TIMEOUT_S)
+            hello = wire.recv_frame(conn, check_version=False)
+            if hello.msg != wire.HELLO:
+                raise wire.WireError(
+                    f"expected HELLO, got {wire.MSG_NAMES.get(hello.msg)}"
+                )
+            if hello.version != wire.PROTOCOL_VERSION:
+                wire.send_frame(
+                    conn, wire.REJECT, 0,
+                    wire.json_payload(
+                        reason=f"protocol version {hello.version} != "
+                               f"{wire.PROTOCOL_VERSION}"
+                    ),
+                )
+                raise wire.VersionMismatch(
+                    f"socket worker {k} speaks protocol {hello.version}, "
+                    f"parent speaks {wire.PROTOCOL_VERSION}"
+                )
+            fields = wire.parse_json(hello.payload)
+            if fields.get("token") != self._token:
+                wire.send_frame(
+                    conn, wire.REJECT, 0,
+                    wire.json_payload(reason="bad token"),
+                )
+                raise wire.WireError(f"socket worker {k} sent a bad token")
+            wire.send_frame(conn, wire.WELCOME, 0)
+            conn.settimeout(None)
+        except Exception:
+            conn.close()
+            proc.kill()
+            raise
+        return _SocketWorker(k, proc, conn)
+
+    def _handle(self, k: int) -> _SocketWorker:
+        handle = self._handles[k]
+        if handle is not None and (handle.broken or handle.closing):
+            # Do NOT transparently respawn here: the parent's cache
+            # bookkeeping still believes this worker holds shipped state,
+            # and a silently-fresh process cannot apply the next delta.
+            # Surfacing BrokenProcessPool routes the failure through the
+            # backend's ladder, whose respawn (``pool.reset_worker``)
+            # discards the handle *and* wipes beliefs + bumps the
+            # generation before anything is resubmitted.
+            raise BrokenProcessPool(
+                f"socket worker {k} connection is down"
+            )
+        if handle is None:
+            handle = self._spawn(k)
+            self._handles[k] = handle
+        return handle
+
+    # ----------------------------------------------------------- dispatch
+    def submit_shard(self, k: int, plan_blob: bytes, plan=None) -> Future:
+        frames = []
+        if plan is not None and (
+            plan.regions or plan.partitions or plan.task_blob is not None
+        ):
+            # First shipment to this worker generation: peel the cache
+            # deltas out of the plan into their explicit message types.
+            # Steady-state plans carry no deltas and skip straight to the
+            # (already serialized) SHARD frame below.
+            if plan.regions:
+                frames.append((wire.REGIONS, dumps(plan.regions)))
+            if plan.partitions:
+                frames.append((wire.PARTITIONS, dumps(plan.partitions)))
+            if plan.task_blob is not None:
+                frames.append(
+                    (wire.TASK, dumps((plan.task_uid, plan.task_blob)))
+                )
+            plan_blob = dumps(
+                replace(plan, regions=(), partitions=(), task_blob=None)
+            )
+        frames.append((wire.SHARD, plan_blob))
+        return self._handle(k).submit(frames)
+
+    def submit_batch(self, k: int, functor_blob: bytes, points) -> Future:
+        return self._handle(k).submit(
+            [(wire.BATCH, dumps((functor_blob, points)))]
+        )
+
+    # ---------------------------------------------------------- lifecycle
+    def discard_worker(self, k: int) -> None:
+        handle = self._handles[k]
+        self._handles[k] = None
+        if handle is not None:
+            handle.discard()
+
+    def drop_connection(self, k: int) -> None:
+        """Sever worker ``k``'s connection *without* settling anything —
+        the fault-injection hook for "the network ate this node".  The
+        reader thread fails the pending futures with BrokenProcessPool,
+        exactly what a mid-run connection loss looks like."""
+        handle = self._handles[k]
+        if handle is not None:
+            try:
+                handle.conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            handle.conn.close()
+
+    def shutdown(self) -> List[BaseException]:
+        errors: List[BaseException] = []
+        for k in range(self.n):
+            handle = self._handles[k]
+            self._handles[k] = None
+            if handle is not None:
+                errors.extend(handle.discard(graceful=True))
+        return errors
+
+
+TRANSPORTS = {
+    LocalTransport.name: LocalTransport,
+    SocketTransport.name: SocketTransport,
+}

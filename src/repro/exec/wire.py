@@ -1,0 +1,192 @@
+"""Framed wire protocol for socket-connected workers.
+
+The fork-based :class:`~repro.exec.transport.LocalTransport` ships shard
+plans and cache deltas implicitly: everything rides inside one pickled
+``ShardPlan`` handed to a ``ProcessPoolExecutor``.  Over a real transport
+the delta-shipped worker caches (task blobs, region skeletons, partition
+colors, sparse subsets) become *explicit, versioned messages* so that a
+worker on another machine — loopback stands in for a cluster node here —
+can maintain exactly the persistent state the parent's
+``_WorkerCaches`` bookkeeping believes it holds.
+
+Frame layout (big-endian, ``_HEADER.size`` bytes then the payload)::
+
+    magic   4s   b"RPRO"
+    version B    PROTOCOL_VERSION of the sender
+    msg     B    message type (below)
+    seq     I    correlation id; replies echo the request's seq
+    length  Q    payload byte count
+
+Message types:
+
+==========  =======================================================
+HELLO       worker -> parent: JSON ``{worker, token, pid, version}``
+WELCOME     parent -> worker: handshake accepted
+REJECT      parent -> worker: JSON ``{reason}``; the worker exits
+REGIONS     parent -> worker: pickled region skeleton delta
+PARTITIONS  parent -> worker: pickled partition color delta
+TASK        parent -> worker: pickled ``(task_uid, task_blob)``
+SHARD       parent -> worker: pickled ``ShardPlan`` (deltas stripped)
+BATCH       parent -> worker: pickled ``(functor_blob, points)``
+RESULT      worker -> parent: raw result bytes for ``seq``
+SHUTDOWN    parent -> worker: drain and exit cleanly
+==========  =======================================================
+
+Every frame carries the protocol version; :func:`recv_frame` refuses a
+mismatched frame with :class:`VersionMismatch` *except* during the
+handshake, where the parent inspects the HELLO's version explicitly so it
+can answer with a descriptive REJECT instead of slamming the connection.
+
+The framing layer never interprets payloads, so corruption injected by
+the fault layer (a garbled result blob) travels through untouched and is
+discovered by the parent's unpickle — the same place a truncated TCP
+stream would surface on a real cluster.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import NamedTuple
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAGIC",
+    "HELLO",
+    "WELCOME",
+    "REJECT",
+    "REGIONS",
+    "PARTITIONS",
+    "TASK",
+    "SHARD",
+    "BATCH",
+    "RESULT",
+    "SHUTDOWN",
+    "MSG_NAMES",
+    "Frame",
+    "WireError",
+    "VersionMismatch",
+    "pack_frame",
+    "send_frame",
+    "recv_frame",
+    "json_payload",
+    "parse_json",
+]
+
+MAGIC = b"RPRO"
+#: Bump on any incompatible change to framing or message payloads; the
+#: handshake rejects a peer built against a different version.
+PROTOCOL_VERSION = 1
+
+(
+    HELLO,
+    WELCOME,
+    REJECT,
+    REGIONS,
+    PARTITIONS,
+    TASK,
+    SHARD,
+    BATCH,
+    RESULT,
+    SHUTDOWN,
+) = range(1, 11)
+
+MSG_NAMES = {
+    HELLO: "HELLO",
+    WELCOME: "WELCOME",
+    REJECT: "REJECT",
+    REGIONS: "REGIONS",
+    PARTITIONS: "PARTITIONS",
+    TASK: "TASK",
+    SHARD: "SHARD",
+    BATCH: "BATCH",
+    RESULT: "RESULT",
+    SHUTDOWN: "SHUTDOWN",
+}
+
+_HEADER = struct.Struct(">4sBBIQ")
+
+#: Refuse absurd frame lengths outright: a desynchronized stream read as a
+#: header must not turn into a multi-gigabyte allocation.
+MAX_PAYLOAD = 1 << 32
+
+
+class WireError(ConnectionError):
+    """Protocol violation: bad magic, oversized frame, unknown message."""
+
+
+class VersionMismatch(WireError):
+    """The peer speaks a different PROTOCOL_VERSION."""
+
+
+class Frame(NamedTuple):
+    version: int
+    msg: int
+    seq: int
+    payload: bytes
+
+
+def pack_frame(
+    msg: int, seq: int, payload: bytes = b"",
+    version: int = PROTOCOL_VERSION,
+) -> bytes:
+    if msg not in MSG_NAMES:
+        raise ValueError(f"unknown message type {msg}")
+    return _HEADER.pack(MAGIC, version, msg, seq, len(payload)) + payload
+
+
+def send_frame(
+    sock: socket.socket, msg: int, seq: int, payload: bytes = b"",
+    version: int = PROTOCOL_VERSION,
+) -> None:
+    sock.sendall(pack_frame(msg, seq, payload, version=version))
+
+
+def _recv_exactly(sock: socket.socket, n: int) -> bytes:
+    parts = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionError("connection closed mid-frame")
+        parts.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(parts) if len(parts) != 1 else parts[0]
+
+
+def recv_frame(sock: socket.socket, check_version: bool = True) -> Frame:
+    """Read one complete frame, surviving partial recvs.
+
+    ``check_version=False`` returns mismatched-version frames instead of
+    raising, so the handshake can answer them with a REJECT.
+    """
+    header = _recv_exactly(sock, _HEADER.size)
+    magic, version, msg, seq, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise WireError(f"bad frame magic {magic!r}")
+    if msg not in MSG_NAMES:
+        raise WireError(f"unknown message type {msg}")
+    if length > MAX_PAYLOAD:
+        raise WireError(f"frame length {length} exceeds limit")
+    if check_version and version != PROTOCOL_VERSION:
+        raise VersionMismatch(
+            f"peer protocol version {version}, ours {PROTOCOL_VERSION}"
+        )
+    payload = _recv_exactly(sock, length) if length else b""
+    return Frame(version, msg, seq, payload)
+
+
+def json_payload(**fields) -> bytes:
+    """Handshake payloads are JSON: human-debuggable and pickle-free."""
+    return json.dumps(fields, sort_keys=True).encode("utf-8")
+
+
+def parse_json(payload: bytes) -> dict:
+    try:
+        obj = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"bad handshake payload: {exc}") from None
+    if not isinstance(obj, dict):
+        raise WireError("handshake payload must be a JSON object")
+    return obj

@@ -48,7 +48,13 @@ from repro.exec.plan import (
 from repro.runtime.physical import PhysicalAnalyzer, _footprint_key, _User
 from repro.runtime.task import PhysicalRegion, TaskContext
 
-__all__ = ["run_shard_bytes", "apply_batch_bytes"]
+__all__ = [
+    "run_shard_bytes",
+    "apply_batch_bytes",
+    "install_regions",
+    "install_partitions",
+    "install_task",
+]
 
 
 # ------------------------------------------------- persistent worker state
@@ -155,8 +161,9 @@ def _resolve_subset(ref: tuple):
     raise ValueError(f"unknown subset ref {ref[0]!r}")
 
 
-def _install_plan_state(plan: ShardPlan) -> None:
-    for uid, name, lo, hi, fields in plan.regions:
+def install_regions(entries) -> None:
+    """Install region-skeleton deltas (plan field or REGIONS wire frame)."""
+    for uid, name, lo, hi, fields in entries:
         # Never replace an installed region: partition stubs hold references
         # to it, and a bailed dispatch can make the parent re-ship skeletons
         # this worker already has.  Same uid means same immutable shape.
@@ -165,15 +172,29 @@ def _install_plan_state(plan: ShardPlan) -> None:
         region = Region(name, Rect(lo, hi), {fname: dt for fname, dt in fields})
         region.uid = uid
         _REGIONS[uid] = region
-    for entry in plan.partitions:
+
+
+def install_partitions(entries) -> None:
+    """Install partition-color deltas (plan field or PARTITIONS frame)."""
+    for entry in entries:
         stub = _PARTITIONS.get(entry.uid)
         if stub is None:
             stub = _PartitionStub(entry.uid, _REGIONS[entry.region_uid])
             _PARTITIONS[entry.uid] = stub
         for color, ref in entry.colors:
             stub.add_color(color, _resolve_subset(ref))
+
+
+def install_task(uid: int, blob: bytes) -> None:
+    """Install one task function (plan field or TASK wire frame)."""
+    _TASKS[uid] = loads(blob)
+
+
+def _install_plan_state(plan: ShardPlan) -> None:
+    install_regions(plan.regions)
+    install_partitions(plan.partitions)
     if plan.task_blob is not None:
-        _TASKS[plan.task_uid] = loads(plan.task_blob)
+        install_task(plan.task_uid, plan.task_blob)
     for entry in plan.read_data:
         if entry[0] == "shm":
             (_, region_uid, fname, seg, idx_off, count,

@@ -147,12 +147,13 @@ def run_faultsim(
     steps: Optional[int] = None,
     seed: int = 42,
     retry: Optional[RetryPolicy] = None,
+    transport: Optional[str] = None,
 ) -> FaultSimReport:
     """Reference run vs faulted run; see the module docstring for codes."""
     from repro.runtime.runtime import RuntimeConfig
 
     report = FaultSimReport(app=app, workers=workers, plan=plan.describe())
-    base = dict(n_nodes=2, workers=workers)
+    base = dict(n_nodes=2, workers=workers, transport=transport)
     ref_rt, ref_result = _run_app(app, steps, seed, RuntimeConfig(**base))
     if ref_rt.stats.launches_poisoned:
         raise RuntimeError(

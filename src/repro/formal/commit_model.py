@@ -49,7 +49,12 @@ from __future__ import annotations
 
 from typing import FrozenSet, List, NamedTuple, Optional, Tuple
 
-__all__ = ["CommitConfig", "CommitModel", "CommitState", "MUTATIONS"]
+__all__ = ["CommitConfig", "CommitModel", "CommitState", "MUTATIONS",
+           "PHASES"]
+
+#: Shard-pipeline phases, in pipeline order — the index of a phase in this
+#: tuple is the ``pord`` ordinal stamped on fault actions.
+PHASES = ("install", "execution")
 
 #: Mutation name -> one-line description of the seeded protocol bug.
 MUTATIONS = {
@@ -215,15 +220,21 @@ class CommitModel:
             ))
             if s.budget > 0:
                 att = s.shards[head].retries + s.shards[head].respawns
-                for phase in ("install", "execution"):
+                for pord, phase in enumerate(PHASES):
+                    # ``pord`` stamps the shard-pipeline phase ordinal so
+                    # trace consumers can tell collect-deterministic
+                    # execution-phase faults (pord=1: the worker dies only
+                    # after every sibling submit has long completed) from
+                    # install-phase ones (pord=0: the death can race the
+                    # parent's remaining submits).
                     acts.append((
                         f"fault.kill w{k} shard{head} attempt{att} "
-                        f"phase={phase}",
+                        f"phase={phase} pord={pord}",
                         self._kill(s, k, phase),
                     ))
                     acts.append((
                         f"fault.corrupt w{k} shard{head} attempt{att} "
-                        f"phase={phase}",
+                        f"phase={phase} pord={pord}",
                         self._corrupt(s, k, phase),
                     ))
                 acts.append((

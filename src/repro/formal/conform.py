@@ -51,7 +51,8 @@ _HANG_TIMEOUT_S = 0.3
 
 _FAULT_RE = re.compile(
     r"fault\.(?P<kind>kill|corrupt|hang) w(?P<worker>\d+) "
-    r"shard(?P<shard>\d+) attempt(?P<attempt>\d+)(?: phase=(?P<phase>\w+))?"
+    r"shard(?P<shard>\d+) attempt(?P<attempt>\d+)"
+    r"(?: phase=(?P<phase>\w+))?(?: pord=(?P<pord>\d+))?"
 )
 
 
@@ -78,11 +79,18 @@ def schedule_from_trace(trace, launch: int = 0) -> FaultSchedule:
     for action, _state in trace:
         m = _FAULT_RE.match(action)
         if m:
+            phase = m.group("phase")
+            if phase is None and m.group("pord") is not None:
+                # Phase-ordinal stamp alone is enough to compile: the
+                # ordinal indexes the model's PHASES tuple.
+                from repro.formal.commit_model import PHASES
+
+                phase = PHASES[int(m.group("pord"))]
             entries.append(ScheduledFault(
                 node=int(m.group("shard")),
                 attempt=int(m.group("attempt")),
                 kind=m.group("kind"),
-                phase=m.group("phase") or "execution",
+                phase=phase or "execution",
                 hang_s=_HANG_S,
                 via="worker",
                 launch=launch,
@@ -166,30 +174,60 @@ class ConformResult:
         )
 
 
-class _CorruptOnly:
-    """Witness-search wrapper that drops kill/hang fault actions.
+class _ReplayableFaults:
+    """Witness-search wrapper keeping only replay-deterministic faults.
 
-    A kill's death can surface either at the victim shard's collect or at
-    a sibling's submit, and the two real interleavings climb different
-    ladder rungs — the model (which only models collect-time discovery)
-    cannot pin the terminal class of a kill-heavy schedule.  Corrupt
-    faults damage exactly one result blob and nothing else, so schedules
-    compiled from corrupt-only traces are interleaving-robust and safe to
-    assert a terminal class on.
+    A witness schedule is safe to assert a terminal class on only when
+    every fault in it surfaces in the real backend exactly where the model
+    discovers it (at the victim shard's collect):
+
+    * **corrupt** faults damage exactly one result blob and nothing else —
+      always interleaving-robust;
+    * **kills** are kept only when (a) the phase-ordinal stamp says
+      execution phase (``pord=1``: the worker at least ran the victim's
+      shard body before dying), and (b) the victim is the *last* shard in
+      the worker's queue.  A kill on a worker with further queued shards
+      can beat the parent's remaining submits to that worker — the death
+      then surfaces as a BrokenProcessPool at a sibling's *submit*
+      (uncapped submit-path respawn) instead of at collect (capped
+      ladder), and the two interleavings reach different terminal
+      classes.  With no submits left to race, the death always waits at
+      the victim's collect, matching the model's discovery point.
+
+    Dropped entirely: install-phase kills (``pord=0``, immediate death,
+    maximal submit race) and hangs (discovery depends on timeout tuning).
+    Before the phase-ordinal stamp, kills could not be told apart at all
+    and witness search was corrupt-only; the stamp un-skips kill coverage.
+
+    ``kills_only=True`` additionally drops corrupts, forcing the witness
+    to exercise the kill→respawn rungs of the ladder.
     """
 
-    def __init__(self, model):
+    _KILL = re.compile(r"fault\.kill w(?P<worker>\d+)")
+
+    def __init__(self, model, kills_only: bool = False):
         self.model = model
+        self.kills_only = kills_only
         self.TERMINALS = model.TERMINALS
 
     def initial_state(self):
         return self.model.initial_state()
 
     def actions(self, s):
-        return [
-            (a, t) for a, t in self.model.actions(s)
-            if not a.startswith(("fault.kill", "fault.hang"))
-        ]
+        acts = []
+        for a, t in self.model.actions(s):
+            if a.startswith("fault.hang"):
+                continue
+            m = self._KILL.match(a)
+            if m and (
+                " pord=1" not in a
+                or len(s.queues[int(m.group("worker"))]) != 1
+            ):
+                continue
+            if self.kills_only and a.startswith("fault.corrupt"):
+                continue
+            acts.append((a, t))
+        return acts
 
     def classify(self, s):
         return self.model.classify(s)
@@ -200,11 +238,19 @@ class _CorruptOnly:
 
 # ------------------------------------------------------ commit-model cases
 def _commit_scenario(name: str, cfg: CommitConfig, predicate,
-                     predicted: str, corrupt_only: bool = False
+                     predicted: str, faults: Optional[str] = None
                      ) -> ConformResult:
+    """``faults``: None searches the unrestricted model; ``"replayable"``
+    keeps corrupts + execution-phase kills; ``"kills"`` keeps only
+    execution-phase kills."""
     model = CommitModel(cfg)
-    trace = find_trace(_CorruptOnly(model) if corrupt_only else model,
-                       predicate)
+    if faults == "replayable":
+        searched = _ReplayableFaults(model)
+    elif faults == "kills":
+        searched = _ReplayableFaults(model, kills_only=True)
+    else:
+        searched = model
+    trace = find_trace(searched, predicate)
     if trace is None:
         return ConformResult(name, predicted, "no-witness", ok=False,
                              detail="model produced no witness trace")
@@ -257,7 +303,20 @@ def _scenario_serial_fallback() -> ConformResult:
         "serial-fallback", cfg,
         lambda s: s.outcome == "serial",
         "serial-fallback",
-        corrupt_only=True,
+        faults="replayable",
+    )
+
+
+def _scenario_serial_fallback_via_kill() -> ConformResult:
+    """The scenario the corrupt-only restriction used to skip: a witness
+    built purely from kills, climbing respawn rungs to the fallback."""
+    cfg = CommitConfig(workers=2, shards=3, faults=3,
+                       same_worker_retries=1, respawns=1)
+    return _commit_scenario(
+        "serial-fallback-via-kill", cfg,
+        lambda s: s.outcome == "serial",
+        "serial-fallback",
+        faults="kills",
     )
 
 
@@ -268,7 +327,7 @@ def _scenario_poisoned() -> ConformResult:
         "poisoned", cfg,
         lambda s: s.outcome == "poisoned",
         "poisoned",
-        corrupt_only=True,
+        faults="replayable",
     )
 
 
@@ -374,6 +433,7 @@ def _scenario_poison_propagation() -> ConformResult:
 SCENARIOS = (
     _scenario_committed_with_recovery,
     _scenario_serial_fallback,
+    _scenario_serial_fallback_via_kill,
     _scenario_poisoned,
     _scenario_poison_propagation,
 )

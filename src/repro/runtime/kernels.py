@@ -48,16 +48,31 @@ __all__ = [
 class DependenceKernel:
     """Slot-indexed replay program for one :class:`DependenceTemplate`.
 
-    Compiled during a successful validated overlay replay, once the replay
-    reaches its steady-state fixed point (the committed bucket keys equal
-    the template's entry keys, so the next replay sees the same state).
-    Sources are encoded as integers: ``>= 0`` indexes the region bucket at
-    apply time, ``< 0`` (as ``-1 - j``) names the j-th footprint created
-    during the replay itself.
+    Compiled during a successful validated overlay replay.  Sources are
+    encoded as integers: ``>= 0`` indexes the region bucket *in the
+    template's entry order* at apply time, ``< 0`` (as ``-1 - j``) names
+    the j-th footprint created during the replay itself.
+
+    Validity is judged per region bucket:
+
+    * A bucket whose commit reproduces the entry order (the single-launch
+      steady-state fixed point) is guarded by its *version*: the kernel
+      re-arms ``expected[uid]`` after each apply, and an exact match means
+      nobody touched the bucket since — the fast path costs one dict probe.
+    * A bucket whose commit *permutes* the entry order — interleaved
+      launch sets retiring and re-creating entries in the shared bucket —
+      arms the ``_REVALIDATE`` sentinel instead: a version match there
+      would prove the bucket is as *our* commit left it, which is exactly
+      the wrong order for the slot program.  Those buckets (and any bucket
+      whose version mismatches, i.e. a sibling launch touched it) are
+      revalidated by ordered footprint keys — the same comparison the
+      validating overlay path makes — so *disjoint* interleavings keep
+      the kernel live while overlapping ones still bail to the overlay.
     """
 
     __slots__ = (
         "expected",
+        "entry_keys",
         "steps",
         "creations",
         "final_order",
@@ -66,9 +81,13 @@ class DependenceKernel:
         "_user_cls",
     )
 
+    #: ``expected`` value forcing key revalidation on every apply.
+    REVALIDATE = -1
+
     def __init__(
         self,
         expected: Dict[int, int],
+        entry_keys: Dict[int, Tuple[tuple, ...]],
         steps: List[List[Tuple[int, Tuple[int, ...], Optional[int], Optional[int]]]],
         creations: List[Tuple[object, object, frozenset]],
         final_order: Dict[int, List[int]],
@@ -77,6 +96,7 @@ class DependenceKernel:
         user_cls,
     ):
         self.expected = expected
+        self.entry_keys = entry_keys
         self.steps = steps
         self.creations = creations
         self.final_order = final_order
@@ -87,14 +107,25 @@ class DependenceKernel:
     def apply(self, analyzer, task_ids) -> Optional[List[list]]:
         """Run the program against ``analyzer``; None when stale.
 
-        Staleness is a pure version comparison: any mutation of a touched
-        region bucket since the kernel was (re)armed bumps that bucket's
-        version, forcing the caller back onto the validating overlay path.
+        Per-bucket staleness: an exact version match (for buckets armed
+        with one) means untouched-since-re-arm; anything else falls back
+        to comparing the bucket's ordered footprint keys against the
+        template's entry keys, which is precisely the validation the
+        overlay dry-run performs — a mismatch means the slot indices no
+        longer describe this bucket and the caller must take the
+        validating path.
         """
         versions = analyzer._versions
         for uid, expect in self.expected.items():
-            if versions.get(uid, 0) != expect:
+            if expect >= 0 and versions.get(uid, 0) == expect:
+                continue
+            users = analyzer._users.get(uid, ())
+            keys = self.entry_keys[uid]
+            if len(users) != len(keys):
                 return None
+            for user, key in zip(users, keys):
+                if user.footprint_key() != key:
+                    return None
         if len(task_ids) != len(self.steps):
             return None
         users_map = {uid: analyzer._users.get(uid, ()) for uid in self.final_order}
@@ -142,7 +173,11 @@ class DependenceKernel:
             analyzer._users[uid] = bucket
             bumped = versions.get(uid, 0) + 1
             versions[uid] = bumped
-            self.expected[uid] = bumped
+            # Permute-committing buckets stay on the revalidation path: the
+            # version we just minted describes the *committed* order, not
+            # the entry order the slot program needs.
+            if self.expected[uid] >= 0:
+                self.expected[uid] = bumped
         analyzer.overlap_queries += self.n_queries
         analyzer.kernel_replays += 1
         return results

@@ -439,8 +439,8 @@ class PhysicalAnalyzer:
 
         # Commit: the overlay entry order reproduces the survivor order the
         # live path would have built.
-        steady = compile_steps is not None
         final_order: Dict[int, List[int]] = {}
+        entry_steady: Dict[int, bool] = {}
         for uid, entries in overlays.items():
             new_users: List[_User] = []
             for entry in entries:
@@ -454,20 +454,29 @@ class PhysicalAnalyzer:
                     )
             self._users[uid] = new_users
             self._versions[uid] = self._versions.get(uid, 0) + 1
-            if steady:
+            if compile_steps is not None:
                 final_order[uid] = [e.src for e in entries]
-                # Compile only at the steady-state fixed point: the committed
-                # key order must equal the template's entry snapshot, or the
-                # next replay would fail snapshot validation anyway.
-                if tuple(e.key for e in entries) != template.entry_keys[uid]:
-                    steady = False
-        if steady:
+                # A bucket whose commit reproduces the entry snapshot is at
+                # the single-launch fixed point and can ride the version
+                # fast path; a permuting commit (interleaved launch sets
+                # sharing this bucket) arms the revalidation sentinel so
+                # every apply re-checks the ordered keys instead.
+                entry_steady[uid] = (
+                    tuple(e.key for e in entries) == template.entry_keys[uid]
+                )
+        if compile_steps is not None:
             from repro.runtime.kernels import DependenceKernel
 
             template.kernel = DependenceKernel(
                 expected={
-                    uid: self._versions.get(uid, 0) for uid in overlays
+                    uid: (
+                        self._versions.get(uid, 0)
+                        if entry_steady[uid]
+                        else DependenceKernel.REVALIDATE
+                    )
+                    for uid in overlays
                 },
+                entry_keys=template.entry_keys,
                 steps=compile_steps,
                 creations=creations,
                 final_order=final_order,

@@ -127,6 +127,13 @@ class RuntimeConfig:
             env ``REPRO_SHM`` (unset/1 = on, 0 = off); pickle transport
             remains the automatic fallback whenever a buffer or platform
             cannot use shm.
+        transport: how the parallel backend reaches its workers.
+            ``"local"`` is the fork ``ProcessPoolExecutor`` path;
+            ``"socket"`` runs standalone worker processes over framed
+            loopback sockets standing in for cluster nodes (shm degrades
+            to wire payloads; see ``docs/distributed-transport.md``).
+            ``None`` (default) reads env ``REPRO_TRANSPORT`` (default
+            ``local``).  Byte-identical results on every transport.
     """
 
     n_nodes: int = 1
@@ -147,6 +154,7 @@ class RuntimeConfig:
     kernels: bool = True
     batched_commit: bool = True
     shm: Optional[bool] = None
+    transport: Optional[str] = None
 
     def __post_init__(self):
         if self.n_nodes < 1:

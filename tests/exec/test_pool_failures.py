@@ -139,3 +139,59 @@ class TestInlinePaths:
         chunked = pool.apply_batch_chunked(Doubler(), BIG)
         assert chunked.tobytes() == (BIG * 2).tobytes()
         assert pool.pool_failures == 0
+
+
+def _counter_kinds(pool, name):
+    return {
+        dict(key).get("kind")
+        for cname, key, value in pool.profiler.metrics.counters()
+        if cname == name
+    }
+
+
+class TestTeardownErrorCounting:
+    """Teardown failures were historically ``except Exception: pass``;
+    they must now be counted and surfaced as obs instants."""
+
+    def test_executor_shutdown_failure_is_counted(self, pool, monkeypatch):
+        executor = pool.executor(0)
+        monkeypatch.setattr(
+            executor,
+            "shutdown",
+            lambda *a, **kw: (_ for _ in ()).throw(
+                RuntimeError("leaked executor")
+            ),
+        )
+        pool.shutdown()
+        assert pool.shutdown_errors == 1
+        assert "RuntimeError" in _counter_kinds(pool, "pool.shutdown_errors")
+        assert "pool.shutdown_error" in [i.name for i in pool.profiler.instants]
+
+    def test_clean_shutdown_counts_nothing(self, pool):
+        pool.executor(0)
+        pool.shutdown()
+        assert pool.shutdown_errors == 0
+        assert _counter_kinds(pool, "pool.shutdown_errors") == set()
+
+    def test_shm_unlink_failure_is_counted(self, pool):
+        arena = pool.arena
+        if not arena.available:
+            pytest.skip("shared memory unavailable on this platform")
+        slice_ = arena._alloc(0, 0, 64)
+        assert slice_ is not None
+        seg, _offset = slice_
+        # Unlink out from under the arena so retirement's own unlink fails
+        # the way a racing external cleanup would make it fail.
+        seg.shm.unlink()
+        arena._drop_worker(0)
+        assert arena.stats.teardown_errors == 1
+        assert "FileNotFoundError" in _counter_kinds(pool, "shm.teardown_errors")
+        assert "shm.teardown_error" in [i.name for i in pool.profiler.instants]
+        # Balance the resource tracker: _retire registered the name before
+        # its unlink failed, and nothing will ever unregister it.
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(seg.shm._name, "shared_memory")
+
+    def test_teardown_errors_ride_the_stats_dict(self, pool):
+        assert "teardown_errors" in pool.arena.stats.as_dict()

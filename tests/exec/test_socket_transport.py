@@ -1,0 +1,270 @@
+"""Socket transport conformance: byte-identity, faults, connection loss.
+
+The socket transport is a pure execution strategy, exactly like the fork
+transport it stands beside: for randomized launch programs a
+``transport="socket"`` run must leave every functional observable —
+region contents, future values, dependence edges, every ``PipelineStats``
+counter — byte-identical to the serial run, including while the recovery
+ladder is climbing over injected kills/corrupts and over a severed
+connection (the "network ate this node" case, which must surface as a
+tier-2 respawn and reconnect).
+
+The wire layer underneath gets its own unit tests: framing round-trips,
+partial-recv reassembly, alien-peer rejection, and the version handshake.
+"""
+
+import socket
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exec import wire
+from repro.exec.socket_worker import _handshake
+from repro.exec.transport import SocketTransport, resolve_transport
+from repro.fault import FaultPlan, FaultSpec, RetryPolicy
+
+from tests.exec.test_parallel_equivalence import (
+    full_stats,
+    program_strategy,
+    run_program,
+)
+
+FAST_RETRY = RetryPolicy(
+    same_worker_retries=1,
+    respawns=2,
+    backoff_base_s=1e-4,
+    backoff_cap_s=1e-3,
+    shard_timeout_s=30.0,
+)
+
+FAULTS = [
+    FaultSpec(kind="kill", scope="worker", target=(0,), phase="execution"),
+    FaultSpec(kind="corrupt", scope="worker", target=(0,), phase="execution"),
+]
+
+
+def _observables(ops, iters, cfg, workers, **extra):
+    merged = dict(cfg)
+    merged.update(extra)
+    rt, x, y, futures, edges = run_program(
+        ops, iters, None, merged, workers=workers
+    )
+    return rt, (x.tobytes(), y.tobytes(), futures, edges)
+
+
+# ------------------------------------------------------------- wire layer
+class TestWireFraming:
+    def test_roundtrip(self):
+        a, b = socket.socketpair()
+        try:
+            wire.send_frame(a, wire.SHARD, 7, b"payload bytes")
+            frame = wire.recv_frame(b)
+            assert frame.msg == wire.SHARD
+            assert frame.seq == 7
+            assert frame.payload == b"payload bytes"
+            assert frame.version == wire.PROTOCOL_VERSION
+        finally:
+            a.close()
+            b.close()
+
+    def test_empty_payload(self):
+        a, b = socket.socketpair()
+        try:
+            wire.send_frame(a, wire.SHUTDOWN, 0)
+            frame = wire.recv_frame(b)
+            assert frame.msg == wire.SHUTDOWN and frame.payload == b""
+        finally:
+            a.close()
+            b.close()
+
+    def test_partial_recv_reassembles(self):
+        """A frame trickled one byte at a time must reassemble intact —
+        TCP guarantees order, not message boundaries."""
+        a, b = socket.socketpair()
+        try:
+            raw = wire.pack_frame(wire.RESULT, 3, b"x" * 257)
+            done = threading.Event()
+
+            def trickle():
+                for i in range(len(raw)):
+                    a.sendall(raw[i:i + 1])
+                done.set()
+
+            t = threading.Thread(target=trickle)
+            t.start()
+            frame = wire.recv_frame(b)
+            t.join()
+            assert done.is_set()
+            assert frame.payload == b"x" * 257 and frame.seq == 3
+        finally:
+            a.close()
+            b.close()
+
+    def test_bad_magic_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            raw = bytearray(wire.pack_frame(wire.SHARD, 0, b""))
+            raw[:4] = b"EVIL"
+            a.sendall(bytes(raw))
+            with pytest.raises(wire.WireError):
+                wire.recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_version_mismatch_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            raw = wire.pack_frame(
+                wire.SHARD, 0, b"", version=wire.PROTOCOL_VERSION + 1
+            )
+            a.sendall(raw)
+            with pytest.raises(wire.VersionMismatch):
+                wire.recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_handshake_passes_any_version(self):
+        """The handshake path reads mismatched versions instead of raising
+        so the parent can answer with a descriptive REJECT."""
+        a, b = socket.socketpair()
+        try:
+            raw = wire.pack_frame(
+                wire.HELLO, 0, wire.json_payload(worker=0),
+                version=wire.PROTOCOL_VERSION + 1,
+            )
+            a.sendall(raw)
+            frame = wire.recv_frame(b, check_version=False)
+            assert frame.version == wire.PROTOCOL_VERSION + 1
+            assert frame.msg == wire.HELLO
+        finally:
+            a.close()
+            b.close()
+
+    def test_eof_surfaces_as_connection_error(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            with pytest.raises(ConnectionError):
+                wire.recv_frame(b)
+        finally:
+            b.close()
+
+
+class TestHandshake:
+    def _drive(self, reply_msg, reply_payload=b"",
+               reply_version=wire.PROTOCOL_VERSION):
+        parent, worker = socket.socketpair()
+        try:
+            result = {}
+
+            def worker_side():
+                result["ok"] = _handshake(worker, 0, "tok")
+
+            t = threading.Thread(target=worker_side)
+            t.start()
+            hello = wire.recv_frame(parent, check_version=False)
+            assert hello.msg == wire.HELLO
+            assert wire.parse_json(hello.payload)["token"] == "tok"
+            wire.send_frame(parent, reply_msg, 0, reply_payload,
+                            version=reply_version)
+            t.join()
+            return result["ok"]
+        finally:
+            parent.close()
+            worker.close()
+
+    def test_welcome_accepted(self):
+        assert self._drive(wire.WELCOME) is True
+
+    def test_reject_refused(self, capsys):
+        assert self._drive(
+            wire.REJECT, wire.json_payload(reason="bad token")
+        ) is False
+
+    def test_mismatched_parent_version_refused(self):
+        assert self._drive(
+            wire.WELCOME, reply_version=wire.PROTOCOL_VERSION + 1
+        ) is False
+
+
+class TestTransportResolution:
+    def test_env_selects_socket(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRANSPORT", "socket")
+        assert resolve_transport(None) == "socket"
+
+    def test_config_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRANSPORT", "socket")
+        assert resolve_transport("local") == "local"
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_transport("carrier-pigeon")
+
+
+# ------------------------------------------------------- byte identity
+class TestSocketIdentity:
+    @settings(max_examples=5, deadline=None)
+    @given(program=program_strategy)
+    def test_socket_is_byte_identical_to_serial(self, program):
+        ops, iters, _, cfg = program
+        ref_rt, ref_out = _observables(ops, iters, cfg, 1)
+        rt, out = _observables(ops, iters, cfg, 2, transport="socket")
+        assert out == ref_out
+        assert full_stats(rt) == full_stats(ref_rt)
+
+    @settings(max_examples=4, deadline=None)
+    @given(program=program_strategy, spec=st.sampled_from(FAULTS))
+    def test_socket_identical_under_faults(self, program, spec):
+        """Kill and corrupt plans ride the same ladder over sockets: the
+        recovered run must not differ in a single observable."""
+        ops, iters, _, cfg = program
+        plan = FaultPlan(specs=(spec,))
+        ref_rt, ref_out = _observables(ops, iters, cfg, 1)
+        rt, out = _observables(
+            ops, iters, cfg, 2,
+            transport="socket", fault_plan=plan, retry=FAST_RETRY,
+        )
+        assert rt.fault_injector.fired_count >= 1
+        assert rt.stats.launches_poisoned == 0
+        assert out == ref_out
+        assert full_stats(rt) == full_stats(ref_rt)
+
+
+class TestConnectionDrop:
+    def test_dropped_connection_respawns_and_stays_identical(self):
+        """Sever worker 0's socket between launches: the next dispatch
+        must observe the loss as a broken worker, climb to the tier-2
+        respawn (a fresh process reconnects, caches re-ship from scratch),
+        and commit byte-identically to the serial run."""
+        import numpy as np
+
+        from repro.data.partition import equal_partition
+        from repro.runtime import Runtime, RuntimeConfig
+        from tests.exec.test_parallel_equivalence import bump
+
+        def run(workers, drop=False):
+            rt = Runtime(RuntimeConfig(
+                workers=workers, n_nodes=4, transport="socket",
+                retry=FAST_RETRY,
+            ))
+            r = rt.create_region("dc", 16, {"x": "f8"})
+            r.storage("x")[:] = np.arange(16.0)
+            p = equal_partition(f"dcp{r.uid}", r, 4)
+            for i in range(4):
+                if drop and i == 2:
+                    transport = rt.backend.pool().transport
+                    assert isinstance(transport, SocketTransport)
+                    transport.drop_connection(0)
+                rt.index_launch(bump, 4, p)
+            return rt, r.storage("x").tobytes()
+
+        ref_rt, ref_bytes = run(1)
+        rt, out_bytes = run(2, drop=True)
+        assert rt.backend.stats.worker_respawns >= 1
+        assert rt.stats.launches_poisoned == 0
+        assert out_bytes == ref_bytes
+        assert full_stats(rt) == full_stats(ref_rt)

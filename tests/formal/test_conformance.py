@@ -46,6 +46,24 @@ class TestScheduleCompilation:
                  ("commit", None)]
         assert schedule_from_trace(trace).entries == ()
 
+    def test_phase_ordinal_stamp_compiles(self):
+        # Stamped actions (phase name + pord) and ordinal-only actions
+        # both compile to the right phase.
+        trace = [
+            ("fault.kill w1 shard1 attempt0 phase=execution pord=1", None),
+            ("fault.corrupt w0 shard0 attempt1 phase=install pord=0", None),
+            ("fault.kill w0 shard2 attempt0 pord=0", None),
+        ]
+        schedule = schedule_from_trace(trace)
+        assert [
+            (e.node, e.attempt, e.kind, e.phase)
+            for e in schedule.entries
+        ] == [
+            (1, 0, "kill", "execution"),
+            (0, 1, "corrupt", "install"),
+            (2, 0, "kill", "install"),
+        ]
+
 
 class TestConformance:
     def test_all_scenarios_pass(self):
@@ -63,6 +81,21 @@ class TestConformance:
         by_name = {r.scenario: r for r in run_conformance()}
         assert by_name["committed-with-recovery"].byte_identical is True
         assert by_name["serial-fallback"].byte_identical is True
+        assert by_name["serial-fallback-via-kill"].byte_identical is True
+
+    def test_kill_witness_replays(self):
+        """The scenario the old corrupt-only restriction skipped: a
+        pure-kill witness (phase-ordinal-stamped, last-queued victim)
+        compiled into a schedule and replayed to the predicted class."""
+        by_name = {r.scenario: r for r in run_conformance()}
+        res = by_name["serial-fallback-via-kill"]
+        assert res.ok, res.summary()
+        kills = [a for a in res.trace_actions if a.startswith("fault.kill")]
+        assert kills and all("pord=1" in a for a in kills)
+        assert not any(
+            a.startswith(("fault.corrupt", "fault.hang"))
+            for a in res.trace_actions
+        )
 
     def test_scenarios_carry_their_traces(self):
         for build in SCENARIOS:
