@@ -181,10 +181,11 @@ def slow_accumulate(ctx, r, acc):
     acc.reduce("s", [float(r.read("x").sum())])
 
 
-def _parallel_program(workers):
+def _parallel_program(workers, transport=None, pipeline_depth=None):
     rt = Runtime(
         RuntimeConfig(n_nodes=PAR_NODES, dcr=True, tracing=True,
-                      workers=workers)
+                      workers=workers, transport=transport,
+                      pipeline_depth=pipeline_depth)
     )
     region = rt.create_region("pb", PAR_PIECES * 4, {"x": "f8"})
     region.storage("x")[:] = np.arange(float(PAR_PIECES * 4))
@@ -210,8 +211,11 @@ def _cpu_count():
         return os.cpu_count()
 
 
-def _time_parallel(workers, warm=2, timed=5):
-    rt, region, acc, one_iteration = _parallel_program(workers)
+def _time_parallel(workers, warm=2, timed=5, transport=None,
+                   pipeline_depth=None):
+    rt, region, acc, one_iteration = _parallel_program(
+        workers, transport=transport, pipeline_depth=pipeline_depth
+    )
     for _ in range(warm):
         one_iteration()
     samples = []
@@ -223,11 +227,75 @@ def _time_parallel(workers, warm=2, timed=5):
     return sum(samples), samples, digest, rt
 
 
+ABLATION_SLEEP_S = 5e-4
+ABLATION_GROUPS = 4
+
+
+@task(privileges=["reads writes"])
+def quick_bump(ctx, r):
+    time.sleep(ABLATION_SLEEP_S)
+    r.write("x", r.read("x") + 1.0)
+
+
+def _pipeline_ablation(workers=4, warm=3, timed=5):
+    """Pipeline-depth ablation: iteration wall clock at depth 1/2/4.
+
+    The program cycles launches over disjoint region groups — the shape
+    pipelined dispatch targets: launch N+1's footprint never intersects
+    launch N's writes, so at depth > 1 its shards reach the workers
+    before N's collect completes.  Bodies are short (0.5 ms) so the
+    parent-side turnaround being hidden is a visible fraction.
+    """
+    from repro.exec.pool import shutdown_pools
+
+    out = {}
+    digests = {}
+    for depth in (1, 2, 4):
+        rt = Runtime(RuntimeConfig(
+            n_nodes=PAR_NODES, dcr=True, tracing=True, workers=workers,
+            transport="pipe", pipeline_depth=depth,
+        ))
+        regions = []
+        parts = []
+        for g in range(ABLATION_GROUPS):
+            region = rt.create_region(f"abl{g}", workers * 4, {"x": "f8"})
+            region.storage("x")[:] = np.arange(float(workers * 4))
+            regions.append(region)
+            parts.append(
+                equal_partition(f"abl{g}_{region.uid}", region, workers)
+            )
+
+        def one_iteration():
+            rt.begin_trace(3)
+            for part in parts:
+                rt.index_launch(quick_bump, workers, part)
+            rt.end_trace(3)
+
+        for _ in range(warm):
+            one_iteration()
+        rt.drain()
+        start = time.perf_counter()
+        for _ in range(timed):
+            one_iteration()
+        rt.drain()
+        elapsed = time.perf_counter() - start
+        digests[depth] = b"".join(r.storage("x").tobytes() for r in regions)
+        out[f"depth_{depth}_iter_ms"] = round(elapsed / timed * 1e3, 3)
+        shutdown_pools()
+    # Pipelining is an execution strategy only: all depths byte-identical.
+    assert digests[2] == digests[1] and digests[4] == digests[1]
+    return out
+
+
 def test_bench_parallel_backend_speedup():
     """Serial vs 2- and 4-worker wall clock -> BENCH_parallel.json.
 
-    Asserts the issue's floor — >= 2x at 4 workers on latency-bound task
-    bodies — and that every worker count produces byte-identical regions.
+    Worker runs use the raw-pipe transport (persistent forked workers,
+    one selector-driven collector, no executor wake per submit) — the
+    configuration the CI gate measures.  Asserts a >= 2x floor at 4
+    workers on latency-bound task bodies and that every worker count
+    produces byte-identical regions; the tighter headline gate lives in
+    CI against the emitted snapshot.
     """
     from repro.exec.pool import shutdown_pools
 
@@ -237,7 +305,9 @@ def test_bench_parallel_backend_speedup():
         digests = {}
         counters = {}
         for workers in (1, 2, 4):
-            elapsed, samples, digest, rt = _time_parallel(workers)
+            elapsed, samples, digest, rt = _time_parallel(
+                workers, transport="pipe" if workers > 1 else None
+            )
             results[workers] = elapsed
             arr = np.asarray(samples) * 1e3
             latencies[workers] = {
@@ -273,6 +343,7 @@ def test_bench_parallel_backend_speedup():
         "body_sleep_s": BODY_SLEEP_S,
         "timed_iterations": 5,
         "cpu_count": _cpu_count(),
+        "transport": "pipe",
         "serial_s": round(results[1], 4),
         "workers_2_s": round(results[2], 4),
         "workers_4_s": round(results[4], 4),
@@ -280,6 +351,7 @@ def test_bench_parallel_backend_speedup():
         "speedup_4": round(speedup_4, 2),
         "latency": {str(w): latencies[w] for w in sorted(latencies)},
         "counters": counters,
+        "pipeline_ablation": _pipeline_ablation(),
     }
     with open(os.path.join(results_dir(), "BENCH_parallel.json"), "w") as fh:
         json.dump(snapshot, fh, indent=2)

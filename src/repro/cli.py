@@ -483,7 +483,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_val.add_argument("--workers", type=int, default=None,
                        help="pipeline worker processes per run (default: "
                             "env REPRO_WORKERS, else 1 = serial)")
-    p_val.add_argument("--transport", choices=("local", "socket"),
+    p_val.add_argument("--transport", choices=("local", "pipe", "socket"),
                        default=None,
                        help="worker transport (default: env "
                             "REPRO_TRANSPORT, else local)")
@@ -524,7 +524,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_prof.add_argument("--workers", type=int, default=None,
                         help="pipeline worker processes per run (default: "
                              "env REPRO_WORKERS, else 1 = serial)")
-    p_prof.add_argument("--transport", choices=("local", "socket"),
+    p_prof.add_argument("--transport", choices=("local", "pipe", "socket"),
                         default=None,
                         help="worker transport (default: env "
                              "REPRO_TRANSPORT, else local)")
@@ -553,7 +553,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                               "random fault from --seed")
     p_fault.add_argument("--workers", type=int, default=2,
                          help="worker pool size (default 2)")
-    p_fault.add_argument("--transport", choices=("local", "socket"),
+    p_fault.add_argument("--transport", choices=("local", "pipe", "socket"),
                          default=None,
                          help="worker transport (default: env "
                               "REPRO_TRANSPORT, else local)")

@@ -160,6 +160,14 @@ class SparseSubset(IndexSubset):
         return f"SparseSubset(<{len(self.indices)} indices>)"
 
 
+#: Callbacks fired before any region storage read while an execution
+#: backend holds uncommitted (pipelined-ahead) launches, so direct data
+#: access always observes fully-committed state.  Installed/removed by
+#: :class:`~repro.exec.parallel.ParallelBackend`; empty — the common case,
+#: one falsy check per access — whenever nothing is in flight.
+_DRAIN_HOOKS: list = []
+
+
 class Region:
     """A top-level collection: an N-D index space with named, typed fields.
 
@@ -186,15 +194,21 @@ class Region:
 
     def storage(self, field: str) -> np.ndarray:
         """The flat backing array for ``field`` (length ``volume``)."""
+        if _DRAIN_HOOKS:
+            for hook in list(_DRAIN_HOOKS):
+                hook()
         return self._storage[field]
 
     def field_nd(self, field: str) -> np.ndarray:
         """The backing array reshaped to the region's N-D extents (a view)."""
+        if _DRAIN_HOOKS:
+            for hook in list(_DRAIN_HOOKS):
+                hook()
         return self._storage[field].reshape(self.bounds.extents)
 
     def fill(self, field: str, value) -> None:
         """Fill every point's ``field`` with ``value``."""
-        self._storage[field][:] = value
+        self.storage(field)[:] = value
 
     def root_subregion(self) -> "Subregion":
         """The whole region viewed as a subregion (color None)."""

@@ -53,6 +53,16 @@ class ExecutionBackend:
     def shutdown(self) -> None:
         """Release backend resources (worker processes)."""
 
+    def drain(self) -> None:
+        """Commit every pipelined-ahead launch (see
+        :class:`~repro.exec.parallel.ParallelBackend`).  Backends that
+        never defer a commit have nothing to do."""
+
+    def drain_conflicting(self, uids) -> None:
+        """Commit pending launches whose write footprints intersect the
+        region ``uids`` a new operation is about to touch.  No-op for
+        backends that commit eagerly."""
+
 
 class SerialBackend(ExecutionBackend):
     """The in-process pipeline tail — reference semantics for every backend."""

@@ -28,11 +28,31 @@ The determinism contract rests on three rules:
    launch whose REDUCE requirement shares fields of a region with another
    requirement (its bodies would observe half-applied reductions) — runs
    on the serial backend.
+
+**Pipelined dispatch** (``RuntimeConfig.pipeline_depth`` /
+``REPRO_PIPELINE_DEPTH``, default 1 = off) relaxes only *when* rule 1's
+collect happens, never the commit order.  With depth > 1 a replayed
+launch whose region-uid footprint is disjoint from every uncommitted
+write of the launches already in flight (see
+:class:`~repro.runtime.kernels.LaunchFootprintCache`) is *submitted* —
+all shards of each worker in one vectored write — and its unfilled
+``FutureMap`` returned immediately; its collect + commit are deferred to
+a strictly-FIFO drain.  Drains fire when the pipeline fills, when a new
+operation touches a pending write set, when anything needs committed
+state (a region read, a future value, a single task, a serial-path
+launch, cache invalidation, poison), or via :meth:`Runtime.drain`.
+Because commits stay in issue order, every observable — region bytes,
+stats, task ids, RNG, dependence edges — is byte-identical to depth 1,
+including under the fault-recovery ladder (a tier-2 respawn cancels
+pipelined-ahead shards on the dead worker; their collects see stale
+generations and resubmit for free).
 """
 
 from __future__ import annotations
 
+import os
 import time
+from collections import deque
 from concurrent.futures import CancelledError
 from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
@@ -44,7 +64,7 @@ import numpy as np
 from repro.core.domain import Point
 from repro.data.privileges import REDUCTION_OPS, Privilege
 from repro.exec.backend import ExecutionBackend, SerialBackend
-from repro.fault.plan import RetryPolicy
+from repro.fault.plan import InjectedFaultError, RetryPolicy
 from repro.exec.plan import (
     PartitionEntry,
     ReqTemplate,
@@ -71,7 +91,26 @@ from repro.runtime.pipeline import Stage
 from repro.runtime.replay import ExpansionTemplate, PointPlan
 from repro.runtime.task import PhysicalRegion
 
-__all__ = ["ParallelBackend", "ParallelExecStats"]
+__all__ = ["ParallelBackend", "ParallelExecStats", "resolve_pipeline_depth"]
+
+
+def resolve_pipeline_depth(configured: Optional[int]) -> int:
+    """Effective pipeline depth: explicit config wins, else env
+    ``REPRO_PIPELINE_DEPTH``; default (and kill switch) is 1 — collect
+    every launch before issuing the next, exactly the unpipelined path."""
+    if configured is not None:
+        value = int(configured)
+    else:
+        raw = os.environ.get("REPRO_PIPELINE_DEPTH", "").strip()
+        try:
+            value = int(raw) if raw else 1
+        except ValueError:
+            raise ValueError(
+                f"REPRO_PIPELINE_DEPTH must be an integer, got {raw!r}"
+            ) from None
+    if value < 1:
+        raise ValueError(f"pipeline depth must be >= 1, got {value}")
+    return value
 
 
 class _ParallelBail(Exception):
@@ -164,6 +203,46 @@ class _Dispatch:
     shm_writes: Optional[Dict[int, list]] = None
 
 
+@dataclass
+class _InFlight:
+    """A launch's shards between submission and collection."""
+
+    nodes: List[int]
+    flat_points: List[Tuple[int, Point]]
+    jobs: List[_ShardJob]
+    analyzed: bool
+    #: per-job rebuild-and-resubmit closure for the recovery ladder.
+    resubmit: Any
+    #: whether any footprint of this submission holds arena slots (decides
+    #: when the arena may rewind while later launches are still pending).
+    used_shm: bool
+
+
+@dataclass
+class _PendingLaunch:
+    """One pipelined-ahead launch awaiting its FIFO drain."""
+
+    launch: Any
+    sig: tuple
+    op_id: int
+    assignment: Dict[int, list]
+    replay: bool
+    safe_order_free: bool
+    cache: Any
+    inflight: _InFlight
+    #: the unfilled FutureMap already handed to the program; filled (or
+    #: poisoned) at drain.  Reading it forces the drain.
+    fmap: FutureMap
+    #: fault-injector launch ordinal at submit, restored around the drain
+    #: so retries re-arm against the right launch window.
+    fault_ordinal: Optional[int]
+    #: profiler mark taken at submission (the parallel.shards span start).
+    t_par: Any
+    touched: frozenset
+    written: frozenset
+    used_shm: bool
+
+
 class ParallelBackend(ExecutionBackend):
     """Multi-process pipeline tail with deterministic merge."""
 
@@ -184,6 +263,20 @@ class ParallelBackend(ExecutionBackend):
         self._pool = None
         self._task_blobs: Dict[int, bytes] = {}
         self._poisoned_tasks: set = set()
+        # --- pipelined dispatch (depth 1 = off, the unpipelined path).
+        self.pipeline_depth = resolve_pipeline_depth(
+            getattr(rt.config, "pipeline_depth", None)
+        )
+        self._pending: "deque[_PendingLaunch]" = deque()
+        #: True while this backend is submitting, collecting, or
+        #: committing: drain hooks observed re-entrantly are no-ops.
+        self._draining = False
+        self._owner_pid = os.getpid()
+        self._drain_hook = self._make_drain_hook()
+        self._hook_installed = False
+        from repro.runtime.kernels import LaunchFootprintCache
+
+        self._footprints = LaunchFootprintCache()
         #: Optional action-ordering observer: ``observer(event, info)`` is
         #: called synchronously at every protocol transition (submit,
         #: collect, retry, respawn, fallback, commit shipment handling).
@@ -247,36 +340,81 @@ class ParallelBackend(ExecutionBackend):
     def finish_launch(
         self, launch, sig, op_id, assignment, replay, safe_order_free, cache
     ) -> FutureMap:
-        prof = self.rt.profiler
         if not self._eligible(launch, assignment, safe_order_free):
+            # The serial tail runs physical analysis and task bodies
+            # immediately, so every pipelined-ahead launch must land first.
+            self.drain_all()
             self.stats.serial_launches += 1
             return self.serial.finish_launch(
                 launch, sig, op_id, assignment, replay, safe_order_free, cache
             )
+        if self.pipeline_depth > 1 and self._can_pipeline(sig, replay, cache):
+            touched, written = self._footprints.footprint(sig, launch)
+            self.drain_conflicting(touched)
+            return self._finish_pipelined(
+                launch, sig, op_id, assignment, replay, safe_order_free,
+                cache, touched, written,
+            )
+        self.drain_all()
+        return self._finish_now(
+            launch, sig, op_id, assignment, replay, safe_order_free, cache
+        )
+
+    def _finish_now(
+        self, launch, sig, op_id, assignment, replay, safe_order_free, cache
+    ) -> FutureMap:
+        """The depth-1 path: submit, collect, and commit in one call."""
+        prof = self.rt.profiler
         t_par = prof.mark()
         try:
             dispatch = self._dispatch(launch, sig, assignment, replay, cache)
         except _ParallelBail as bail:
-            self.stats.fallbacks += 1
-            if self._pool is not None and not self._pool.closed:
-                # Sibling futures may still be in flight; their workers
-                # could write into shm slots at any time, so the current
-                # segments (and their offsets) are forfeit.
-                self._pool.arena.abandon_all()
-            self._observe("fallback", launch=launch.name, reason=bail.reason,
-                          poison=bail.poison)
-            if bail.poison:
-                self._poisoned_tasks.add(launch.task.uid)
-            if prof.enabled:
-                prof.instant(
-                    "parallel.fallback",
-                    Stage.EXECUTION,
-                    launch=launch.name,
-                    reason=bail.reason,
-                )
-            return self.serial.finish_launch(
-                launch, sig, op_id, assignment, replay, safe_order_free, cache
+            return self._fallback(
+                launch, sig, op_id, assignment, replay, safe_order_free,
+                cache, bail,
             )
+        fmap = self._finish_dispatch(
+            launch, sig, op_id, assignment, replay, safe_order_free, cache,
+            dispatch, t_par,
+        )
+        # Every future was collected and every shm view consumed: reclaim
+        # the arena offsets for the next dispatch.
+        self.pool().arena.rewind_all()
+        return fmap
+
+    def _fallback(
+        self, launch, sig, op_id, assignment, replay, safe_order_free, cache,
+        bail,
+    ) -> FutureMap:
+        """Tier 3: abandon a bailed dispatch and re-run serially."""
+        prof = self.rt.profiler
+        self.stats.fallbacks += 1
+        if self._pool is not None and not self._pool.closed:
+            # Sibling futures may still be in flight; their workers
+            # could write into shm slots at any time, so the current
+            # segments (and their offsets) are forfeit.
+            self._pool.arena.abandon_all()
+        self._observe("fallback", launch=launch.name, reason=bail.reason,
+                      poison=bail.poison)
+        if bail.poison:
+            self._poisoned_tasks.add(launch.task.uid)
+        if prof.enabled:
+            prof.instant(
+                "parallel.fallback",
+                Stage.EXECUTION,
+                launch=launch.name,
+                reason=bail.reason,
+            )
+        return self.serial.finish_launch(
+            launch, sig, op_id, assignment, replay, safe_order_free, cache
+        )
+
+    def _finish_dispatch(
+        self, launch, sig, op_id, assignment, replay, safe_order_free, cache,
+        dispatch, t_par, fmap=None,
+    ) -> FutureMap:
+        """Account, ship cache deltas, and commit one collected dispatch."""
+        prof = self.rt.profiler
         self.stats.parallel_launches += 1
         self.stats.shards_dispatched += len(dispatch.nodes)
         self.stats.tasks_shipped += len(dispatch.tasks)
@@ -312,17 +450,220 @@ class ParallelBackend(ExecutionBackend):
                 ) * len(dispatch.nodes)
             prof.phase("parallel.shards", Stage.EXECUTION, t_par, **attrs)
             prof.count("parallel.dispatches", 1.0)
-        fmap = self._commit(
+        return self._commit(
             launch, sig, op_id, replay, safe_order_free, cache, dispatch,
-            assignment,
+            assignment, fmap=fmap,
         )
-        # Every future was collected and every shm view consumed: reclaim
-        # the arena offsets for the next dispatch.
-        pool.arena.rewind_all()
+
+    # --------------------------------------------------- pipelined dispatch
+    def _can_pipeline(self, sig, replay, cache) -> bool:
+        """Only replayed launches with a live physical template pipeline:
+        their workers skip analysis (``analyzed=False``), so nothing about
+        the submission reads analyzer state that earlier uncommitted
+        launches will mutate at their commit."""
+        return (
+            replay
+            and cache is not None
+            and cache._physical.get(sig) is not None
+        )
+
+    def _finish_pipelined(
+        self, launch, sig, op_id, assignment, replay, safe_order_free, cache,
+        touched, written,
+    ) -> FutureMap:
+        rt = self.rt
+        prof = rt.profiler
+        inj = rt.fault_injector
+        t_par = prof.mark()
+        try:
+            self._draining = True
+            try:
+                inflight = self._submit_launch(
+                    launch, sig, assignment, replay, cache
+                )
+            finally:
+                self._draining = False
+        except _ParallelBail as bail:
+            # The serial re-run commits immediately; earlier launches must
+            # land first so analyzer state and task ids stay in issue order.
+            self.drain_all()
+            return self._fallback(
+                launch, sig, op_id, assignment, replay, safe_order_free,
+                cache, bail,
+            )
+        fmap = FutureMap(label=launch.name)
+        fmap._drain = self._drain_hook
+        entry = _PendingLaunch(
+            launch=launch,
+            sig=sig,
+            op_id=op_id,
+            assignment=assignment,
+            replay=replay,
+            safe_order_free=safe_order_free,
+            cache=cache,
+            inflight=inflight,
+            fmap=fmap,
+            fault_ordinal=inj.current_launch if inj is not None else None,
+            t_par=t_par,
+            touched=touched,
+            written=written,
+            used_shm=inflight.used_shm,
+        )
+        self._pending.append(entry)
+        self._install_hook()
+        depth = len(self._pending)
+        self._observe("pipeline.submit", launch=launch.name, depth=depth)
+        if prof.enabled:
+            prof.count("pipeline.depth", float(depth))
+            if depth > 1:
+                prof.instant("pipeline.submit_ahead", Stage.EXECUTION,
+                             launch=launch.name, depth=depth)
+        while len(self._pending) >= self.pipeline_depth:
+            self._drain_one()
         return fmap
+
+    def drain(self) -> None:
+        """Backend-API alias for :meth:`drain_all` (see ``Runtime.drain``)."""
+        self.drain_all()
+
+    def drain_all(self) -> None:
+        """Collect and commit every pipelined-ahead launch, in FIFO order."""
+        if self._draining:
+            return
+        while self._pending:
+            self._drain_one()
+
+    def drain_conflicting(self, uids) -> None:
+        """Drain the FIFO prefix of pending launches whose *write* sets
+        intersect ``uids`` (the footprint a new operation is about to
+        touch).  Commit order is FIFO, so draining entry i requires
+        draining everything before it too."""
+        if self._draining or not self._pending:
+            return
+        touched = frozenset(uids)
+        last = -1
+        for i, entry in enumerate(self._pending):
+            if not entry.written.isdisjoint(touched):
+                last = i
+        for _ in range(last + 1):
+            self._drain_one()
+
+    def _drain_one(self) -> None:
+        """Collect, validate, and commit the oldest pending launch —
+        restoring its fault-injection window, falling back to serial (into
+        its existing FutureMap) on a bail, and converting an injected
+        fault surfaced by that fallback into launch poison (tier 4)."""
+        entry = self._pending.popleft()
+        rt = self.rt
+        inj = rt.fault_injector
+        saved_ordinal = inj.current_launch if inj is not None else None
+        committed = False
+        self._draining = True
+        try:
+            if inj is not None:
+                inj.current_launch = entry.fault_ordinal
+            try:
+                dispatch = self._collect_launch(entry.launch, entry.inflight)
+            except _ParallelBail as bail:
+                self._fallback_into(entry, bail)
+            else:
+                self._finish_dispatch(
+                    entry.launch, entry.sig, entry.op_id, entry.assignment,
+                    entry.replay, entry.safe_order_free, entry.cache,
+                    dispatch, entry.t_par, fmap=entry.fmap,
+                )
+                committed = True
+        except InjectedFaultError as exc:
+            # The serial fallback hit an unrecovered injected fault; the
+            # launch is lost exactly as it would be on the unpipelined
+            # path — poison its already-issued FutureMap.
+            rt._poison_launch(
+                entry.launch, exc, propagated=False, fmap=entry.fmap
+            )
+        finally:
+            if inj is not None:
+                inj.current_launch = saved_ordinal
+            self._draining = False
+            entry.fmap._drain = None
+            if committed and (entry.used_shm or not self._pending):
+                # Entries submitted while this one was pending hold no
+                # arena slots (shm staging is disabled for pipelined-ahead
+                # submissions), so the rewind cannot clobber them.
+                pool = self._pool
+                if pool is not None and not pool.closed:
+                    pool.arena.rewind_all()
+            if not self._pending:
+                self._uninstall_hook()
+
+    def _fallback_into(self, entry: _PendingLaunch, bail) -> None:
+        """Tier 3 at drain time: serial re-run adopted into the FutureMap
+        the program already holds."""
+        fmap = self._fallback(
+            entry.launch, entry.sig, entry.op_id, entry.assignment,
+            entry.replay, entry.safe_order_free, entry.cache, bail,
+        )
+        entry.fmap._drain = None
+        if fmap._error is not None:
+            entry.fmap.poison(fmap._error)
+            return
+        for point, err in fmap._point_errors.items():
+            entry.fmap.poison(err, point)
+        for point, value in fmap._values.items():
+            entry.fmap.set(point, value)
+
+    def _make_drain_hook(self):
+        """The closure installed on region storage reads and pending
+        FutureMaps while launches are in flight.  Forked worker children
+        inherit it; the pid guard makes it remove itself there."""
+
+        def hook():
+            if os.getpid() != self._owner_pid:
+                from repro.data import collection
+
+                try:
+                    collection._DRAIN_HOOKS.remove(hook)
+                except ValueError:
+                    pass
+                return
+            if not self._draining:
+                self.drain_all()
+
+        return hook
+
+    def _install_hook(self) -> None:
+        if not self._hook_installed:
+            from repro.data import collection
+
+            collection._DRAIN_HOOKS.append(self._drain_hook)
+            self._hook_installed = True
+
+    def _uninstall_hook(self) -> None:
+        if self._hook_installed:
+            from repro.data import collection
+
+            try:
+                collection._DRAIN_HOOKS.remove(self._drain_hook)
+            except ValueError:
+                pass
+            self._hook_installed = False
+
+    def shutdown(self) -> None:
+        """Best-effort: land pipelined-ahead launches before teardown."""
+        try:
+            self.drain_all()
+        finally:
+            self._uninstall_hook()
 
     # ------------------------------------------------------------ dispatch
     def _dispatch(self, launch, sig, assignment, replay, cache) -> _Dispatch:
+        """Submit and collect in one breath (the depth-1 path)."""
+        return self._collect_launch(
+            launch, self._submit_launch(launch, sig, assignment, replay, cache)
+        )
+
+    def _submit_launch(
+        self, launch, sig, assignment, replay, cache
+    ) -> _InFlight:
         rt = self.rt
         cfg = rt.config
         prof = rt.profiler
@@ -368,8 +709,13 @@ class ParallelBackend(ExecutionBackend):
 
         injector = getattr(rt, "fault_injector", None)
         arena = pool.arena
-        shm_on = arena.available and (
-            cfg.shm if cfg.shm is not None else shm_env_enabled()
+        # Pipelined-ahead submissions skip the arena: their slots would
+        # outlive the head launch's commit and block the rewind that
+        # reclaims arena offsets (wire payloads need no reclamation).
+        shm_on = (
+            arena.available
+            and not self._pending
+            and (cfg.shm if cfg.shm is not None else shm_env_enabled())
         )
 
         jobs: List[_ShardJob] = []
@@ -388,11 +734,11 @@ class ParallelBackend(ExecutionBackend):
             )
             ordinal += len(local)
 
-        def build_and_submit(job: _ShardJob, depth: int = 0) -> None:
+        def build_plan(job: _ShardJob) -> Tuple[bytes, ShardPlan]:
             """(Re)build one shard plan against the worker's *current*
-            committed cache view and submit it.  Retries rebuild from
-            scratch: a respawned worker's caches are empty, so the fresh
-            plan ships everything it needs; a surviving worker's install is
+            committed cache view.  Retries rebuild from scratch: a
+            respawned worker's caches are empty, so the fresh plan ships
+            everything it needs; a surviving worker's install is
             idempotent, so re-shipped state is harmless."""
             k, node = job.k, job.node
             caches = pool.caches[k]
@@ -581,15 +927,48 @@ class ParallelBackend(ExecutionBackend):
             job.staged = staged
             job.gen = gen
             job.mark = prof.now() if prof.enabled else 0.0
-            self._observe("submit", shard=node, worker=k, gen=job.gen)
+            return blob, plan
+
+        def build_and_submit(job: _ShardJob, depth: int = 0) -> None:
+            """Ladder resubmission: rebuild one shard and submit it alone."""
+            blob, plan = build_plan(job)
+            self._observe("submit", shard=job.node, worker=job.k, gen=job.gen)
             try:
-                job.future = pool.submit_shard(k, blob, plan=plan)
+                job.future = pool.submit_shard(job.k, blob, plan=plan)
             except BrokenProcessPool:
-                # An earlier shard's death surfaced at *submit* time (the
-                # executor noticed its child was gone before we handed it
+                # The worker's death surfaced at *submit* time (the
+                # transport noticed its child was gone before we handed it
                 # this plan).  Respawn and rebuild against the emptied
                 # caches; deaths that surface at result time go through
                 # the capped ladder in _collect_shard instead.
+                if depth >= 3:
+                    raise _ParallelBail(
+                        f"worker {job.k} broken at submit {depth} times"
+                    )
+                pool.reset_worker(job.k)
+                self.stats.worker_respawns += 1
+                self._note_recovery(
+                    "respawn", launch, job,
+                    _InfraFailure("broken", "pool broken at submit"),
+                )
+                self._backoff(depth + 1)
+                build_and_submit(job, depth + 1)
+            except Exception as exc:
+                raise _ParallelBail(f"submit failed: {exc}")
+
+        def submit_batch(worker_jobs: List[_ShardJob], depth: int = 0) -> None:
+            """Initial submission: one worker's whole shard batch, one
+            vectored write where the transport supports it.  Building per
+            worker in shard order preserves both the fault-injector's
+            directive-consumption order and the arena's per-worker
+            allocation order."""
+            items = [build_plan(job) for job in worker_jobs]
+            k = worker_jobs[0].k
+            for job in worker_jobs:
+                self._observe("submit", shard=job.node, worker=k, gen=job.gen)
+            try:
+                futures = pool.submit_shards(k, items)
+            except BrokenProcessPool:
                 if depth >= 3:
                     raise _ParallelBail(
                         f"worker {k} broken at submit {depth} times"
@@ -597,23 +976,48 @@ class ParallelBackend(ExecutionBackend):
                 pool.reset_worker(k)
                 self.stats.worker_respawns += 1
                 self._note_recovery(
-                    "respawn", launch, job,
+                    "respawn", launch, worker_jobs[0],
                     _InfraFailure("broken", "pool broken at submit"),
                 )
-                build_and_submit(job, depth + 1)
+                # Same pause the collect-path ladder takes: a respawn is a
+                # respawn, wherever the death happened to surface.
+                self._backoff(depth + 1)
+                submit_batch(worker_jobs, depth + 1)
+                return
             except Exception as exc:
                 raise _ParallelBail(f"submit failed: {exc}")
+            for job, future in zip(worker_jobs, futures):
+                job.future = future
 
+        by_worker: Dict[int, List[_ShardJob]] = {}
         for job in jobs:
-            build_and_submit(job)
+            by_worker.setdefault(job.k, []).append(job)
+        for k in sorted(by_worker):
+            submit_batch(by_worker[k])
+        return _InFlight(
+            nodes=nodes,
+            flat_points=flat_points,
+            jobs=jobs,
+            analyzed=analyzed,
+            resubmit=build_and_submit,
+            used_shm=shm_on,
+        )
 
-        # Collect in shard order, recovering per shard (retry -> respawn),
-        # bailing to serial only when a shard exhausts its retry policy.
+    def _collect_launch(self, launch, inflight: _InFlight) -> _Dispatch:
+        """Await every shard of one submitted launch and validate the
+        results into a :class:`_Dispatch`, recovering per shard
+        (retry -> respawn), bailing to serial only when a shard exhausts
+        its retry policy."""
+        rt = self.rt
+        pool = self.pool()
+        jobs = inflight.jobs
+        analyzed = inflight.analyzed
+        flat_points = inflight.flat_points
         policy = getattr(rt, "retry_policy", None) or RetryPolicy()
         shipments: List[Tuple[int, int, dict]] = []
         for job in jobs:
             job.payload = self._collect_shard(
-                launch, pool, policy, job, build_and_submit
+                launch, pool, policy, job, inflight.resubmit
             )
             # Stamp the shipment with the generation that *produced* it
             # (job.gen, set at submit), never the generation at collect
@@ -652,7 +1056,7 @@ class ParallelBackend(ExecutionBackend):
                     shm_writes = {}
                 shm_writes.update(job.shm_writes)
         return _Dispatch(
-            nodes=nodes,
+            nodes=inflight.nodes,
             points=flat_points,
             tasks=tasks,
             values=values,
@@ -792,7 +1196,7 @@ class ParallelBackend(ExecutionBackend):
     # -------------------------------------------------------------- commit
     def _commit(
         self, launch, sig, op_id, replay, safe_order_free, cache, dispatch,
-        assignment,
+        assignment, fmap=None,
     ) -> FutureMap:
         rt = self.rt
         cfg = rt.config
@@ -909,7 +1313,8 @@ class ParallelBackend(ExecutionBackend):
                 if ptemplate is not None:
                     cache.put_physical(sig, ptemplate)
 
-        fmap = FutureMap(label=launch.name)
+        if fmap is None:
+            fmap = FutureMap(label=launch.name)
         per_node: Dict[int, int] = {}
         for node, _ in dispatch.points:
             per_node[node] = per_node.get(node, 0) + 1

@@ -10,8 +10,10 @@ per-node state across launches.
 
 *How* a slot is reached is the transport's business
 (:mod:`repro.exec.transport`): ``local`` is the original fork
-``ProcessPoolExecutor`` path, ``socket`` runs standalone worker processes
-over framed loopback sockets (see ``docs/distributed-transport.md``).
+``ProcessPoolExecutor`` path, ``pipe`` forks persistent workers wired by
+raw pipes with a selector-driven collector (no executor wake), ``socket``
+runs standalone worker processes over framed loopback sockets (see
+``docs/distributed-transport.md``).
 The pool keeps everything transport-independent: cache bookkeeping,
 respawn generations, the shm arena, and failure metrics.
 
@@ -137,10 +139,11 @@ class WorkerPool:
 
     @profiler.setter
     def profiler(self, prof):
-        # The arena shares the pool's profiler so its teardown errors land
-        # in the same trace/metrics stream.
+        # The arena and transport share the pool's profiler so teardown
+        # errors and dispatch wakes land in the same trace/metrics stream.
         self._profiler = prof
         self.arena.profiler = prof
+        self._transport.profiler = prof
 
     @property
     def transport(self):
@@ -211,6 +214,14 @@ class WorkerPool:
         if self._closed:
             raise RuntimeError("worker pool is shut down")
         return self._transport.submit_shard(k, plan_blob, plan)
+
+    def submit_shards(self, k: int, items):
+        """Submit a whole per-worker batch ``[(plan_blob, plan), ...]`` in
+        one vectored write where the transport supports it; returns one
+        future per shard, in order."""
+        if self._closed:
+            raise RuntimeError("worker pool is shut down")
+        return self._transport.submit_shards(k, items)
 
     # ------------------------------------------------- chunked batch evals
     def _note_failure(self, reason: str) -> None:

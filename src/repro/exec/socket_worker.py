@@ -63,41 +63,80 @@ def _handshake(sock: socket.socket, worker: int, token: str) -> bool:
     return True
 
 
-def serve(sock: socket.socket) -> None:
-    """Frame loop: install deltas, run shards, answer with RESULT frames."""
+def serve(sock: socket.socket) -> bool:
+    """Frame loop: install deltas, run shards, answer with RESULT frames.
+
+    Returns True on a deliberate SHUTDOWN, False when the connection
+    dropped — ``--listen`` mode uses the distinction to decide between
+    exiting and going back to accept the next parent.
+    """
     # Imported here, after the handshake, so a refused worker never pays
     # for numpy; the import also primes everything a shard will touch.
     from repro.exec import worker as w
-    from repro.exec.plan import loads
+
+    def reply(seq: int, payload: bytes) -> None:
+        wire.send_frame(sock, wire.RESULT, seq, payload)
 
     while True:
         try:
             frame = wire.recv_frame(sock)
         except (wire.WireError, ConnectionError, OSError):
-            return  # parent went away; nothing left to serve
-        if frame.msg == wire.SHUTDOWN:
-            return
-        if frame.msg == wire.REGIONS:
-            w.install_regions(loads(frame.payload))
-        elif frame.msg == wire.PARTITIONS:
-            w.install_partitions(loads(frame.payload))
-        elif frame.msg == wire.TASK:
-            uid, blob = loads(frame.payload)
-            w.install_task(uid, blob)
-        elif frame.msg == wire.SHARD:
-            wire.send_frame(
-                sock, wire.RESULT, frame.seq, w.run_shard_bytes(frame.payload)
-            )
-        elif frame.msg == wire.BATCH:
-            functor_blob, points = loads(frame.payload)
-            wire.send_frame(
-                sock,
-                wire.RESULT,
-                frame.seq,
-                w.apply_batch_bytes(functor_blob, points),
-            )
+            return False  # parent went away; nothing left to serve
+        if not w.handle_frame(frame, reply):
+            return True
         # Anything else (HELLO/WELCOME/... out of band) is a protocol bug;
-        # ignoring it beats dying with pending shards on other frames.
+        # handle_frame ignores it, which beats dying with shards pending.
+
+
+def _serve_listener(host: str, port: int, worker: int, token: str) -> int:
+    """``--listen`` mode: a pre-started worker the parent dials into.
+
+    Binds once, then loops accept → handshake → serve: a parent that
+    discards this worker (tier-2 respawn) just reconnects, and the
+    persistent caches are wiped between connections so every parent
+    incarnation starts from the clean delta-shipping state its
+    bookkeeping assumes.  A SHUTDOWN frame ends the process.
+    """
+    from repro.exec import worker as w
+
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            listener.bind((host, port))
+        except OSError as exc:
+            print(
+                f"repro socket worker {worker}: cannot bind "
+                f"{host}:{port}: {exc}",
+                file=sys.stderr,
+            )
+            return 4
+        listener.listen(1)
+        print(
+            f"repro socket worker {worker}: listening on "
+            f"{host}:{listener.getsockname()[1]}",
+            file=sys.stderr,
+        )
+        while True:
+            conn, _ = listener.accept()
+            try:
+                conn.settimeout(None)
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                w.reset_state()
+                if not _handshake(conn, worker, token):
+                    continue  # refused parent; await the next one
+                if serve(conn):
+                    return 0
+            finally:
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover - dead socket
+                    pass
+    finally:
+        try:
+            listener.close()
+        except OSError:  # pragma: no cover - dead listener
+            pass
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -105,11 +144,18 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, required=True)
     parser.add_argument("--worker", type=int, required=True)
+    parser.add_argument(
+        "--listen", action="store_true",
+        help="bind and await the parent instead of dialing it "
+             "(pre-started remote worker; see REPRO_SOCKET_HOSTS)",
+    )
     try:
         args = parser.parse_args(argv)
     except SystemExit:
         return 4
     token = os.environ.get("REPRO_SOCKET_TOKEN", "")
+    if args.listen:
+        return _serve_listener(args.host, args.port, args.worker, token)
     try:
         sock = socket.create_connection((args.host, args.port), timeout=30)
     except OSError as exc:

@@ -16,28 +16,51 @@ fork path produces —
 * a slow result is the caller's ``future.result(timeout)`` raising
   ``concurrent.futures.TimeoutError``.
 
-Two implementations:
+Three implementations:
 
 * :class:`LocalTransport` — the original fork/``ProcessPoolExecutor``
   path, one single-process executor per slot (``local_shm=True``: parent
   and workers share the machine-local shm segment namespace).
+* :class:`PipeTransport` — persistent workers forked once per pool, each
+  wired to the parent by a pair of raw ``os.pipe`` fds speaking the
+  framed wire protocol.  No ``concurrent.futures`` anywhere: the parent
+  does non-blocking batched writes and drains every worker's RESULT
+  frames through one ``selectors`` loop driven inline from
+  ``future.result()`` — zero helper threads, so collecting a shard costs
+  one ``epoll_wait`` + one ``read`` instead of the stdlib executor's
+  queue-feeder/condition-variable wake (~0.25 ms per submit).
+  ``local_shm=True``: forked children attach the parent's segments.
 * :class:`SocketTransport` — standalone ``python -m
   repro.exec.socket_worker`` processes connected over length-prefixed
   framed loopback sockets (:mod:`repro.exec.wire`), standing in for
   cluster nodes.  ``local_shm=False``: shm descriptors degrade to wire
   payloads because a remote node cannot map the parent's segments.
+  ``REPRO_SOCKET_HOSTS=host:port,...`` assigns slots to *pre-started*
+  remote workers (``socket_worker --listen``) instead of spawning
+  locally — the first real step off the single machine.
 """
 
 from __future__ import annotations
 
 import os
 import secrets
+import select
+import selectors
+import signal
 import socket
 import subprocess
 import sys
 import threading
+import time
 from abc import ABC, abstractmethod
-from concurrent.futures import Future, InvalidStateError, ProcessPoolExecutor
+from collections import deque
+from concurrent.futures import (
+    CancelledError,
+    Future,
+    InvalidStateError,
+    ProcessPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import replace
 from typing import Dict, List, Optional
@@ -48,6 +71,7 @@ from repro.exec.plan import dumps
 __all__ = [
     "Transport",
     "LocalTransport",
+    "PipeTransport",
     "SocketTransport",
     "TRANSPORTS",
     "make_transport",
@@ -88,6 +112,9 @@ class Transport(ABC):
 
     def __init__(self, n: int):
         self.n = n
+        #: Optional obs profiler, wired in by the pool; transports with a
+        #: dispatch loop count their wakes (``dispatch.wake``) on it.
+        self.profiler = None
 
     def executor(self, k: int) -> ProcessPoolExecutor:
         raise RuntimeError(
@@ -97,6 +124,17 @@ class Transport(ABC):
     @abstractmethod
     def submit_shard(self, k: int, plan_blob: bytes, plan=None) -> Future:
         """Ship one shard to worker ``k``; future resolves to result bytes."""
+
+    def submit_shards(self, k: int, items) -> List[Future]:
+        """Ship a whole per-worker shard batch ``[(plan_blob, plan), ...]``.
+
+        The default just loops :meth:`submit_shard`; transports with a
+        vectored write path (pipe) override this to send one frame
+        carrying the batch, amortizing serialization and syscalls."""
+        return [
+            self.submit_shard(k, plan_blob, plan=plan)
+            for plan_blob, plan in items
+        ]
 
     @abstractmethod
     def submit_batch(self, k: int, functor_blob: bytes, points) -> Future:
@@ -184,11 +222,449 @@ class LocalTransport(Transport):
         return errors
 
 
+# ---------------------------------------------------------------------- pipe
+_PENDING = "pending"
+_CANCELLED = "cancelled"
+_RESULT = "result"
+_EXCEPTION = "exception"
+
+
+class _PipeFuture:
+    """A future settled by :class:`PipeTransport`'s inline selector loop.
+
+    There is no worker-side thread to wake us: ``result()`` *is* the
+    event loop — it drives the owning transport's selector until this
+    future settles, servicing every pipe worker's reads and writes along
+    the way.  The surface mirrors what the backend and the pool's
+    ``apply_batch_chunked`` actually use of ``concurrent.futures.Future``
+    (``result``/``cancel``/``done``), with the same exception mapping:
+    ``CancelledError`` for a discarded worker, ``FuturesTimeout`` past
+    the deadline, and whatever ``set_exception`` recorded otherwise.
+    """
+
+    __slots__ = ("_transport", "_state", "_value")
+
+    def __init__(self, transport: "PipeTransport"):
+        self._transport = transport
+        self._state = _PENDING
+        self._value = None
+
+    def done(self) -> bool:
+        return self._state is not _PENDING
+
+    def cancelled(self) -> bool:
+        return self._state is _CANCELLED
+
+    def cancel(self) -> bool:
+        if self._state is _PENDING:
+            self._state = _CANCELLED
+            return True
+        return self._state is _CANCELLED
+
+    def set_result(self, value) -> None:
+        if self._state is _PENDING:
+            self._state = _RESULT
+            self._value = value
+
+    def set_exception(self, exc: BaseException) -> None:
+        if self._state is _PENDING:
+            self._state = _EXCEPTION
+            self._value = exc
+
+    def result(self, timeout: Optional[float] = None):
+        if self._state is _PENDING:
+            self._transport._drive_until(self, timeout)
+        if self._state is _CANCELLED:
+            raise CancelledError()
+        if self._state is _EXCEPTION:
+            raise self._value
+        return self._value
+
+
+class _PipeWorker:
+    """Parent-side bookkeeping for one forked pipe worker."""
+
+    __slots__ = (
+        "k", "pid", "rfd", "wfd", "decoder", "pending", "seq",
+        "backlog", "broken", "closing", "write_waiting",
+    )
+
+    def __init__(self, k: int, pid: int, rfd: int, wfd: int):
+        self.k = k
+        self.pid = pid
+        self.rfd = rfd
+        self.wfd = wfd
+        self.decoder = wire.FrameDecoder()
+        self.pending: Dict[int, _PipeFuture] = {}
+        self.seq = 0
+        self.backlog: deque = deque()   # outgoing memoryviews, oldest first
+        self.broken = False
+        self.closing = False
+        self.write_waiting = False      # wfd registered for EVENT_WRITE
+
+
+class PipeTransport(Transport):
+    """Forked persistent workers over raw pipes — no executor, no threads.
+
+    Each slot is one child forked from this very interpreter (warm numpy
+    and module state, guaranteed protocol-version match, shared shm
+    namespace), connected by an ``os.pipe`` pair carrying the framed wire
+    protocol.  All parent-side I/O is non-blocking: submits append to a
+    per-worker write backlog and flush opportunistically; one shared
+    ``selectors`` loop — run inline from ``_PipeFuture.result()`` on the
+    caller's own thread — drains every worker's RESULT frames and
+    finishes stalled writes.  A worker death surfaces as EOF on its read
+    pipe (sibling children close each other's fds at fork so the EOF is
+    prompt), mapped to ``BrokenProcessPool`` per the transport contract;
+    a framing desync (garbled stream) poisons the pipe the same way.
+    """
+
+    local_shm = True
+    name = "pipe"
+
+    def __init__(self, n: int):
+        super().__init__(n)
+        self._handles: List[Optional[_PipeWorker]] = [None] * n
+        self._selector = selectors.DefaultSelector()
+
+    # ----------------------------------------------------------- spawning
+    def _spawn(self, k: int) -> _PipeWorker:
+        sys.stdout.flush()
+        sys.stderr.flush()
+        child_read, parent_write = os.pipe()
+        parent_read, child_write = os.pipe()
+        pid = os.fork()
+        if pid == 0:
+            # Child: serve frames until SHUTDOWN or EOF, then _exit so no
+            # parent atexit hook (pools, pytest, shm cleanup) ever runs
+            # twice.  Closing sibling workers' fds is what makes a sibling
+            # death observable as EOF in the parent.
+            status = 0
+            try:
+                os.close(parent_write)
+                os.close(parent_read)
+                for sibling in self._handles:
+                    if sibling is not None:
+                        for fd in (sibling.rfd, sibling.wfd):
+                            try:
+                                os.close(fd)
+                            except OSError:
+                                pass
+                from repro.exec.worker import serve_pipe
+
+                serve_pipe(child_read, child_write)
+            except BaseException:
+                status = 1
+            finally:
+                os._exit(status)
+        os.close(child_read)
+        os.close(child_write)
+        os.set_blocking(parent_read, False)
+        os.set_blocking(parent_write, False)
+        worker = _PipeWorker(k, pid, parent_read, parent_write)
+        self._selector.register(parent_read, selectors.EVENT_READ, worker)
+        return worker
+
+    def _handle(self, k: int) -> _PipeWorker:
+        worker = self._handles[k]
+        if worker is not None and (worker.broken or worker.closing):
+            # Same discipline as the socket transport: never respawn
+            # transparently — the ladder's reset_worker must wipe cache
+            # beliefs and bump the generation first.
+            raise BrokenProcessPool(f"pipe worker {k} is down")
+        if worker is None:
+            worker = self._spawn(k)
+            self._handles[k] = worker
+        return worker
+
+    # ----------------------------------------------------------- dispatch
+    def _register_future(self, worker: _PipeWorker):
+        worker.seq += 1
+        future = _PipeFuture(self)
+        worker.pending[worker.seq] = future
+        return worker.seq, future
+
+    def submit_shard(self, k: int, plan_blob: bytes, plan=None) -> _PipeFuture:
+        worker = self._handle(k)
+        seq, future = self._register_future(worker)
+        self._send(worker, wire.pack_frame(wire.SHARD, seq, plan_blob))
+        return future
+
+    def submit_shards(self, k: int, items) -> List[_PipeFuture]:
+        """The vectored path: one SHARDS frame carries the whole batch in
+        a single write; the worker answers one RESULT per shard so the
+        fault ladder keeps per-shard granularity."""
+        worker = self._handle(k)
+        futures: List[_PipeFuture] = []
+        pairs = []
+        for plan_blob, _plan in items:
+            seq, future = self._register_future(worker)
+            futures.append(future)
+            pairs.append((seq, plan_blob))
+        self._send(worker, wire.pack_frame(wire.SHARDS, 0, dumps(pairs)))
+        return futures
+
+    def submit_batch(self, k: int, functor_blob: bytes, points) -> _PipeFuture:
+        worker = self._handle(k)
+        seq, future = self._register_future(worker)
+        self._send(
+            worker,
+            wire.pack_frame(wire.BATCH, seq, dumps((functor_blob, points))),
+        )
+        return future
+
+    # ------------------------------------------------------------- writes
+    def _send(self, worker: _PipeWorker, data: bytes) -> None:
+        worker.backlog.append(memoryview(data))
+        self._flush(worker)
+        if worker.broken:
+            raise BrokenProcessPool(f"pipe worker {worker.k} is gone")
+
+    def _flush(self, worker: _PipeWorker) -> None:
+        backlog = worker.backlog
+        while backlog:
+            head = backlog[0]
+            try:
+                n = os.write(worker.wfd, head)
+            except BlockingIOError:
+                break
+            except OSError:
+                self._mark_broken(worker)
+                return
+            if n == len(head):
+                backlog.popleft()
+            else:
+                backlog[0] = head[n:]
+        self._update_write_interest(worker)
+
+    def _update_write_interest(self, worker: _PipeWorker) -> None:
+        want = bool(worker.backlog)
+        if want and not worker.write_waiting:
+            self._selector.register(
+                worker.wfd, selectors.EVENT_WRITE, worker
+            )
+            worker.write_waiting = True
+        elif not want and worker.write_waiting:
+            self._selector.unregister(worker.wfd)
+            worker.write_waiting = False
+
+    # -------------------------------------------------------- event loop
+    def _drive(self, timeout: Optional[float]) -> bool:
+        """One selector pass; True if any events were serviced."""
+        events = self._selector.select(timeout)
+        if not events:
+            return False
+        prof = self.profiler
+        if prof is not None and prof.enabled:
+            prof.count("dispatch.wake", 1.0, transport=self.name)
+        for key, mask in events:
+            worker = key.data
+            if worker.broken or worker.closing:
+                continue
+            if mask & selectors.EVENT_WRITE:
+                self._flush(worker)
+            if mask & selectors.EVENT_READ:
+                self._on_readable(worker)
+        return True
+
+    def _drive_until(
+        self, future: _PipeFuture, timeout: Optional[float]
+    ) -> None:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while future._state is _PENDING:
+            if deadline is None:
+                self._drive(None)
+                continue
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise FuturesTimeout(
+                    f"pipe worker result not ready after {timeout}s"
+                )
+            self._drive(remaining)
+
+    def _on_readable(self, worker: _PipeWorker) -> None:
+        try:
+            chunk = os.read(worker.rfd, 1 << 20)
+        except BlockingIOError:
+            return
+        except OSError:
+            chunk = b""
+        if not chunk:
+            self._mark_broken(worker)
+            return
+        worker.decoder.feed(chunk)
+        while True:
+            try:
+                frame = worker.decoder.next()
+            except wire.WireError:
+                # Framing desync: the stream can never be trusted again —
+                # same failure class as a severed connection.
+                self._mark_broken(worker)
+                return
+            if frame is None:
+                return
+            if frame.msg != wire.RESULT:
+                continue
+            future = worker.pending.pop(frame.seq, None)
+            if future is not None:
+                future.set_result(frame.payload)
+
+    # ------------------------------------------------------------ failure
+    def _mark_broken(self, worker: _PipeWorker) -> None:
+        if worker.broken or worker.closing:
+            return
+        worker.broken = True
+        self._unregister(worker)
+        pending, worker.pending = worker.pending, {}
+        for future in pending.values():
+            future.set_exception(
+                BrokenProcessPool(f"pipe worker {worker.k} died")
+            )
+        worker.backlog.clear()
+        for fd in (worker.rfd, worker.wfd):
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+        try:
+            os.kill(worker.pid, signal.SIGKILL)
+        except (ProcessLookupError, OSError):
+            pass
+        self._reap(worker.pid, timeout=5.0)
+
+    def _unregister(self, worker: _PipeWorker) -> None:
+        try:
+            self._selector.unregister(worker.rfd)
+        except (KeyError, ValueError):
+            pass
+        if worker.write_waiting:
+            try:
+                self._selector.unregister(worker.wfd)
+            except (KeyError, ValueError):
+                pass
+            worker.write_waiting = False
+
+    @staticmethod
+    def _reap(pid: int, timeout: float) -> bool:
+        end = time.monotonic() + timeout
+        while True:
+            try:
+                done, _ = os.waitpid(pid, os.WNOHANG)
+            except ChildProcessError:
+                return True
+            if done:
+                return True
+            if time.monotonic() >= end:
+                return False
+            time.sleep(0.005)
+
+    # ---------------------------------------------------------- lifecycle
+    def discard_worker(self, k: int) -> None:
+        worker = self._handles[k]
+        self._handles[k] = None
+        if worker is not None:
+            self._close_worker(worker, graceful=False)
+
+    def drop_connection(self, k: int) -> None:
+        """Kill worker ``k`` without settling anything — the pipe
+        analogue of the socket transport's severed connection.  The next
+        selector pass reads EOF and fails the pending futures with
+        BrokenProcessPool, which the ladder recovers as a tier-2
+        respawn."""
+        worker = self._handles[k]
+        if worker is not None:
+            try:
+                os.kill(worker.pid, signal.SIGKILL)
+            except (ProcessLookupError, OSError):
+                pass
+
+    def _close_worker(
+        self, worker: _PipeWorker, graceful: bool
+    ) -> List[BaseException]:
+        errors: List[BaseException] = []
+        was_broken = worker.broken
+        worker.closing = True
+        self._unregister(worker)
+        pending, worker.pending = worker.pending, {}
+        for future in pending.values():
+            future.cancel()
+        if graceful and not was_broken:
+            try:
+                tail = b"".join(bytes(m) for m in worker.backlog)
+                self._write_deadline(
+                    worker, tail + wire.pack_frame(wire.SHUTDOWN, 0)
+                )
+            except (OSError, TimeoutError) as exc:
+                errors.append(exc)
+        worker.backlog.clear()
+        if not was_broken:
+            for fd in (worker.rfd, worker.wfd):
+                try:
+                    os.close(fd)
+                except OSError:
+                    pass
+            if not graceful:
+                try:
+                    os.kill(worker.pid, signal.SIGKILL)
+                except (ProcessLookupError, OSError):
+                    pass
+            if not self._reap(worker.pid, timeout=5.0):
+                try:
+                    os.kill(worker.pid, signal.SIGKILL)
+                except (ProcessLookupError, OSError):
+                    pass
+                if not self._reap(worker.pid, timeout=5.0):
+                    errors.append(
+                        TimeoutError(
+                            f"pipe worker {worker.k} "
+                            f"(pid {worker.pid}) did not exit"
+                        )
+                    )
+        return errors
+
+    @staticmethod
+    def _write_deadline(
+        worker: _PipeWorker, data: bytes, deadline_s: float = 2.0
+    ) -> None:
+        """Best-effort bounded write for the graceful-shutdown frame; the
+        fd stays non-blocking so a wedged child cannot hang teardown."""
+        view = memoryview(data)
+        end = time.monotonic() + deadline_s
+        while view:
+            try:
+                view = view[os.write(worker.wfd, view):]
+            except BlockingIOError:
+                remaining = end - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError("pipe shutdown write stalled")
+                select.select([], [worker.wfd], [], remaining)
+
+    def shutdown(self) -> List[BaseException]:
+        errors: List[BaseException] = []
+        for k in range(self.n):
+            worker = self._handles[k]
+            self._handles[k] = None
+            if worker is not None:
+                errors.extend(self._close_worker(worker, graceful=True))
+        try:
+            self._selector.close()
+        except Exception as exc:  # pragma: no cover - selector close
+            errors.append(exc)
+        self._selector = selectors.DefaultSelector()
+        return errors
+
+
 # -------------------------------------------------------------------- socket
 class _SocketWorker:
-    """Parent-side handle for one connected socket worker process."""
+    """Parent-side handle for one connected socket worker process.
 
-    def __init__(self, k: int, proc: subprocess.Popen, conn: socket.socket):
+    ``proc`` is ``None`` for a pre-started remote worker (see
+    ``REPRO_SOCKET_HOSTS``): the parent owns only the connection, never
+    the process."""
+
+    def __init__(
+        self, k: int, proc: Optional[subprocess.Popen], conn: socket.socket
+    ):
         self.k = k
         self.proc = proc
         self.conn = conn
@@ -280,6 +756,10 @@ class _SocketWorker:
             self.conn.close()
         except OSError as exc:  # pragma: no cover - close on dead socket
             errors.append(exc)
+        if self.proc is None:
+            # Pre-started remote worker: closing the connection is all we
+            # own; its --listen loop goes back to accepting.
+            return errors
         try:
             if graceful:
                 self.proc.wait(timeout=5)
@@ -310,10 +790,60 @@ class SocketTransport(Transport):
     def __init__(self, n: int):
         super().__init__(n)
         self._handles: List[Optional[_SocketWorker]] = [None] * n
-        self._token = secrets.token_hex(16)
+        self._hosts = self._parse_hosts(
+            os.environ.get("REPRO_SOCKET_HOSTS", "")
+        )
+        if self._hosts:
+            # Pre-started workers read REPRO_SOCKET_TOKEN from *their*
+            # environment at launch, so both sides must agree on it out of
+            # band; locally spawned fill-in workers inherit the same one.
+            self._token = os.environ.get("REPRO_SOCKET_TOKEN", "")
+        else:
+            self._token = secrets.token_hex(16)
+
+    @staticmethod
+    def _parse_hosts(raw: str) -> List[tuple]:
+        hosts = []
+        for entry in raw.split(","):
+            entry = entry.strip()
+            if not entry:
+                continue
+            host, sep, port = entry.rpartition(":")
+            if not sep or not host:
+                raise ValueError(
+                    f"REPRO_SOCKET_HOSTS entry {entry!r} is not host:port"
+                )
+            hosts.append((host, int(port)))
+        return hosts
 
     # ----------------------------------------------------------- spawning
     def _spawn(self, k: int) -> _SocketWorker:
+        if k < len(self._hosts):
+            return self._connect(k, *self._hosts[k])
+        return self._spawn_local(k)
+
+    def _connect(self, k: int, host: str, port: int) -> _SocketWorker:
+        """Adopt a pre-started ``socket_worker --listen`` process: dial
+        it, then run the usual HELLO/WELCOME handshake (the worker sends
+        HELLO on accept, so the frames are direction-agnostic).  Version
+        or token mismatches get the same descriptive REJECT a spawned
+        worker would."""
+        try:
+            conn = socket.create_connection(
+                (host, port), timeout=SPAWN_TIMEOUT_S
+            )
+        except OSError as exc:
+            raise BrokenProcessPool(
+                f"socket worker {k} at {host}:{port} is unreachable: {exc}"
+            ) from None
+        try:
+            self._verify_hello(conn, k)
+        except Exception:
+            conn.close()
+            raise
+        return _SocketWorker(k, None, conn)
+
+    def _spawn_local(self, k: int) -> _SocketWorker:
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         proc = None
         try:
@@ -355,39 +885,44 @@ class SocketTransport(Transport):
         finally:
             listener.close()
         try:
-            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            conn.settimeout(SPAWN_TIMEOUT_S)
-            hello = wire.recv_frame(conn, check_version=False)
-            if hello.msg != wire.HELLO:
-                raise wire.WireError(
-                    f"expected HELLO, got {wire.MSG_NAMES.get(hello.msg)}"
-                )
-            if hello.version != wire.PROTOCOL_VERSION:
-                wire.send_frame(
-                    conn, wire.REJECT, 0,
-                    wire.json_payload(
-                        reason=f"protocol version {hello.version} != "
-                               f"{wire.PROTOCOL_VERSION}"
-                    ),
-                )
-                raise wire.VersionMismatch(
-                    f"socket worker {k} speaks protocol {hello.version}, "
-                    f"parent speaks {wire.PROTOCOL_VERSION}"
-                )
-            fields = wire.parse_json(hello.payload)
-            if fields.get("token") != self._token:
-                wire.send_frame(
-                    conn, wire.REJECT, 0,
-                    wire.json_payload(reason="bad token"),
-                )
-                raise wire.WireError(f"socket worker {k} sent a bad token")
-            wire.send_frame(conn, wire.WELCOME, 0)
-            conn.settimeout(None)
+            self._verify_hello(conn, k)
         except Exception:
             conn.close()
             proc.kill()
             raise
         return _SocketWorker(k, proc, conn)
+
+    def _verify_hello(self, conn: socket.socket, k: int) -> None:
+        """Receive and validate the worker's HELLO; answer WELCOME, or a
+        descriptive REJECT on version/token mismatch before raising."""
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        conn.settimeout(SPAWN_TIMEOUT_S)
+        hello = wire.recv_frame(conn, check_version=False)
+        if hello.msg != wire.HELLO:
+            raise wire.WireError(
+                f"expected HELLO, got {wire.MSG_NAMES.get(hello.msg)}"
+            )
+        if hello.version != wire.PROTOCOL_VERSION:
+            wire.send_frame(
+                conn, wire.REJECT, 0,
+                wire.json_payload(
+                    reason=f"protocol version {hello.version} != "
+                           f"{wire.PROTOCOL_VERSION}"
+                ),
+            )
+            raise wire.VersionMismatch(
+                f"socket worker {k} speaks protocol {hello.version}, "
+                f"parent speaks {wire.PROTOCOL_VERSION}"
+            )
+        fields = wire.parse_json(hello.payload)
+        if fields.get("token") != self._token:
+            wire.send_frame(
+                conn, wire.REJECT, 0,
+                wire.json_payload(reason="bad token"),
+            )
+            raise wire.WireError(f"socket worker {k} sent a bad token")
+        wire.send_frame(conn, wire.WELCOME, 0)
+        conn.settimeout(None)
 
     def _handle(self, k: int) -> _SocketWorker:
         handle = self._handles[k]
@@ -468,5 +1003,6 @@ class SocketTransport(Transport):
 
 TRANSPORTS = {
     LocalTransport.name: LocalTransport,
+    PipeTransport.name: PipeTransport,
     SocketTransport.name: SocketTransport,
 }

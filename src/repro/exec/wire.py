@@ -30,6 +30,9 @@ SHARD       parent -> worker: pickled ``ShardPlan`` (deltas stripped)
 BATCH       parent -> worker: pickled ``(functor_blob, points)``
 RESULT      worker -> parent: raw result bytes for ``seq``
 SHUTDOWN    parent -> worker: drain and exit cleanly
+SHARDS      parent -> worker: pickled ``[(seq, plan_blob), ...]`` — one
+            vectored write carrying a whole per-worker shard batch; the
+            worker answers one RESULT per listed seq, in order
 ==========  =======================================================
 
 Every frame carries the protocol version; :func:`recv_frame` refuses a
@@ -63,8 +66,10 @@ __all__ = [
     "BATCH",
     "RESULT",
     "SHUTDOWN",
+    "SHARDS",
     "MSG_NAMES",
     "Frame",
+    "FrameDecoder",
     "WireError",
     "VersionMismatch",
     "pack_frame",
@@ -77,7 +82,8 @@ __all__ = [
 MAGIC = b"RPRO"
 #: Bump on any incompatible change to framing or message payloads; the
 #: handshake rejects a peer built against a different version.
-PROTOCOL_VERSION = 1
+#: v2 added the SHARDS batched-submit message.
+PROTOCOL_VERSION = 2
 
 (
     HELLO,
@@ -90,7 +96,8 @@ PROTOCOL_VERSION = 1
     BATCH,
     RESULT,
     SHUTDOWN,
-) = range(1, 11)
+    SHARDS,
+) = range(1, 12)
 
 MSG_NAMES = {
     HELLO: "HELLO",
@@ -103,6 +110,7 @@ MSG_NAMES = {
     BATCH: "BATCH",
     RESULT: "RESULT",
     SHUTDOWN: "SHUTDOWN",
+    SHARDS: "SHARDS",
 }
 
 _HEADER = struct.Struct(">4sBBIQ")
@@ -175,6 +183,56 @@ def recv_frame(sock: socket.socket, check_version: bool = True) -> Frame:
         )
     payload = _recv_exactly(sock, length) if length else b""
     return Frame(version, msg, seq, payload)
+
+
+class FrameDecoder:
+    """Incremental frame reassembly for non-blocking byte streams.
+
+    The pipe transport reads whatever ``os.read`` hands it — arbitrary
+    byte runs with no message alignment — so frames are reassembled
+    statefully: :meth:`feed` appends raw bytes, :meth:`next` yields one
+    complete :class:`Frame` (or ``None`` until enough bytes arrive).
+    Validation matches :func:`recv_frame`: bad magic, unknown message,
+    or an absurd length poison the stream with :class:`WireError`; a
+    mismatched version raises :class:`VersionMismatch` unless
+    ``check_version=False``.
+    """
+
+    __slots__ = ("_buf", "_header", "_check_version")
+
+    def __init__(self, check_version: bool = True):
+        self._buf = bytearray()
+        self._header = None
+        self._check_version = check_version
+
+    def feed(self, data: bytes) -> None:
+        self._buf += data
+
+    def next(self):
+        buf = self._buf
+        if self._header is None:
+            if len(buf) < _HEADER.size:
+                return None
+            magic, version, msg, seq, length = _HEADER.unpack_from(buf)
+            if magic != MAGIC:
+                raise WireError(f"bad frame magic {bytes(magic)!r}")
+            if msg not in MSG_NAMES:
+                raise WireError(f"unknown message type {msg}")
+            if length > MAX_PAYLOAD:
+                raise WireError(f"frame length {length} exceeds limit")
+            if self._check_version and version != PROTOCOL_VERSION:
+                raise VersionMismatch(
+                    f"peer protocol version {version}, ours {PROTOCOL_VERSION}"
+                )
+            del buf[:_HEADER.size]
+            self._header = (version, msg, seq, length)
+        version, msg, seq, length = self._header
+        if len(buf) < length:
+            return None
+        payload = bytes(buf[:length])
+        del buf[:length]
+        self._header = None
+        return Frame(version, msg, seq, payload)
 
 
 def json_payload(**fields) -> bytes:

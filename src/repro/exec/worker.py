@@ -54,6 +54,9 @@ __all__ = [
     "install_regions",
     "install_partitions",
     "install_task",
+    "handle_frame",
+    "serve_pipe",
+    "reset_state",
 ]
 
 
@@ -63,6 +66,25 @@ _SUBSETS: Dict[int, Any] = {}
 _PARTITIONS: Dict[int, "_PartitionStub"] = {}
 _TASKS: Dict[int, Any] = {}
 _SHM: Dict[str, Any] = {}  # attached parent-owned segments, by name
+
+
+def reset_state() -> None:
+    """Wipe the persistent caches back to a fresh-process state.
+
+    A ``--listen`` socket worker serves a succession of parent
+    connections; each new parent's delta-shipping bookkeeping assumes a
+    blank worker, and stale region uids from a previous parent must never
+    collide with the new one's."""
+    _REGIONS.clear()
+    _SUBSETS.clear()
+    _PARTITIONS.clear()
+    _TASKS.clear()
+    for shm in _SHM.values():
+        try:
+            shm.close()
+        except Exception:  # pragma: no cover - segment already gone
+            pass
+    _SHM.clear()
 
 
 def _attach_shm(name: str):
@@ -426,3 +448,64 @@ def apply_batch_bytes(functor_blob: bytes, points: np.ndarray) -> bytes:
     """Executor entry point for chunked dynamic-check evaluation."""
     functor = loads(functor_blob)
     return dumps(functor.apply_batch(points))
+
+
+# ------------------------------------------------------- framed serve loops
+def handle_frame(frame, reply) -> bool:
+    """Dispatch one wire frame against the persistent worker state.
+
+    Shared by the socket serve loop and the pipe serve loop so both
+    transports run the exact same worker: ``reply(seq, payload)`` sends
+    one RESULT frame back.  Returns ``False`` on SHUTDOWN.
+    """
+    from repro.exec import wire
+
+    if frame.msg == wire.SHUTDOWN:
+        return False
+    if frame.msg == wire.SHARD:
+        reply(frame.seq, run_shard_bytes(frame.payload))
+    elif frame.msg == wire.SHARDS:
+        # One vectored submit carrying a whole per-worker shard batch;
+        # each shard still answers its own RESULT so the parent's fault
+        # ladder keeps per-shard granularity.
+        for seq, blob in loads(frame.payload):
+            reply(seq, run_shard_bytes(blob))
+    elif frame.msg == wire.BATCH:
+        functor_blob, points = loads(frame.payload)
+        reply(frame.seq, apply_batch_bytes(functor_blob, points))
+    elif frame.msg == wire.REGIONS:
+        install_regions(loads(frame.payload))
+    elif frame.msg == wire.PARTITIONS:
+        install_partitions(loads(frame.payload))
+    elif frame.msg == wire.TASK:
+        uid, blob = loads(frame.payload)
+        install_task(uid, blob)
+    return True
+
+
+def serve_pipe(rfd: int, wfd: int) -> None:
+    """Blocking serve loop for a pipe-connected (forked) worker child.
+
+    No handshake: the child was forked from this very interpreter, so
+    version and code identity are guaranteed.  EOF on the read pipe
+    (parent died or discarded us) ends the loop like a SHUTDOWN.
+    """
+    from repro.exec import wire
+
+    def reply(seq: int, payload: bytes) -> None:
+        data = wire.pack_frame(wire.RESULT, seq, payload)
+        view = memoryview(data)
+        while view:
+            view = view[os.write(wfd, view):]
+
+    decoder = wire.FrameDecoder()
+    while True:
+        frame = decoder.next()
+        if frame is None:
+            chunk = os.read(rfd, 1 << 20)
+            if not chunk:
+                return
+            decoder.feed(chunk)
+            continue
+        if not handle_frame(frame, reply):
+            return

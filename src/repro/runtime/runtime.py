@@ -129,11 +129,25 @@ class RuntimeConfig:
             cannot use shm.
         transport: how the parallel backend reaches its workers.
             ``"local"`` is the fork ``ProcessPoolExecutor`` path;
-            ``"socket"`` runs standalone worker processes over framed
-            loopback sockets standing in for cluster nodes (shm degrades
-            to wire payloads; see ``docs/distributed-transport.md``).
-            ``None`` (default) reads env ``REPRO_TRANSPORT`` (default
-            ``local``).  Byte-identical results on every transport.
+            ``"pipe"`` forks persistent workers wired over raw ``os.pipe``
+            pairs speaking the framed wire protocol, with a single
+            ``selectors``-based collector instead of one executor wake per
+            submit; ``"socket"`` runs standalone worker processes over
+            framed loopback sockets standing in for cluster nodes (shm
+            degrades to wire payloads; see
+            ``docs/distributed-transport.md``).  ``None`` (default) reads
+            env ``REPRO_TRANSPORT`` (default ``local``).  Byte-identical
+            results on every transport.
+        pipeline_depth: parallel-backend dispatch pipelining — how many
+            launches may be in flight (submitted to workers, commit
+            deferred) at once.  Depth 1 (default) submits and collects
+            each launch synchronously, exactly the pre-pipelining
+            behavior; depth ``d > 1`` lets the runtime issue launch N+1's
+            shards before launch N's results are collected whenever their
+            region footprints are disjoint from every pending launch's
+            uncommitted writes.  Commits stay strictly FIFO, so results,
+            stats, and traces are byte-identical at every depth.  ``None``
+            reads env ``REPRO_PIPELINE_DEPTH`` (default 1).
     """
 
     n_nodes: int = 1
@@ -155,6 +169,7 @@ class RuntimeConfig:
     batched_commit: bool = True
     shm: Optional[bool] = None
     transport: Optional[str] = None
+    pipeline_depth: Optional[int] = None
 
     def __post_init__(self):
         if self.n_nodes < 1:
@@ -247,6 +262,7 @@ class Runtime:
         the sharding/slicing memos).  Called automatically on mapper
         changes; call it manually after any out-of-band change that affects
         mapping or partitioning decisions.  Returns entries dropped."""
+        self.backend.drain()
         dropped = (
             self.replay_cache.clear()
             + self.slicing_cache.clear()
@@ -255,6 +271,18 @@ class Runtime:
         if dropped:
             self.stats.analysis_cache_invalidations += dropped
         return dropped
+
+    def drain(self) -> None:
+        """Commit every pipelined-ahead launch (``pipeline_depth > 1``).
+
+        A barrier in the Legion sense: on return, all previously issued
+        launches have executed and their results are visible in region
+        storage, futures, and stats.  Reads through the runtime API
+        (``Subregion.read``, ``FutureMap.get`` …) drain automatically;
+        call this before inspecting region storage by other means or
+        timing a quiescent point.  No-op at depth 1 or on the serial
+        backend."""
+        self.backend.drain()
 
     # ------------------------------------------------------------ resources
     def create_region(
@@ -329,6 +357,10 @@ class Runtime:
                 # dependence templates were recorded against a context that
                 # no longer recurs, so drop them (the context-free layers —
                 # verdicts, checks, expansion, sharding — remain valid).
+                # Pipelined-ahead launches were predicted against the
+                # templates about to be dropped: commit them first so
+                # their cache-hit accounting matches eager dispatch.
+                self.backend.drain()
                 dropped = self.replay_cache.drop_physical()
                 if dropped:
                     self.stats.analysis_cache_invalidations += dropped
@@ -359,6 +391,9 @@ class Runtime:
             for i in range(len(subregions))
         ]
         launch = TaskLaunch(task=task, requirements=requirements, args=args)
+        # Single tasks run inline in the parent, so every pipelined-ahead
+        # index launch must land first (analyzer state, storage, poison).
+        self.backend.drain()
         self.stats.ops_issued += 1
         self.stats.single_tasks += 1
         poison = self.physical.poison_for(
@@ -456,6 +491,12 @@ class Runtime:
             requirements=requirements,
             args=args,
             point_args=point_args,
+        )
+        # Before consulting poison state, land any pending launch whose
+        # writes this one can observe — an uncommitted predecessor may be
+        # about to taint one of these regions.
+        self.backend.drain_conflicting(
+            [req.region.uid for req in requirements]
         )
         poison = self.physical.poison_for(
             [req.region.uid for req in requirements]
@@ -730,6 +771,9 @@ class Runtime:
     ) -> FutureMap:
         """Process a launch one task at a time (No-IDX, early-expansion, or
         serial fallback after a failed check)."""
+        # Expanded launches run inline: pending pipelined launches must
+        # commit first so analysis and storage are current.
+        self.backend.drain()
         cfg = self.config
         prof = self.profiler
         t0 = prof.mark()
@@ -841,11 +885,17 @@ class Runtime:
         self.physical.poison_regions(written, err)
 
     def _poison_launch(
-        self, launch: IndexLaunch, cause, propagated: bool
+        self, launch: IndexLaunch, cause, propagated: bool, fmap=None
     ) -> FutureMap:
         """Tier 4: the launch is lost.  Poison its FutureMap, taint its
         write footprint, and flush cached analysis for its signature (a
-        half-executed launch invalidates what was memoized against it)."""
+        half-executed launch invalidates what was memoized against it).
+
+        ``fmap`` lets the parallel backend poison the map it already
+        handed out for a pipelined-ahead launch that failed at drain."""
+        # This drops cached templates below; any launch still pipelined
+        # against them must land first (and with it, in issue order).
+        self.backend.drain()
         cfg = self.config
         prof = self.profiler
         if propagated:
@@ -877,7 +927,8 @@ class Runtime:
                 cause=str(cause),
             )
             prof.count("fault.poisoned_launches", 1.0, propagated=propagated)
-        fmap = FutureMap(label=launch.name)
+        if fmap is None:
+            fmap = FutureMap(label=launch.name)
         fmap.poison(err)
         return fmap
 
