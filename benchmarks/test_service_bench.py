@@ -1,0 +1,97 @@
+"""Sustained multi-client service throughput (``repro serve``).
+
+Runs the session service in-process and drives it with the synthetic
+load generator: 8 concurrent client sessions, each issuing traced
+static + dynamically-checked launch pairs through its own tenant.  The
+snapshot (``BENCH_service.json``) carries sustained launches/sec and
+p50/p99 issuance latency across all clients, plus the warm-restart
+check: a second service instance on the same persist directory must
+restore every tenant's dynamic-check memo and re-pay **zero** first-
+issue analysis (the acceptance criterion for the persisted caches).
+
+CI gates the snapshot: all clients complete correctly, a modest
+launches/sec floor holds, and the warm run's memo misses are zero.
+"""
+
+import asyncio
+import json
+import os
+import tempfile
+import threading
+
+from repro.bench.reporting import results_dir
+from repro.serve import ReproService, ServiceConfig, run_loadgen
+
+CLIENTS = 8
+LAUNCHES = 20  # per client; half static, half dynamically checked
+
+
+def _run_service_round(persist_dir):
+    """One service lifetime: start, drive the loadgen, shut down."""
+    svc = ReproService(ServiceConfig(workers=2, persist_dir=persist_dir))
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+
+    def runner():
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(svc.start())
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=runner, daemon=True)
+    thread.start()
+    assert started.wait(timeout=10)
+    try:
+        report = run_loadgen("127.0.0.1", svc.port, clients=CLIENTS,
+                             launches=LAUNCHES)
+    finally:
+        asyncio.run_coroutine_threadsafe(
+            svc.shutdown(), loop
+        ).result(timeout=60)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10)
+        loop.close()
+    return report
+
+
+def _trim(report):
+    """The artifact keeps aggregates; per-client stats reduce to the
+    cache counters the gates read."""
+    out = {k: v for k, v in report.items() if k != "client_stats"}
+    stats = report["client_stats"]
+    out["check_memo_misses"] = sum(s["check_memo_misses"] for s in stats)
+    out["check_memo_hits"] = sum(s["check_memo_hits"] for s in stats)
+    out["restored_entries"] = sum(s["restored_entries"] for s in stats)
+    out["plan_memo_hits"] = sum(s["plan_memo_hits"] for s in stats)
+    for key in ("wall_s", "launches_per_s", "issue_p50_us", "issue_p99_us"):
+        out[key] = round(out[key], 1)
+    return out
+
+
+def test_bench_service_throughput():
+    with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as persist:
+        cold = _trim(_run_service_round(persist))
+        warm = _trim(_run_service_round(persist))
+
+    snapshot = {"cold": cold, "warm": warm}
+    with open(os.path.join(results_dir(), "BENCH_service.json"), "w") as fh:
+        json.dump(snapshot, fh, indent=2)
+        fh.write("\n")
+    print(f"\nBENCH_service: {json.dumps(snapshot)}")
+
+    for phase in (cold, warm):
+        assert phase["errors"] == [], phase
+        assert phase["clients_completed"] == CLIENTS, phase
+        assert phase["all_correct"], phase
+        assert phase["total_launches"] == CLIENTS * LAUNCHES, phase
+        # Deliberately modest floor: CI runners vary widely; the real
+        # number on a dev box is ~10x this (see docs/service.md).
+        assert phase["launches_per_s"] > 20.0, phase
+    # Cold run: every tenant pays exactly its own first-issue analysis.
+    assert cold["check_memo_misses"] == CLIENTS, cold
+    assert cold["restored_entries"] == 0, cold
+    # Warm restart: the persisted memos serve every first issue — zero
+    # analysis re-pays, the tentpole's acceptance criterion.
+    assert warm["restored_entries"] >= CLIENTS, warm
+    assert warm["check_memo_misses"] == 0, warm
+    assert warm["check_memo_hits"] >= CLIENTS, warm

@@ -28,6 +28,14 @@ Commands:
   invariant holds on every reachable state, 1 when a counterexample is
   found (``--mutate`` runs seeded-broken variants that *must* fail).  See
   ``docs/formal-verification.md``.
+* ``serve [--port P] [--persist-dir DIR] ...`` — run the always-on
+  session service: many concurrent client sessions multiplexed onto one
+  shared worker pool, with bounded persistent analysis caches.  Shuts
+  down cleanly (drains, persists, exits 0) on SIGTERM/SIGINT.  See
+  ``docs/service.md``.
+* ``loadgen --port P [--clients N] [--out REPORT.JSON]`` — drive a
+  running service with synthetic concurrent clients and report sustained
+  launches/sec plus issuance latency percentiles.
 
 Operational errors (bad arguments, unwritable output paths) exit with
 status 2 and a one-line message — never a traceback.
@@ -380,6 +388,73 @@ def _cmd_faultsim(args) -> int:
     return report.exit_code
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve.service import ReproService, ServiceConfig
+
+    _require_min(args.workers, 1, "--workers")
+    _require_min(args.queue_limit, 1, "--queue-limit")
+    _require_min(args.cache_entries, 1, "--cache-entries")
+    _require_min(args.cache_bytes, 1, "--cache-bytes")
+    service = ReproService(ServiceConfig(
+        host=args.host,
+        port=args.port,
+        token=args.token,
+        workers=args.workers,
+        transport=args.transport,
+        queue_limit=args.queue_limit,
+        persist_dir=args.persist_dir,
+        cache_entry_budget=args.cache_entries,
+        cache_byte_budget=args.cache_bytes,
+    ))
+
+    async def _run():
+        await service.start()
+        service.install_signal_handlers()
+        # The port line is the startup contract: smoke scripts parse it.
+        print(f"repro serve listening on {service.config.host}:"
+              f"{service.port}", flush=True)
+        while not service._stopped.is_set():
+            await asyncio.sleep(0.05)
+
+    asyncio.run(_run())
+    print("repro serve: shut down cleanly", flush=True)
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    import json
+
+    from repro.serve.loadgen import run_loadgen
+
+    _require_min(args.clients, 1, "--clients")
+    _require_min(args.launches, 2, "--launches")
+    report = run_loadgen(
+        args.host, args.port, token=args.token,
+        clients=args.clients, launches=args.launches,
+        tenants=args.tenants,
+    )
+    if args.out:
+        def _dump(path):
+            with open(path, "w") as fh:
+                json.dump(report, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+
+        _write_file(args.out, _dump)
+        print(f"wrote {args.out}")
+    print(f"{report['total_launches']} launches over "
+          f"{report['clients_completed']}/{report['clients']} clients: "
+          f"{report['launches_per_s']:.0f} launches/s, "
+          f"p50 {report['issue_p50_us']:.0f} us, "
+          f"p99 {report['issue_p99_us']:.0f} us")
+    for line in report["errors"]:
+        print(f"error: {line}", file=sys.stderr)
+    if report["errors"] or not report["all_correct"]:
+        return 1
+    return 0
+
+
 def _cmd_check(args) -> int:
     import json
 
@@ -565,6 +640,55 @@ def main(argv: Optional[List[str]] = None) -> int:
                          metavar="SECONDS",
                          help="per-shard result timeout (hang detector)")
     p_fault.set_defaults(fn=_cmd_faultsim)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the always-on session service (see docs/service.md)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="TCP port (default 0 = ephemeral; the bound "
+                              "port is printed on startup)")
+    p_serve.add_argument("--token", default="repro",
+                         help="shared handshake token clients must present")
+    p_serve.add_argument("--workers", type=int, default=None,
+                         help="shared worker-pool size (default: env "
+                              "REPRO_WORKERS, else 1)")
+    p_serve.add_argument("--transport", choices=("local", "pipe", "socket"),
+                         default=None,
+                         help="worker transport (default: env "
+                              "REPRO_TRANSPORT, else local)")
+    p_serve.add_argument("--queue-limit", type=int, default=8,
+                         help="per-session admitted-command bound; beyond "
+                              "it calls get BUSY (default 8)")
+    p_serve.add_argument("--persist-dir", default=None, metavar="DIR",
+                         help="persist per-tenant analysis caches here "
+                              "across restarts")
+    p_serve.add_argument("--cache-entries", type=int, default=None,
+                         help="LRU entry budget for the per-session replay "
+                              "caches and tenant check memos")
+    p_serve.add_argument("--cache-bytes", type=int, default=None,
+                         help="LRU byte budget for the same caches")
+    p_serve.set_defaults(fn=_cmd_serve)
+
+    p_load = sub.add_parser(
+        "loadgen",
+        help="drive a running service with synthetic concurrent clients",
+    )
+    p_load.add_argument("--host", default="127.0.0.1")
+    p_load.add_argument("--port", type=int, required=True,
+                        help="port of the running 'repro serve'")
+    p_load.add_argument("--token", default="repro")
+    p_load.add_argument("--clients", type=int, default=8,
+                        help="concurrent synthetic clients (default 8)")
+    p_load.add_argument("--launches", type=int, default=40,
+                        help="index launches per client (default 40)")
+    p_load.add_argument("--tenants", type=int, default=None,
+                        help="spread clients over this many tenants "
+                             "(default: one per client)")
+    p_load.add_argument("--out", default=None, metavar="REPORT.JSON",
+                        help="write the full report as JSON")
+    p_load.set_defaults(fn=_cmd_loadgen)
 
     p_check = sub.add_parser(
         "check",

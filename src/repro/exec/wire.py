@@ -33,6 +33,10 @@ SHUTDOWN    parent -> worker: drain and exit cleanly
 SHARDS      parent -> worker: pickled ``[(seq, plan_blob), ...]`` — one
             vectored write carrying a whole per-worker shard batch; the
             worker answers one RESULT per listed seq, in order
+CALL        client -> service: pickled ``(command, payload)`` session
+            request; the service answers RESULT (or BUSY) echoing seq
+BUSY        service -> client: admission control rejected ``seq``; the
+            session queue is full, retry after draining replies
 ==========  =======================================================
 
 Every frame carries the protocol version; :func:`recv_frame` refuses a
@@ -67,6 +71,8 @@ __all__ = [
     "RESULT",
     "SHUTDOWN",
     "SHARDS",
+    "CALL",
+    "BUSY",
     "MSG_NAMES",
     "Frame",
     "FrameDecoder",
@@ -83,7 +89,9 @@ MAGIC = b"RPRO"
 #: Bump on any incompatible change to framing or message payloads; the
 #: handshake rejects a peer built against a different version.
 #: v2 added the SHARDS batched-submit message.
-PROTOCOL_VERSION = 2
+#: v3 added the service messages: CALL (client command) and BUSY
+#: (admission-control backpressure, echoes the rejected seq).
+PROTOCOL_VERSION = 3
 
 (
     HELLO,
@@ -97,7 +105,9 @@ PROTOCOL_VERSION = 2
     RESULT,
     SHUTDOWN,
     SHARDS,
-) = range(1, 12)
+    CALL,
+    BUSY,
+) = range(1, 14)
 
 MSG_NAMES = {
     HELLO: "HELLO",
@@ -111,6 +121,8 @@ MSG_NAMES = {
     RESULT: "RESULT",
     SHUTDOWN: "SHUTDOWN",
     SHARDS: "SHARDS",
+    CALL: "CALL",
+    BUSY: "BUSY",
 }
 
 _HEADER = struct.Struct(">4sBBIQ")

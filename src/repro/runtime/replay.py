@@ -34,8 +34,12 @@ The sharding/slicing memos live with their subsystems
 
 from __future__ import annotations
 
+import sys
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.core.checks import CheckResult, dynamic_cross_check
 from repro.core.launch import IndexLaunch, RegionRequirement, TaskLaunch
@@ -43,7 +47,44 @@ from repro.core.safety import SafetyVerdict
 from repro.runtime.physical import DependenceTemplate
 from repro.runtime.task import PhysicalRegion
 
-__all__ = ["DynamicCheckMemo", "PointPlan", "ExpansionTemplate", "LaunchReplayCache"]
+__all__ = [
+    "DynamicCheckMemo",
+    "PointPlan",
+    "ExpansionTemplate",
+    "LaunchReplayCache",
+    "estimate_bytes",
+]
+
+
+def estimate_bytes(obj, depth: int = 3) -> int:
+    """Best-effort recursive size estimate for cache budgeting.
+
+    Deliberately an *estimate*: shared substructure is double-counted and
+    recursion is depth-capped, so the number bounds growth rather than
+    reports exact RSS.  numpy buffers (the dominant payloads — check masks,
+    sparse indices) are counted exactly via ``nbytes``.
+    """
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes) + 96
+    try:
+        size = sys.getsizeof(obj)
+    except TypeError:  # pragma: no cover - exotic objects without sizeof
+        size = 64
+    if depth <= 0:
+        return size
+    if isinstance(obj, dict):
+        for k, v in obj.items():
+            size += estimate_bytes(k, depth - 1)
+            size += estimate_bytes(v, depth - 1)
+        return size
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        for item in obj:
+            size += estimate_bytes(item, depth - 1)
+        return size
+    inner = getattr(obj, "__dict__", None)
+    if inner:
+        size += estimate_bytes(inner, depth - 1)
+    return size
 
 
 class DynamicCheckMemo:
@@ -54,12 +95,23 @@ class DynamicCheckMemo:
     particular launch.  The memoized :class:`CheckResult` carries the
     evaluation count the original run paid, so verdicts assembled from
     memoized checks report the same ``check_evaluations`` as fresh ones.
+
+    Service-grade bounding: ``entry_budget`` / ``byte_budget`` cap the memo
+    with LRU eviction (both ``None`` by default = unbounded, the batch-mode
+    behavior).  An evicted key behaves exactly like a cold miss — the check
+    is pure in its key, so the re-evaluated result is byte-identical.
     """
 
-    def __init__(self):
-        self._cache: Dict[tuple, CheckResult] = {}
+    def __init__(self, entry_budget: Optional[int] = None,
+                 byte_budget: Optional[int] = None):
+        self._cache: "OrderedDict[tuple, CheckResult]" = OrderedDict()
+        self._sizes: Dict[tuple, int] = {}
+        self._bytes = 0
+        self.entry_budget = entry_budget
+        self.byte_budget = byte_budget
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         #: optional (functor, points) -> values evaluator replacing
         #: ``functor.apply_batch`` — exact-preserving by contract (the
         #: parallel backend installs its chunked worker-pool sweep here).
@@ -74,6 +126,49 @@ class DynamicCheckMemo:
     def clear(self) -> int:
         n = len(self._cache)
         self._cache.clear()
+        self._sizes.clear()
+        self._bytes = 0
+        return n
+
+    @property
+    def bytes_estimate(self) -> int:
+        """Estimated resident bytes of the memoized results."""
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def _over_budget(self) -> bool:
+        if self.entry_budget is not None and len(self._cache) > self.entry_budget:
+            return True
+        return self.byte_budget is not None and self._bytes > self.byte_budget
+
+    def _store(self, key: tuple, result: CheckResult) -> None:
+        est = estimate_bytes(key) + estimate_bytes(result)
+        self._cache[key] = result
+        self._bytes += est - self._sizes.get(key, 0)
+        self._sizes[key] = est
+        # Never evict the entry just stored (it is the MRU end), so a
+        # budget of 1 still serves the launch being issued.
+        while self._over_budget() and len(self._cache) > 1:
+            old_key, _ = self._cache.popitem(last=False)
+            self._bytes -= self._sizes.pop(old_key, 0)
+            self.evictions += 1
+
+    def export_entries(self) -> List[tuple]:
+        """The memo contents as a picklable ``[(key, result), ...]`` list,
+        oldest first (so ingesting preserves recency order)."""
+        return list(self._cache.items())
+
+    def ingest_entries(self, entries) -> int:
+        """Install persisted (key, result) pairs, oldest first, without
+        counting hits/misses; returns how many were installed.  Existing
+        entries win (they are fresher than the snapshot)."""
+        n = 0
+        for key, result in entries:
+            if key not in self._cache:
+                self._store(key, result)
+                n += 1
         return n
 
     def run(self, domain, args, bounds, use_numpy: bool = True) -> CheckResult:
@@ -88,6 +183,7 @@ class DynamicCheckMemo:
         found = self._cache.get(key)
         if found is not None:
             self.hits += 1
+            self._cache.move_to_end(key)
             return found
         self.misses += 1
         if self.kernels is not None:
@@ -100,7 +196,7 @@ class DynamicCheckMemo:
                 domain, args, bounds, use_numpy=use_numpy,
                 apply_batch=self.batch_evaluator,
             )
-        self._cache[key] = result
+        self._store(key, result)
         return result
 
 
@@ -180,25 +276,101 @@ class ExpansionTemplate:
 
 
 class LaunchReplayCache:
-    """The per-runtime store for all launch-keyed memoization layers."""
+    """The per-runtime store for all launch-keyed memoization layers.
 
-    def __init__(self, profiler=None):
+    Service-grade bounding (``entry_budget`` / ``byte_budget``): one LRU
+    over launch *signatures* — touching any layer of a signature refreshes
+    it; storing into any layer accounts it; going over budget evicts the
+    least-recently-used signature *whole* (verdicts, expansion, physical
+    template together).  Eviction is mechanically ``poison_signature`` but
+    semantically a cold miss: every layer's absence already falls back to
+    recomputation, and each layer is pure in the signature (the physical
+    template additionally self-validates), so a reissued evicted launch is
+    byte-identical to a never-cached one.  Both budgets default to ``None``
+    = unbounded, the original batch-mode behavior.
+    """
+
+    def __init__(self, profiler=None, entry_budget: Optional[int] = None,
+                 byte_budget: Optional[int] = None):
         self._verdicts: Dict[tuple, SafetyVerdict] = {}
         self._replayed: Dict[tuple, SafetyVerdict] = {}
         self._expansions: Dict[tuple, ExpansionTemplate] = {}
         self._physical: Dict[tuple, DependenceTemplate] = {}
-        self.check_memo = DynamicCheckMemo()
+        self.check_memo = DynamicCheckMemo(
+            entry_budget=entry_budget, byte_budget=byte_budget
+        )
         self._profiler = profiler
+        self.entry_budget = entry_budget
+        self.byte_budget = byte_budget
+        self._lru: "OrderedDict[tuple, int]" = OrderedDict()  # sig -> est bytes
+        self._bytes = 0
+        self.evictions = 0
 
     def _note(self, layer: str, outcome: str) -> None:
         prof = self._profiler
         if prof is not None and prof.enabled:
             prof.count("cache.lookups", 1.0, layer=layer, outcome=outcome)
 
+    # ------------------------------------------------------------ budgeting
+    @property
+    def bytes_estimate(self) -> int:
+        """Estimated resident bytes across the signature-keyed layers."""
+        return self._bytes
+
+    def __len__(self) -> int:
+        """Distinct signatures currently tracked by the LRU."""
+        return len(self._lru)
+
+    def _touch(self, sig: tuple) -> None:
+        if sig in self._lru:
+            self._lru.move_to_end(sig)
+
+    def _account(self, sig: tuple, obj) -> None:
+        """Charge ``obj``'s estimated size to ``sig`` and enforce budgets."""
+        if self.entry_budget is None and self.byte_budget is None:
+            return  # unbounded: skip the estimator entirely (hot path)
+        est = estimate_bytes(obj)
+        if sig in self._lru:
+            self._lru[sig] += est
+            self._lru.move_to_end(sig)
+        else:
+            self._lru[sig] = est
+        self._bytes += est
+        while self._over_budget() and len(self._lru) > 1:
+            # The signature just stored sits at the MRU end, so the LRU
+            # head is always a *different* signature: the launch being
+            # issued keeps its own layers even under a budget of 1.
+            old_sig, old_est = self._lru.popitem(last=False)
+            self._bytes -= old_est
+            self._evict(old_sig)
+
+    def _over_budget(self) -> bool:
+        if self.entry_budget is not None and len(self._lru) > self.entry_budget:
+            return True
+        return self.byte_budget is not None and self._bytes > self.byte_budget
+
+    def _evict(self, sig: tuple) -> None:
+        """Drop every layer of one signature (LRU eviction = cold miss)."""
+        for run_dynamic in (True, False):
+            self._verdicts.pop((sig, run_dynamic), None)
+            self._replayed.pop((sig, run_dynamic), None)
+        self._expansions.pop(sig, None)
+        self._physical.pop(sig, None)
+        self.evictions += 1
+        self._note("evict", "dropped")
+
+    def _forget(self, sig: tuple) -> None:
+        """Stop tracking a signature whose layers were dropped elsewhere."""
+        est = self._lru.pop(sig, None)
+        if est is not None:
+            self._bytes -= est
+
     # ------------------------------------------------------------- verdicts
     def get_verdict(self, sig: tuple, run_dynamic: bool) -> Optional[SafetyVerdict]:
         found = self._verdicts.get((sig, run_dynamic))
         self._note("verdict", "hit" if found is not None else "miss")
+        if found is not None:
+            self._touch(sig)
         return found
 
     def replayed_verdict(
@@ -220,32 +392,41 @@ class LaunchReplayCache:
                 return None
             found = replace(base, cached=True)
             self._replayed[key] = found
+            self._touch(sig)
         else:
             self._note("verdict", "hit")
+            self._touch(sig)
         return found
 
     def put_verdict(self, sig: tuple, run_dynamic: bool, verdict: SafetyVerdict):
         self._verdicts[(sig, run_dynamic)] = verdict
+        self._account(sig, verdict)
         self._note("verdict", "stored")
 
     # ------------------------------------------------------------ expansion
     def get_expansion(self, sig: tuple) -> Optional[ExpansionTemplate]:
         found = self._expansions.get(sig)
         self._note("expansion", "hit" if found is not None else "miss")
+        if found is not None:
+            self._touch(sig)
         return found
 
     def put_expansion(self, sig: tuple, template: ExpansionTemplate):
         self._expansions[sig] = template
+        self._account(sig, template)
         self._note("expansion", "stored")
 
     # ------------------------------------------------------------- physical
     def get_physical(self, sig: tuple) -> Optional[DependenceTemplate]:
         found = self._physical.get(sig)
         self._note("physical", "hit" if found is not None else "miss")
+        if found is not None:
+            self._touch(sig)
         return found
 
     def put_physical(self, sig: tuple, template: DependenceTemplate):
         self._physical[sig] = template
+        self._account(sig, template)
         self._note("physical", "stored")
 
     def drop_physical_for(self, sig: tuple) -> bool:
@@ -278,6 +459,7 @@ class LaunchReplayCache:
             n += 1
         if self._physical.pop(sig, None) is not None:
             n += 1
+        self._forget(sig)
         if n:
             self._note("poison", "dropped")
         return n
@@ -295,4 +477,6 @@ class LaunchReplayCache:
         self._replayed.clear()
         self._expansions.clear()
         self._physical.clear()
+        self._lru.clear()
+        self._bytes = 0
         return n

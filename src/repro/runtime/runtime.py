@@ -50,6 +50,25 @@ __all__ = ["Runtime", "RuntimeConfig"]
 ReqSpec = Union[Partition, Tuple[Partition, ProjectionFunctor]]
 
 
+def _resolve_budget(configured: Optional[int], env: str) -> Optional[int]:
+    """Effective cache budget: explicit config wins, else the env knob;
+    ``None``/unset/empty means unbounded (the batch-mode default)."""
+    if configured is not None:
+        return int(configured)
+    import os
+
+    raw = os.environ.get(env, "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"{env} must be an integer, got {raw!r}") from None
+    if value < 1:
+        raise ValueError(f"{env} must be >= 1, got {value}")
+    return value
+
+
 @dataclass
 class RuntimeConfig:
     """The evaluation's configuration axes plus testing knobs.
@@ -138,6 +157,25 @@ class RuntimeConfig:
             ``docs/distributed-transport.md``).  ``None`` (default) reads
             env ``REPRO_TRANSPORT`` (default ``local``).  Byte-identical
             results on every transport.
+        cache_entry_budget: LRU entry budget for the launch-replay cache
+            and the dynamic-check memo (each counted separately): at most
+            this many distinct launch signatures / check keys stay
+            memoized, least-recently-used evicted first.  ``None``
+            (default) reads env ``REPRO_CACHE_ENTRIES`` (unset =
+            unbounded, the batch-mode behavior).  Eviction is
+            semantics-free: an evicted signature behaves exactly like a
+            cold miss (byte-identical results).
+        cache_byte_budget: like ``cache_entry_budget`` but as an estimated
+            resident-byte cap (see ``replay.estimate_bytes``); ``None``
+            reads env ``REPRO_CACHE_BYTES``.  The two budgets compose
+            (either going over triggers eviction).
+        plan_memo: parallel-backend shard-plan memoization — on the replay
+            path, reuse the memoized ``ShardPlan`` skeleton (and, in shm
+            steady state, its pickled blob) per (signature, shard) instead
+            of rebuilding projections/templates every issue.  Purely an
+            execution strategy: results, stats, and traces are
+            byte-identical either way.  ``None`` (default) reads env
+            ``REPRO_PLAN_MEMO`` (unset/1 = on, 0 = off).
         pipeline_depth: parallel-backend dispatch pipelining — how many
             launches may be in flight (submitted to workers, commit
             deferred) at once.  Depth 1 (default) submits and collects
@@ -170,10 +208,17 @@ class RuntimeConfig:
     shm: Optional[bool] = None
     transport: Optional[str] = None
     pipeline_depth: Optional[int] = None
+    cache_entry_budget: Optional[int] = None
+    cache_byte_budget: Optional[int] = None
+    plan_memo: Optional[bool] = None
 
     def __post_init__(self):
         if self.n_nodes < 1:
             raise ValueError("n_nodes must be >= 1")
+        for name in ("cache_entry_budget", "cache_byte_budget"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be >= 1, got {value}")
 
     @property
     def label(self) -> str:
@@ -207,7 +252,15 @@ class Runtime:
         self.tracer = TraceRecorder(profiler=self.profiler)
         self.sharding_cache = ShardingCache()
         self.slicing_cache = SlicingCache(profiler=self.profiler)
-        self.replay_cache = LaunchReplayCache(profiler=self.profiler)
+        self.replay_cache = LaunchReplayCache(
+            profiler=self.profiler,
+            entry_budget=_resolve_budget(
+                self.config.cache_entry_budget, "REPRO_CACHE_ENTRIES"
+            ),
+            byte_budget=_resolve_budget(
+                self.config.cache_byte_budget, "REPRO_CACHE_BYTES"
+            ),
+        )
         self._op_counter = itertools.count()
         self._task_counter = itertools.count()
         self._rng = random.Random(self.config.seed)

@@ -1,0 +1,28 @@
+"""Always-on session service (``repro serve``).
+
+A long-running front-end that multiplexes many concurrent client
+sessions onto one shared worker pool, so issuance stays at replay cost
+instead of re-paying first-issue analysis and pool spin-up per process.
+See ``docs/service.md`` for the architecture.
+"""
+
+from repro.serve.client import ServiceBusy, ServiceClient, ServiceError
+from repro.serve.loadgen import run_loadgen
+from repro.serve.persist import (
+    CACHE_FORMAT_VERSION, load_tenant_memo, save_tenant_memo,
+    tenant_cache_path,
+)
+from repro.serve.service import ReproService, ServiceConfig
+
+__all__ = [
+    "ReproService",
+    "ServiceConfig",
+    "ServiceClient",
+    "ServiceBusy",
+    "ServiceError",
+    "run_loadgen",
+    "CACHE_FORMAT_VERSION",
+    "save_tenant_memo",
+    "load_tenant_memo",
+    "tenant_cache_path",
+]

@@ -1,0 +1,101 @@
+"""Plan-skeleton memoization on the replay path (ROADMAP item 3).
+
+The parallel backend rebuilds and re-pickles every ``ShardPlan`` from
+scratch per launch even in the steady replay state, where the skeleton
+(reqs, regions, points, projections) is a pure function of the launch
+signature.  The memo reuses the skeleton — and, when the shm arena hands
+back byte-identical descriptors after its rewind, the whole pickle blob.
+
+Identity discipline: everything observable must be byte-identical with
+the memo off (``REPRO_PLAN_MEMO=0`` / ``plan_memo=False``), including
+after worker respawns (generation bumps invalidate shard memos).
+"""
+
+import numpy as np
+import pytest
+
+from tests.exec.test_parallel_equivalence import (
+    full_stats, run_program,
+)
+
+PROGRAM = ("bump8", "copy", "shifted", "total")
+CFG = dict(n_nodes=4, dcr=True)
+
+
+def test_memo_on_off_byte_identical(monkeypatch):
+    on = run_program(PROGRAM, 6, None, CFG, workers=2)
+    monkeypatch.setenv("REPRO_PLAN_MEMO", "0")
+    off = run_program(PROGRAM, 6, None, CFG, workers=2)
+    rt_on, x_on, y_on, fut_on, edges_on = on
+    rt_off, x_off, y_off, fut_off, edges_off = off
+    assert x_on.tobytes() == x_off.tobytes()
+    assert y_on.tobytes() == y_off.tobytes()
+    assert fut_on == fut_off
+    assert edges_on == edges_off
+    assert full_stats(rt_on) == full_stats(rt_off)
+
+
+def test_memo_actually_fires(monkeypatch):
+    """Anti-vacuity: steady-state replay hits the memo, and with shm on
+    the rewound arena reuses the pickled blob byte-for-byte."""
+    rt, *_ = run_program(PROGRAM, 6, None, CFG, workers=2)
+    stats = rt.backend.stats
+    assert stats.plan_memo_hits > 0
+    monkeypatch.setenv("REPRO_PLAN_MEMO", "0")
+    rt_off, *_ = run_program(PROGRAM, 6, None, CFG, workers=2)
+    assert rt_off.backend.stats.plan_memo_hits == 0
+
+
+def test_memo_config_knob_wins_over_env(monkeypatch):
+    monkeypatch.setenv("REPRO_PLAN_MEMO", "0")
+    rt, *_ = run_program(
+        PROGRAM, 6, None, dict(CFG, plan_memo=True), workers=2
+    )
+    assert rt.backend.stats.plan_memo_hits > 0
+    monkeypatch.delenv("REPRO_PLAN_MEMO")
+    rt, *_ = run_program(
+        PROGRAM, 6, None, dict(CFG, plan_memo=False), workers=2
+    )
+    assert rt.backend.stats.plan_memo_hits == 0
+
+
+def test_blob_reuse_with_shm(monkeypatch):
+    """With the shm arena on, steady-state descriptors repeat after the
+    commit rewind, so whole pickled blobs are resent untouched."""
+    from repro.exec.shm import shm_env_enabled
+    from repro.exec.transport import TRANSPORTS, resolve_transport
+
+    if not shm_env_enabled():
+        pytest.skip("shm arena unavailable/disabled in this environment")
+    if not TRANSPORTS[resolve_transport(None)].local_shm:
+        pytest.skip("transport cannot map parent shm; blobs never repeat")
+    rt, *_ = run_program(PROGRAM, 6, None, CFG, workers=2)
+    stats = rt.backend.stats
+    assert stats.plan_memo_blob_reuse > 0
+    assert stats.plan_memo_blob_reuse <= stats.plan_memo_hits
+
+
+def test_memo_off_under_fault_injection():
+    """The memo must stand aside whenever a fault injector is armed:
+    directive consumption order is part of the recovery contract."""
+    from repro.fault import FaultPlan, parse_fault
+    from repro.runtime import Runtime, RuntimeConfig, task
+    from repro.data.partition import equal_partition
+
+    @task(privileges=["reads writes"])
+    def bump(ctx, r):
+        r.write("x", r.read("x") + 1.0)
+
+    plan = FaultPlan(specs=(parse_fault("kill:worker:0"),))
+    rt = Runtime(RuntimeConfig(n_nodes=4, validate_safety=True, workers=2,
+                               fault_plan=plan))
+    region = rt.create_region("fm_rx", 32, {"x": "f8"})
+    region.storage("x")[:] = np.arange(32.0)
+    part = equal_partition("fm_p", region, 8)
+    for _ in range(4):
+        rt.begin_trace(3)
+        rt.index_launch(bump, 8, part)
+        rt.end_trace(3)
+    rt.drain()
+    assert rt.backend.stats.plan_memo_hits == 0
+    assert np.array_equal(region.storage("x"), np.arange(32.0) + 4)

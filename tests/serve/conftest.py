@@ -1,0 +1,41 @@
+"""Shared harness: run a :class:`ReproService` on a background thread.
+
+The service is asyncio-native; tests are synchronous.  The helper spins
+a private event loop on a daemon thread, starts the service on an
+ephemeral port, and guarantees a graceful ``shutdown()`` (the same path
+SIGTERM takes) on exit — so every test doubles as a teardown-leak check.
+"""
+
+import asyncio
+import contextlib
+import threading
+
+from repro.serve import ReproService, ServiceConfig
+
+
+@contextlib.contextmanager
+def running_service(**cfg_kwargs):
+    svc = ReproService(ServiceConfig(**cfg_kwargs))
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+
+    def runner():
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(svc.start())
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=runner, daemon=True)
+    thread.start()
+    if not started.wait(timeout=10):
+        raise RuntimeError("service failed to start")
+    try:
+        yield svc, loop
+    finally:
+        if not svc._stopped.is_set():
+            asyncio.run_coroutine_threadsafe(
+                svc.shutdown(), loop
+            ).result(timeout=30)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10)
+        loop.close()
